@@ -1,0 +1,78 @@
+// Ablation (Section 3.3): the paper's empirical generator loss (Eq. 9)
+// against the fixed-σ² loss of Eq. 8.
+//
+// The paper reports that training with Eq. 8 "is highly sensitive to the
+// configuration of σ²" — too large and the loss does not converge, too
+// small and the discriminator saturates — while Eq. 9 "significantly
+// stabilises the training process". We run the adversarial phase under
+// both losses (several σ² values) from identical pre-trained weights and
+// report the resulting data-term MSE, discriminator balance and test NRMSE.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/common/table.hpp"
+
+using namespace mtsr;
+
+int main() {
+  bench::BenchData geometry;
+  bench::print_banner(
+      "bench_ablation_loss",
+      "§3.3 ablation — empirical loss (Eq. 9) vs fixed-sigma^2 (Eq. 8)",
+      geometry);
+
+  data::TrafficDataset dataset = bench::make_dataset(geometry);
+  const auto frames = bench::test_frames(dataset, 3, 5);
+
+  struct Variant {
+    std::string name;
+    core::LossMode mode;
+    float sigma2;
+  };
+  const std::vector<Variant> variants = {
+      {"Eq.9 empirical", core::LossMode::kEmpirical, 0.f},
+      {"Eq.8 sigma^2=0.01", core::LossMode::kFixedSigma, 0.01f},
+      {"Eq.8 sigma^2=1", core::LossMode::kFixedSigma, 1.f},
+      {"Eq.8 sigma^2=100", core::LossMode::kFixedSigma, 100.f},
+  };
+
+  Table table({"generator loss", "final g_mse", "D(real)", "D(fake)",
+               "test NRMSE", "stable"});
+  for (const Variant& variant : variants) {
+    core::PipelineConfig config = bench::bench_pipeline_config(
+        data::MtsrInstance::kUp4, geometry.side);
+    config.pretrain_steps = bench::scaled(600);
+    config.gan_rounds = bench::scaled(120);
+    config.trainer.loss_mode = variant.mode;
+    config.trainer.sigma2 = variant.sigma2;
+    // All variants start from the same seed, hence identical pre-training.
+    core::MtsrPipeline pipeline(config, dataset);
+    pipeline.train();
+
+    const auto& history = pipeline.gan_history();
+    const auto& last = history.back();
+    bool finite = true;
+    for (const auto& round : history) {
+      finite = finite && std::isfinite(round.g_loss) &&
+               std::isfinite(round.d_loss) && std::isfinite(round.g_mse);
+    }
+    const auto scores = bench::score_pipeline(pipeline, frames, variant.name);
+    // "Stable": losses finite and the data term did not blow past 4x the
+    // best observed value during adversarial training.
+    double best = 1e30, worst = 0.0;
+    for (const auto& round : history) {
+      best = std::min(best, round.g_mse);
+      worst = std::max(worst, round.g_mse);
+    }
+    const bool stable = finite && worst < 4.0 * best + 0.05;
+    table.add_row({variant.name, fmt(last.g_mse, 4), fmt(last.d_real_prob, 3),
+                   fmt(last.d_fake_prob, 3), fmt(scores.nrmse, 4),
+                   stable ? "yes" : "NO"});
+  }
+  std::printf("\n%s", table.render().c_str());
+  std::printf(
+      "paper shape check: Eq. 9 converges without tuning; Eq. 8 quality "
+      "swings with sigma^2 (large values destabilise the data term, small "
+      "ones mute the adversarial signal).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation (Section 3.2): zipper skip connections vs classic ResNet pairs
+// vs no skips.
+//
+// The paper argues the overlapping "zipper" residual paths accelerate
+// convergence and improve accuracy without extra parameters. We train the
+// same architecture under the three wirings from the same initialisation
+// and compare convergence speed (loss after fixed step budgets) and final
+// test NRMSE.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/common/table.hpp"
+
+using namespace mtsr;
+
+int main() {
+  bench::BenchData geometry;
+  bench::print_banner(
+      "bench_ablation_skips",
+      "§3.2 ablation — zipper vs ResNet-pair vs no skip connections",
+      geometry);
+
+  data::TrafficDataset dataset = bench::make_dataset(geometry);
+  const auto frames = bench::test_frames(dataset, 3, 5);
+
+  struct Variant {
+    std::string name;
+    core::SkipMode mode;
+  };
+  const std::vector<Variant> variants = {
+      {"zipper (paper)", core::SkipMode::kZipper},
+      {"ResNet pairs", core::SkipMode::kResidualPairs},
+      {"no skips", core::SkipMode::kNone},
+  };
+
+  Table table({"wiring", "params", "loss@25%", "loss@50%", "loss@100%",
+               "test NRMSE"});
+  for (const Variant& variant : variants) {
+    core::PipelineConfig config = bench::bench_pipeline_config(
+        data::MtsrInstance::kUp4, geometry.side);
+    // Deeper zipper so the skip wiring actually matters.
+    config.zipnet.zipper_modules = 8;
+    config.zipnet.skip_mode = variant.mode;
+    config.pretrain_steps = bench::scaled(800);
+    config.gan_rounds = 0;
+    core::MtsrPipeline pipeline(config, dataset);
+    pipeline.train_pretrain_only();
+
+    const auto& losses = pipeline.pretrain_losses();
+    auto window_mean = [&](double fraction) {
+      const auto centre = static_cast<std::size_t>(
+          fraction * static_cast<double>(losses.size() - 1));
+      const std::size_t lo = centre >= 20 ? centre - 20 : 0;
+      double acc = 0.0;
+      std::size_t n = 0;
+      for (std::size_t i = lo; i <= centre; ++i, ++n) acc += losses[i];
+      return acc / static_cast<double>(n);
+    };
+    const auto scores = bench::score_pipeline(pipeline, frames, variant.name);
+    table.add_row({variant.name,
+                   std::to_string(pipeline.generator().parameter_count()),
+                   fmt(window_mean(0.25), 4), fmt(window_mean(0.5), 4),
+                   fmt(window_mean(1.0), 4), fmt(scores.nrmse, 4)});
+  }
+  std::printf("\n%s", table.render().c_str());
+  std::printf(
+      "paper shape check: all three wirings share the same parameter count; "
+      "the zipper converges at least as fast as ResNet pairs and beats the "
+      "skip-free chain.\n");
+  return 0;
+}

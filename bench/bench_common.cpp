@@ -1,0 +1,128 @@
+#include "bench/bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/table.hpp"
+#include "src/metrics/metrics.hpp"
+
+namespace mtsr::bench {
+
+data::TrafficDataset make_dataset(const BenchData& geometry) {
+  data::MilanConfig config;
+  config.rows = geometry.side;
+  config.cols = geometry.side;
+  config.num_hotspots = geometry.hotspots;
+  config.seed = geometry.seed;
+  data::MilanTrafficGenerator generator(config);
+  return data::TrafficDataset(generator.generate(0, geometry.frames),
+                              config.interval_minutes);
+}
+
+bool fast_mode() {
+  const char* env = std::getenv("MTSR_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+int scaled(int steps) {
+  return fast_mode() ? std::max(steps / 8, 8) : steps;
+}
+
+core::PipelineConfig bench_pipeline_config(data::MtsrInstance instance,
+                                           std::int64_t side) {
+  core::PipelineConfig config;
+  config.instance = instance;
+  config.temporal_length = 3;
+  config.zipnet.base_channels = 4;
+  config.zipnet.zipper_modules = 4;
+  config.zipnet.zipper_channels = 16;
+  config.zipnet.final_channels = 12;
+  config.discriminator.base_channels = 4;
+  config.trainer.batch_size = 8;
+  config.trainer.learning_rate = 2e-3f;
+  config.trainer.adversarial_learning_rate = 1e-4f;
+  config.stitch_stride = 5;
+
+  if (instance == data::MtsrInstance::kMixture) {
+    // The mixture layout needs 20-cell superblocks; its window is the full
+    // bench grid, which costs ~4x more per step than window 20.
+    config.window = std::min<std::int64_t>(side, 40);
+    config.pretrain_steps = scaled(900);
+    config.gan_rounds = scaled(80);
+  } else {
+    config.window = std::min<std::int64_t>(side, 20);
+    config.pretrain_steps = scaled(3400);
+    config.gan_rounds = scaled(120);
+  }
+  return config;
+}
+
+std::vector<std::int64_t> test_frames(const data::TrafficDataset& dataset,
+                                      std::int64_t temporal_length,
+                                      std::int64_t count) {
+  const data::SplitRange range = dataset.test_range();
+  const std::int64_t t_lo = std::max(range.begin, temporal_length - 1);
+  const std::int64_t available = range.end - t_lo;
+  const std::int64_t n = std::min(count, available);
+  const std::int64_t step = std::max<std::int64_t>(available / n, 1);
+  std::vector<std::int64_t> frames;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t t = t_lo + i * step;
+    if (t < range.end) frames.push_back(t);
+  }
+  return frames;
+}
+
+MethodScores score_resolver(const baselines::SuperResolver& resolver,
+                            const data::TrafficDataset& dataset,
+                            const data::ProbeLayout& layout,
+                            const std::vector<std::int64_t>& frames) {
+  metrics::MetricAccumulator acc(dataset.peak());
+  for (std::int64_t t : frames) {
+    acc.add(resolver.super_resolve(dataset.frame(t), layout),
+            dataset.frame(t));
+  }
+  return {resolver.name(), acc.mean_nrmse(), acc.mean_psnr(),
+          acc.mean_ssim()};
+}
+
+MethodScores score_pipeline(core::MtsrPipeline& pipeline,
+                            const std::vector<std::int64_t>& frames,
+                            const std::string& name) {
+  metrics::MetricAccumulator acc(pipeline.dataset().peak());
+  for (std::int64_t t : frames) {
+    acc.add(pipeline.predict_frame(t), pipeline.dataset().frame(t));
+  }
+  return {name, acc.mean_nrmse(), acc.mean_psnr(), acc.mean_ssim()};
+}
+
+void print_scores(const std::string& title,
+                  const std::vector<MethodScores>& scores) {
+  std::printf("\n%s\n", title.c_str());
+  Table table({"method", "NRMSE", "PSNR [dB]", "SSIM"});
+  for (const MethodScores& s : scores) {
+    table.add_row({s.method, fmt(s.nrmse, 4), fmt(s.psnr, 2), fmt(s.ssim, 4)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+}
+
+void print_banner(const std::string& bench, const std::string& description,
+                  const BenchData& geometry) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", bench.c_str(), description.c_str());
+  std::printf(
+      "config: grid %lldx%lld, %lld snapshots (10-min bins), %lld hotspots, "
+      "seed %llu%s\n",
+      static_cast<long long>(geometry.side),
+      static_cast<long long>(geometry.side),
+      static_cast<long long>(geometry.frames),
+      static_cast<long long>(geometry.hotspots),
+      static_cast<unsigned long long>(geometry.seed),
+      fast_mode() ? " [FAST MODE: budgets / 8]" : "");
+  std::printf("paper reference: CoNEXT'17 ZipNet-GAN, Milan 100x100 grid, "
+              "8928 snapshots, GPU-days of training\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace mtsr::bench

@@ -1,0 +1,78 @@
+// Shared scaffolding for the figure/table reproduction benches.
+//
+// Every bench prints (a) the exact configuration it ran — grid size, frame
+// count, training budget — so EXPERIMENTS.md can record reproduction
+// conditions, and (b) paper-style result rows through mtsr::Table.
+//
+// Scale: the paper trains on a GPU cluster for days over a 100×100 grid and
+// 8928 snapshots; benches default to a 40×40 grid, 360 snapshots (2.5 days
+// at 10-minute bins) and minute-scale CPU training (DESIGN.md §7). Setting
+// the environment variable MTSR_BENCH_FAST=1 divides training budgets by 8
+// for smoke runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/baselines/super_resolver.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/data/milan.hpp"
+
+namespace mtsr::bench {
+
+/// Synthetic-city geometry shared by the benches.
+struct BenchData {
+  std::int64_t side = 40;
+  std::int64_t frames = 360;
+  std::int64_t hotspots = 30;
+  std::uint64_t seed = 42;
+};
+
+/// Builds the bench dataset (Milan substitute, DESIGN.md §2).
+[[nodiscard]] data::TrafficDataset make_dataset(const BenchData& geometry = {});
+
+/// True when MTSR_BENCH_FAST=1: benches shrink training budgets by 8x.
+[[nodiscard]] bool fast_mode();
+
+/// Applies fast-mode scaling to a step/round count.
+[[nodiscard]] int scaled(int steps);
+
+/// CPU-scale pipeline configuration for an instance on a `side`-cell grid.
+/// Training budgets follow the pilot calibration: ~1600 pre-training steps
+/// for window-20 instances, fewer for the 4x-costlier window-40 mixture.
+[[nodiscard]] core::PipelineConfig bench_pipeline_config(
+    data::MtsrInstance instance, std::int64_t side);
+
+/// One method's scores on a fixed set of test frames.
+struct MethodScores {
+  std::string method;
+  double nrmse = 0.0;
+  double psnr = 0.0;
+  double ssim = 0.0;
+};
+
+/// Evenly spaced test-frame indices usable with temporal length S.
+[[nodiscard]] std::vector<std::int64_t> test_frames(
+    const data::TrafficDataset& dataset, std::int64_t temporal_length,
+    std::int64_t count);
+
+/// Scores a baseline resolver on the given frames.
+[[nodiscard]] MethodScores score_resolver(
+    const baselines::SuperResolver& resolver,
+    const data::TrafficDataset& dataset, const data::ProbeLayout& layout,
+    const std::vector<std::int64_t>& frames);
+
+/// Scores a trained pipeline (stitched full-grid predictions).
+[[nodiscard]] MethodScores score_pipeline(core::MtsrPipeline& pipeline,
+                                          const std::vector<std::int64_t>& frames,
+                                          const std::string& name);
+
+/// Prints a Fig.9-style table (method × NRMSE/PSNR/SSIM).
+void print_scores(const std::string& title,
+                  const std::vector<MethodScores>& scores);
+
+/// Prints the bench banner: name plus the configuration that ran.
+void print_banner(const std::string& bench, const std::string& description,
+                  const BenchData& geometry);
+
+}  // namespace mtsr::bench

@@ -1,0 +1,123 @@
+// Fig. 13 / Section 5.5 reproduction: robustness to anomalous traffic.
+//
+// A suburban traffic surge (social event) is injected into the *test* set
+// only — the model never saw such patterns in training. The paper shows
+// ZipNet-GAN still localises the event from coarse, smoothed inputs,
+// effectively acting as an anomaly detector. We reproduce: train on clean
+// traffic, inject an event, super-resolve the event snapshot, and check the
+// surge is recovered at the right location.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/common/render.hpp"
+#include "src/common/table.hpp"
+#include "src/data/anomaly.hpp"
+#include "src/metrics/metrics.hpp"
+
+using namespace mtsr;
+
+int main() {
+  bench::BenchData geometry;
+  bench::print_banner("bench_fig13_anomaly",
+                      "Fig. 13 — robustness to anomalous (event) traffic",
+                      geometry);
+
+  data::TrafficDataset clean = bench::make_dataset(geometry);
+  core::MtsrPipeline pipeline(
+      bench::bench_pipeline_config(data::MtsrInstance::kUp4, geometry.side),
+      clean);
+  pipeline.train();
+
+  // Inject a suburban event into a copy of the dataset's frames.
+  const std::int64_t t_event = bench::test_frames(clean, 3, 3).back();
+  data::TrafficEvent event;
+  event.t_begin = t_event - 2;
+  event.t_end = t_event + 3;
+  event.row = static_cast<double>(geometry.side) * 0.8;  // suburban corner
+  event.col = static_cast<double>(geometry.side) * 0.2;
+  event.radius = 2.0;
+  event.amplitude_mb = 2500.0;
+
+  std::vector<Tensor> frames;
+  for (std::int64_t t = 0; t < clean.frame_count(); ++t) {
+    frames.push_back(clean.frame(t));
+  }
+  data::inject_event(frames, event);
+  data::TrafficDataset anomalous(std::move(frames),
+                                 clean.interval_minutes());
+
+  // Predict the event snapshot from the anomalous coarse inputs using the
+  // clean-trained model.
+  core::MtsrPipeline predictor(
+      bench::bench_pipeline_config(data::MtsrInstance::kUp4, geometry.side),
+      anomalous);
+  // Transplant the trained generator weights (incl. batch-norm buffers).
+  auto src_params = pipeline.generator().parameters();
+  auto dst_params = predictor.generator().parameters();
+  for (std::size_t i = 0; i < src_params.size(); ++i) {
+    dst_params[i]->value = src_params[i]->value;
+  }
+  auto src_buffers = pipeline.generator().buffers();
+  auto dst_buffers = predictor.generator().buffers();
+  for (std::size_t i = 0; i < src_buffers.size(); ++i) {
+    *dst_buffers[i].second = *src_buffers[i].second;
+  }
+
+  const Tensor& truth = anomalous.frame(t_event);
+  auto layout = data::make_layout(data::MtsrInstance::kUp4, geometry.side,
+                                  geometry.side);
+  Tensor coarse_view = layout->spread_average(truth);
+  Tensor prediction = predictor.predict_frame(t_event);
+
+  RenderOptions options;
+  options.fixed_range = true;
+  options.lo = 0.0;
+  options.hi = truth.max();
+  std::printf("\ncoarse input (event smeared over probe):\n%s",
+              render_heatmap(coarse_view.storage(),
+                             static_cast<int>(geometry.side),
+                             static_cast<int>(geometry.side), options)
+                  .c_str());
+  std::printf("\nground truth with event:\n%s",
+              render_heatmap(truth.storage(), static_cast<int>(geometry.side),
+                             static_cast<int>(geometry.side), options)
+                  .c_str());
+  std::printf("\nZipNet-GAN prediction:\n%s",
+              render_heatmap(prediction.storage(),
+                             static_cast<int>(geometry.side),
+                             static_cast<int>(geometry.side), options)
+                  .c_str());
+
+  // Detection: does the predicted surge localise the event? Compare the
+  // predicted surge mask (prediction vs clean reference) against the true
+  // event footprint.
+  const Tensor& reference = clean.frame(t_event);
+  Tensor predicted_mask =
+      data::detect_surge(prediction, reference, event.amplitude_mb * 0.15);
+  Tensor true_mask = data::detect_surge(truth, reference,
+                                        event.amplitude_mb * 0.15);
+  double tp = 0, fp = 0, fn = 0;
+  for (std::int64_t i = 0; i < true_mask.size(); ++i) {
+    const bool pred = predicted_mask.flat(i) > 0.5f;
+    const bool real = true_mask.flat(i) > 0.5f;
+    tp += (pred && real) ? 1 : 0;
+    fp += (pred && !real) ? 1 : 0;
+    fn += (!pred && real) ? 1 : 0;
+  }
+  const double precision = tp > 0 ? tp / (tp + fp) : 0.0;
+  const double recall = tp > 0 ? tp / (tp + fn) : 0.0;
+
+  Table table({"quantity", "value"});
+  table.add_row({"event cells (truth)", fmt(tp + fn, 0)});
+  table.add_row({"detected cells", fmt(tp + fp, 0)});
+  table.add_row({"precision", fmt(precision, 3)});
+  table.add_row({"recall", fmt(recall, 3)});
+  table.add_row({"NRMSE on event snapshot",
+                 fmt(metrics::nrmse(prediction, truth), 4)});
+  std::printf("\nevent localisation from coarse-only measurements:\n%s",
+              table.render().c_str());
+  std::printf("paper shape check: the surge location is identified despite "
+              "never appearing in training (recall > 0 with usable "
+              "precision).\n");
+  return 0;
+}

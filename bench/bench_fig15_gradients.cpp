@@ -1,0 +1,69 @@
+// Fig. 15 reproduction: mean magnitude of the loss gradient over each input
+// frame, for the three homogeneous instances.
+//
+// Shape targets from the paper: the most recent frame (index S) carries the
+// largest gradient on every instance, and the share contributed by the
+// historical frames (1..S-1) grows with the upscaling factor — history
+// matters more when less spatial information is available.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/common/csv.hpp"
+#include "src/common/table.hpp"
+#include "src/core/gradient_analysis.hpp"
+
+using namespace mtsr;
+
+int main() {
+  bench::BenchData geometry;
+  bench::print_banner(
+      "bench_fig15_gradients",
+      "Fig. 15 — per-frame input-gradient magnitudes |dL/dF|", geometry);
+
+  data::TrafficDataset dataset = bench::make_dataset(geometry);
+  const std::int64_t s = 6;
+
+  Table table({"instance", "f1", "f2", "f3", "f4", "f5", "f6 (latest)",
+               "history share"});
+  std::vector<std::vector<std::string>> csv_rows;
+
+  for (data::MtsrInstance instance :
+       {data::MtsrInstance::kUp2, data::MtsrInstance::kUp4,
+        data::MtsrInstance::kUp10}) {
+    core::PipelineConfig config =
+        bench::bench_pipeline_config(instance, geometry.side);
+    config.temporal_length = s;
+    config.pretrain_steps = bench::scaled(400);
+    config.gan_rounds = bench::scaled(30);
+    core::MtsrPipeline pipeline(config, dataset);
+    pipeline.train();
+
+    Rng rng(geometry.seed + 1);
+    auto magnitudes = core::input_gradient_magnitudes(
+        pipeline.generator(), pipeline.discriminator(),
+        pipeline.make_sample_source(dataset.test_range()), /*batches=*/4,
+        /*batch_size=*/8, config.trainer, rng);
+
+    double history = 0.0, total = 0.0;
+    std::vector<std::string> row{data::instance_name(instance)};
+    for (std::size_t f = 0; f < magnitudes.size(); ++f) {
+      row.push_back(fmt_sci(magnitudes[f], 2));
+      total += magnitudes[f];
+      if (f + 1 < magnitudes.size()) history += magnitudes[f];
+      csv_rows.push_back({data::instance_name(instance),
+                          std::to_string(f + 1), fmt_sci(magnitudes[f], 6)});
+    }
+    row.push_back(fmt(history / total, 3));
+    table.add_row(row);
+  }
+
+  std::printf("\nmean |dL/dF| per input frame (frame 6 = most recent):\n%s",
+              table.render().c_str());
+  write_csv("fig15_gradients.csv", {"instance", "frame", "gradient"},
+            csv_rows);
+  std::printf("series written to fig15_gradients.csv\n");
+  std::printf(
+      "paper shape check: latest frame dominates everywhere; the history "
+      "share grows with the upscaling factor (up-2 -> up-10).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig. 6 reproduction: spatial distribution of mobile traffic during
+// off-peak vs peak times.
+//
+// The paper shows two Milan heat maps with per-cell 10-minute volumes from
+// ~20 MB (quiet) to 5496 MB (peak, city centre). This bench renders the
+// synthetic substitute at 04:00 and 14:00, prints the volume statistics,
+// and dumps both grids to CSV for external plotting.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/common/render.hpp"
+#include "src/common/table.hpp"
+
+using namespace mtsr;
+
+int main() {
+  bench::BenchData geometry;
+  bench::print_banner("bench_fig6_spatial_patterns",
+                      "Fig. 6 — off-peak vs peak spatial traffic patterns",
+                      geometry);
+
+  data::MilanConfig config;
+  config.rows = geometry.side;
+  config.cols = geometry.side;
+  config.num_hotspots = geometry.hotspots;
+  config.seed = geometry.seed;
+  config.start_minute_of_week = 0;  // Monday 00:00 for clean clock math
+  data::MilanTrafficGenerator generator(config);
+
+  // 04:00 and 14:00 on the first Wednesday (skip warm-in days).
+  const std::int64_t day = 2 * 144;
+  const std::int64_t off_peak_t = day + 24;  // 04:00
+  const std::int64_t peak_t = day + 84;      // 14:00
+  Tensor off_peak = generator.generate(off_peak_t, 1).front();
+  Tensor peak = generator.generate(peak_t, 1).front();
+
+  Table stats({"snapshot", "min [MB]", "mean [MB]", "max [MB]",
+               "total [GB]"});
+  for (const auto& [name, frame] :
+       {std::pair<const char*, const Tensor*>{"off-peak (04:00)", &off_peak},
+        std::pair<const char*, const Tensor*>{"peak (14:00)", &peak}}) {
+    stats.add_row({name, fmt(frame->min(), 1), fmt(frame->mean(), 1),
+                   fmt(frame->max(), 1), fmt(frame->sum() / 1024.0, 2)});
+  }
+  std::fputs(stats.render().c_str(), stdout);
+
+  RenderOptions options;
+  options.fixed_range = true;
+  options.lo = 0.0;
+  options.hi = peak.max();
+  std::printf("\noff-peak (04:00), shared colour scale:\n%s",
+              render_heatmap(off_peak.storage(),
+                             static_cast<int>(off_peak.dim(0)),
+                             static_cast<int>(off_peak.dim(1)), options)
+                  .c_str());
+  std::printf("\npeak (14:00):\n%s",
+              render_heatmap(peak.storage(), static_cast<int>(peak.dim(0)),
+                             static_cast<int>(peak.dim(1)), options)
+                  .c_str());
+
+  write_grid_csv("fig6_off_peak.csv", off_peak.storage(),
+                 static_cast<int>(off_peak.dim(0)),
+                 static_cast<int>(off_peak.dim(1)));
+  write_grid_csv("fig6_peak.csv", peak.storage(),
+                 static_cast<int>(peak.dim(0)),
+                 static_cast<int>(peak.dim(1)));
+  std::printf("\nraw grids: fig6_off_peak.csv, fig6_peak.csv\n");
+  std::printf(
+      "paper shape check: peak/off-peak mean ratio %.1fx (paper: strong "
+      "day-night contrast, 20 MB..5496 MB range)\n",
+      peak.mean() / off_peak.mean());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Table 1 reproduction: the four MTSR instance configurations.
+//
+// Prints, for each instance on the paper's 100×100 geometry and on the
+// bench grid: probe count, input side, average upscaling factor n_f and
+// aggregation ratio r_f, plus the mixture composition percentages (paper:
+// 49% 2x2, 44% 4x4, 7% 10x10) and its 2-D granularity map (Fig. 8 right).
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/common/render.hpp"
+#include "src/common/table.hpp"
+
+using namespace mtsr;
+
+namespace {
+
+void print_instances(std::int64_t side) {
+  std::printf("\ninstances on a %lldx%lld grid:\n",
+              static_cast<long long>(side), static_cast<long long>(side));
+  Table table({"instance", "probes", "input side", "avg n_f", "avg r_f",
+               "measurement reduction"});
+  for (data::MtsrInstance instance :
+       {data::MtsrInstance::kUp2, data::MtsrInstance::kUp4,
+        data::MtsrInstance::kUp10, data::MtsrInstance::kMixture}) {
+    auto layout = data::make_layout(instance, side, side);
+    const double nf = layout->average_factor();
+    const double cells = static_cast<double>(side) * side;
+    table.add_row(
+        {layout->name(), std::to_string(layout->probe_count()),
+         std::to_string(layout->input_side()), fmt(nf, 2), fmt(nf * nf, 1),
+         fmt(cells / static_cast<double>(layout->probe_count()), 1) + "x"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchData geometry;
+  bench::print_banner("bench_table1_instances",
+                      "Table 1 — MTSR instance configurations", geometry);
+
+  // Paper geometry (100x100) and bench geometry.
+  print_instances(100);
+  print_instances(geometry.side);
+
+  data::MixtureProbeLayout mixture(100, 100);
+  const auto [n2, n4, n10] = mixture.composition();
+  const double total = static_cast<double>(n2 + n4 + n10);
+  std::printf(
+      "\nmixture composition on 100x100: %lld probes 2x2 (%.0f%%), %lld "
+      "probes 4x4 (%.0f%%), %lld probes 10x10 (%.0f%%)\n",
+      static_cast<long long>(n2), 100.0 * static_cast<double>(n2) / total,
+      static_cast<long long>(n4), 100.0 * static_cast<double>(n4) / total,
+      static_cast<long long>(n10), 100.0 * static_cast<double>(n10) / total);
+  std::printf("paper: 49%% cover 2x2, 44%% cover 4x4, 7%% cover 10x10\n");
+
+  Tensor gmap = mixture.granularity_map();
+  RenderOptions options;
+  options.ramp = "@+.";  // fine probes dark, coarse light
+  options.fixed_range = true;
+  options.lo = 2.0;
+  options.hi = 10.0;
+  std::printf("\n2-D granularity map (Fig. 8 right; @=2x2, +=4x4, .=10x10):\n%s",
+              render_heatmap(gmap.storage(), 100, 100, options).c_str());
+  return 0;
+}

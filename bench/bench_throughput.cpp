@@ -1,0 +1,117 @@
+// Deployability micro-benchmarks (google-benchmark).
+//
+// Section 5.1/6 of the paper argues ZipNet-GAN is deployable because
+// inference is cheap once trained ("once trained ... can continuously
+// perform inferences on live streams"). This binary times the primitive
+// operations and the end-to-end inference paths of every method.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+#include "src/baselines/bicubic.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/nn/conv2d.hpp"
+#include "src/nn/conv3d.hpp"
+#include "src/nn/conv_transpose3d.hpp"
+#include "src/tensor/tensor_ops.hpp"
+
+using namespace mtsr;
+
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const auto side = state.range(0);
+  Rng rng(2);
+  nn::Conv2d conv(8, 8, 3, 1, 1, rng);
+  Tensor input = Tensor::randn(Shape{1, 8, side, side}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(input, false));
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_Conv3dForward(benchmark::State& state) {
+  const auto side = state.range(0);
+  Rng rng(3);
+  nn::Conv3d conv(4, 4, {3, 3, 3}, {1, 1, 1}, {1, 1, 1}, rng);
+  Tensor input = Tensor::randn(Shape{1, 4, 3, side, side}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(input, false));
+  }
+}
+BENCHMARK(BM_Conv3dForward)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_Deconv3dUpscale(benchmark::State& state) {
+  const int factor = static_cast<int>(state.range(0));
+  Rng rng(4);
+  nn::ConvTranspose3d deconv(4, 4, {3, factor + 2, factor + 2},
+                             {1, factor, factor}, {1, 1, 1}, rng);
+  Tensor input = Tensor::randn(Shape{1, 4, 3, 10, 10}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deconv.forward(input, false));
+  }
+}
+BENCHMARK(BM_Deconv3dUpscale)->Arg(2)->Arg(5);
+
+void BM_BicubicUpsample(benchmark::State& state) {
+  const auto side = state.range(0);
+  Rng rng(5);
+  Tensor coarse = Tensor::uniform(Shape{side, side}, rng, 10.f, 100.f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::bicubic_upsample(coarse, 4));
+  }
+}
+BENCHMARK(BM_BicubicUpsample)->Arg(10)->Arg(25);
+
+// End-to-end inference: one full-grid super-resolution with a compact
+// (untrained — timing is weight-independent) ZipNet, per instance.
+void BM_ZipNetFullGridInference(benchmark::State& state) {
+  const auto instance = static_cast<data::MtsrInstance>(state.range(0));
+  bench::BenchData geometry;
+  geometry.frames = 40;
+  data::TrafficDataset dataset = bench::make_dataset(geometry);
+  core::PipelineConfig config =
+      bench::bench_pipeline_config(instance, geometry.side);
+  core::MtsrPipeline pipeline(config, dataset);
+  const std::int64_t t = dataset.frame_count() - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.predict_frame(t));
+  }
+  state.SetLabel(data::instance_name(instance));
+}
+BENCHMARK(BM_ZipNetFullGridInference)
+    ->Arg(static_cast<int>(data::MtsrInstance::kUp2))
+    ->Arg(static_cast<int>(data::MtsrInstance::kUp4))
+    ->Arg(static_cast<int>(data::MtsrInstance::kUp10))
+    ->Arg(static_cast<int>(data::MtsrInstance::kMixture))
+    ->Unit(benchmark::kMillisecond);
+
+// Probe aggregation (the gateway-side cost of producing model input).
+void BM_ProbeAggregation(benchmark::State& state) {
+  const auto instance = static_cast<data::MtsrInstance>(state.range(0));
+  Rng rng(6);
+  auto layout = data::make_layout(instance, 40, 40);
+  Tensor fine = Tensor::uniform(Shape{40, 40}, rng, 10.f, 1000.f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout->coarsen(fine));
+  }
+  state.SetLabel(data::instance_name(instance));
+}
+BENCHMARK(BM_ProbeAggregation)
+    ->Arg(static_cast<int>(data::MtsrInstance::kUp4))
+    ->Arg(static_cast<int>(data::MtsrInstance::kMixture));
+
+}  // namespace
+
+BENCHMARK_MAIN();

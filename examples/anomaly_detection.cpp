@@ -1,0 +1,128 @@
+// Events localisation (Section 5.5 / Section 6 "events localisation &
+// response").
+//
+// Scenario: a network operator monitors a city through coarse probes only.
+// A flash crowd gathers in a suburb (concert / stadium). This example
+// trains a ZipNet-GAN on normal traffic, injects the event into the live
+// (test) stream, and shows that super-resolving the coarse aggregates
+// localises the event to sub-probe precision — turning MTSR into an
+// anomaly detector.
+//
+// Run:  ./anomaly_detection [--side 32] [--amplitude 2500]
+#include <cstdio>
+
+#include "src/common/cli.hpp"
+#include "src/common/render.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/data/anomaly.hpp"
+#include "src/data/milan.hpp"
+#include "src/metrics/metrics.hpp"
+
+using namespace mtsr;
+
+int main(int argc, char** argv) {
+  CliParser cli("anomaly_detection",
+                "localise a suburban traffic surge from coarse probes");
+  cli.add_int("side", 32, "fine grid side length");
+  cli.add_int("steps", 600, "pre-training steps");
+  cli.add_double("amplitude", 2500.0, "event peak traffic [MB]");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::int64_t side = cli.get_int("side");
+
+  data::MilanConfig city;
+  city.rows = side;
+  city.cols = side;
+  city.num_hotspots = 24;
+  city.seed = 21;
+  data::TrafficDataset clean(
+      data::MilanTrafficGenerator(city).generate(0, 360), 10);
+
+  core::PipelineConfig config;
+  config.instance = data::MtsrInstance::kUp4;
+  config.window = std::min<std::int64_t>(side, 16);
+  config.temporal_length = 3;
+  config.zipnet.base_channels = 4;
+  config.zipnet.zipper_modules = 4;
+  config.zipnet.zipper_channels = 10;
+  config.zipnet.final_channels = 12;
+  config.discriminator.base_channels = 4;
+  config.trainer.learning_rate = 2e-3f;
+  config.pretrain_steps = static_cast<int>(cli.get_int("steps"));
+  config.gan_rounds = 50;
+  core::MtsrPipeline trained(config, clean);
+  std::printf("training on clean traffic (no events in the training set)...\n");
+  trained.train();
+
+  // The live stream sees a surge the model never encountered.
+  const std::int64_t t_event = clean.test_range().begin + 5;
+  data::TrafficEvent event;
+  event.t_begin = t_event - 2;
+  event.t_end = t_event + 3;
+  event.row = static_cast<double>(side) * 0.78;
+  event.col = static_cast<double>(side) * 0.22;
+  event.radius = 1.8;
+  event.amplitude_mb = cli.get_double("amplitude");
+
+  std::vector<Tensor> frames;
+  for (std::int64_t t = 0; t < clean.frame_count(); ++t) {
+    frames.push_back(clean.frame(t));
+  }
+  data::inject_event(frames, event);
+  data::TrafficDataset live(std::move(frames), clean.interval_minutes());
+
+  core::MtsrPipeline monitor(config, live);
+  auto src = trained.generator().parameters();
+  auto dst = monitor.generator().parameters();
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i]->value = src[i]->value;
+  auto src_buffers = trained.generator().buffers();
+  auto dst_buffers = monitor.generator().buffers();
+  for (std::size_t i = 0; i < src_buffers.size(); ++i) {
+    *dst_buffers[i].second = *src_buffers[i].second;
+  }
+
+  Tensor prediction = monitor.predict_frame(t_event);
+  const Tensor& truth = live.frame(t_event);
+
+  // Locate the predicted surge peak relative to the planted event.
+  Tensor surge = prediction;
+  surge.sub_(clean.frame(t_event));
+  std::int64_t peak_index = 0;
+  for (std::int64_t i = 1; i < surge.size(); ++i) {
+    if (surge.flat(i) > surge.flat(peak_index)) peak_index = i;
+  }
+  const std::int64_t peak_row = peak_index / side;
+  const std::int64_t peak_col = peak_index % side;
+  const double distance =
+      std::sqrt((static_cast<double>(peak_row) - event.row) *
+                    (static_cast<double>(peak_row) - event.row) +
+                (static_cast<double>(peak_col) - event.col) *
+                    (static_cast<double>(peak_col) - event.col));
+
+  std::printf("\nevent planted at (%.0f, %.0f), amplitude %.0f MB\n",
+              event.row, event.col, event.amplitude_mb);
+  std::printf("predicted surge peak at (%lld, %lld) — %.1f cells away\n",
+              static_cast<long long>(peak_row),
+              static_cast<long long>(peak_col), distance);
+  std::printf("prediction NRMSE on the event snapshot: %.4f\n",
+              metrics::nrmse(prediction, truth));
+
+  auto layout = data::make_layout(config.instance, side, side);
+  const double probe_radius = layout->average_factor() / 2.0;
+  std::printf("probe coverage radius is %.1f cells: the event is localised "
+              "%s sub-probe precision.\n",
+              probe_radius, distance <= probe_radius ? "WITH" : "without");
+
+  RenderOptions options;
+  options.fixed_range = true;
+  options.lo = 0.0;
+  options.hi = truth.max();
+  std::printf("\nlive truth (event bottom-left):\n%s",
+              render_heatmap(truth.storage(), static_cast<int>(side),
+                             static_cast<int>(side), options)
+                  .c_str());
+  std::printf("\nreconstruction from coarse probes:\n%s",
+              render_heatmap(prediction.storage(), static_cast<int>(side),
+                             static_cast<int>(side), options)
+                  .c_str());
+  return 0;
+}

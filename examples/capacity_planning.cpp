@@ -1,0 +1,111 @@
+// Agile network resource management (Section 6, first bullet).
+//
+// Scenario: an operator must pick the k sub-cells most in need of capacity
+// upgrades (the busiest cells at the daily peak), but only collects coarse
+// probe aggregates. Uniform spreading cannot rank cells within a probe;
+// MTSR can. This example trains a ZipNet-GAN, ranks sub-cells by predicted
+// peak-hour load, and scores the ranking against the ground-truth top-k —
+// exactly the "precision traffic engineering" use the paper motivates.
+//
+// Run:  ./capacity_planning [--side 32] [--top-k 25]
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <set>
+
+#include "src/baselines/bicubic.hpp"
+#include "src/baselines/super_resolver.hpp"
+#include "src/common/cli.hpp"
+#include "src/common/table.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/data/milan.hpp"
+
+using namespace mtsr;
+
+namespace {
+
+/// Indices of the k largest cells of a snapshot.
+std::set<std::int64_t> top_k_cells(const Tensor& snapshot, std::int64_t k) {
+  std::vector<std::int64_t> order(static_cast<std::size_t>(snapshot.size()));
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](std::int64_t a, std::int64_t b) {
+                      return snapshot.flat(a) > snapshot.flat(b);
+                    });
+  return {order.begin(), order.begin() + k};
+}
+
+double overlap(const std::set<std::int64_t>& a,
+               const std::set<std::int64_t>& b) {
+  std::int64_t hits = 0;
+  for (std::int64_t x : a) hits += b.count(x) ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(a.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("capacity_planning",
+                "rank hot-spot sub-cells for upgrades from coarse probes");
+  cli.add_int("side", 32, "fine grid side length");
+  cli.add_int("top-k", 25, "number of sub-cells to upgrade");
+  cli.add_int("steps", 600, "pre-training steps");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::int64_t side = cli.get_int("side");
+  const std::int64_t k = cli.get_int("top-k");
+
+  data::MilanConfig city;
+  city.rows = side;
+  city.cols = side;
+  city.num_hotspots = 24;
+  city.seed = 19;
+  data::TrafficDataset dataset(
+      data::MilanTrafficGenerator(city).generate(0, 360), 10);
+
+  core::PipelineConfig config;
+  config.instance = data::MtsrInstance::kUp4;
+  config.window = std::min<std::int64_t>(side, 16);
+  config.temporal_length = 3;
+  config.zipnet.base_channels = 4;
+  config.zipnet.zipper_modules = 4;
+  config.zipnet.zipper_channels = 10;
+  config.zipnet.final_channels = 12;
+  config.discriminator.base_channels = 4;
+  config.trainer.learning_rate = 2e-3f;
+  config.pretrain_steps = static_cast<int>(cli.get_int("steps"));
+  config.gan_rounds = 50;
+  core::MtsrPipeline pipeline(config, dataset);
+  std::printf("training ZipNet-GAN for capacity planning (up-4 probes)...\n");
+  pipeline.train();
+
+  auto layout = data::make_layout(config.instance, side, side);
+  baselines::UniformInterpolator uniform;
+  baselines::BicubicInterpolator bicubic;
+
+  // Average the top-k overlap over several peak-hour test snapshots.
+  double zip_hit = 0.0, uni_hit = 0.0, bic_hit = 0.0;
+  int evaluated = 0;
+  for (std::int64_t t = dataset.test_range().begin + 3;
+       t < dataset.test_range().end && evaluated < 5; t += 17) {
+    const Tensor& truth = dataset.frame(t);
+    const auto target = top_k_cells(truth, k);
+    zip_hit += overlap(top_k_cells(pipeline.predict_frame(t), k), target);
+    uni_hit +=
+        overlap(top_k_cells(uniform.super_resolve(truth, *layout), k), target);
+    bic_hit +=
+        overlap(top_k_cells(bicubic.super_resolve(truth, *layout), k), target);
+    ++evaluated;
+  }
+
+  Table table({"planning input", "top-" + std::to_string(k) + " hit rate"});
+  table.add_row({"ZipNet-GAN inference", fmt(zip_hit / evaluated, 3)});
+  table.add_row({"Bicubic interpolation", fmt(bic_hit / evaluated, 3)});
+  table.add_row({"Uniform assumption", fmt(uni_hit / evaluated, 3)});
+  std::printf("\nhow many of the truly busiest %lld sub-cells each input "
+              "would have selected (mean over %d peak snapshots):\n%s",
+              static_cast<long long>(k), evaluated, table.render().c_str());
+  std::printf("the uniform-distribution assumption the paper criticises "
+              "cannot rank cells within a probe; MTSR recovers the ranking "
+              "from the same measurements.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// The full measurement substrate: CDR events -> grid frames -> MTSR.
+//
+// The paper's Milan dataset was built from call detail records. This
+// example runs the event-level simulator (user population, commuting,
+// sessions, the 5 MB interim-record rule), aggregates the CDR stream into
+// 10-minute frames — the expensive post-processing MTSR replaces at run
+// time — and then trains a ZipNet on the resulting dataset, demonstrating
+// that the library's learning stack is agnostic to whether frames come from
+// the field-based generator or from event-level records.
+//
+// Run:  ./cdr_pipeline [--users 3000] [--days 3]
+#include <cstdio>
+
+#include "src/common/cli.hpp"
+#include "src/common/render.hpp"
+#include "src/common/stopwatch.hpp"
+#include "src/common/table.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/data/cdr.hpp"
+#include "src/metrics/metrics.hpp"
+
+using namespace mtsr;
+
+int main(int argc, char** argv) {
+  CliParser cli("cdr_pipeline", "CDR simulation -> aggregation -> MTSR");
+  cli.add_int("users", 3000, "simulated subscriber count");
+  cli.add_int("days", 3, "simulated days");
+  cli.add_int("side", 32, "grid side length");
+  cli.add_int("steps", 400, "pre-training steps");
+  if (!cli.parse(argc, argv)) return 0;
+
+  data::CdrConfig config;
+  config.rows = cli.get_int("side");
+  config.cols = cli.get_int("side");
+  config.num_users = cli.get_int("users");
+  config.num_intervals = cli.get_int("days") * 144;
+  config.seed = 3;
+
+  Stopwatch sw;
+  data::CdrSimulator simulator(config);
+  auto records = simulator.simulate();
+  std::int64_t interim = 0;
+  double volume = 0.0;
+  for (const auto& r : records) {
+    interim += r.interim ? 1 : 0;
+    volume += r.volume_mb;
+  }
+  std::printf("simulated %zu CDRs in %.1fs (%lld interim records from the "
+              "5 MB rule, %.1f GB total)\n",
+              records.size(), sw.seconds(), static_cast<long long>(interim),
+              volume / 1024.0);
+
+  sw.reset();
+  auto frames = data::CdrSimulator::aggregate(records, config);
+  std::printf("aggregated into %zu frames of %lldx%lld in %.1fs — this is "
+              "the post-processing MTSR renders unnecessary at run time\n",
+              frames.size(), static_cast<long long>(config.rows),
+              static_cast<long long>(config.cols), sw.seconds());
+
+  data::TrafficDataset dataset(std::move(frames), config.interval_minutes);
+  std::printf("dataset peak %.0f MB, train/val/test = %lld/%lld/%lld "
+              "frames\n",
+              dataset.peak(),
+              static_cast<long long>(dataset.train_range().size()),
+              static_cast<long long>(dataset.validation_range().size()),
+              static_cast<long long>(dataset.test_range().size()));
+
+  const Tensor& noon = dataset.frame(72);
+  std::printf("\nmid-day CDR-derived traffic snapshot:\n%s",
+              render_heatmap(noon.storage(), static_cast<int>(config.rows),
+                             static_cast<int>(config.cols), {})
+                  .c_str());
+
+  core::PipelineConfig pipeline_config;
+  pipeline_config.instance = data::MtsrInstance::kUp4;
+  pipeline_config.window = std::min<std::int64_t>(config.rows, 16);
+  pipeline_config.temporal_length = 3;
+  pipeline_config.zipnet.base_channels = 4;
+  pipeline_config.zipnet.zipper_modules = 3;
+  pipeline_config.zipnet.zipper_channels = 8;
+  pipeline_config.zipnet.final_channels = 10;
+  pipeline_config.discriminator.base_channels = 4;
+  pipeline_config.trainer.learning_rate = 2e-3f;
+  pipeline_config.pretrain_steps = static_cast<int>(cli.get_int("steps"));
+  pipeline_config.gan_rounds = 30;
+  core::MtsrPipeline pipeline(pipeline_config, dataset);
+  std::printf("\ntraining ZipNet(-GAN) on the CDR-derived dataset...\n");
+  sw.reset();
+  pipeline.train();
+  auto acc = pipeline.evaluate(4);
+  std::printf("trained in %.0fs — test metrics: %s\n", sw.seconds(),
+              acc.summary().c_str());
+  std::printf("\nnote: CDR-derived frames are sparser and noisier than the "
+              "field-based generator (individual sessions dominate cells), "
+              "so absolute errors are higher; the pipeline runs unchanged.\n");
+  return 0;
+}

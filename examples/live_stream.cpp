@@ -1,0 +1,98 @@
+// Continuous gateway-side inference (Section 6): train once, checkpoint,
+// then run the StreamingInferencer over a live measurement feed.
+//
+// The paper's deployment argument is that "once trained the proposed
+// technique can continuously perform inferences on live streams, unlike
+// post-processing approaches that only work off-line". This example plays
+// that scenario end to end: offline training + checkpoint to disk, then a
+// fresh "gateway process" restores the checkpoint and converts each new
+// 10-minute coarse measurement into a fine-grained traffic map in real
+// time, reporting accuracy and latency per interval.
+//
+// Run:  ./live_stream [--side 32] [--steps 500] [--intervals 12]
+#include <cstdio>
+
+#include "src/common/cli.hpp"
+#include "src/common/stopwatch.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/core/streaming.hpp"
+#include "src/data/milan.hpp"
+#include "src/metrics/metrics.hpp"
+
+using namespace mtsr;
+
+int main(int argc, char** argv) {
+  CliParser cli("live_stream",
+                "train, checkpoint, and run continuous gateway inference");
+  cli.add_int("side", 32, "fine grid side length");
+  cli.add_int("steps", 500, "pre-training steps");
+  cli.add_int("intervals", 12, "live intervals to stream");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::int64_t side = cli.get_int("side");
+
+  data::MilanConfig city;
+  city.rows = side;
+  city.cols = side;
+  city.num_hotspots = 24;
+  city.seed = 91;
+  data::TrafficDataset dataset(
+      data::MilanTrafficGenerator(city).generate(0, 360), 10);
+
+  core::PipelineConfig config;
+  config.instance = data::MtsrInstance::kUp4;
+  config.window = std::min<std::int64_t>(side, 16);
+  config.temporal_length = 3;
+  config.zipnet.base_channels = 4;
+  config.zipnet.zipper_modules = 4;
+  config.zipnet.zipper_channels = 10;
+  config.zipnet.final_channels = 12;
+  config.discriminator.base_channels = 4;
+  config.trainer.learning_rate = 2e-3f;
+  config.pretrain_steps = static_cast<int>(cli.get_int("steps"));
+  config.gan_rounds = 40;
+
+  // --- Offline: train and checkpoint. --------------------------------------
+  const std::string checkpoint = "zipnet_gan_checkpoint.bin";
+  {
+    core::MtsrPipeline trainer_pipeline(config, dataset);
+    std::printf("offline training...\n");
+    trainer_pipeline.train();
+    trainer_pipeline.save_generator(checkpoint);
+    std::printf("checkpoint written to %s\n", checkpoint.c_str());
+  }
+
+  // --- Gateway: restore and stream. -----------------------------------------
+  core::MtsrPipeline gateway(config, dataset);
+  gateway.load_generator(checkpoint);
+  core::StreamingInferencer stream = core::StreamingInferencer::from_dataset(
+      gateway.generator(), gateway.window_layout(), dataset, config.window,
+      /*stitch_stride=*/config.window / 2);
+
+  std::printf("\nstreaming %lld live intervals (S=%lld warm-up):\n",
+              static_cast<long long>(cli.get_int("intervals")),
+              static_cast<long long>(stream.temporal_length()));
+  const std::int64_t t0 = dataset.test_range().begin;
+  double worst_latency_ms = 0.0;
+  for (std::int64_t i = 0; i < cli.get_int("intervals"); ++i) {
+    const std::int64_t t = t0 + i;
+    Stopwatch sw;
+    auto fine = stream.push_fine(dataset.frame(t));
+    const double ms = sw.millis();
+    worst_latency_ms = std::max(worst_latency_ms, ms);
+    if (!fine) {
+      std::printf("  t=%lld  warming up (%lld more frames)\n",
+                  static_cast<long long>(t),
+                  static_cast<long long>(stream.frames_until_ready()));
+      continue;
+    }
+    std::printf("  t=%lld  NRMSE %.4f  SSIM %.4f  latency %.0f ms\n",
+                static_cast<long long>(t),
+                metrics::nrmse(*fine, dataset.frame(t)),
+                metrics::ssim(*fine, dataset.frame(t)), ms);
+  }
+  std::printf("\nworst per-interval latency %.0f ms against a 10-minute "
+              "measurement period — %.0fx headroom for city-scale grids.\n",
+              worst_latency_ms, 10.0 * 60.0 * 1000.0 / worst_latency_ms);
+  std::remove(checkpoint.c_str());
+  return 0;
+}

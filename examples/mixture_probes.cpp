@@ -1,0 +1,103 @@
+// Heterogeneous probe deployments (Table 1 "mixture", Fig. 8).
+//
+// Real networks deploy measurement probes unevenly — dense fine-grained
+// probes downtown, sparse coarse ones in the suburbs. This example builds
+// the mixture layout, visualises its granularity map, shows how the
+// unequal aggregates are projected onto the model's input square, trains a
+// ZipNet-GAN on the projected input, and quantifies the cost of the
+// distortion by comparing against the uniform up-4 instance (same average
+// n_f, as the paper does in Section 5.3).
+//
+// Run:  ./mixture_probes [--side 40]
+#include <cstdio>
+
+#include "src/common/cli.hpp"
+#include "src/common/render.hpp"
+#include "src/common/table.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/data/milan.hpp"
+#include "src/metrics/metrics.hpp"
+
+using namespace mtsr;
+
+int main(int argc, char** argv) {
+  CliParser cli("mixture_probes",
+                "MTSR with heterogeneous probe coverage (Fig. 8)");
+  cli.add_int("side", 40, "fine grid side (must be divisible by 20)");
+  cli.add_int("steps", 500, "pre-training steps per instance");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::int64_t side = cli.get_int("side");
+
+  data::MixtureProbeLayout mixture(side, side);
+  const auto [n2, n4, n10] = mixture.composition();
+  std::printf("mixture deployment on %lldx%lld: %lld probes total "
+              "(%lld 2x2, %lld 4x4, %lld 10x10), avg n_f %.2f\n",
+              static_cast<long long>(side), static_cast<long long>(side),
+              static_cast<long long>(mixture.probe_count()),
+              static_cast<long long>(n2), static_cast<long long>(n4),
+              static_cast<long long>(n10), mixture.average_factor());
+
+  Tensor gmap = mixture.granularity_map();
+  RenderOptions gopt;
+  gopt.ramp = "@+.";
+  gopt.fixed_range = true;
+  gopt.lo = 2.0;
+  gopt.hi = 10.0;
+  std::printf("\ngranularity map (@=2x2 downtown, +=4x4, .=10x10 suburbs):\n%s",
+              render_heatmap(gmap.storage(), static_cast<int>(side),
+                             static_cast<int>(side), gopt)
+                  .c_str());
+
+  // Show the projection: a traffic frame, its per-probe aggregates, and the
+  // compact input square the network sees.
+  data::MilanConfig city;
+  city.rows = side;
+  city.cols = side;
+  city.num_hotspots = 24;
+  city.seed = 33;
+  data::TrafficDataset dataset(
+      data::MilanTrafficGenerator(city).generate(0, 360), 10);
+  const Tensor& frame = dataset.frame(84);
+  Tensor input_square = mixture.coarsen(frame);
+  std::printf("\nprobe aggregates projected onto the %lldx%lld input square "
+              "(zone-ordered; spatial adjacency deliberately distorted, as "
+              "in the paper):\n%s",
+              static_cast<long long>(mixture.input_side()),
+              static_cast<long long>(mixture.input_side()),
+              render_heatmap(input_square.storage(),
+                             static_cast<int>(mixture.input_side()),
+                             static_cast<int>(mixture.input_side()), {})
+                  .c_str());
+
+  // Train mixture and up-4 pipelines with the same budget and compare.
+  Table table({"instance", "NRMSE", "PSNR [dB]", "SSIM"});
+  for (data::MtsrInstance instance :
+       {data::MtsrInstance::kUp4, data::MtsrInstance::kMixture}) {
+    core::PipelineConfig config;
+    config.instance = instance;
+    config.window = instance == data::MtsrInstance::kMixture
+                        ? std::min<std::int64_t>(side, 40)
+                        : std::min<std::int64_t>(side, 20);
+    config.temporal_length = 3;
+    config.zipnet.base_channels = 4;
+    config.zipnet.zipper_modules = 4;
+    config.zipnet.zipper_channels = 10;
+    config.zipnet.final_channels = 12;
+    config.discriminator.base_channels = 4;
+    config.trainer.learning_rate = 2e-3f;
+    config.pretrain_steps = static_cast<int>(cli.get_int("steps"));
+    config.gan_rounds = 40;
+    core::MtsrPipeline pipeline(config, dataset);
+    std::printf("\ntraining %s...\n", data::instance_name(instance).c_str());
+    pipeline.train();
+    auto acc = pipeline.evaluate(4);
+    table.add_row({data::instance_name(instance), fmt(acc.mean_nrmse(), 4),
+                   fmt(acc.mean_psnr(), 2), fmt(acc.mean_ssim(), 4)});
+  }
+  std::printf("\nsame average n_f, different structure:\n%s",
+              table.render().c_str());
+  std::printf("paper: the mixture instance performs slightly worse than "
+              "up-4 because the projection distorts spatial correlation — "
+              "but remains feasible.\n");
+  return 0;
+}

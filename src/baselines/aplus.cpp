@@ -1,0 +1,142 @@
+#include "src/baselines/aplus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/baselines/bicubic.hpp"
+#include "src/baselines/linalg.hpp"
+#include "src/common/check.hpp"
+#include "src/tensor/tensor_ops.hpp"
+
+namespace mtsr::baselines {
+
+APlusSR::APlusSR(APlusConfig config) : config_(config) {
+  check(config_.anchors > 0 && config_.patch_size > 0 &&
+            config_.neighbourhood > 0,
+        "APlusConfig: bad parameters");
+}
+
+std::int64_t APlusSR::nearest_anchor(const float* feature,
+                                     std::int64_t dim) const {
+  double best = -2.0;
+  std::int64_t best_a = 0;
+  // Features and anchors are compared by correlation on the unit sphere;
+  // normalise the query on the fly.
+  double norm = 0.0;
+  for (std::int64_t i = 0; i < dim; ++i) {
+    norm += static_cast<double>(feature[i]) * feature[i];
+  }
+  norm = std::sqrt(std::max(norm, 1e-12));
+  for (std::int64_t a = 0; a < anchors_.dim(0); ++a) {
+    const float* anchor = anchors_.data() + a * dim;
+    double dot = 0.0;
+    for (std::int64_t i = 0; i < dim; ++i) dot += anchor[i] * feature[i];
+    dot /= norm;
+    if (dot > best) {
+      best = dot;
+      best_a = a;
+    }
+  }
+  return best_a;
+}
+
+void APlusSR::fit(const std::vector<Tensor>& fine_frames,
+                  const data::ProbeLayout& layout) {
+  check(!fine_frames.empty(), "APlusSR::fit: no training frames");
+  Rng rng(config_.seed);
+
+  BicubicInterpolator bicubic;
+  std::vector<Tensor> mids;
+  mids.reserve(fine_frames.size());
+  for (const Tensor& f : fine_frames) {
+    mids.push_back(bicubic.super_resolve(f, layout));
+  }
+
+  PatchConfig pc{config_.patch_size, config_.train_stride};
+  PatchDataset ds = collect_patches(mids, fine_frames, pc,
+                                    config_.max_train_patches, rng);
+  const std::int64_t n = ds.features.dim(0);
+  const std::int64_t feat = ds.features.dim(1);
+  const std::int64_t out_dim = ds.residuals.dim(1);
+  check(n > config_.anchors, "APlusSR::fit: not enough patches");
+
+  // Anchors: K-means centroids over the features, normalised.
+  KMeansResult km = kmeans(ds.features, config_.anchors,
+                           config_.kmeans_iterations, rng);
+  anchors_ = std::move(km.centroids);
+  normalize_rows(anchors_);
+
+  // Normalised copy of the features for correlation ranking.
+  Tensor unit_features = ds.features;
+  normalize_rows(unit_features);
+
+  const int nn = static_cast<int>(
+      std::min<std::int64_t>(config_.neighbourhood, n));
+  projections_.clear();
+  projections_.reserve(static_cast<std::size_t>(config_.anchors));
+  std::vector<std::int64_t> index(static_cast<std::size_t>(n));
+  std::iota(index.begin(), index.end(), 0);
+  std::vector<double> corr(static_cast<std::size_t>(n));
+
+  for (int a = 0; a < config_.anchors; ++a) {
+    const float* anchor = anchors_.data() + a * feat;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* f = unit_features.data() + i * feat;
+      double dot = 0.0;
+      for (std::int64_t j = 0; j < feat; ++j) dot += anchor[j] * f[j];
+      corr[static_cast<std::size_t>(i)] = dot;
+    }
+    std::partial_sort(index.begin(), index.begin() + nn, index.end(),
+                      [&](std::int64_t x, std::int64_t y) {
+                        return corr[static_cast<std::size_t>(x)] >
+                               corr[static_cast<std::size_t>(y)];
+                      });
+    // Anchored neighbourhood matrices: X (feat, nn), Y (out, nn) over raw
+    // (unnormalised) samples.
+    Tensor x(Shape{feat, static_cast<std::int64_t>(nn)});
+    Tensor y(Shape{out_dim, static_cast<std::int64_t>(nn)});
+    for (int i = 0; i < nn; ++i) {
+      const std::int64_t s = index[static_cast<std::size_t>(i)];
+      for (std::int64_t j = 0; j < feat; ++j) {
+        x.at(j, i) = ds.features.at(s, j);
+      }
+      for (std::int64_t j = 0; j < out_dim; ++j) {
+        y.at(j, i) = ds.residuals.at(s, j);
+      }
+    }
+    projections_.push_back(ridge_regression(x, y, config_.ridge_lambda));
+    std::iota(index.begin(), index.end(), 0);
+  }
+  fitted_ = true;
+}
+
+Tensor APlusSR::super_resolve(const Tensor& fine_frame,
+                              const data::ProbeLayout& layout) const {
+  check(fitted_, "APlusSR::super_resolve called before fit");
+  BicubicInterpolator bicubic;
+  Tensor mid = bicubic.super_resolve(fine_frame, layout);
+
+  const int size = config_.patch_size;
+  const std::int64_t feat = feature_dim(size);
+  const std::int64_t out_dim = static_cast<std::int64_t>(size) * size;
+  const auto origins = patch_origins(mid.dim(0), mid.dim(1), size,
+                                     config_.predict_stride);
+  Tensor residuals(Shape{static_cast<std::int64_t>(origins.size()), out_dim});
+  std::vector<float> feature(static_cast<std::size_t>(feat));
+  for (std::size_t i = 0; i < origins.size(); ++i) {
+    extract_feature(mid, origins[i].first, origins[i].second, size,
+                    feature.data());
+    const std::int64_t a = nearest_anchor(feature.data(), feat);
+    const Tensor& p = projections_[static_cast<std::size_t>(a)];
+    for (std::int64_t r = 0; r < out_dim; ++r) {
+      double acc = 0.0;
+      const float* row = p.data() + r * feat;
+      for (std::int64_t j = 0; j < feat; ++j) acc += row[j] * feature[static_cast<std::size_t>(j)];
+      residuals.at(static_cast<std::int64_t>(i), r) = static_cast<float>(acc);
+    }
+  }
+  return assemble_patches(mid, origins, residuals, size);
+}
+
+}  // namespace mtsr::baselines

@@ -1,0 +1,120 @@
+#include "src/baselines/bicubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/tensor/tensor_ops.hpp"
+
+namespace mtsr::baselines {
+namespace {
+
+/// Catmull-Rom kernel (a = -0.5), the classic bicubic weighting.
+float cubic_kernel(float x) {
+  x = std::abs(x);
+  if (x <= 1.f) {
+    return 1.5f * x * x * x - 2.5f * x * x + 1.f;
+  }
+  if (x < 2.f) {
+    return -0.5f * x * x * x + 2.5f * x * x - 4.f * x + 2.f;
+  }
+  return 0.f;
+}
+
+float sample_clamped(const Tensor& grid, std::int64_t r, std::int64_t c) {
+  r = std::clamp<std::int64_t>(r, 0, grid.dim(0) - 1);
+  c = std::clamp<std::int64_t>(c, 0, grid.dim(1) - 1);
+  return grid.at(r, c);
+}
+
+}  // namespace
+
+Tensor bicubic_upsample(const Tensor& coarse, int factor) {
+  check(coarse.rank() == 2, "bicubic_upsample expects a rank-2 grid");
+  check(factor >= 1, "bicubic_upsample requires factor >= 1");
+  const std::int64_t h = coarse.dim(0), w = coarse.dim(1);
+  const std::int64_t oh = h * factor, ow = w * factor;
+  Tensor out(Shape{oh, ow});
+  const float inv = 1.f / static_cast<float>(factor);
+  for (std::int64_t r = 0; r < oh; ++r) {
+    // Cell-centre alignment: fine centre (r+0.5) maps to coarse coordinate
+    // (r+0.5)/factor - 0.5 in sample index space.
+    const float v = (static_cast<float>(r) + 0.5f) * inv - 0.5f;
+    const auto v0 = static_cast<std::int64_t>(std::floor(v));
+    const float fv = v - static_cast<float>(v0);
+    float wr[4];
+    for (int i = 0; i < 4; ++i) {
+      wr[i] = cubic_kernel(fv - static_cast<float>(i - 1));
+    }
+    for (std::int64_t c = 0; c < ow; ++c) {
+      const float u = (static_cast<float>(c) + 0.5f) * inv - 0.5f;
+      const auto u0 = static_cast<std::int64_t>(std::floor(u));
+      const float fu = u - static_cast<float>(u0);
+      float wc[4];
+      for (int i = 0; i < 4; ++i) {
+        wc[i] = cubic_kernel(fu - static_cast<float>(i - 1));
+      }
+      float acc = 0.f;
+      for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+          acc += wr[i] * wc[j] *
+                 sample_clamped(coarse, v0 - 1 + i, u0 - 1 + j);
+        }
+      }
+      out.at(r, c) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor bicubic_upsample_adjoint(const Tensor& grad_fine, int factor) {
+  check(grad_fine.rank() == 2, "bicubic_upsample_adjoint expects rank-2");
+  check(factor >= 1, "bicubic_upsample_adjoint requires factor >= 1");
+  const std::int64_t oh = grad_fine.dim(0), ow = grad_fine.dim(1);
+  check(oh % factor == 0 && ow % factor == 0,
+        "bicubic_upsample_adjoint: fine dims must be multiples of factor");
+  const std::int64_t h = oh / factor, w = ow / factor;
+  Tensor out(Shape{h, w});
+  const float inv = 1.f / static_cast<float>(factor);
+  for (std::int64_t r = 0; r < oh; ++r) {
+    const float v = (static_cast<float>(r) + 0.5f) * inv - 0.5f;
+    const auto v0 = static_cast<std::int64_t>(std::floor(v));
+    const float fv = v - static_cast<float>(v0);
+    float wr[4];
+    for (int i = 0; i < 4; ++i) {
+      wr[i] = cubic_kernel(fv - static_cast<float>(i - 1));
+    }
+    for (std::int64_t c = 0; c < ow; ++c) {
+      const float u = (static_cast<float>(c) + 0.5f) * inv - 0.5f;
+      const auto u0 = static_cast<std::int64_t>(std::floor(u));
+      const float fu = u - static_cast<float>(u0);
+      const float g = grad_fine.at(r, c);
+      if (g == 0.f) continue;
+      for (int i = 0; i < 4; ++i) {
+        const std::int64_t rr =
+            std::clamp<std::int64_t>(v0 - 1 + i, 0, h - 1);
+        for (int j = 0; j < 4; ++j) {
+          const std::int64_t cc =
+              std::clamp<std::int64_t>(u0 - 1 + j, 0, w - 1);
+          out.at(rr, cc) +=
+              g * wr[i] * cubic_kernel(fu - static_cast<float>(j - 1));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BicubicInterpolator::super_resolve(
+    const Tensor& fine_frame, const data::ProbeLayout& layout) const {
+  if (const auto* uniform =
+          dynamic_cast<const data::UniformProbeLayout*>(&layout)) {
+    return bicubic_upsample(uniform->coarsen(fine_frame), uniform->factor());
+  }
+  // Heterogeneous layout: no regular coarse grid. Pool the spread map to
+  // the finest probe size and resample.
+  Tensor spread = layout.spread_average(fine_frame);
+  return bicubic_upsample(avg_pool2d(spread, 2), 2);
+}
+
+}  // namespace mtsr::baselines

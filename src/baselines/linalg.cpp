@@ -1,0 +1,200 @@
+#include "src/baselines/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/common/check.hpp"
+#include "src/tensor/tensor_ops.hpp"
+
+namespace mtsr::baselines {
+namespace {
+
+/// In-place Cholesky factorisation A = L Lᵀ (lower triangle). Returns false
+/// if a non-positive pivot is met.
+bool cholesky_factor(Tensor& a) {
+  const std::int64_t n = a.dim(0);
+  float* p = a.data();
+  for (std::int64_t j = 0; j < n; ++j) {
+    double diag = p[j * n + j];
+    for (std::int64_t k = 0; k < j; ++k) {
+      diag -= static_cast<double>(p[j * n + k]) * p[j * n + k];
+    }
+    if (diag <= 0.0) return false;
+    const double ljj = std::sqrt(diag);
+    p[j * n + j] = static_cast<float>(ljj);
+    for (std::int64_t i = j + 1; i < n; ++i) {
+      double acc = p[i * n + j];
+      for (std::int64_t k = 0; k < j; ++k) {
+        acc -= static_cast<double>(p[i * n + k]) * p[j * n + k];
+      }
+      p[i * n + j] = static_cast<float>(acc / ljj);
+    }
+    for (std::int64_t i = 0; i < j; ++i) p[i * n + j] = 0.f;
+  }
+  return true;
+}
+
+}  // namespace
+
+Tensor cholesky_solve(const Tensor& a, const Tensor& b) {
+  check(a.rank() == 2 && a.dim(0) == a.dim(1), "cholesky_solve: A not square");
+  check(b.rank() == 2 && b.dim(0) == a.dim(0),
+        "cholesky_solve: B row count mismatch");
+  const std::int64_t n = a.dim(0), m = b.dim(1);
+
+  Tensor l = a;
+  if (!cholesky_factor(l)) {
+    // Retry with diagonal jitter before giving up.
+    l = a;
+    const float jitter = 1e-5f * std::max(1.f, a.max());
+    for (std::int64_t i = 0; i < n; ++i) l.at(i, i) += jitter;
+    if (!cholesky_factor(l)) {
+      throw std::runtime_error("cholesky_solve: matrix not positive definite");
+    }
+  }
+
+  // Forward substitution L Z = B, then back substitution Lᵀ X = Z.
+  Tensor x = b;
+  float* px = x.data();
+  const float* pl = l.data();
+  for (std::int64_t col = 0; col < m; ++col) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      double acc = px[i * m + col];
+      for (std::int64_t k = 0; k < i; ++k) {
+        acc -= static_cast<double>(pl[i * n + k]) * px[k * m + col];
+      }
+      px[i * m + col] = static_cast<float>(acc / pl[i * n + i]);
+    }
+    for (std::int64_t i = n - 1; i >= 0; --i) {
+      double acc = px[i * m + col];
+      for (std::int64_t k = i + 1; k < n; ++k) {
+        acc -= static_cast<double>(pl[k * n + i]) * px[k * m + col];
+      }
+      px[i * m + col] = static_cast<float>(acc / pl[i * n + i]);
+    }
+  }
+  return x;
+}
+
+Tensor ridge_regression(const Tensor& x, const Tensor& y, float lambda) {
+  check(x.rank() == 2 && y.rank() == 2, "ridge_regression: rank-2 inputs");
+  check(x.dim(1) == y.dim(1), "ridge_regression: sample count mismatch");
+  check(lambda >= 0.f, "ridge_regression: negative lambda");
+  const std::int64_t d_in = x.dim(0);
+  Tensor gram = matmul_nt(x, x);  // (d_in, d_in)
+  for (std::int64_t i = 0; i < d_in; ++i) gram.at(i, i) += lambda;
+  Tensor yxt = matmul_nt(y, x);  // (d_out, d_in)
+  // Solve gram Wᵀ = (Y Xᵀ)ᵀ, i.e. W = Y Xᵀ gram⁻¹ using symmetry of gram.
+  Tensor wt = cholesky_solve(gram, transpose(yxt));  // (d_in, d_out)
+  return transpose(wt);
+}
+
+KMeansResult kmeans(const Tensor& samples, int k, int max_iterations,
+                    Rng& rng) {
+  check(samples.rank() == 2, "kmeans: samples must be (n, d)");
+  const std::int64_t n = samples.dim(0), d = samples.dim(1);
+  check(k > 0 && k <= n, "kmeans: k must be in [1, n]");
+
+  auto sq_dist = [&](const float* a, const float* b) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < d; ++i) {
+      const double diff = static_cast<double>(a[i]) - b[i];
+      acc += diff * diff;
+    }
+    return acc;
+  };
+
+  // k-means++ seeding.
+  Tensor centroids(Shape{k, d});
+  std::vector<double> min_dist(static_cast<std::size_t>(n),
+                               std::numeric_limits<double>::infinity());
+  std::int64_t first = rng.uniform_int(0, n - 1);
+  std::copy(samples.data() + first * d, samples.data() + (first + 1) * d,
+            centroids.data());
+  for (int c = 1; c < k; ++c) {
+    std::vector<double> weights(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      min_dist[static_cast<std::size_t>(i)] =
+          std::min(min_dist[static_cast<std::size_t>(i)],
+                   sq_dist(samples.data() + i * d,
+                           centroids.data() + (c - 1) * d));
+      weights[static_cast<std::size_t>(i)] =
+          min_dist[static_cast<std::size_t>(i)] + 1e-12;
+    }
+    const std::int64_t pick =
+        static_cast<std::int64_t>(rng.categorical(weights));
+    std::copy(samples.data() + pick * d, samples.data() + (pick + 1) * d,
+              centroids.data() + c * d);
+  }
+
+  std::vector<int> assignment(static_cast<std::size_t>(n), 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (std::int64_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        const double dist =
+            sq_dist(samples.data() + i * d, centroids.data() + c * d);
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      if (assignment[static_cast<std::size_t>(i)] != best_c) {
+        assignment[static_cast<std::size_t>(i)] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Update step.
+    centroids.fill(0.f);
+    std::vector<std::int64_t> counts(static_cast<std::size_t>(k), 0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const int c = assignment[static_cast<std::size_t>(i)];
+      ++counts[static_cast<std::size_t>(c)];
+      for (std::int64_t j = 0; j < d; ++j) {
+        centroids.data()[c * d + j] += samples.data()[i * d + j];
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<std::size_t>(c)] == 0) {
+        // Re-seed an empty cluster from a random sample.
+        const std::int64_t pick = rng.uniform_int(0, n - 1);
+        std::copy(samples.data() + pick * d, samples.data() + (pick + 1) * d,
+                  centroids.data() + c * d);
+        continue;
+      }
+      const float inv =
+          1.f / static_cast<float>(counts[static_cast<std::size_t>(c)]);
+      for (std::int64_t j = 0; j < d; ++j) {
+        centroids.data()[c * d + j] *= inv;
+      }
+    }
+  }
+  return {std::move(centroids), std::move(assignment)};
+}
+
+std::vector<float> normalize_rows(Tensor& matrix, float min_norm) {
+  check(matrix.rank() == 2, "normalize_rows: rank-2 matrix expected");
+  const std::int64_t n = matrix.dim(0), d = matrix.dim(1);
+  std::vector<float> norms(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    float* row = matrix.data() + i * d;
+    for (std::int64_t j = 0; j < d; ++j) {
+      acc += static_cast<double>(row[j]) * row[j];
+    }
+    const auto norm = static_cast<float>(std::sqrt(acc));
+    norms[static_cast<std::size_t>(i)] = norm;
+    if (norm > min_norm) {
+      for (std::int64_t j = 0; j < d; ++j) row[j] /= norm;
+    }
+  }
+  return norms;
+}
+
+}  // namespace mtsr::baselines

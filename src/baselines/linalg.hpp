@@ -1,0 +1,40 @@
+// Small dense linear-algebra helpers for the SC and A+ baselines:
+// Cholesky factorisation/solves for ridge regressions and a K-means
+// clusterer used to learn dictionary anchors.
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace mtsr::baselines {
+
+/// Solves A X = B for X, where A is symmetric positive definite (n×n) and
+/// B is (n×m), via Cholesky factorisation. Throws if A is not SPD (after a
+/// small diagonal jitter retry).
+[[nodiscard]] Tensor cholesky_solve(const Tensor& a, const Tensor& b);
+
+/// Ridge regression: returns W (d_out×d_in) minimising ‖W X − Y‖² + λ‖W‖²,
+/// where X is (d_in×n) and Y is (d_out×n). Solved via the normal equations
+/// W = Y Xᵀ (X Xᵀ + λI)⁻¹.
+[[nodiscard]] Tensor ridge_regression(const Tensor& x, const Tensor& y,
+                                      float lambda);
+
+/// K-means result: centroids (k×d) and per-sample assignments.
+struct KMeansResult {
+  Tensor centroids;
+  std::vector<int> assignment;
+};
+
+/// Lloyd's K-means over row-vector samples (n×d) with k-means++ seeding.
+/// Deterministic given `rng`. Empty clusters are re-seeded from the sample
+/// farthest from its centroid.
+[[nodiscard]] KMeansResult kmeans(const Tensor& samples, int k,
+                                  int max_iterations, Rng& rng);
+
+/// L2-normalises each row of a (n×d) matrix in place; rows with near-zero
+/// norm are left unchanged. Returns the per-row original norms.
+std::vector<float> normalize_rows(Tensor& matrix, float min_norm = 1e-8f);
+
+}  // namespace mtsr::baselines

@@ -1,0 +1,150 @@
+#include "src/baselines/patches.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+
+namespace mtsr::baselines {
+
+std::int64_t feature_dim(int patch_size) {
+  return 3LL * patch_size * patch_size;
+}
+
+void extract_feature(const Tensor& mid, std::int64_t r0, std::int64_t c0,
+                     int size, float* out) {
+  const std::int64_t rows = mid.dim(0), cols = mid.dim(1);
+  const std::int64_t n = static_cast<std::int64_t>(size) * size;
+
+  // Mean-removed intensities.
+  double mean = 0.0;
+  for (int r = 0; r < size; ++r) {
+    for (int c = 0; c < size; ++c) {
+      mean += mid.at(r0 + r, c0 + c);
+    }
+  }
+  mean /= static_cast<double>(n);
+  std::int64_t k = 0;
+  for (int r = 0; r < size; ++r) {
+    for (int c = 0; c < size; ++c) {
+      out[k++] = mid.at(r0 + r, c0 + c) - static_cast<float>(mean);
+    }
+  }
+  // First-order gradients (central differences, clamped at borders).
+  auto sample = [&](std::int64_t r, std::int64_t c) {
+    r = std::clamp<std::int64_t>(r, 0, rows - 1);
+    c = std::clamp<std::int64_t>(c, 0, cols - 1);
+    return mid.at(r, c);
+  };
+  for (int r = 0; r < size; ++r) {
+    for (int c = 0; c < size; ++c) {
+      out[k++] = 0.5f * (sample(r0 + r, c0 + c + 1) -
+                         sample(r0 + r, c0 + c - 1));
+    }
+  }
+  for (int r = 0; r < size; ++r) {
+    for (int c = 0; c < size; ++c) {
+      out[k++] = 0.5f * (sample(r0 + r + 1, c0 + c) -
+                         sample(r0 + r - 1, c0 + c));
+    }
+  }
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> patch_origins(
+    std::int64_t rows, std::int64_t cols, int size, int stride) {
+  check(size > 0 && stride > 0 && size <= rows && size <= cols,
+        "patch_origins: bad geometry");
+  std::vector<std::int64_t> row_list, col_list;
+  for (std::int64_t r = 0; r + size <= rows; r += stride) row_list.push_back(r);
+  if (row_list.empty() || row_list.back() + size < rows) {
+    row_list.push_back(rows - size);
+  }
+  for (std::int64_t c = 0; c + size <= cols; c += stride) col_list.push_back(c);
+  if (col_list.empty() || col_list.back() + size < cols) {
+    col_list.push_back(cols - size);
+  }
+  std::vector<std::pair<std::int64_t, std::int64_t>> origins;
+  origins.reserve(row_list.size() * col_list.size());
+  for (std::int64_t r : row_list) {
+    for (std::int64_t c : col_list) origins.emplace_back(r, c);
+  }
+  return origins;
+}
+
+PatchDataset collect_patches(const std::vector<Tensor>& mids,
+                             const std::vector<Tensor>& truths,
+                             const PatchConfig& config,
+                             std::int64_t max_patches, Rng& rng) {
+  check(mids.size() == truths.size() && !mids.empty(),
+        "collect_patches: frame list mismatch");
+  check(max_patches > 0, "collect_patches: max_patches must be positive");
+
+  // Enumerate all (frame, origin) candidates, then subsample.
+  struct Candidate {
+    std::size_t frame;
+    std::int64_t r0, c0;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t f = 0; f < mids.size(); ++f) {
+    check(mids[f].shape() == truths[f].shape(),
+          "collect_patches: mid/truth shape mismatch");
+    for (auto [r0, c0] : patch_origins(mids[f].dim(0), mids[f].dim(1),
+                                       config.size, config.stride)) {
+      candidates.push_back({f, r0, c0});
+    }
+  }
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  const std::int64_t n = std::min<std::int64_t>(
+      max_patches, static_cast<std::int64_t>(candidates.size()));
+
+  const std::int64_t feat = feature_dim(config.size);
+  const std::int64_t out_dim =
+      static_cast<std::int64_t>(config.size) * config.size;
+  PatchDataset ds{Tensor(Shape{n, feat}), Tensor(Shape{n, out_dim})};
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Candidate& cand = candidates[order[static_cast<std::size_t>(i)]];
+    extract_feature(mids[cand.frame], cand.r0, cand.c0, config.size,
+                    ds.features.data() + i * feat);
+    std::int64_t k = 0;
+    for (int r = 0; r < config.size; ++r) {
+      for (int c = 0; c < config.size; ++c) {
+        ds.residuals.data()[i * out_dim + k++] =
+            truths[cand.frame].at(cand.r0 + r, cand.c0 + c) -
+            mids[cand.frame].at(cand.r0 + r, cand.c0 + c);
+      }
+    }
+  }
+  return ds;
+}
+
+Tensor assemble_patches(
+    const Tensor& mid,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& origins,
+    const Tensor& residuals, int size) {
+  check(residuals.rank() == 2 &&
+            residuals.dim(0) == static_cast<std::int64_t>(origins.size()) &&
+            residuals.dim(1) == static_cast<std::int64_t>(size) * size,
+        "assemble_patches: residual matrix shape mismatch");
+  Tensor acc(mid.shape());
+  Tensor weight(mid.shape());
+  for (std::size_t i = 0; i < origins.size(); ++i) {
+    const auto [r0, c0] = origins[i];
+    std::int64_t k = 0;
+    for (int r = 0; r < size; ++r) {
+      for (int c = 0; c < size; ++c) {
+        acc.at(r0 + r, c0 + c) +=
+            residuals.data()[static_cast<std::int64_t>(i) * size * size + k++];
+        weight.at(r0 + r, c0 + c) += 1.f;
+      }
+    }
+  }
+  Tensor out = mid;
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    if (weight.flat(i) > 0.f) out.flat(i) += acc.flat(i) / weight.flat(i);
+  }
+  return out;
+}
+
+}  // namespace mtsr::baselines

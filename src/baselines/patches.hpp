@@ -1,0 +1,56 @@
+// Patch machinery shared by the SC and A+ baselines.
+//
+// Both methods operate on overlapping patches of the bicubic "mid" image
+// (the coarse input upscaled to fine size): a feature vector is computed per
+// mid patch (mean-removed intensities plus first-order gradients), a
+// high-resolution residual patch (truth minus mid) is predicted from it,
+// and overlapping predictions are averaged back into the full grid.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace mtsr::baselines {
+
+/// Patch extraction geometry.
+struct PatchConfig {
+  int size = 5;     ///< square patch side
+  int stride = 1;   ///< sampling stride (prediction uses stride 1..size)
+};
+
+/// Feature dimension for a given patch size: size² mean-removed intensities
+/// + 2·size² gradient taps.
+[[nodiscard]] std::int64_t feature_dim(int patch_size);
+
+/// Extracts the feature vector of the patch whose top-left corner is
+/// (r0, c0) in `mid`. Writes feature_dim(size) floats to `out`.
+void extract_feature(const Tensor& mid, std::int64_t r0, std::int64_t c0,
+                     int size, float* out);
+
+/// Enumerates all top-left corners at the given stride (the last row/col is
+/// clamped so the whole grid is covered).
+[[nodiscard]] std::vector<std::pair<std::int64_t, std::int64_t>>
+patch_origins(std::int64_t rows, std::int64_t cols, int size, int stride);
+
+/// Builds the (n, feat) feature matrix and (n, size²) residual-target
+/// matrix from a list of (mid, truth) frame pairs.
+struct PatchDataset {
+  Tensor features;   ///< (n, feature_dim)
+  Tensor residuals;  ///< (n, size²), truth − mid per patch
+};
+[[nodiscard]] PatchDataset collect_patches(
+    const std::vector<Tensor>& mids, const std::vector<Tensor>& truths,
+    const PatchConfig& config, std::int64_t max_patches, Rng& rng);
+
+/// Adds predicted residual patches (n, size²) back onto `mid`, averaging
+/// overlaps; origins must match the order used to produce the predictions.
+[[nodiscard]] Tensor assemble_patches(
+    const Tensor& mid,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& origins,
+    const Tensor& residuals, int size);
+
+}  // namespace mtsr::baselines

@@ -1,0 +1,165 @@
+#include "src/baselines/sparse_coding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/baselines/bicubic.hpp"
+#include "src/baselines/linalg.hpp"
+#include "src/common/check.hpp"
+#include "src/tensor/tensor_ops.hpp"
+
+namespace mtsr::baselines {
+
+Tensor omp_encode(const Tensor& dictionary, const float* signal,
+                  std::int64_t signal_dim, int sparsity) {
+  check(dictionary.rank() == 2 && dictionary.dim(1) == signal_dim,
+        "omp_encode: dictionary/signal dim mismatch");
+  check(sparsity > 0, "omp_encode: sparsity must be positive");
+  const std::int64_t k = dictionary.dim(0);
+  sparsity = static_cast<int>(std::min<std::int64_t>(sparsity, k));
+
+  Tensor code(Shape{k});
+  std::vector<float> residual(signal, signal + signal_dim);
+  std::vector<std::int64_t> selected;
+
+  for (int step = 0; step < sparsity; ++step) {
+    // Atom most correlated with the residual.
+    std::int64_t best = -1;
+    double best_abs = 1e-12;
+    for (std::int64_t a = 0; a < k; ++a) {
+      if (std::find(selected.begin(), selected.end(), a) != selected.end()) {
+        continue;
+      }
+      double dot = 0.0;
+      const float* atom = dictionary.data() + a * signal_dim;
+      for (std::int64_t i = 0; i < signal_dim; ++i) dot += atom[i] * residual[static_cast<std::size_t>(i)];
+      if (std::abs(dot) > best_abs) {
+        best_abs = std::abs(dot);
+        best = a;
+      }
+    }
+    if (best < 0) break;  // residual orthogonal to all remaining atoms
+    selected.push_back(best);
+
+    // Least-squares refit on the selected set: solve (AᵀA) x = Aᵀ y.
+    const auto s = static_cast<std::int64_t>(selected.size());
+    Tensor gram(Shape{s, s});
+    Tensor rhs(Shape{s, 1});
+    for (std::int64_t i = 0; i < s; ++i) {
+      const float* ai = dictionary.data() + selected[static_cast<std::size_t>(i)] * signal_dim;
+      double ry = 0.0;
+      for (std::int64_t t = 0; t < signal_dim; ++t) ry += ai[t] * signal[t];
+      rhs.at(i, 0) = static_cast<float>(ry);
+      for (std::int64_t j = 0; j <= i; ++j) {
+        const float* aj =
+            dictionary.data() + selected[static_cast<std::size_t>(j)] * signal_dim;
+        double dot = 0.0;
+        for (std::int64_t t = 0; t < signal_dim; ++t) dot += ai[t] * aj[t];
+        gram.at(i, j) = static_cast<float>(dot);
+        gram.at(j, i) = static_cast<float>(dot);
+      }
+      gram.at(i, i) += 1e-6f;
+    }
+    Tensor coef = cholesky_solve(gram, rhs);
+
+    // Updated residual y - A x.
+    residual.assign(signal, signal + signal_dim);
+    for (std::int64_t i = 0; i < s; ++i) {
+      const float* ai =
+          dictionary.data() + selected[static_cast<std::size_t>(i)] * signal_dim;
+      const float c = coef.at(i, 0);
+      for (std::int64_t t = 0; t < signal_dim; ++t) {
+        residual[static_cast<std::size_t>(t)] -= c * ai[t];
+      }
+    }
+    // Write current coefficients into the dense code.
+    code.fill(0.f);
+    for (std::int64_t i = 0; i < s; ++i) {
+      code.flat(selected[static_cast<std::size_t>(i)]) = coef.at(i, 0);
+    }
+  }
+  return code;
+}
+
+SparseCodingSR::SparseCodingSR(SparseCodingConfig config)
+    : config_(config) {
+  check(config_.dictionary_size > 0 && config_.patch_size > 0 &&
+            config_.sparsity > 0,
+        "SparseCodingConfig: bad parameters");
+}
+
+void SparseCodingSR::fit(const std::vector<Tensor>& fine_frames,
+                         const data::ProbeLayout& layout) {
+  check(!fine_frames.empty(), "SparseCodingSR::fit: no training frames");
+  Rng rng(config_.seed);
+
+  // Mid images: bicubic reconstructions of each training frame.
+  BicubicInterpolator bicubic;
+  std::vector<Tensor> mids;
+  mids.reserve(fine_frames.size());
+  for (const Tensor& f : fine_frames) {
+    mids.push_back(bicubic.super_resolve(f, layout));
+  }
+
+  PatchConfig pc{config_.patch_size, config_.train_stride};
+  PatchDataset ds = collect_patches(mids, fine_frames, pc,
+                                    config_.max_train_patches, rng);
+  const std::int64_t n = ds.features.dim(0);
+  check(n > config_.dictionary_size,
+        "SparseCodingSR::fit: not enough patches for the dictionary");
+
+  // Low-resolution dictionary: K-means centroids over features, then
+  // row-normalised for OMP.
+  KMeansResult km = kmeans(ds.features, config_.dictionary_size,
+                           config_.kmeans_iterations, rng);
+  dict_lo_ = std::move(km.centroids);
+  normalize_rows(dict_lo_);
+
+  // Sparse-code the training set over D_l.
+  const std::int64_t feat = ds.features.dim(1);
+  Tensor codes(Shape{config_.dictionary_size, n});  // (k, n)
+  for (std::int64_t i = 0; i < n; ++i) {
+    Tensor code = omp_encode(dict_lo_, ds.features.data() + i * feat, feat,
+                             config_.sparsity);
+    for (std::int64_t a = 0; a < config_.dictionary_size; ++a) {
+      codes.at(a, i) = code.flat(a);
+    }
+  }
+
+  // Coupled high-resolution dictionary: ridge fit residuals ≈ D_h · codes.
+  dict_hi_ = ridge_regression(codes, transpose(ds.residuals),
+                              config_.ridge_lambda);  // (patch², k)
+  fitted_ = true;
+}
+
+Tensor SparseCodingSR::super_resolve(const Tensor& fine_frame,
+                                     const data::ProbeLayout& layout) const {
+  check(fitted_, "SparseCodingSR::super_resolve called before fit");
+  BicubicInterpolator bicubic;
+  Tensor mid = bicubic.super_resolve(fine_frame, layout);
+
+  const int size = config_.patch_size;
+  const std::int64_t feat = feature_dim(size);
+  const auto origins = patch_origins(mid.dim(0), mid.dim(1), size,
+                                     config_.predict_stride);
+  Tensor residuals(
+      Shape{static_cast<std::int64_t>(origins.size()),
+            static_cast<std::int64_t>(size) * size});
+  std::vector<float> feature(static_cast<std::size_t>(feat));
+  for (std::size_t i = 0; i < origins.size(); ++i) {
+    extract_feature(mid, origins[i].first, origins[i].second, size,
+                    feature.data());
+    Tensor code = omp_encode(dict_lo_, feature.data(), feat, config_.sparsity);
+    // residual_patch = D_h · code
+    for (std::int64_t r = 0; r < residuals.dim(1); ++r) {
+      double acc = 0.0;
+      for (std::int64_t a = 0; a < config_.dictionary_size; ++a) {
+        acc += static_cast<double>(dict_hi_.at(r, a)) * code.flat(a);
+      }
+      residuals.at(static_cast<std::int64_t>(i), r) = static_cast<float>(acc);
+    }
+  }
+  return assemble_patches(mid, origins, residuals, size);
+}
+
+}  // namespace mtsr::baselines

@@ -1,0 +1,10 @@
+#include "src/baselines/super_resolver.hpp"
+
+namespace mtsr::baselines {
+
+Tensor UniformInterpolator::super_resolve(
+    const Tensor& fine_frame, const data::ProbeLayout& layout) const {
+  return layout.spread_average(fine_frame);
+}
+
+}  // namespace mtsr::baselines

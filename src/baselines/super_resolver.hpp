@@ -1,0 +1,60 @@
+// SuperResolver: common interface of the comparison methods of Section 5.3.
+//
+// The paper compares ZipNet(-GAN) against Uniform interpolation, Bicubic
+// interpolation, Sparse Coding (SC), Adjusted Anchored Neighbourhood
+// Regression (A+), and SRCNN. All of them are *single-snapshot* methods:
+// they reconstruct the fine-grained frame from the current coarse
+// aggregates only (no temporal context), exactly as image super-resolution
+// operates on one image.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/data/probes.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace mtsr::baselines {
+
+/// Interface over the baseline SR methods. `fit` may be a no-op for
+/// non-parametric interpolators. Inputs/outputs are raw MB snapshots; each
+/// method derives its coarse input from the fine frame via the layout
+/// (the same measurement model the deep pipeline uses).
+class SuperResolver {
+ public:
+  virtual ~SuperResolver() = default;
+
+  SuperResolver(const SuperResolver&) = delete;
+  SuperResolver& operator=(const SuperResolver&) = delete;
+
+  /// Trains on raw fine-grained frames (parametric methods only).
+  virtual void fit(const std::vector<Tensor>& fine_frames,
+                   const data::ProbeLayout& layout) {
+    (void)fine_frames;
+    (void)layout;
+  }
+
+  /// Reconstructs the fine snapshot from the coarse aggregates of
+  /// `fine_frame` under `layout`. Returns a (rows, cols) tensor in MB.
+  [[nodiscard]] virtual Tensor super_resolve(
+      const Tensor& fine_frame, const data::ProbeLayout& layout) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  SuperResolver() = default;
+};
+
+/// Uniform interpolation: spreads each probe's average uniformly over its
+/// coverage — the operator practice the paper cites as its weakest baseline
+/// ("it is frequently assumed users and traffic are uniformly distributed").
+class UniformInterpolator final : public SuperResolver {
+ public:
+  UniformInterpolator() = default;
+
+  [[nodiscard]] Tensor super_resolve(
+      const Tensor& fine_frame, const data::ProbeLayout& layout) const override;
+  [[nodiscard]] std::string name() const override { return "Uniform"; }
+};
+
+}  // namespace mtsr::baselines

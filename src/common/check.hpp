@@ -1,0 +1,44 @@
+// Contract-checking helpers used across the MTSR library.
+//
+// Following the C++ Core Guidelines (I.6/I.8, E.12) we express preconditions
+// as explicit checks that throw std::invalid_argument / std::logic_error with
+// a message naming the violated contract. Hot inner loops avoid these checks;
+// public API boundaries use them.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mtsr {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class ContractViolation : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Checks a precondition; throws ContractViolation with a descriptive
+/// message (including the call site) when `condition` is false.
+inline void check(bool condition, std::string_view message,
+                  std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw ContractViolation(std::string(message) + " [" + loc.file_name() +
+                            ":" + std::to_string(loc.line()) + "]");
+  }
+}
+
+/// Checks an internal invariant (a bug in this library, not the caller,
+/// when it fails); throws std::logic_error.
+inline void check_internal(
+    bool condition, std::string_view message,
+    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw std::logic_error("internal invariant violated: " +
+                           std::string(message) + " [" + loc.file_name() +
+                           ":" + std::to_string(loc.line()) + "]");
+  }
+}
+
+}  // namespace mtsr

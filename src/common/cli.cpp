@@ -1,0 +1,118 @@
+#include "src/common/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/check.hpp"
+
+namespace mtsr {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_int(const std::string& name, long long default_value,
+                        const std::string& help) {
+  options_[name] = Option{Kind::kInt, help, std::to_string(default_value)};
+}
+
+void CliParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  std::ostringstream ss;
+  ss << default_value;
+  options_[name] = Option{Kind::kDouble, help, ss.str()};
+}
+
+void CliParser::add_string(const std::string& name, std::string default_value,
+                           const std::string& help) {
+  options_[name] = Option{Kind::kString, help, std::move(default_value)};
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{Kind::kBool, help, "0"};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    check(arg.rfind("--", 0) == 0, "expected flag starting with --: " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    check(it != options_.end(), "unknown flag --" + arg + "\n" + usage());
+    if (it->second.kind == Kind::kBool) {
+      it->second.value = has_value ? value : "1";
+    } else {
+      if (!has_value) {
+        check(i + 1 < argc, "flag --" + arg + " requires a value");
+        value = argv[++i];
+      }
+      it->second.value = value;
+    }
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::find(const std::string& name,
+                                         Kind kind) const {
+  auto it = options_.find(name);
+  check(it != options_.end(), "flag --" + name + " was never registered");
+  check(it->second.kind == kind, "flag --" + name + " accessed as wrong type");
+  return it->second;
+}
+
+long long CliParser::get_int(const std::string& name) const {
+  const Option& opt = find(name, Kind::kInt);
+  try {
+    return std::stoll(opt.value);
+  } catch (const std::exception&) {
+    throw ContractViolation("flag --" + name + " is not an integer: " +
+                            opt.value);
+  }
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const Option& opt = find(name, Kind::kDouble);
+  try {
+    return std::stod(opt.value);
+  } catch (const std::exception&) {
+    throw ContractViolation("flag --" + name + " is not a number: " +
+                            opt.value);
+  }
+}
+
+const std::string& CliParser::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  const Option& opt = find(name, Kind::kBool);
+  return opt.value == "1" || opt.value == "true";
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& [name, opt] : options_) {
+    out << "  --" << name;
+    switch (opt.kind) {
+      case Kind::kInt: out << " <int>"; break;
+      case Kind::kDouble: out << " <float>"; break;
+      case Kind::kString: out << " <str>"; break;
+      case Kind::kBool: break;
+    }
+    out << "  " << opt.help << " (default: " << opt.value << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace mtsr

@@ -1,0 +1,65 @@
+// Tiny command-line flag parser for examples and bench binaries.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches.
+// Unknown flags raise an error listing the registered ones, so every binary
+// is self-documenting via `--help`.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mtsr {
+
+/// Declarative command-line parser.
+///
+///   CliParser cli("quickstart", "Train a compact ZipNet-GAN");
+///   cli.add_int("grid", 40, "fine grid side length");
+///   cli.add_flag("verbose", "print per-epoch losses");
+///   cli.parse(argc, argv);
+///   int grid = cli.get_int("grid");
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Registers an integer flag with a default value.
+  void add_int(const std::string& name, long long default_value,
+               const std::string& help);
+  /// Registers a floating-point flag with a default value.
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  /// Registers a string flag with a default value.
+  void add_string(const std::string& name, std::string default_value,
+                  const std::string& help);
+  /// Registers a boolean switch (false unless present).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) iff --help was given.
+  /// Throws ContractViolation on unknown flags or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] long long get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// Renders the usage/help text.
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;  // textual; parsed on access
+  };
+
+  const Option& find(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+};
+
+}  // namespace mtsr

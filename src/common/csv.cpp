@@ -1,0 +1,87 @@
+#include "src/common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mtsr {
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string quote(const std::string& cell) {
+  if (!needs_quoting(cell)) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void write_row(std::ofstream& out, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out << ',';
+    out << quote(row[i]);
+  }
+  out << '\n';
+}
+
+std::vector<std::string> parse_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char ch = line[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += ch;
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += ch;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+}  // namespace
+
+void write_csv(const std::string& path,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path);
+  write_row(out, header);
+  for (const auto& row : rows) write_row(out, row);
+  if (!out) throw std::runtime_error("write_csv: write failed for " + path);
+}
+
+std::vector<std::vector<std::string>> read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    rows.push_back(parse_line(line));
+  }
+  return rows;
+}
+
+}  // namespace mtsr

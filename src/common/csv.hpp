@@ -1,0 +1,21 @@
+// Minimal CSV writing/reading used to persist bench series and snapshots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mtsr {
+
+/// Writes rows of cells to `path` as RFC-4180-ish CSV (cells containing
+/// commas, quotes or newlines are quoted). Throws std::runtime_error on I/O
+/// failure.
+void write_csv(const std::string& path,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+/// Reads a CSV file written by write_csv (simple quoting rules). Returns all
+/// rows including the header. Throws std::runtime_error on I/O failure.
+[[nodiscard]] std::vector<std::vector<std::string>> read_csv(
+    const std::string& path);
+
+}  // namespace mtsr

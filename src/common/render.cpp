@@ -1,0 +1,90 @@
+#include "src/common/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/common/check.hpp"
+
+namespace mtsr {
+
+std::string render_heatmap(const std::vector<float>& grid, int rows, int cols,
+                           const RenderOptions& options) {
+  check(rows > 0 && cols > 0, "render_heatmap requires positive dimensions");
+  check(grid.size() == static_cast<std::size_t>(rows) * cols,
+        "render_heatmap grid size must equal rows*cols");
+  check(!options.ramp.empty(), "render_heatmap requires a non-empty ramp");
+
+  int stride = 1;
+  if (options.max_width > 0 && cols > options.max_width) {
+    stride = (cols + options.max_width - 1) / options.max_width;
+  }
+  const int out_rows = (rows + stride - 1) / stride;
+  const int out_cols = (cols + stride - 1) / stride;
+
+  std::vector<float> down(static_cast<std::size_t>(out_rows) * out_cols, 0.f);
+  for (int r = 0; r < out_rows; ++r) {
+    for (int c = 0; c < out_cols; ++c) {
+      double acc = 0.0;
+      int count = 0;
+      for (int dr = 0; dr < stride; ++dr) {
+        for (int dc = 0; dc < stride; ++dc) {
+          const int rr = r * stride + dr;
+          const int cc = c * stride + dc;
+          if (rr < rows && cc < cols) {
+            acc += grid[static_cast<std::size_t>(rr) * cols + cc];
+            ++count;
+          }
+        }
+      }
+      down[static_cast<std::size_t>(r) * out_cols + c] =
+          static_cast<float>(acc / std::max(count, 1));
+    }
+  }
+
+  double lo = options.lo;
+  double hi = options.hi;
+  if (!options.fixed_range) {
+    lo = std::numeric_limits<double>::infinity();
+    hi = -std::numeric_limits<double>::infinity();
+    for (float v : down) {
+      lo = std::min(lo, static_cast<double>(v));
+      hi = std::max(hi, static_cast<double>(v));
+    }
+  }
+  const double span = (hi > lo) ? (hi - lo) : 1.0;
+
+  std::ostringstream out;
+  for (int r = 0; r < out_rows; ++r) {
+    for (int c = 0; c < out_cols; ++c) {
+      const double v = down[static_cast<std::size_t>(r) * out_cols + c];
+      double norm = (v - lo) / span;
+      norm = std::clamp(norm, 0.0, 1.0);
+      const auto idx = static_cast<std::size_t>(
+          std::lround(norm * static_cast<double>(options.ramp.size() - 1)));
+      out << options.ramp[idx];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void write_grid_csv(const std::string& path, const std::vector<float>& grid,
+                    int rows, int cols) {
+  check(grid.size() == static_cast<std::size_t>(rows) * cols,
+        "write_grid_csv grid size must equal rows*cols");
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_grid_csv: cannot open " + path);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c > 0) out << ',';
+      out << grid[static_cast<std::size_t>(r) * cols + c];
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace mtsr

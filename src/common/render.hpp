@@ -1,0 +1,37 @@
+// ASCII heat-map rendering of traffic grids.
+//
+// The paper's Figs. 6 and 10-13 are 3-D surface plots of traffic snapshots;
+// in a terminal reproduction we render the same grids as ASCII heat maps
+// (one glyph per cell, darker glyph = more traffic) plus summary statistics,
+// and dump the raw grids to CSV for external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mtsr {
+
+/// Options controlling ASCII heat-map rendering.
+struct RenderOptions {
+  /// Glyph ramp from lowest to highest intensity.
+  std::string ramp = " .:-=+*#%@";
+  /// If >0, downsample the grid (by averaging) so the rendered width is at
+  /// most this many characters.
+  int max_width = 64;
+  /// If true, scale against the provided [lo, hi] range; otherwise use the
+  /// grid's own min/max.
+  bool fixed_range = false;
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Renders a row-major `rows x cols` grid as an ASCII heat map.
+[[nodiscard]] std::string render_heatmap(const std::vector<float>& grid,
+                                         int rows, int cols,
+                                         const RenderOptions& options = {});
+
+/// Writes a row-major grid as a CSV matrix (one CSV row per grid row).
+void write_grid_csv(const std::string& path, const std::vector<float>& grid,
+                    int rows, int cols);
+
+}  // namespace mtsr

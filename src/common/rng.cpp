@@ -1,0 +1,64 @@
+#include "src/common/rng.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+
+namespace mtsr {
+
+double Rng::uniform(double lo, double hi) {
+  check(lo <= hi, "Rng::uniform requires lo <= hi");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  check(lo <= hi, "Rng::uniform_int requires lo <= hi");
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  check(stddev >= 0.0, "Rng::normal requires stddev >= 0");
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  check(sigma >= 0.0, "Rng::lognormal requires sigma >= 0");
+  std::lognormal_distribution<double> dist(mu, sigma);
+  return dist(engine_);
+}
+
+int Rng::poisson(double mean) {
+  check(mean >= 0.0, "Rng::poisson requires mean >= 0");
+  if (mean == 0.0) return 0;
+  std::poisson_distribution<int> dist(mean);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  check(p >= 0.0 && p <= 1.0, "Rng::bernoulli requires p in [0,1]");
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+double Rng::exponential(double rate) {
+  check(rate > 0.0, "Rng::exponential requires rate > 0");
+  std::exponential_distribution<double> dist(rate);
+  return dist(engine_);
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  check(!weights.empty(), "Rng::categorical requires non-empty weights");
+  std::discrete_distribution<std::size_t> dist(weights.begin(), weights.end());
+  return dist(engine_);
+}
+
+void Rng::shuffle(std::vector<std::size_t>& indices) {
+  std::shuffle(indices.begin(), indices.end(), engine_);
+}
+
+Rng Rng::fork() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ULL); }
+
+}  // namespace mtsr

@@ -1,0 +1,29 @@
+// Lightweight wall-clock stopwatch for reporting training / inference times.
+#pragma once
+
+#include <chrono>
+
+namespace mtsr {
+
+/// Monotonic wall-clock stopwatch. Started at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mtsr

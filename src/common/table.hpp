@@ -1,0 +1,43 @@
+// Console table formatting for paper-style result tables.
+//
+// Bench binaries print their reproduced figure/table rows through this
+// formatter so all outputs share one consistent, diff-friendly layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mtsr {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+///
+/// Usage:
+///   Table t({"method", "NRMSE", "PSNR", "SSIM"});
+///   t.add_row({"bicubic", "0.41", "22.1", "0.63"});
+///   std::cout << t.render();
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table, headers first, columns padded to content width.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+[[nodiscard]] std::string fmt(double value, int decimals = 4);
+
+/// Formats a double in scientific notation with the given precision.
+[[nodiscard]] std::string fmt_sci(double value, int precision = 3);
+
+}  // namespace mtsr

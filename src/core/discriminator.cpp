@@ -1,0 +1,65 @@
+#include "src/core/discriminator.hpp"
+
+#include <sstream>
+
+#include "src/common/check.hpp"
+#include "src/nn/activations.hpp"
+#include "src/nn/batchnorm.hpp"
+#include "src/nn/conv2d.hpp"
+#include "src/nn/dense.hpp"
+#include "src/nn/pooling.hpp"
+
+namespace mtsr::core {
+
+Discriminator::Discriminator(DiscriminatorConfig config, Rng& rng)
+    : config_(config) {
+  check(config_.base_channels > 0, "Discriminator: bad base width");
+  const std::int64_t d = config_.base_channels;
+  const float alpha = config_.lrelu_alpha;
+
+  // Six conv blocks; feature maps double every other layer (d, d, 2d, 2d,
+  // 4d, 4d) and every second block halves the spatial extent.
+  network_ = std::make_unique<nn::Sequential>();
+  const std::int64_t widths[6] = {d, d, 2 * d, 2 * d, 4 * d, 4 * d};
+  std::int64_t in_ch = 1;
+  for (int i = 0; i < 6; ++i) {
+    const int stride = (i % 2 == 1) ? 2 : 1;
+    network_->emplace<nn::Conv2d>(in_ch, widths[i], 3, stride, 1, rng);
+    network_->emplace<nn::BatchNorm>(widths[i]);
+    network_->emplace<nn::LeakyReLU>(alpha);
+    in_ch = widths[i];
+  }
+  network_->emplace<nn::GlobalAvgPool>();
+  network_->emplace<nn::Dense>(4 * d, 1, rng);
+  network_->emplace<nn::Sigmoid>();
+}
+
+Tensor Discriminator::forward(const Tensor& input, bool training) {
+  check(input.rank() == 3, "Discriminator expects (N, H, W) input");
+  input_shape_ = input.shape();
+  Tensor x = input.reshape(
+      Shape{input.dim(0), 1, input.dim(1), input.dim(2)});
+  return network_->forward(x, training);
+}
+
+Tensor Discriminator::backward(const Tensor& grad_output) {
+  check(input_shape_.rank() == 3, "Discriminator::backward before forward");
+  Tensor g = network_->backward(grad_output);
+  return g.reshape(input_shape_);
+}
+
+std::vector<nn::Parameter*> Discriminator::parameters() {
+  return network_->parameters();
+}
+
+std::vector<std::pair<std::string, Tensor*>> Discriminator::buffers() {
+  return network_->buffers();
+}
+
+std::string Discriminator::name() const {
+  std::ostringstream out;
+  out << "Discriminator(VGG-6, d=" << config_.base_channels << ")";
+  return out.str();
+}
+
+}  // namespace mtsr::core

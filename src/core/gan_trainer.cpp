@@ -1,0 +1,182 @@
+#include "src/core/gan_trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/nn/loss.hpp"
+#include "src/tensor/tensor_ops.hpp"
+
+namespace mtsr::core {
+
+GanTrainer::GanTrainer(ZipNet& generator, Discriminator& discriminator,
+                       GanTrainerConfig config)
+    : generator_(generator),
+      discriminator_(discriminator),
+      config_(config),
+      rng_(config.seed),
+      opt_g_(generator.parameters(), config.learning_rate),
+      opt_d_(discriminator.parameters(), config.learning_rate) {
+  check(config_.batch_size > 0, "GanTrainerConfig: bad batch size");
+  check(config_.n_d >= 1 && config_.n_g >= 1,
+        "GanTrainerConfig: sub-epoch counts must be >= 1");
+  check(config_.prob_clamp > 0.f && config_.prob_clamp < 0.5f,
+        "GanTrainerConfig: bad prob clamp");
+}
+
+GanTrainer::Batch GanTrainer::sample_batch(const SampleSource& source) {
+  std::vector<Tensor> inputs, targets;
+  inputs.reserve(static_cast<std::size_t>(config_.batch_size));
+  targets.reserve(static_cast<std::size_t>(config_.batch_size));
+  for (int b = 0; b < config_.batch_size; ++b) {
+    data::Sample sample = source(rng_);
+    inputs.push_back(std::move(sample.input));
+    targets.push_back(std::move(sample.target));
+  }
+  return {stack0(inputs), stack0(targets)};
+}
+
+std::vector<double> GanTrainer::pretrain(const SampleSource& source,
+                                         int steps) {
+  check(steps >= 0, "pretrain: negative step count");
+  std::vector<double> losses;
+  losses.reserve(static_cast<std::size_t>(steps));
+  for (int step = 0; step < steps; ++step) {
+    Batch batch = sample_batch(source);
+    Tensor pred = generator_.forward(batch.inputs, /*training=*/true);
+    auto [loss, grad] = nn::mse_loss(pred, batch.targets);
+    opt_g_.zero_grad();
+    generator_.backward(grad);
+    opt_g_.step();
+    losses.push_back(loss);
+  }
+  return losses;
+}
+
+double GanTrainer::train_discriminator_step(const Batch& batch,
+                                            GanRoundStats& stats) {
+  // Real half: maximise log D(real) <=> minimise BCE(D(real), 1).
+  opt_d_.zero_grad();
+  Tensor p_real = discriminator_.forward(batch.targets, /*training=*/true);
+  auto [loss_real, grad_real] = nn::bce_loss(p_real, 1.f);
+  discriminator_.backward(grad_real);
+
+  // Fake half: minimise BCE(D(G(F)), 0). The generator runs in inference
+  // mode here — its parameters are fixed during the D sub-epoch.
+  Tensor fake = generator_.forward(batch.inputs, /*training=*/false);
+  Tensor p_fake = discriminator_.forward(fake, /*training=*/true);
+  auto [loss_fake, grad_fake] = nn::bce_loss(p_fake, 0.f);
+  discriminator_.backward(grad_fake);
+  opt_d_.step();
+
+  stats.d_real_prob = p_real.mean();
+  stats.d_fake_prob = p_fake.mean();
+  return loss_real + loss_fake;
+}
+
+double GanTrainer::train_generator_step(const Batch& batch,
+                                        GanRoundStats& stats) {
+  const std::int64_t n = batch.inputs.dim(0);
+
+  Tensor pred = generator_.forward(batch.inputs, /*training=*/true);
+  Tensor probs = discriminator_.forward(pred, /*training=*/true);  // (N, 1)
+
+  // Per-sample quantities of Eq. 9 / Eq. 8.
+  Tensor sq_err = nn::per_sample_sq_error(pred, batch.targets);  // (N)
+  const float clamp_lo = config_.prob_clamp;
+  const float clamp_hi = 1.f - config_.prob_clamp;
+
+  double loss = 0.0, mse_term = 0.0;
+  // Gradient of the loss w.r.t. D's output, fed backwards through D to
+  // reach the generator's output (D's own parameter gradients are discarded
+  // at its next zero_grad()).
+  Tensor grad_probs(Shape{n, 1});
+  // Per-sample multiplier for the MSE part of the gradient.
+  std::vector<float> mse_scale(static_cast<std::size_t>(n));
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float di = std::clamp(probs.flat(i), clamp_lo, clamp_hi);
+    const float se = sq_err.flat(i);
+    switch (config_.loss_mode) {
+      case LossMode::kEmpirical: {
+        // L_i = (1 − 2 log d_i) · ‖e_i‖²
+        const float a = 1.f - 2.f * std::log(di);
+        loss += static_cast<double>(a) * se;
+        mse_scale[static_cast<std::size_t>(i)] =
+            a / static_cast<float>(n);
+        grad_probs.flat(i) =
+            (-2.f / di) * se / static_cast<float>(n);
+        break;
+      }
+      case LossMode::kFixedSigma: {
+        // L_i = ‖e_i‖² − 2σ² log d_i
+        loss += static_cast<double>(se) -
+                2.0 * config_.sigma2 * std::log(static_cast<double>(di));
+        mse_scale[static_cast<std::size_t>(i)] = 1.f / static_cast<float>(n);
+        grad_probs.flat(i) =
+            (-2.f * config_.sigma2 / di) / static_cast<float>(n);
+        break;
+      }
+    }
+    mse_term += se;
+  }
+  loss /= static_cast<double>(n);
+  // Telemetry reports the per-element MSE so it is directly comparable with
+  // the pre-training loss (Eq. 10); the loss itself keeps Eq. 9's
+  // per-sample ‖·‖² convention.
+  mse_term /= static_cast<double>(pred.size());
+
+  // Adversarial path: d(loss)/d(pred) through the discriminator.
+  opt_g_.zero_grad();
+  opt_d_.zero_grad();  // absorbs the unused D-parameter gradients
+  Tensor grad_pred = discriminator_.backward(grad_probs);  // (N, h, w)
+
+  // Data path: d/d(pred) of the per-sample weighted squared error.
+  const std::int64_t inner = pred.size() / n;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float scale = 2.f * mse_scale[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < inner; ++j) {
+      const std::int64_t off = i * inner + j;
+      grad_pred.flat(off) +=
+          scale * (pred.flat(off) - batch.targets.flat(off));
+    }
+  }
+
+  generator_.backward(grad_pred);
+  opt_g_.step();
+
+  stats.g_mse = mse_term;
+  return loss;
+}
+
+void GanTrainer::set_generator_learning_rate(float lr) {
+  opt_g_.set_learning_rate(lr);
+}
+
+std::vector<GanRoundStats> GanTrainer::train(const SampleSource& source,
+                                             int rounds) {
+  check(rounds >= 0, "train: negative round count");
+  opt_g_.set_learning_rate(config_.adversarial_learning_rate);
+  opt_d_.set_learning_rate(config_.adversarial_learning_rate);
+  std::vector<GanRoundStats> history;
+  history.reserve(static_cast<std::size_t>(rounds));
+  for (int round = 0; round < rounds; ++round) {
+    GanRoundStats stats;
+    double d_loss = 0.0;
+    for (int e = 0; e < config_.n_d; ++e) {
+      Batch batch = sample_batch(source);
+      d_loss += train_discriminator_step(batch, stats);
+    }
+    stats.d_loss = d_loss / config_.n_d;
+    double g_loss = 0.0;
+    for (int e = 0; e < config_.n_g; ++e) {
+      Batch batch = sample_batch(source);
+      g_loss += train_generator_step(batch, stats);
+    }
+    stats.g_loss = g_loss / config_.n_g;
+    history.push_back(stats);
+  }
+  return history;
+}
+
+}  // namespace mtsr::core

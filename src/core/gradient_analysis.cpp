@@ -1,0 +1,83 @@
+#include "src/core/gradient_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/nn/loss.hpp"
+#include "src/tensor/tensor_ops.hpp"
+
+namespace mtsr::core {
+
+std::vector<double> input_gradient_magnitudes(
+    ZipNet& generator, Discriminator& discriminator,
+    const SampleSource& source, int batches, int batch_size,
+    const GanTrainerConfig& config, Rng& rng) {
+  check(batches > 0 && batch_size > 0,
+        "input_gradient_magnitudes: bad batch geometry");
+
+  std::vector<double> sums;
+  std::int64_t per_frame_count = 0;
+
+  for (int b = 0; b < batches; ++b) {
+    std::vector<Tensor> inputs, targets;
+    inputs.reserve(static_cast<std::size_t>(batch_size));
+    targets.reserve(static_cast<std::size_t>(batch_size));
+    for (int i = 0; i < batch_size; ++i) {
+      data::Sample sample = source(rng);
+      inputs.push_back(std::move(sample.input));
+      targets.push_back(std::move(sample.target));
+    }
+    Tensor x = stack0(inputs);   // (N, S, ci, ci)
+    Tensor y = stack0(targets);  // (N, h, w)
+    const std::int64_t n = x.dim(0), s = x.dim(1);
+    if (sums.empty()) sums.assign(static_cast<std::size_t>(s), 0.0);
+
+    // Eq. 9 loss gradient w.r.t. the generator output (same math as the
+    // generator training step, parameters untouched).
+    Tensor pred = generator.forward(x, /*training=*/false);
+    Tensor probs = discriminator.forward(pred, /*training=*/false);
+    Tensor sq_err = nn::per_sample_sq_error(pred, y);
+
+    Tensor grad_probs(Shape{n, 1});
+    std::vector<float> mse_scale(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float di = std::clamp(probs.flat(i), config.prob_clamp,
+                                  1.f - config.prob_clamp);
+      const float a = 1.f - 2.f * std::log(di);
+      mse_scale[static_cast<std::size_t>(i)] = a / static_cast<float>(n);
+      grad_probs.flat(i) = (-2.f / di) * sq_err.flat(i) /
+                           static_cast<float>(n);
+    }
+    generator.zero_grad();
+    discriminator.zero_grad();
+    Tensor grad_pred = discriminator.backward(grad_probs);
+    const std::int64_t inner = pred.size() / n;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float scale = 2.f * mse_scale[static_cast<std::size_t>(i)];
+      for (std::int64_t j = 0; j < inner; ++j) {
+        const std::int64_t off = i * inner + j;
+        grad_pred.flat(off) += scale * (pred.flat(off) - y.flat(off));
+      }
+    }
+    Tensor grad_input = generator.backward(grad_pred);  // (N, S, ci, ci)
+
+    const std::int64_t frame_cells = grad_input.size() / (n * s);
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t f = 0; f < s; ++f) {
+        double acc = 0.0;
+        const std::int64_t base = (i * s + f) * frame_cells;
+        for (std::int64_t j = 0; j < frame_cells; ++j) {
+          acc += std::abs(grad_input.flat(base + j));
+        }
+        sums[static_cast<std::size_t>(f)] += acc;
+      }
+    }
+    per_frame_count += n * frame_cells;
+  }
+
+  for (double& v : sums) v /= static_cast<double>(per_frame_count);
+  return sums;
+}
+
+}  // namespace mtsr::core

@@ -1,0 +1,25 @@
+// Input-gradient analysis (Section 5.6, Fig. 15 of the paper).
+//
+// The paper approximates the sensitivity of the prediction to each input
+// frame by the mean magnitude of the first-order derivative of the loss
+// with respect to the input, |∂L(F^S_t)/∂F^S_t|, averaged over test inputs.
+// The most recent frame should dominate, and the weight of historical
+// frames should grow with the upscaling factor.
+#pragma once
+
+#include <vector>
+
+#include "src/core/gan_trainer.hpp"
+
+namespace mtsr::core {
+
+/// Computes the mean |∂L/∂input| per temporal frame (index 0 = oldest,
+/// S-1 = most recent), averaged over `batches` batches drawn from `source`.
+/// L is the generator loss in the trainer's configured mode (Eq. 9 by
+/// default).
+[[nodiscard]] std::vector<double> input_gradient_magnitudes(
+    ZipNet& generator, Discriminator& discriminator,
+    const SampleSource& source, int batches, int batch_size,
+    const GanTrainerConfig& config, Rng& rng);
+
+}  // namespace mtsr::core

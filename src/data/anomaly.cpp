@@ -1,0 +1,67 @@
+#include "src/data/anomaly.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace mtsr::data {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double envelope(const TrafficEvent& event, std::int64_t t) {
+  if (t < event.t_begin || t >= event.t_end) return 0.0;
+  const double span = static_cast<double>(event.t_end - event.t_begin);
+  const double phase = (static_cast<double>(t - event.t_begin) + 0.5) / span;
+  return 0.5 * (1.0 - std::cos(2.0 * kPi * phase));
+}
+
+}  // namespace
+
+Tensor event_field(const TrafficEvent& event, std::int64_t t,
+                   std::int64_t rows, std::int64_t cols) {
+  check(rows > 0 && cols > 0, "event_field: bad grid dims");
+  Tensor field(Shape{rows, cols});
+  const double env = envelope(event, t);
+  if (env == 0.0) return field;
+  const double two_sigma_sq = 2.0 * event.radius * event.radius;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const double dr = static_cast<double>(r) - event.row;
+      const double dc = static_cast<double>(c) - event.col;
+      field.at(r, c) = static_cast<float>(
+          event.amplitude_mb * env * std::exp(-(dr * dr + dc * dc) /
+                                              two_sigma_sq));
+    }
+  }
+  return field;
+}
+
+void inject_event(std::vector<Tensor>& frames, const TrafficEvent& event) {
+  check(!frames.empty(), "inject_event: no frames");
+  check(event.t_end > event.t_begin, "inject_event: empty time range");
+  check(event.t_begin >= 0 &&
+            event.t_end <= static_cast<std::int64_t>(frames.size()),
+        "inject_event: event time range outside frame range");
+  const std::int64_t rows = frames.front().dim(0);
+  const std::int64_t cols = frames.front().dim(1);
+  for (std::int64_t t = event.t_begin; t < event.t_end; ++t) {
+    frames[static_cast<std::size_t>(t)].add_(
+        event_field(event, t, rows, cols));
+  }
+}
+
+Tensor detect_surge(const Tensor& snapshot, const Tensor& reference,
+                    double threshold_mb) {
+  check(snapshot.shape() == reference.shape(),
+        "detect_surge: shape mismatch");
+  check(threshold_mb > 0.0, "detect_surge: threshold must be positive");
+  Tensor mask(snapshot.shape());
+  for (std::int64_t i = 0; i < snapshot.size(); ++i) {
+    mask.flat(i) =
+        (snapshot.flat(i) - reference.flat(i) > threshold_mb) ? 1.f : 0.f;
+  }
+  return mask;
+}
+
+}  // namespace mtsr::data

@@ -1,0 +1,45 @@
+// Anomalous-traffic injection (Section 5.5 of the paper).
+//
+// The paper evaluates robustness by artificially adding "abrupt traffic
+// demands in suburban areas, which can be regarded as occurrences of social
+// events (e.g. concert, football match)" to the *test* set only — the
+// events never appear in training. This module injects such events: a
+// localised Gaussian traffic surge that ramps up, holds, and decays over a
+// time interval.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace mtsr::data {
+
+/// One synthetic social event.
+struct TrafficEvent {
+  std::int64_t t_begin = 0;   ///< first affected interval (inclusive)
+  std::int64_t t_end = 0;     ///< last affected interval (exclusive)
+  double row = 0.0;           ///< event centre (fractional cells)
+  double col = 0.0;
+  double radius = 2.0;        ///< spatial sigma, in cells
+  double amplitude_mb = 2000; ///< peak extra traffic at the centre
+};
+
+/// Adds `event` to each frame of `frames` (in place). The temporal envelope
+/// is a raised cosine over [t_begin, t_end): zero at both ends, peak in the
+/// middle — an abrupt but smooth surge.
+void inject_event(std::vector<Tensor>& frames, const TrafficEvent& event);
+
+/// Returns the per-cell surge added at interval `t` (useful as ground truth
+/// in detection tests). Shape (rows, cols).
+[[nodiscard]] Tensor event_field(const TrafficEvent& event, std::int64_t t,
+                                 std::int64_t rows, std::int64_t cols);
+
+/// Simple detector used to evaluate "MTSR as anomaly detector": flags cells
+/// whose value exceeds `reference` by more than `threshold_mb`. Returns a
+/// 0/1 mask.
+[[nodiscard]] Tensor detect_surge(const Tensor& snapshot,
+                                  const Tensor& reference,
+                                  double threshold_mb);
+
+}  // namespace mtsr::data

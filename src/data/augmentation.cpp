@@ -1,0 +1,124 @@
+#include "src/data/augmentation.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+#include "src/tensor/tensor_ops.hpp"
+
+namespace mtsr::data {
+namespace {
+
+std::vector<std::int64_t> window_origins(std::int64_t extent,
+                                         std::int64_t window,
+                                         std::int64_t stride) {
+  std::vector<std::int64_t> origins;
+  for (std::int64_t o = 0; o + window <= extent; o += stride) {
+    origins.push_back(o);
+  }
+  // Clamp a final window to the boundary so the whole extent is covered
+  // even when stride does not divide (extent - window).
+  if (origins.empty() || origins.back() + window < extent) {
+    origins.push_back(extent - window);
+  }
+  return origins;
+}
+
+}  // namespace
+
+std::int64_t windows_per_snapshot(std::int64_t rows, std::int64_t cols,
+                                  std::int64_t window, std::int64_t stride) {
+  check(window > 0 && stride > 0 && window <= rows && window <= cols,
+        "windows_per_snapshot: bad geometry");
+  const auto r = static_cast<std::int64_t>(
+      window_origins(rows, window, stride).size());
+  const auto c = static_cast<std::int64_t>(
+      window_origins(cols, window, stride).size());
+  return r * c;
+}
+
+std::vector<SampleSpec> enumerate_samples(std::int64_t rows,
+                                          std::int64_t cols,
+                                          std::int64_t window,
+                                          std::int64_t stride,
+                                          std::int64_t t_begin,
+                                          std::int64_t t_end,
+                                          std::int64_t temporal_length) {
+  check(window > 0 && stride > 0 && window <= rows && window <= cols,
+        "enumerate_samples: bad geometry");
+  check(temporal_length >= 1, "enumerate_samples: S must be >= 1");
+  const auto row_origins = window_origins(rows, window, stride);
+  const auto col_origins = window_origins(cols, window, stride);
+  std::vector<SampleSpec> specs;
+  const std::int64_t first_t = std::max(t_begin, temporal_length - 1);
+  for (std::int64_t t = first_t; t < t_end; ++t) {
+    for (std::int64_t r0 : row_origins) {
+      for (std::int64_t c0 : col_origins) {
+        specs.push_back({t, r0, c0});
+      }
+    }
+  }
+  return specs;
+}
+
+Sample make_sample(const TrafficDataset& dataset,
+                   const ProbeLayout& window_layout, const SampleSpec& spec,
+                   std::int64_t temporal_length, std::int64_t window) {
+  check(window_layout.rows() == window && window_layout.cols() == window,
+        "make_sample: layout geometry must match the window");
+  check(spec.t >= temporal_length - 1 && spec.t < dataset.frame_count(),
+        "make_sample: spec.t out of range");
+  check(spec.r0 >= 0 && spec.c0 >= 0 && spec.r0 + window <= dataset.rows() &&
+            spec.c0 + window <= dataset.cols(),
+        "make_sample: window out of range");
+
+  std::vector<Tensor> coarse_frames;
+  coarse_frames.reserve(static_cast<std::size_t>(temporal_length));
+  for (std::int64_t s = 0; s < temporal_length; ++s) {
+    const std::int64_t t = spec.t - temporal_length + 1 + s;
+    Tensor fine = crop2d(dataset.normalized_frame(t), spec.r0, spec.c0,
+                         window, window);
+    coarse_frames.push_back(window_layout.coarsen(fine));
+  }
+  Sample sample;
+  sample.input = stack0(coarse_frames);  // (S, ci, ci)
+  sample.target = crop2d(dataset.normalized_frame(spec.t), spec.r0, spec.c0,
+                         window, window);
+  return sample;
+}
+
+Tensor stitch_prediction(const TrafficDataset& dataset,
+                         const ProbeLayout& window_layout,
+                         const WindowPredictor& predictor, std::int64_t t,
+                         std::int64_t temporal_length, std::int64_t window,
+                         std::int64_t stride) {
+  const std::int64_t rows = dataset.rows(), cols = dataset.cols();
+  check(window <= rows && window <= cols, "stitch_prediction: window too big");
+  const auto row_origins = window_origins(rows, window, stride);
+  const auto col_origins = window_origins(cols, window, stride);
+
+  Tensor acc(Shape{rows, cols});
+  Tensor weight(Shape{rows, cols});
+  for (std::int64_t r0 : row_origins) {
+    for (std::int64_t c0 : col_origins) {
+      const Sample sample = make_sample(dataset, window_layout,
+                                        {t, r0, c0}, temporal_length, window);
+      Tensor pred = predictor(sample.input);
+      check(pred.rank() == 2 && pred.dim(0) == window && pred.dim(1) == window,
+            "stitch_prediction: predictor returned wrong shape");
+      for (std::int64_t r = 0; r < window; ++r) {
+        for (std::int64_t c = 0; c < window; ++c) {
+          acc.at(r0 + r, c0 + c) += pred.at(r, c);
+          weight.at(r0 + r, c0 + c) += 1.f;
+        }
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < acc.size(); ++i) {
+    check_internal(weight.flat(i) > 0.f,
+                   "stitch_prediction left uncovered cells");
+    acc.flat(i) /= weight.flat(i);
+  }
+  return acc;
+}
+
+}  // namespace mtsr::data

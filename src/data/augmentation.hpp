@@ -1,0 +1,81 @@
+// Window-cropping data augmentation and moving-average stitching (Section 4
+// and Fig. 7 of the paper).
+//
+// The paper crops each 100×100 snapshot into 80×80 windows at every 1-cell
+// offset, producing 441 sub-frames per snapshot, and reconstructs full-grid
+// predictions from overlapping windows with a moving-average filter. Both
+// operations are implemented here, parameterised over window size and
+// stride so CPU-scale geometries work identically.
+//
+// A training sample pairs
+//   input  — S consecutive coarse windows (tensor (S, ci, ci)), obtained by
+//            applying a window-local probe layout to the cropped fine
+//            frames (probes are aggregated inside the window, which is what
+//            makes arbitrary offsets legal), with
+//   target — the fine window of the most recent frame (tensor (w, w)).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/data/dataset.hpp"
+#include "src/data/probes.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace mtsr::data {
+
+/// Identifies one training sample: predict frame `t` from frames
+/// [t-S+1, t], all cropped at window origin (r0, c0).
+struct SampleSpec {
+  std::int64_t t;
+  std::int64_t r0;
+  std::int64_t c0;
+};
+
+/// A ready training pair (normalised units).
+struct Sample {
+  Tensor input;   ///< (S, ci, ci) coarse window sequence
+  Tensor target;  ///< (w, w) fine window of frame t
+};
+
+/// Enumerates all sample specs for frames [t_begin, t_end) of a dataset,
+/// with the window cropped at every offset multiple of `stride`
+/// (stride 1 reproduces the paper's 441 windows for 100→80).
+[[nodiscard]] std::vector<SampleSpec> enumerate_samples(
+    std::int64_t rows, std::int64_t cols, std::int64_t window,
+    std::int64_t stride, std::int64_t t_begin, std::int64_t t_end,
+    std::int64_t temporal_length);
+
+/// Number of window positions per snapshot for the given geometry (e.g.
+/// 441 for rows=cols=100, window=80, stride=1).
+[[nodiscard]] std::int64_t windows_per_snapshot(std::int64_t rows,
+                                                std::int64_t cols,
+                                                std::int64_t window,
+                                                std::int64_t stride);
+
+/// Builds one (input, target) pair from normalised dataset frames.
+/// `window_layout` must be a layout constructed for (window × window).
+[[nodiscard]] Sample make_sample(const TrafficDataset& dataset,
+                                 const ProbeLayout& window_layout,
+                                 const SampleSpec& spec,
+                                 std::int64_t temporal_length,
+                                 std::int64_t window);
+
+/// Predictor signature used for stitching: maps one coarse window sequence
+/// (S, ci, ci) to a fine window prediction (w, w), all in normalised units.
+using WindowPredictor = std::function<Tensor(const Tensor&)>;
+
+/// Reconstructs a full-grid prediction for frame `t` by sliding the window
+/// across the grid at `stride` (windows are clamped to the grid boundary so
+/// edges are always covered) and averaging overlapping predictions — the
+/// paper's moving-average filter. Returns a normalised (rows, cols) tensor.
+[[nodiscard]] Tensor stitch_prediction(const TrafficDataset& dataset,
+                                       const ProbeLayout& window_layout,
+                                       const WindowPredictor& predictor,
+                                       std::int64_t t,
+                                       std::int64_t temporal_length,
+                                       std::int64_t window,
+                                       std::int64_t stride);
+
+}  // namespace mtsr::data

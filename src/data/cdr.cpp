@@ -1,0 +1,148 @@
+#include "src/data/cdr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace mtsr::data {
+namespace {
+
+double day_bump(double hour, double centre, double sigma) {
+  double d = std::abs(hour - centre);
+  d = std::min(d, 24.0 - d);
+  return std::exp(-d * d / (2.0 * sigma * sigma));
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2);
+  return a;
+}
+
+}  // namespace
+
+CdrSimulator::CdrSimulator(CdrConfig config)
+    : config_(config), rng_(config.seed) {
+  check(config_.rows > 0 && config_.cols > 0, "CdrConfig: bad grid dims");
+  check(config_.num_users > 0, "CdrConfig: need users");
+  check(config_.num_intervals > 0, "CdrConfig: need intervals");
+  check(config_.interval_minutes > 0, "CdrConfig: bad interval");
+  check(config_.interim_threshold_mb > 0.0, "CdrConfig: bad 5MB threshold");
+
+  // Homes follow a broad ring around the centre; workplaces cluster in the
+  // central business district — the same geography as the field generator.
+  const double rows = static_cast<double>(config_.rows);
+  const double cols = static_cast<double>(config_.cols);
+  const double cr = rows / 2.0, cc = cols / 2.0;
+  users_.reserve(static_cast<std::size_t>(config_.num_users));
+  for (std::int64_t u = 0; u < config_.num_users; ++u) {
+    User user{};
+    const double hr = std::clamp(cr + rng_.normal(0.0, rows * 0.25), 0.0,
+                                 rows - 1.0);
+    const double hc = std::clamp(cc + rng_.normal(0.0, cols * 0.25), 0.0,
+                                 cols - 1.0);
+    const double wr = std::clamp(cr + rng_.normal(0.0, rows * 0.07), 0.0,
+                                 rows - 1.0);
+    const double wc = std::clamp(cc + rng_.normal(0.0, cols * 0.07), 0.0,
+                                 cols - 1.0);
+    user.home_cell = static_cast<std::int64_t>(hr) * config_.cols +
+                     static_cast<std::int64_t>(hc);
+    user.work_cell = static_cast<std::int64_t>(wr) * config_.cols +
+                     static_cast<std::int64_t>(wc);
+    user.activity = rng_.lognormal(0.0, 0.6);
+    users_.push_back(user);
+  }
+}
+
+int CdrSimulator::minute_of_week(std::int64_t t) const {
+  const std::int64_t minutes =
+      config_.start_minute_of_week +
+      t * static_cast<std::int64_t>(config_.interval_minutes);
+  return static_cast<int>(minutes % (7 * 24 * 60));
+}
+
+double CdrSimulator::session_rate(std::int64_t t) const {
+  // Sessions per user per interval, shaped by a day/evening double peak.
+  const int mow = minute_of_week(t);
+  const double hour = (mow % (24 * 60)) / 60.0;
+  const double shape = 0.15 + day_bump(hour, 11.0, 3.0) +
+                       0.8 * day_bump(hour, 20.5, 2.5);
+  const double per_day = config_.sessions_per_user_per_day * shape / 0.9;
+  return per_day * static_cast<double>(config_.interval_minutes) / (24.0 * 60);
+}
+
+std::int64_t CdrSimulator::user_cell(std::int64_t u, std::int64_t t) const {
+  check(u >= 0 && u < config_.num_users, "user_cell: user out of range");
+  const User& user = users_[static_cast<std::size_t>(u)];
+  const int mow = minute_of_week(t);
+  const int day = mow / (24 * 60);
+  const double hour = (mow % (24 * 60)) / 60.0;
+  const bool weekday = day < 5;
+  const bool at_work = weekday && hour >= 9.0 && hour < 17.5;
+  std::int64_t cell = at_work ? user.work_cell : user.home_cell;
+
+  // Small deterministic jitter: users wander to neighbouring cells.
+  Rng jitter(hash_combine(hash_combine(config_.seed, static_cast<std::uint64_t>(u)),
+                          static_cast<std::uint64_t>(t)));
+  if (jitter.bernoulli(0.3)) {
+    const std::int64_t r = std::clamp<std::int64_t>(
+        cell / config_.cols + jitter.uniform_int(-1, 1), 0, config_.rows - 1);
+    const std::int64_t c = std::clamp<std::int64_t>(
+        cell % config_.cols + jitter.uniform_int(-1, 1), 0, config_.cols - 1);
+    cell = r * config_.cols + c;
+  }
+  return cell;
+}
+
+std::vector<CdrRecord> CdrSimulator::simulate() {
+  std::vector<CdrRecord> records;
+  for (std::int64_t t = 0; t < config_.num_intervals; ++t) {
+    const double rate = session_rate(t);
+    for (std::int64_t u = 0; u < config_.num_users; ++u) {
+      const User& user = users_[static_cast<std::size_t>(u)];
+      Rng local(hash_combine(
+          hash_combine(config_.seed ^ 0xabcdefULL,
+                       static_cast<std::uint64_t>(u)),
+          static_cast<std::uint64_t>(t)));
+      const int sessions = local.poisson(rate * user.activity);
+      if (sessions == 0) continue;
+      const std::int64_t cell = user_cell(u, t);
+      for (int s = 0; s < sessions; ++s) {
+        const double volume =
+            local.lognormal(config_.volume_mu, config_.volume_sigma);
+        // Session start/end record carrying the total volume...
+        records.push_back({u, t, cell, static_cast<float>(volume), false});
+        // ...plus one interim record per full 5 MB consumed (volume counted
+        // once — interim records carry zero volume and only mark the event,
+        // as the real CDRs mark state transitions).
+        const int interims = static_cast<int>(
+            volume / config_.interim_threshold_mb);
+        for (int k = 0; k < interims; ++k) {
+          records.push_back({u, t, cell, 0.f, true});
+        }
+      }
+    }
+  }
+  return records;
+}
+
+std::vector<Tensor> CdrSimulator::aggregate(
+    const std::vector<CdrRecord>& records, const CdrConfig& config) {
+  std::vector<Tensor> frames;
+  frames.reserve(static_cast<std::size_t>(config.num_intervals));
+  for (std::int64_t t = 0; t < config.num_intervals; ++t) {
+    frames.emplace_back(Shape{config.rows, config.cols});
+  }
+  const std::int64_t cells = config.rows * config.cols;
+  for (const CdrRecord& record : records) {
+    check(record.t >= 0 && record.t < config.num_intervals,
+          "aggregate: record interval out of range");
+    check(record.cell >= 0 && record.cell < cells,
+          "aggregate: record cell out of range");
+    frames[static_cast<std::size_t>(record.t)].flat(record.cell) +=
+        record.volume_mb;
+  }
+  return frames;
+}
+
+}  // namespace mtsr::data

@@ -1,0 +1,84 @@
+// Event-level CDR (call detail record) simulator.
+//
+// The paper's Milan dataset was built "by combining call detail records
+// (CDR) that were generated upon user interactions with base stations,
+// namely each time a user started/ended an Internet connection, or a user
+// consumed more than 5 MB". This module reproduces that measurement
+// substrate end to end: a synthetic user population with home/work cells
+// and commuting behaviour generates data sessions; sessions emit CDRs
+// (including the >5 MB interim records); aggregating the records into
+// 10-minute grid bins yields exactly the kind of fine-grained frames the
+// field-based generator produces — but derived from events, which lets
+// tests validate the aggregation pipeline itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace mtsr::data {
+
+/// One call detail record: a user consumed `volume_mb` in `cell` during
+/// interval `t`. `interim` marks records triggered by the 5 MB rule rather
+/// than session start/end.
+struct CdrRecord {
+  std::int64_t user;
+  std::int64_t t;
+  std::int64_t cell;  ///< row-major cell index
+  float volume_mb;
+  bool interim;
+};
+
+/// Simulator configuration.
+struct CdrConfig {
+  std::int64_t rows = 40;
+  std::int64_t cols = 40;
+  std::int64_t num_users = 2000;
+  std::int64_t num_intervals = 288;  ///< 2 days at 10-minute bins
+  int interval_minutes = 10;
+  double sessions_per_user_per_day = 18.0;
+  double volume_mu = 0.3;     ///< lognormal location of session MB
+  double volume_sigma = 1.1;  ///< lognormal scale (heavy tail)
+  double interim_threshold_mb = 5.0;  ///< the paper's 5 MB rule
+  std::uint64_t seed = 7;
+  /// Minutes since Monday 00:00 at interval 0.
+  int start_minute_of_week = 0;
+};
+
+/// Synthesises a population, its mobility, sessions, and the CDR stream.
+class CdrSimulator {
+ public:
+  explicit CdrSimulator(CdrConfig config);
+
+  /// Runs the simulation and returns all records, ordered by interval.
+  [[nodiscard]] std::vector<CdrRecord> simulate();
+
+  /// Aggregates records into per-interval traffic frames (MB per cell) —
+  /// the post-processing step MTSR renders unnecessary at runtime.
+  [[nodiscard]] static std::vector<Tensor> aggregate(
+      const std::vector<CdrRecord>& records, const CdrConfig& config);
+
+  /// Where user `u` is located at interval `t` (row-major cell index).
+  /// Deterministic per (seed, user); exposed for tests.
+  [[nodiscard]] std::int64_t user_cell(std::int64_t u, std::int64_t t) const;
+
+  [[nodiscard]] const CdrConfig& config() const { return config_; }
+
+ private:
+  struct User {
+    std::int64_t home_cell;
+    std::int64_t work_cell;
+    double activity;  ///< per-user session-rate multiplier
+  };
+
+  [[nodiscard]] int minute_of_week(std::int64_t t) const;
+  [[nodiscard]] double session_rate(std::int64_t t) const;
+
+  CdrConfig config_;
+  Rng rng_;
+  std::vector<User> users_;
+};
+
+}  // namespace mtsr::data

@@ -1,0 +1,125 @@
+#include "src/data/dataset.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "src/common/check.hpp"
+#include "src/tensor/serialize.hpp"
+
+namespace mtsr::data {
+
+TrafficDataset::TrafficDataset(std::vector<Tensor> frames,
+                               int interval_minutes, bool log_transform)
+    : frames_(std::move(frames)),
+      interval_minutes_(interval_minutes),
+      log_transform_(log_transform) {
+  check(!frames_.empty(), "TrafficDataset requires at least one frame");
+  check(interval_minutes > 0, "TrafficDataset: bad interval");
+  const Shape& shape = frames_.front().shape();
+  check(shape.rank() == 2, "TrafficDataset frames must be rank-2");
+  for (const Tensor& f : frames_) {
+    check(f.shape() == shape, "TrafficDataset frames must share one shape");
+  }
+  set_splits(2.0 / 3.0, 1.0 / 6.0);
+}
+
+void TrafficDataset::set_splits(double train_fraction,
+                                double validation_fraction) {
+  check(train_fraction > 0.0 && validation_fraction >= 0.0 &&
+            train_fraction + validation_fraction <= 1.0,
+        "TrafficDataset::set_splits: bad fractions");
+  const auto n = frame_count();
+  const auto n_train = static_cast<std::int64_t>(
+      std::floor(static_cast<double>(n) * train_fraction));
+  const auto n_val = static_cast<std::int64_t>(
+      std::floor(static_cast<double>(n) * validation_fraction));
+  check(n_train >= 1, "TrafficDataset::set_splits: empty training split");
+  train_ = {0, n_train};
+  validation_ = {n_train, n_train + n_val};
+  test_ = {n_train + n_val, n};
+  recompute_stats();
+}
+
+void TrafficDataset::recompute_stats() {
+  double sum = 0.0, sq = 0.0;
+  std::int64_t count = 0;
+  peak_ = 0.0;
+  for (std::int64_t t = 0; t < frame_count(); ++t) {
+    peak_ = std::max(peak_, static_cast<double>(frames_[static_cast<std::size_t>(t)].max()));
+  }
+  for (std::int64_t t = train_.begin; t < train_.end; ++t) {
+    const Tensor& f = frames_[static_cast<std::size_t>(t)];
+    for (std::int64_t i = 0; i < f.size(); ++i) {
+      const double v = log_transform_ ? std::log1p(static_cast<double>(
+                                            std::max(f.flat(i), 0.f)))
+                                      : f.flat(i);
+      sum += v;
+      sq += v * v;
+    }
+    count += f.size();
+  }
+  stats_.mean = sum / static_cast<double>(count);
+  const double var =
+      std::max(sq / static_cast<double>(count) - stats_.mean * stats_.mean,
+               1e-12);
+  stats_.stddev = std::sqrt(var);
+}
+
+const Tensor& TrafficDataset::frame(std::int64_t t) const {
+  check(t >= 0 && t < frame_count(), "TrafficDataset::frame out of range");
+  return frames_[static_cast<std::size_t>(t)];
+}
+
+Tensor TrafficDataset::normalized_frame(std::int64_t t) const {
+  Tensor out = frame(t);
+  if (log_transform_) {
+    out.apply_([](float v) { return std::log1p(std::max(v, 0.f)); });
+  }
+  out.add_scalar_(static_cast<float>(-stats_.mean));
+  out.mul_scalar_(static_cast<float>(1.0 / stats_.stddev));
+  return out;
+}
+
+Tensor TrafficDataset::denormalize(const Tensor& normalized) const {
+  Tensor out = normalized;
+  out.mul_scalar_(static_cast<float>(stats_.stddev));
+  out.add_scalar_(static_cast<float>(stats_.mean));
+  if (log_transform_) {
+    out.apply_([](float v) { return std::expm1(std::min(v, 20.f)); });
+  }
+  return out;
+}
+
+void TrafficDataset::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("TrafficDataset::save: cannot open " + path);
+  const std::int64_t n = frame_count();
+  const std::int32_t iv = interval_minutes_;
+  const std::uint8_t log_flag = log_transform_ ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&iv), sizeof(iv));
+  out.write(reinterpret_cast<const char*>(&log_flag), sizeof(log_flag));
+  for (const Tensor& f : frames_) write_tensor(out, f);
+  if (!out) throw std::runtime_error("TrafficDataset::save: write failed");
+}
+
+TrafficDataset TrafficDataset::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("TrafficDataset::load: cannot open " + path);
+  std::int64_t n = 0;
+  std::int32_t iv = 0;
+  std::uint8_t log_flag = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&iv), sizeof(iv));
+  in.read(reinterpret_cast<char*>(&log_flag), sizeof(log_flag));
+  if (!in || n <= 0 || iv <= 0 || log_flag > 1) {
+    throw std::runtime_error("TrafficDataset::load: bad header");
+  }
+  std::vector<Tensor> frames;
+  frames.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) frames.push_back(read_tensor(in));
+  return TrafficDataset(std::move(frames), iv, log_flag == 1);
+}
+
+}  // namespace mtsr::data

@@ -1,0 +1,94 @@
+// TrafficDataset: an ordered sequence of fine-grained traffic snapshots with
+// train/validation/test splits and z-score normalisation.
+//
+// Mirrors the paper's protocol (Section 5.2): models are trained on the
+// first chronological span, validated on the next, tested on the last, and
+// "prior to training, all data is normalised by subtraction of the mean and
+// division by the standard deviation" — statistics are computed on the
+// training span only, to avoid leaking test information.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace mtsr::data {
+
+/// Normalisation statistics (computed over the training split).
+struct NormStats {
+  double mean = 0.0;
+  double stddev = 1.0;
+};
+
+/// Contiguous index range [begin, end).
+struct SplitRange {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+
+  [[nodiscard]] std::int64_t size() const { return end - begin; }
+};
+
+/// Ordered fine-grained snapshots plus split/normalisation bookkeeping.
+class TrafficDataset {
+ public:
+  /// Takes ownership of chronologically ordered (rows, cols) snapshots.
+  /// Splits default to the paper's 40/10/10-day proportions (≈2/3, 1/6,
+  /// 1/6); override with `set_splits`.
+  ///
+  /// `log_transform` applies log1p before the z-score: per-cell mobile
+  /// traffic volumes are heavy-tailed (busy cells reach ~50x the mean), and
+  /// stochastic training on raw z-scores is dominated by the rare extreme
+  /// cells. The paper's GPU-scale training absorbs this; at CPU scale the
+  /// log transform restores balanced gradients (DESIGN.md §7). Metrics are
+  /// always computed in raw MB — denormalize() inverts the transform.
+  TrafficDataset(std::vector<Tensor> frames, int interval_minutes,
+                 bool log_transform = true);
+
+  /// Re-partitions by fractions (must sum to <= 1; test gets the rest).
+  void set_splits(double train_fraction, double validation_fraction);
+
+  [[nodiscard]] std::int64_t frame_count() const {
+    return static_cast<std::int64_t>(frames_.size());
+  }
+  [[nodiscard]] std::int64_t rows() const { return frames_.front().dim(0); }
+  [[nodiscard]] std::int64_t cols() const { return frames_.front().dim(1); }
+  [[nodiscard]] int interval_minutes() const { return interval_minutes_; }
+
+  /// Raw snapshot (MB per sub-cell).
+  [[nodiscard]] const Tensor& frame(std::int64_t t) const;
+
+  /// Normalised snapshot: (frame - mean) / stddev, train-split statistics.
+  [[nodiscard]] Tensor normalized_frame(std::int64_t t) const;
+
+  /// Maps a normalised tensor back to MB.
+  [[nodiscard]] Tensor denormalize(const Tensor& normalized) const;
+
+  [[nodiscard]] const NormStats& stats() const { return stats_; }
+  [[nodiscard]] SplitRange train_range() const { return train_; }
+  [[nodiscard]] SplitRange validation_range() const { return validation_; }
+  [[nodiscard]] SplitRange test_range() const { return test_; }
+
+  /// Highest single-cell volume across the whole dataset — the PSNR peak
+  /// (the paper uses 5496 MB, its dataset maximum).
+  [[nodiscard]] double peak() const { return peak_; }
+
+  /// Binary round-trip (all frames + metadata).
+  void save(const std::string& path) const;
+  [[nodiscard]] static TrafficDataset load(const std::string& path);
+
+  [[nodiscard]] bool log_transform() const { return log_transform_; }
+
+ private:
+  void recompute_stats();
+
+  std::vector<Tensor> frames_;
+  int interval_minutes_;
+  bool log_transform_;
+  NormStats stats_;
+  SplitRange train_, validation_, test_;
+  double peak_ = 0.0;
+};
+
+}  // namespace mtsr::data

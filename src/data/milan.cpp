@@ -1,0 +1,383 @@
+#include "src/data/milan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace mtsr::data {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Gaussian bump over hour-of-day, wrapping at midnight.
+double day_bump(double hour, double centre, double sigma) {
+  double d = std::abs(hour - centre);
+  d = std::min(d, 24.0 - d);
+  return std::exp(-d * d / (2.0 * sigma * sigma));
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2);
+  return a;
+}
+
+}  // namespace
+
+MilanTrafficGenerator::MilanTrafficGenerator(MilanConfig config)
+    : config_(config), rng_(config.seed) {
+  check(config_.rows > 0 && config_.cols > 0, "MilanConfig: bad grid dims");
+  check(config_.interval_minutes > 0, "MilanConfig: bad interval");
+  check(config_.num_hotspots > 0, "MilanConfig: need at least one hotspot");
+  check(config_.peak_traffic_mb > config_.base_traffic_mb,
+        "MilanConfig: peak must exceed base traffic");
+
+  const double rows = static_cast<double>(config_.rows);
+  const double cols = static_cast<double>(config_.cols);
+  const double side = std::min(rows, cols);
+  const double cr = rows / 2.0, cc = cols / 2.0;
+
+  // --- Fixed geography -----------------------------------------------------
+  check(config_.mobile_fraction >= 0.0 && config_.mobile_fraction <= 1.0,
+        "MilanConfig: mobile_fraction must be in [0,1]");
+  check(config_.commute_distance >= 0.0 && config_.commute_distance < 0.5,
+        "MilanConfig: commute_distance must be in [0,0.5)");
+  hotspots_.reserve(static_cast<std::size_t>(config_.num_hotspots));
+  for (std::int64_t i = 0; i < config_.num_hotspots; ++i) {
+    Hotspot h{};
+    const double pick = rng_.uniform();
+    if (pick < 0.40) {
+      // Central business district: tight cluster of strong hotspots.
+      h.land_use = LandUse::kBusiness;
+      h.row = cr + rng_.normal(0.0, side * 0.08);
+      h.col = cc + rng_.normal(0.0, side * 0.08);
+      h.radius = rng_.uniform(1.0, 2.2);
+      h.amplitude = rng_.lognormal(0.3, 0.5);
+    } else if (pick < 0.70) {
+      // Residential belt around the centre.
+      h.land_use = LandUse::kResidential;
+      const double angle = rng_.uniform(0.0, 2.0 * kPi);
+      const double dist = rng_.uniform(0.15, 0.45) * side;
+      h.row = cr + dist * std::sin(angle);
+      h.col = cc + dist * std::cos(angle);
+      h.radius = rng_.uniform(1.4, 3.0);
+      h.amplitude = rng_.lognormal(-0.2, 0.4);
+    } else {
+      // Entertainment venues scattered across the city.
+      h.land_use = LandUse::kEntertainment;
+      h.row = rng_.uniform(0.1 * rows, 0.9 * rows);
+      h.col = rng_.uniform(0.1 * cols, 0.9 * cols);
+      h.radius = rng_.uniform(1.0, 1.8);
+      h.amplitude = rng_.lognormal(-0.3, 0.5);
+    }
+    h.row = std::clamp(h.row, 0.0, rows - 1.0);
+    h.col = std::clamp(h.col, 0.0, cols - 1.0);
+
+    // Commuting crowds: mobile hotspots spend the night at a home anchor
+    // displaced radially outward and the working day at a work anchor
+    // pulled toward the centre.
+    h.mobile = rng_.bernoulli(config_.mobile_fraction);
+    h.work_row = h.row;
+    h.work_col = h.col;
+    if (h.mobile) {
+      const double dr = h.row - cr, dc = h.col - cc;
+      const double dist = std::max(std::sqrt(dr * dr + dc * dc), 1.0);
+      const double d = config_.commute_distance * side;
+      h.row = std::clamp(h.row + dr / dist * d * 0.5, 0.0, rows - 1.0);
+      h.col = std::clamp(h.col + dc / dist * d * 0.5, 0.0, cols - 1.0);
+      h.work_row = std::clamp(h.work_row - dr / dist * d * 0.5, 0.0,
+                              rows - 1.0);
+      h.work_col = std::clamp(h.work_col - dc / dist * d * 0.5, 0.0,
+                              cols - 1.0);
+    }
+    hotspots_.push_back(h);
+  }
+
+  // Spatial kernels for static hotspots (unit-peak Gaussians); mobile ones
+  // are evaluated per frame at their instantaneous position.
+  kernels_.reserve(hotspots_.size());
+  for (const Hotspot& h : hotspots_) {
+    Tensor k(Shape{config_.rows, config_.cols});
+    if (!h.mobile) {
+      for (std::int64_t r = 0; r < config_.rows; ++r) {
+        for (std::int64_t c = 0; c < config_.cols; ++c) {
+          const double dr = static_cast<double>(r) - h.row;
+          const double dc = static_cast<double>(c) - h.col;
+          k.at(r, c) = static_cast<float>(
+              std::exp(-(dr * dr + dc * dc) / (2.0 * h.radius * h.radius)));
+        }
+      }
+    }
+    kernels_.push_back(std::move(k));
+  }
+
+  // Residential background: broad bump over the whole city, decaying with
+  // distance from the centre.
+  base_field_ = Tensor(Shape{config_.rows, config_.cols});
+  const double bg_sigma = side * 0.45;
+  for (std::int64_t r = 0; r < config_.rows; ++r) {
+    for (std::int64_t c = 0; c < config_.cols; ++c) {
+      const double dr = static_cast<double>(r) - cr;
+      const double dc = static_cast<double>(c) - cc;
+      base_field_.at(r, c) = static_cast<float>(
+          0.3 + 0.7 * std::exp(-(dr * dr + dc * dc) /
+                               (2.0 * bg_sigma * bg_sigma)));
+    }
+  }
+
+  // --- Point-source towers --------------------------------------------------
+  // Single-cell spikes with heavy-tailed amplitudes; half cluster in the
+  // centre (dense urban deployments), half spread across the city. Their
+  // positions are the sub-probe detail MTSR must learn to localise.
+  check(config_.tower_share >= 0.0 && config_.tower_share < 1.0,
+        "MilanConfig: tower_share must be in [0,1)");
+  check(config_.tower_spillover >= 0.0 && config_.tower_spillover <= 1.0,
+        "MilanConfig: tower_spillover must be in [0,1]");
+  std::int64_t num_towers = config_.num_towers;
+  if (num_towers < 0) num_towers = (config_.rows * config_.cols) / 13;
+  towers_.reserve(static_cast<std::size_t>(num_towers));
+  for (std::int64_t i = 0; i < num_towers; ++i) {
+    Tower tower{};
+    if (rng_.bernoulli(0.5)) {
+      tower.row = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(cr + rng_.normal(0.0, side * 0.14)), 0,
+          config_.rows - 1);
+      tower.col = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(cc + rng_.normal(0.0, side * 0.14)), 0,
+          config_.cols - 1);
+    } else {
+      tower.row = rng_.uniform_int(0, config_.rows - 1);
+      tower.col = rng_.uniform_int(0, config_.cols - 1);
+    }
+    tower.amplitude = rng_.lognormal(0.0, 1.0);  // heavy tail
+    const double pick = rng_.uniform();
+    tower.land_use = pick < 0.4 ? LandUse::kBusiness
+                     : pick < 0.7 ? LandUse::kResidential
+                                  : LandUse::kEntertainment;
+    towers_.push_back(tower);
+  }
+
+  // --- Amplitude calibration ----------------------------------------------
+  // Split the calibrated peak between the smooth hotspot fields and the
+  // tower spikes: the busiest cell at a weekday peak reaches
+  // ~peak_traffic_mb while quiet cells sit near base_traffic_mb. Mobile
+  // hotspots are calibrated at their work anchor (the peak-hour geometry).
+  const double headroom = config_.peak_traffic_mb - config_.base_traffic_mb;
+  Tensor combined(Shape{config_.rows, config_.cols});
+  for (std::size_t i = 0; i < hotspots_.size(); ++i) {
+    const Hotspot& h = hotspots_[i];
+    if (h.mobile) {
+      for (std::int64_t r = 0; r < config_.rows; ++r) {
+        for (std::int64_t c = 0; c < config_.cols; ++c) {
+          const double dr = static_cast<double>(r) - h.work_row;
+          const double dc = static_cast<double>(c) - h.work_col;
+          combined.at(r, c) += static_cast<float>(
+              h.amplitude *
+              std::exp(-(dr * dr + dc * dc) / (2.0 * h.radius * h.radius)));
+        }
+      }
+    } else {
+      combined.axpy_(static_cast<float>(h.amplitude), kernels_[i]);
+    }
+  }
+  const double max_combined = combined.max();
+  check_internal(max_combined > 0.0, "hotspot field is empty");
+  const double field_scale =
+      headroom * (1.0 - config_.tower_share) / max_combined;
+  for (Hotspot& h : hotspots_) h.amplitude *= field_scale;
+
+  if (!towers_.empty()) {
+    double max_tower = 0.0;
+    for (const Tower& t : towers_) max_tower = std::max(max_tower, t.amplitude);
+    const double tower_scale = headroom * config_.tower_share / max_tower;
+    for (Tower& t : towers_) t.amplitude *= tower_scale;
+  }
+
+  // Phases for the smooth deterministic hotspot/tower noise (sinusoids).
+  ar_state_.resize(hotspots_.size() * 3);
+  for (double& phase : ar_state_) phase = rng_.uniform(0.0, 2.0 * kPi);
+  tower_phase_.resize(towers_.size() * 3);
+  for (double& phase : tower_phase_) phase = rng_.uniform(0.0, 2.0 * kPi);
+}
+
+double MilanTrafficGenerator::commute_progress(std::int64_t t) const {
+  const int mow = minute_of_week(t);
+  const int day = mow / (24 * 60);
+  const double hour = (mow % (24 * 60)) / 60.0;
+  auto smoothstep = [](double x) {
+    x = std::clamp(x, 0.0, 1.0);
+    return x * x * (3.0 - 2.0 * x);
+  };
+  // Ramp in 07:00-09:30, plateau, ramp out 16:30-20:00.
+  const double up = smoothstep((hour - 7.0) / 2.5);
+  const double down = smoothstep((hour - 16.5) / 3.5);
+  const double progress = up * (1.0 - down);
+  return day >= 5 ? 0.25 * progress : progress;
+}
+
+int MilanTrafficGenerator::minute_of_week(std::int64_t t) const {
+  const std::int64_t minutes =
+      config_.start_minute_of_week +
+      t * static_cast<std::int64_t>(config_.interval_minutes);
+  return static_cast<int>(minutes % (7 * 24 * 60));
+}
+
+double MilanTrafficGenerator::temporal_profile(LandUse land_use,
+                                               std::int64_t t) const {
+  const int mow = minute_of_week(t);
+  const int day = mow / (24 * 60);          // 0 = Monday
+  const double hour = (mow % (24 * 60)) / 60.0;
+  const bool weekend = day >= 5;
+  const bool party_night = day == 4 || day == 5;  // Friday, Saturday
+
+  switch (land_use) {
+    case LandUse::kBusiness: {
+      const double shape =
+          day_bump(hour, 10.0, 2.5) + 0.9 * day_bump(hour, 15.0, 2.5);
+      return 0.05 + shape * (weekend ? 0.35 : 1.0);
+    }
+    case LandUse::kResidential: {
+      const double shape = 0.3 * day_bump(hour, 8.0, 1.5) +
+                           0.25 * day_bump(hour, 13.0, 2.0) +
+                           day_bump(hour, 21.0, 2.5);
+      return 0.08 + shape * (weekend ? 1.15 : 1.0);
+    }
+    case LandUse::kEntertainment: {
+      const double shape =
+          day_bump(hour, 22.0, 2.0) + 0.5 * day_bump(hour, 19.0, 1.5);
+      return 0.05 + shape * (party_night ? 1.5 : 0.8);
+    }
+  }
+  return 0.0;
+}
+
+std::vector<Tensor> MilanTrafficGenerator::generate(std::int64_t t0,
+                                                    std::int64_t count) {
+  check(t0 >= 0 && count >= 0, "generate: bad time range");
+  std::vector<Tensor> frames;
+  frames.reserve(static_cast<std::size_t>(count));
+
+  const std::int64_t cells = config_.rows * config_.cols;
+  // Periods (in intervals) of the smooth hotspot noise components.
+  constexpr double kPeriods[3] = {37.0, 101.0, 223.0};
+
+  for (std::int64_t t = t0; t < t0 + count; ++t) {
+    Tensor frame(Shape{config_.rows, config_.cols});
+
+    // Background: broad residential field with a day-time activity cycle.
+    const int mow = minute_of_week(t);
+    const double hour = (mow % (24 * 60)) / 60.0;
+    const double base_cycle = 0.25 + 0.75 * day_bump(hour, 14.0, 5.0);
+    for (std::int64_t i = 0; i < cells; ++i) {
+      frame.flat(i) = static_cast<float>(config_.base_traffic_mb * base_cycle *
+                                         base_field_.flat(i));
+    }
+
+    // Hotspots with land-use profiles and smooth multiplicative noise;
+    // mobile hotspots sit at their commute-interpolated position.
+    const double commute = commute_progress(t);
+    for (std::size_t hi = 0; hi < hotspots_.size(); ++hi) {
+      const Hotspot& h = hotspots_[hi];
+      double noise = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        noise += std::sin(2.0 * kPi * static_cast<double>(t) / kPeriods[k] +
+                          ar_state_[hi * 3 + static_cast<std::size_t>(k)]);
+      }
+      noise *= config_.noise_level / std::sqrt(3.0);
+      const double factor =
+          h.amplitude * temporal_profile(h.land_use, t) * (1.0 + noise);
+      if (!h.mobile) {
+        frame.axpy_(static_cast<float>(factor), kernels_[hi]);
+        continue;
+      }
+      const double row = h.row + (h.work_row - h.row) * commute;
+      const double col = h.col + (h.work_col - h.col) * commute;
+      const double reach = 3.5 * h.radius;
+      const auto r0 = static_cast<std::int64_t>(
+          std::max(0.0, std::floor(row - reach)));
+      const auto r1 = static_cast<std::int64_t>(std::min(
+          static_cast<double>(config_.rows - 1), std::ceil(row + reach)));
+      const auto c0 = static_cast<std::int64_t>(
+          std::max(0.0, std::floor(col - reach)));
+      const auto c1 = static_cast<std::int64_t>(std::min(
+          static_cast<double>(config_.cols - 1), std::ceil(col + reach)));
+      const double two_sigma_sq = 2.0 * h.radius * h.radius;
+      for (std::int64_t r = r0; r <= r1; ++r) {
+        for (std::int64_t c = c0; c <= c1; ++c) {
+          const double dr = static_cast<double>(r) - row;
+          const double dc = static_cast<double>(c) - col;
+          frame.at(r, c) += static_cast<float>(
+              factor * std::exp(-(dr * dr + dc * dc) / two_sigma_sq));
+        }
+      }
+    }
+
+    // Tower spikes: point sources with a small 4-neighbour spillover.
+    for (std::size_t ti = 0; ti < towers_.size(); ++ti) {
+      const Tower& tower = towers_[ti];
+      double noise = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        noise += std::sin(2.0 * kPi * static_cast<double>(t) / kPeriods[k] +
+                          tower_phase_[ti * 3 + static_cast<std::size_t>(k)]);
+      }
+      noise *= config_.noise_level * 2.0 / std::sqrt(3.0);
+      const double load =
+          tower.amplitude * temporal_profile(tower.land_use, t) *
+          std::max(1.0 + noise, 0.0);
+      const double spill = load * config_.tower_spillover / 4.0;
+      frame.at(tower.row, tower.col) +=
+          static_cast<float>(load * (1.0 - config_.tower_spillover));
+      const std::int64_t nr[4] = {tower.row - 1, tower.row + 1, tower.row,
+                                  tower.row};
+      const std::int64_t nc[4] = {tower.col, tower.col, tower.col - 1,
+                                  tower.col + 1};
+      for (int k = 0; k < 4; ++k) {
+        if (nr[k] >= 0 && nr[k] < config_.rows && nc[k] >= 0 &&
+            nc[k] < config_.cols) {
+          frame.at(nr[k], nc[k]) += static_cast<float>(spill);
+        }
+      }
+    }
+
+    // Additive spatially-correlated measurement noise: white field smoothed
+    // with two box-blur passes. Seeded per (generator seed, t) so frames are
+    // deterministic regardless of generation order.
+    Rng frame_rng(hash_combine(config_.seed, static_cast<std::uint64_t>(t)));
+    Tensor white(Shape{config_.rows, config_.cols});
+    for (std::int64_t i = 0; i < cells; ++i) {
+      white.flat(i) = static_cast<float>(frame_rng.normal());
+    }
+    for (int pass = 0; pass < 2; ++pass) {
+      Tensor blurred(Shape{config_.rows, config_.cols});
+      for (std::int64_t r = 0; r < config_.rows; ++r) {
+        for (std::int64_t c = 0; c < config_.cols; ++c) {
+          double acc = 0.0;
+          int n = 0;
+          for (int dr = -1; dr <= 1; ++dr) {
+            for (int dc = -1; dc <= 1; ++dc) {
+              const std::int64_t rr = r + dr, cc2 = c + dc;
+              if (rr < 0 || rr >= config_.rows || cc2 < 0 ||
+                  cc2 >= config_.cols) {
+                continue;
+              }
+              acc += white.at(rr, cc2);
+              ++n;
+            }
+          }
+          blurred.at(r, c) = static_cast<float>(acc / n);
+        }
+      }
+      white = std::move(blurred);
+    }
+    frame.axpy_(static_cast<float>(config_.field_noise_mb * 3.0), white);
+
+    // Traffic volumes cannot be negative.
+    for (std::int64_t i = 0; i < cells; ++i) {
+      frame.flat(i) = std::max(frame.flat(i), 0.5f);
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+}  // namespace mtsr::data

@@ -1,0 +1,139 @@
+// Synthetic Milan-like mobile traffic generator.
+//
+// Substitute for the Telecom Italia Big Data Challenge dataset the paper
+// trains on (CDR-derived traffic volumes on a 100×100 grid of 0.055 km²
+// sub-cells at 10-minute resolution, 1 Nov 2013 – 1 Jan 2014). We cannot
+// redistribute that dataset, so this module synthesises traffic fields with
+// the statistical properties MTSR depends on (see DESIGN.md §2):
+//
+//  * a fixed urban geography — a dense city-centre cluster of business
+//    hotspots, satellite business/residential/entertainment hotspots, and a
+//    broad residential background with distance decay (cf. Fig. 6: traffic
+//    concentrates in central Milan);
+//  * point-source "towers": single-cell traffic spikes with heavy-tailed
+//    amplitudes, reproducing the needle-like texture of the paper's
+//    fine-grained surfaces (Fig. 10). Tower positions are sub-probe detail
+//    that wide-context models can memorise but small-patch interpolators
+//    cannot — the property behind the paper's method ordering;
+//  * hotspot spatial scale smaller than coarse probe coverage, so genuine
+//    sub-probe detail exists for super-resolution to recover;
+//  * diurnal and weekly modulation per land-use class (business peaks on
+//    weekday working hours, residential in the evening, entertainment at
+//    night and weekends);
+//  * smooth multiplicative temporally-correlated hotspot/tower noise
+//    (deterministic sinusoid mixtures with random phases) plus an additive
+//    spatially-correlated field noise;
+//  * volumes scaled to the paper's observed range (~20 MB off-peak to
+//    ~5496 MB peak per cell per 10 minutes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace mtsr::data {
+
+/// Land-use class of a hotspot; selects its temporal profile.
+enum class LandUse { kBusiness, kResidential, kEntertainment };
+
+/// One traffic hotspot: a Gaussian bump of activity. Mobile hotspots model
+/// commuting crowds: their centre drifts between a home anchor (row, col)
+/// and a work anchor (work_row, work_col) following the diurnal commute
+/// schedule, so the *instantaneous* sub-probe position of the bump is only
+/// recoverable from temporal context — the property the paper's 3-D
+/// convolutional blocks exploit and single-frame interpolators cannot.
+struct Hotspot {
+  double row;        ///< home-anchor centre (fractional cells)
+  double col;
+  double work_row;   ///< work-anchor centre (equals home if static)
+  double work_col;
+  bool mobile;       ///< drifts with the commute schedule when true
+  double radius;     ///< Gaussian sigma, in cells
+  double amplitude;  ///< peak contribution, in MB per interval
+  LandUse land_use;
+};
+
+/// Generator configuration.
+struct MilanConfig {
+  std::int64_t rows = 100;
+  std::int64_t cols = 100;
+  int interval_minutes = 10;       ///< paper: 10-minute bins
+  std::int64_t num_hotspots = 60;  ///< scaled down with the grid in benches
+  /// Point-source towers (single-cell spikes); <0 derives a density of one
+  /// tower per ~13 cells from the grid area.
+  std::int64_t num_towers = -1;
+  /// Fraction of hotspots that commute between home and work anchors.
+  double mobile_fraction = 0.5;
+  /// Commute displacement as a fraction of the grid side.
+  double commute_distance = 0.25;
+  /// Fraction of the calibrated peak carried by the tower spikes (the rest
+  /// comes from the smooth hotspot fields).
+  double tower_share = 0.35;
+  /// Fraction of each tower's traffic spilling into its 4-neighbours.
+  double tower_spillover = 0.2;
+  double base_traffic_mb = 20.0;   ///< off-peak floor (paper: ~20 MB)
+  double peak_traffic_mb = 5496.0; ///< city-centre peak (paper: 5496 MB)
+  double noise_level = 0.08;       ///< relative smooth hotspot/tower noise
+  double field_noise_mb = 4.0;     ///< additive spatial noise scale
+  std::uint64_t seed = 42;
+  /// Simulation start, expressed as minutes since Monday 00:00 (weekly
+  /// phase); the paper's data starts Friday 1 Nov 2013 00:00.
+  int start_minute_of_week = 4 * 24 * 60;
+};
+
+/// A single-cell point source (base-station-like traffic spike).
+struct Tower {
+  std::int64_t row;
+  std::int64_t col;
+  double amplitude;  ///< peak contribution in MB per interval
+  LandUse land_use;
+};
+
+/// Deterministic synthetic traffic source. All snapshots produced by one
+/// generator share the same geography; only temporal factors and noise vary.
+class MilanTrafficGenerator {
+ public:
+  explicit MilanTrafficGenerator(MilanConfig config);
+
+  /// Generates `count` consecutive snapshots starting at interval `t0`.
+  /// Each snapshot is a (rows, cols) tensor of MB consumed per sub-cell.
+  [[nodiscard]] std::vector<Tensor> generate(std::int64_t t0,
+                                             std::int64_t count);
+
+  /// The temporal activity multiplier of a land-use class at interval t
+  /// (exposed for tests; strictly positive, dimensionless).
+  [[nodiscard]] double temporal_profile(LandUse land_use,
+                                        std::int64_t t) const;
+
+  /// The commute progress at interval t: 0 = everyone at the home anchor,
+  /// 1 = everyone at the work anchor (weekdays ~09:00-17:00), smooth
+  /// transitions in between; damped on weekends. Exposed for tests.
+  [[nodiscard]] double commute_progress(std::int64_t t) const;
+
+  /// The static hotspot list (fixed geography).
+  [[nodiscard]] const std::vector<Hotspot>& hotspots() const {
+    return hotspots_;
+  }
+
+  /// The static tower list (fixed geography).
+  [[nodiscard]] const std::vector<Tower>& towers() const { return towers_; }
+
+  [[nodiscard]] const MilanConfig& config() const { return config_; }
+
+ private:
+  /// Minute-of-week for interval t.
+  [[nodiscard]] int minute_of_week(std::int64_t t) const;
+
+  MilanConfig config_;
+  Rng rng_;
+  std::vector<Hotspot> hotspots_;
+  std::vector<Tower> towers_;
+  std::vector<Tensor> kernels_;     ///< per-hotspot spatial field
+  Tensor base_field_;               ///< residential background field
+  std::vector<double> ar_state_;    ///< noise phases per hotspot
+  std::vector<double> tower_phase_; ///< noise phases per tower
+};
+
+}  // namespace mtsr::data

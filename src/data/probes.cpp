@@ -1,0 +1,321 @@
+#include "src/data/probes.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "src/common/check.hpp"
+#include "src/tensor/tensor_ops.hpp"
+
+namespace mtsr::data {
+
+ProbeLayout::ProbeLayout(std::int64_t rows, std::int64_t cols) {
+  check(rows > 0 && cols > 0, "ProbeLayout requires positive grid dims");
+  rows_ = rows;
+  cols_ = cols;
+}
+
+// ---------------------------------------------------------------------------
+// UniformProbeLayout
+// ---------------------------------------------------------------------------
+
+UniformProbeLayout::UniformProbeLayout(std::int64_t rows, std::int64_t cols,
+                                       int factor)
+    : ProbeLayout(rows, cols), factor_(factor) {
+  check(factor > 0, "UniformProbeLayout requires positive factor");
+  check(rows % factor == 0 && cols % factor == 0,
+        "UniformProbeLayout grid dims must be divisible by factor");
+  check(rows == cols, "UniformProbeLayout expects a square grid");
+  probe_map_.resize(static_cast<std::size_t>(rows * cols));
+  const std::int64_t pc = cols / factor;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      probe_map_[static_cast<std::size_t>(r * cols + c)] =
+          static_cast<std::int32_t>((r / factor) * pc + (c / factor));
+    }
+  }
+}
+
+std::int64_t UniformProbeLayout::probe_count() const {
+  return (rows() / factor_) * (cols() / factor_);
+}
+
+std::int64_t UniformProbeLayout::input_side() const {
+  return rows() / factor_;
+}
+
+double UniformProbeLayout::average_factor() const { return factor_; }
+
+Tensor UniformProbeLayout::coarsen(const Tensor& fine) const {
+  check(fine.rank() == 2 && fine.dim(0) == rows() && fine.dim(1) == cols(),
+        "UniformProbeLayout::coarsen: wrong snapshot shape");
+  return avg_pool2d(fine, factor_);
+}
+
+Tensor UniformProbeLayout::spread_average(const Tensor& fine) const {
+  return upsample_nearest2d(coarsen(fine), factor_);
+}
+
+const std::vector<std::int32_t>& UniformProbeLayout::probe_map() const {
+  return probe_map_;
+}
+
+Tensor UniformProbeLayout::granularity_map() const {
+  return Tensor::full(Shape{rows(), cols()}, static_cast<float>(factor_));
+}
+
+std::string UniformProbeLayout::name() const {
+  std::ostringstream out;
+  out << "up-" << factor_;
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// MixtureProbeLayout
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::int64_t kSuperblock = 20;  // LCM-compatible zone unit
+
+enum class Zone : int { kFine = 0, kMedium = 1, kCoarse = 2 };
+
+constexpr int zone_probe_side(Zone z) {
+  switch (z) {
+    case Zone::kFine: return 2;
+    case Zone::kMedium: return 4;
+    case Zone::kCoarse: return 10;
+  }
+  return 0;
+}
+
+constexpr std::int64_t zone_probe_count_per_superblock(Zone z) {
+  const std::int64_t side = kSuperblock / zone_probe_side(z);
+  return side * side;
+}
+
+}  // namespace
+
+MixtureProbeLayout::MixtureProbeLayout(std::int64_t rows, std::int64_t cols)
+    : ProbeLayout(rows, cols) {
+  check(rows == cols, "MixtureProbeLayout expects a square grid");
+  check(rows % kSuperblock == 0,
+        "MixtureProbeLayout grid side must be divisible by 20");
+  const std::int64_t sb = rows / kSuperblock;  // superblocks per side
+  const std::int64_t n_super = sb * sb;
+
+  // Rank superblocks by distance from the grid centre: the closest get the
+  // finest probes (the paper's "more probes serve the city centre").
+  struct Ranked {
+    double dist;
+    std::int64_t index;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(static_cast<std::size_t>(n_super));
+  const double centre = (static_cast<double>(sb) - 1.0) / 2.0;
+  for (std::int64_t sr = 0; sr < sb; ++sr) {
+    for (std::int64_t sc = 0; sc < sb; ++sc) {
+      const double dr = static_cast<double>(sr) - centre;
+      const double dc = static_cast<double>(sc) - centre;
+      ranked.push_back({std::sqrt(dr * dr + dc * dc), sr * sb + sc});
+    }
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Ranked& a, const Ranked& b) {
+                     return a.dist < b.dist;
+                   });
+
+  // Target composition close to the paper's 49% / 44% / 7% probe-count mix
+  // (up to superblock rounding): ~12% of superblocks fine and ~44% medium
+  // yields those probe proportions because fine superblocks hold 100 probes
+  // and medium ones 25.
+  std::int64_t n_fine = std::max<std::int64_t>(1, (n_super * 12 + 50) / 100);
+  std::int64_t n_medium = std::max<std::int64_t>(1, (n_super * 44 + 50) / 100);
+  if (n_fine + n_medium >= n_super) {
+    n_fine = std::max<std::int64_t>(1, n_super / 4);
+    n_medium = std::max<std::int64_t>(0, n_super - n_fine - 1);
+  }
+
+  // The projected input square must hold every probe; shrink the fine zone
+  // until the probe count fits the next integer-ratio square (side s/4,
+  // matching the instance's average factor of ~4 as in Table 1).
+  const std::int64_t input_limit = (rows / 4) * (rows / 4);
+  auto total_probes = [&](std::int64_t f, std::int64_t m) {
+    const std::int64_t c = n_super - f - m;
+    return f * zone_probe_count_per_superblock(Zone::kFine) +
+           m * zone_probe_count_per_superblock(Zone::kMedium) +
+           c * zone_probe_count_per_superblock(Zone::kCoarse);
+  };
+  while (total_probes(n_fine, n_medium) > input_limit && n_fine > 0) {
+    --n_fine;
+    ++n_medium;
+  }
+  while (total_probes(n_fine, n_medium) > input_limit && n_medium > 0) {
+    --n_medium;
+  }
+  check_internal(total_probes(n_fine, n_medium) <= input_limit,
+                 "mixture layout cannot fit the input square");
+
+  std::vector<Zone> zone_of_super(static_cast<std::size_t>(n_super),
+                                  Zone::kCoarse);
+  for (std::int64_t i = 0; i < n_super; ++i) {
+    Zone z = Zone::kCoarse;
+    if (i < n_fine) {
+      z = Zone::kFine;
+    } else if (i < n_fine + n_medium) {
+      z = Zone::kMedium;
+    }
+    zone_of_super[static_cast<std::size_t>(ranked[static_cast<std::size_t>(i)]
+                                               .index)] = z;
+  }
+
+  // Enumerate probes zone by zone (fine first), each zone in superblock
+  // row-major order then within-superblock row-major order. This is the
+  // projection order onto the input square.
+  probe_map_.assign(static_cast<std::size_t>(rows * cols), -1);
+  for (Zone z : {Zone::kFine, Zone::kMedium, Zone::kCoarse}) {
+    const int side = zone_probe_side(z);
+    for (std::int64_t s = 0; s < n_super; ++s) {
+      if (zone_of_super[static_cast<std::size_t>(s)] != z) continue;
+      const std::int64_t sr = (s / sb) * kSuperblock;
+      const std::int64_t sc = (s % sb) * kSuperblock;
+      for (std::int64_t pr = 0; pr < kSuperblock / side; ++pr) {
+        for (std::int64_t pc = 0; pc < kSuperblock / side; ++pc) {
+          const auto id = static_cast<std::int32_t>(probes_.size());
+          const Probe probe{sr + pr * side, sc + pc * side, side};
+          probes_.push_back(probe);
+          for (int dr = 0; dr < side; ++dr) {
+            for (int dc = 0; dc < side; ++dc) {
+              probe_map_[static_cast<std::size_t>(
+                  (probe.r0 + dr) * cols + probe.c0 + dc)] = id;
+            }
+          }
+        }
+      }
+    }
+  }
+  check_internal(std::none_of(probe_map_.begin(), probe_map_.end(),
+                              [](std::int32_t v) { return v < 0; }),
+                 "mixture layout left uncovered cells");
+
+  input_side_ = rows / 4;
+  check_internal(static_cast<std::int64_t>(probes_.size()) <=
+                     input_side_ * input_side_,
+                 "mixture probe count exceeds input square");
+}
+
+std::int64_t MixtureProbeLayout::probe_count() const {
+  return static_cast<std::int64_t>(probes_.size());
+}
+
+std::int64_t MixtureProbeLayout::input_side() const { return input_side_; }
+
+double MixtureProbeLayout::average_factor() const {
+  // Probe-count-weighted mean side, the convention of Table 1 (avg n_f = 4
+  // for the mixture of 49% 2×2, 44% 4×4, 7% 10×10 probes).
+  double acc = 0.0;
+  for (const Probe& p : probes_) acc += p.side;
+  return acc / static_cast<double>(probes_.size());
+}
+
+Tensor MixtureProbeLayout::coarsen(const Tensor& fine) const {
+  check(fine.rank() == 2 && fine.dim(0) == rows() && fine.dim(1) == cols(),
+        "MixtureProbeLayout::coarsen: wrong snapshot shape");
+  Tensor input(Shape{input_side_, input_side_});
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    const Probe& p = probes_[i];
+    double acc = 0.0;
+    for (int dr = 0; dr < p.side; ++dr) {
+      for (int dc = 0; dc < p.side; ++dc) {
+        acc += fine.at(p.r0 + dr, p.c0 + dc);
+      }
+    }
+    input.flat(static_cast<std::int64_t>(i)) =
+        static_cast<float>(acc / (static_cast<double>(p.side) * p.side));
+  }
+  return input;
+}
+
+Tensor MixtureProbeLayout::spread_average(const Tensor& fine) const {
+  check(fine.rank() == 2 && fine.dim(0) == rows() && fine.dim(1) == cols(),
+        "MixtureProbeLayout::spread_average: wrong snapshot shape");
+  Tensor out(Shape{rows(), cols()});
+  for (const Probe& p : probes_) {
+    double acc = 0.0;
+    for (int dr = 0; dr < p.side; ++dr) {
+      for (int dc = 0; dc < p.side; ++dc) {
+        acc += fine.at(p.r0 + dr, p.c0 + dc);
+      }
+    }
+    const auto avg =
+        static_cast<float>(acc / (static_cast<double>(p.side) * p.side));
+    for (int dr = 0; dr < p.side; ++dr) {
+      for (int dc = 0; dc < p.side; ++dc) {
+        out.at(p.r0 + dr, p.c0 + dc) = avg;
+      }
+    }
+  }
+  return out;
+}
+
+const std::vector<std::int32_t>& MixtureProbeLayout::probe_map() const {
+  return probe_map_;
+}
+
+Tensor MixtureProbeLayout::granularity_map() const {
+  Tensor out(Shape{rows(), cols()});
+  for (const Probe& p : probes_) {
+    for (int dr = 0; dr < p.side; ++dr) {
+      for (int dc = 0; dc < p.side; ++dc) {
+        out.at(p.r0 + dr, p.c0 + dc) = static_cast<float>(p.side);
+      }
+    }
+  }
+  return out;
+}
+
+std::string MixtureProbeLayout::name() const { return "mixture"; }
+
+std::array<std::int64_t, 3> MixtureProbeLayout::composition() const {
+  std::array<std::int64_t, 3> counts{0, 0, 0};
+  for (const Probe& p : probes_) {
+    if (p.side == 2) ++counts[0];
+    else if (p.side == 4) ++counts[1];
+    else ++counts[2];
+  }
+  return counts;
+}
+
+// ---------------------------------------------------------------------------
+// Instance helpers
+// ---------------------------------------------------------------------------
+
+std::string instance_name(MtsrInstance instance) {
+  switch (instance) {
+    case MtsrInstance::kUp2: return "up-2";
+    case MtsrInstance::kUp4: return "up-4";
+    case MtsrInstance::kUp10: return "up-10";
+    case MtsrInstance::kMixture: return "mixture";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<ProbeLayout> make_layout(MtsrInstance instance,
+                                         std::int64_t rows,
+                                         std::int64_t cols) {
+  switch (instance) {
+    case MtsrInstance::kUp2:
+      return std::make_unique<UniformProbeLayout>(rows, cols, 2);
+    case MtsrInstance::kUp4:
+      return std::make_unique<UniformProbeLayout>(rows, cols, 4);
+    case MtsrInstance::kUp10:
+      return std::make_unique<UniformProbeLayout>(rows, cols, 10);
+    case MtsrInstance::kMixture:
+      return std::make_unique<MixtureProbeLayout>(rows, cols);
+  }
+  throw ContractViolation("make_layout: unknown instance");
+}
+
+}  // namespace mtsr::data

@@ -1,0 +1,159 @@
+#include "src/metrics/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "src/common/check.hpp"
+
+namespace mtsr::metrics {
+namespace {
+
+void check_pair(const Tensor& prediction, const Tensor& truth,
+                const char* who) {
+  check(prediction.shape() == truth.shape(),
+        std::string(who) + ": prediction/truth shape mismatch (" +
+            prediction.shape().to_string() + " vs " +
+            truth.shape().to_string() + ")");
+  check(prediction.size() > 0, std::string(who) + ": empty tensors");
+}
+
+double mse(const Tensor& prediction, const Tensor& truth) {
+  double acc = 0.0;
+  const float* p = prediction.data();
+  const float* t = truth.data();
+  const std::int64_t n = prediction.size();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(p[i]) - t[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace
+
+double nrmse(const Tensor& prediction, const Tensor& truth) {
+  check_pair(prediction, truth, "nrmse");
+  const double truth_mean = truth.mean();
+  check(truth_mean != 0.0, "nrmse: ground-truth mean is zero");
+  return std::sqrt(mse(prediction, truth)) / truth_mean;
+}
+
+double psnr(const Tensor& prediction, const Tensor& truth, double peak) {
+  check_pair(prediction, truth, "psnr");
+  check(peak > 0.0, "psnr: peak must be positive");
+  const double err = mse(prediction, truth);
+  if (err == 0.0) return std::numeric_limits<double>::infinity();
+  // Eq. (12): 20 log10(max) - 10 log10(MSE).
+  return 20.0 * std::log10(peak) - 10.0 * std::log10(err);
+}
+
+double ssim(const Tensor& prediction, const Tensor& truth, double c1,
+            double c2) {
+  check_pair(prediction, truth, "ssim");
+  const double mu_p = prediction.mean();
+  const double mu_t = truth.mean();
+  const std::int64_t n = prediction.size();
+  double var_p = 0.0, var_t = 0.0, cov = 0.0;
+  const float* p = prediction.data();
+  const float* t = truth.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double dp = p[i] - mu_p;
+    const double dt = t[i] - mu_t;
+    var_p += dp * dp;
+    var_t += dt * dt;
+    cov += dp * dt;
+  }
+  var_p /= static_cast<double>(n);
+  var_t /= static_cast<double>(n);
+  cov /= static_cast<double>(n);
+
+  if (c1 < 0.0 || c2 < 0.0) {
+    // Standard stabilisers: c = (k L)^2 with the dynamic range L taken from
+    // the ground truth (k1 = 0.01, k2 = 0.03).
+    const double range =
+        std::max(static_cast<double>(truth.max()) - truth.min(), 1e-12);
+    if (c1 < 0.0) c1 = (0.01 * range) * (0.01 * range);
+    if (c2 < 0.0) c2 = (0.03 * range) * (0.03 * range);
+  }
+
+  // Eq. (13), global-statistics form.
+  const double numerator = (2.0 * mu_t * mu_p + c1) * (2.0 * cov + c2);
+  const double denominator =
+      (mu_t * mu_t + mu_p * mu_p + c1) * (var_t + var_p + c2);
+  return numerator / denominator;
+}
+
+double mae(const Tensor& prediction, const Tensor& truth) {
+  check_pair(prediction, truth, "mae");
+  double acc = 0.0;
+  const float* p = prediction.data();
+  const float* t = truth.data();
+  const std::int64_t n = prediction.size();
+  for (std::int64_t i = 0; i < n; ++i) {
+    acc += std::abs(static_cast<double>(p[i]) - t[i]);
+  }
+  return acc / static_cast<double>(n);
+}
+
+double pearson(const Tensor& prediction, const Tensor& truth) {
+  check_pair(prediction, truth, "pearson");
+  const double mu_p = prediction.mean();
+  const double mu_t = truth.mean();
+  double var_p = 0.0, var_t = 0.0, cov = 0.0;
+  const float* p = prediction.data();
+  const float* t = truth.data();
+  const std::int64_t n = prediction.size();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double dp = p[i] - mu_p;
+    const double dt = t[i] - mu_t;
+    var_p += dp * dp;
+    var_t += dt * dt;
+    cov += dp * dt;
+  }
+  if (var_p <= 0.0 || var_t <= 0.0) return 0.0;
+  return cov / std::sqrt(var_p * var_t);
+}
+
+MetricAccumulator::MetricAccumulator(double peak) : peak_(peak) {
+  check(peak > 0.0, "MetricAccumulator: peak must be positive");
+}
+
+void MetricAccumulator::add(const Tensor& prediction, const Tensor& truth) {
+  nrmse_sum_ += nrmse(prediction, truth);
+  const double snapshot_psnr = psnr(prediction, truth, peak_);
+  // Identical snapshots give +inf PSNR; cap so means stay meaningful.
+  psnr_sum_ += std::isfinite(snapshot_psnr) ? snapshot_psnr : 200.0;
+  ssim_sum_ += ssim(prediction, truth);
+  mae_sum_ += mae(prediction, truth);
+  ++count_;
+}
+
+double MetricAccumulator::mean_nrmse() const {
+  check(count_ > 0, "MetricAccumulator: no snapshots added");
+  return nrmse_sum_ / count_;
+}
+
+double MetricAccumulator::mean_psnr() const {
+  check(count_ > 0, "MetricAccumulator: no snapshots added");
+  return psnr_sum_ / count_;
+}
+
+double MetricAccumulator::mean_ssim() const {
+  check(count_ > 0, "MetricAccumulator: no snapshots added");
+  return ssim_sum_ / count_;
+}
+
+double MetricAccumulator::mean_mae() const {
+  check(count_ > 0, "MetricAccumulator: no snapshots added");
+  return mae_sum_ / count_;
+}
+
+std::string MetricAccumulator::summary() const {
+  std::ostringstream out;
+  out << "NRMSE=" << mean_nrmse() << " PSNR=" << mean_psnr()
+      << "dB SSIM=" << mean_ssim() << " (n=" << count_ << ")";
+  return out.str();
+}
+
+}  // namespace mtsr::metrics

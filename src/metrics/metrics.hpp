@@ -1,0 +1,76 @@
+// Evaluation metrics from Section 5.3 of the paper.
+//
+// * NRMSE (Eq. 11): RMSE between prediction and ground truth, normalised by
+//   the ground-truth mean. Lower is better.
+// * PSNR (Eq. 12): peak signal-to-noise ratio against a fixed peak value
+//   (the highest traffic volume ever observed in one cell — 5496 MB in the
+//   paper's Milan dataset; callers pass their dataset's peak). Higher is
+//   better.
+// * SSIM (Eq. 13): global-statistics structural similarity (the paper uses
+//   the single-window form, not the sliding-window variant). Higher is
+//   better; 1 for identical inputs.
+//
+// All metrics accept tensors of identical shape and treat them as flat
+// vectors of sub-cell volumes, matching the per-snapshot definitions in the
+// paper; `MetricAccumulator` averages per-snapshot metrics over a test set,
+// matching the "averages for inferences made over 10 days" protocol.
+#pragma once
+
+#include <string>
+
+#include "src/tensor/tensor.hpp"
+
+namespace mtsr::metrics {
+
+/// Normalised root mean square error (Eq. 11); `truth` supplies both the
+/// reference values and the normalising mean. Throws if the ground-truth
+/// mean is zero.
+[[nodiscard]] double nrmse(const Tensor& prediction, const Tensor& truth);
+
+/// Peak signal-to-noise ratio in dB (Eq. 12) against an explicit peak
+/// value. Returns +inf for identical inputs.
+[[nodiscard]] double psnr(const Tensor& prediction, const Tensor& truth,
+                          double peak);
+
+/// Structural similarity (Eq. 13, global statistics). `c1`/`c2` default to
+/// the standard (k·L)² constants with k1=0.01, k2=0.03 and dynamic range L
+/// estimated from the ground truth max; pass explicit values to override.
+[[nodiscard]] double ssim(const Tensor& prediction, const Tensor& truth,
+                          double c1 = -1.0, double c2 = -1.0);
+
+/// Mean absolute error.
+[[nodiscard]] double mae(const Tensor& prediction, const Tensor& truth);
+
+/// Pearson correlation coefficient between prediction and truth. Returns 0
+/// when either side has zero variance.
+[[nodiscard]] double pearson(const Tensor& prediction, const Tensor& truth);
+
+/// Averages per-snapshot metrics over a test set, the way the paper reports
+/// Fig. 9 (bars are means over 1440 snapshots).
+class MetricAccumulator {
+ public:
+  /// `peak` is the PSNR reference peak (dataset-wide max cell volume).
+  explicit MetricAccumulator(double peak);
+
+  /// Adds one (prediction, truth) snapshot pair.
+  void add(const Tensor& prediction, const Tensor& truth);
+
+  [[nodiscard]] int count() const { return count_; }
+  [[nodiscard]] double mean_nrmse() const;
+  [[nodiscard]] double mean_psnr() const;
+  [[nodiscard]] double mean_ssim() const;
+  [[nodiscard]] double mean_mae() const;
+
+  /// One-line summary, e.g. "NRMSE=0.312 PSNR=24.1dB SSIM=0.71 (n=96)".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  double peak_;
+  int count_ = 0;
+  double nrmse_sum_ = 0.0;
+  double psnr_sum_ = 0.0;
+  double ssim_sum_ = 0.0;
+  double mae_sum_ = 0.0;
+};
+
+}  // namespace mtsr::metrics

@@ -1,0 +1,117 @@
+#include "src/nn/activations.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/common/check.hpp"
+
+namespace mtsr::nn {
+
+LeakyReLU::LeakyReLU(float alpha) : alpha_(alpha) {
+  check(alpha >= 0.f && alpha < 1.f, "LeakyReLU alpha must be in [0,1)");
+}
+
+Tensor LeakyReLU::forward(const Tensor& input, bool /*training*/) {
+  input_ = input;
+  Tensor out = input;
+  float* p = out.data();
+  const std::int64_t n = out.size();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (p[i] < 0.f) p[i] *= alpha_;
+  }
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  check(!input_.empty(), "LeakyReLU::backward called before forward");
+  check(grad_output.shape() == input_.shape(),
+        "LeakyReLU::backward grad shape mismatch");
+  Tensor grad = grad_output;
+  float* g = grad.data();
+  const float* x = input_.data();
+  const std::int64_t n = grad.size();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (x[i] < 0.f) g[i] *= alpha_;
+  }
+  return grad;
+}
+
+std::string LeakyReLU::name() const {
+  std::ostringstream out;
+  out << "LeakyReLU(" << alpha_ << ")";
+  return out.str();
+}
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+  input_ = input;
+  Tensor out = input;
+  for (float* p = out.data(); p != out.data() + out.size(); ++p) {
+    if (*p < 0.f) *p = 0.f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  check(!input_.empty(), "ReLU::backward called before forward");
+  check(grad_output.shape() == input_.shape(),
+        "ReLU::backward grad shape mismatch");
+  Tensor grad = grad_output;
+  float* g = grad.data();
+  const float* x = input_.data();
+  for (std::int64_t i = 0; i < grad.size(); ++i) {
+    if (x[i] <= 0.f) g[i] = 0.f;
+  }
+  return grad;
+}
+
+std::string ReLU::name() const { return "ReLU"; }
+
+Tensor Sigmoid::forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  for (float* p = out.data(); p != out.data() + out.size(); ++p) {
+    *p = 1.f / (1.f + std::exp(-*p));
+  }
+  output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  check(!output_.empty(), "Sigmoid::backward called before forward");
+  check(grad_output.shape() == output_.shape(),
+        "Sigmoid::backward grad shape mismatch");
+  Tensor grad = grad_output;
+  float* g = grad.data();
+  const float* y = output_.data();
+  for (std::int64_t i = 0; i < grad.size(); ++i) {
+    g[i] *= y[i] * (1.f - y[i]);
+  }
+  return grad;
+}
+
+std::string Sigmoid::name() const { return "Sigmoid"; }
+
+Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  for (float* p = out.data(); p != out.data() + out.size(); ++p) {
+    *p = std::tanh(*p);
+  }
+  output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  check(!output_.empty(), "Tanh::backward called before forward");
+  check(grad_output.shape() == output_.shape(),
+        "Tanh::backward grad shape mismatch");
+  Tensor grad = grad_output;
+  float* g = grad.data();
+  const float* y = output_.data();
+  for (std::int64_t i = 0; i < grad.size(); ++i) {
+    g[i] *= 1.f - y[i] * y[i];
+  }
+  return grad;
+}
+
+std::string Tanh::name() const { return "Tanh"; }
+
+}  // namespace mtsr::nn

@@ -1,0 +1,65 @@
+// Elementwise activation layers.
+//
+// The paper uses LeakyReLU (Eq. 3, alpha ~= 0.1) throughout both networks
+// and a sigmoid on the discriminator output to constrain it to (0, 1).
+// ReLU and Tanh are provided for the SRCNN baseline and experimentation.
+#pragma once
+
+#include "src/nn/layer.hpp"
+
+namespace mtsr::nn {
+
+/// LeakyReLU(x) = x for x > 0, alpha*x otherwise (Eq. 3 of the paper).
+class LeakyReLU final : public Layer {
+ public:
+  explicit LeakyReLU(float alpha = 0.1f);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  float alpha_;
+  Tensor input_;
+};
+
+/// Standard ReLU.
+class ReLU final : public Layer {
+ public:
+  ReLU() = default;
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Tensor input_;
+};
+
+/// Logistic sigmoid; saturates to (0, 1).
+class Sigmoid final : public Layer {
+ public:
+  Sigmoid() = default;
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Tensor output_;
+};
+
+/// Hyperbolic tangent.
+class Tanh final : public Layer {
+ public:
+  Tanh() = default;
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Tensor output_;
+};
+
+}  // namespace mtsr::nn

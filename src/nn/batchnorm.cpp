@@ -1,0 +1,156 @@
+#include "src/nn/batchnorm.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/common/check.hpp"
+
+namespace mtsr::nn {
+namespace {
+
+// Iteration geometry for an (N, C, ...) tensor: per (n, c) pair there is a
+// contiguous run of `inner` elements.
+struct Geometry {
+  std::int64_t n;
+  std::int64_t c;
+  std::int64_t inner;
+};
+
+Geometry geometry(const Shape& shape, std::int64_t channels) {
+  check(shape.rank() >= 2, "BatchNorm expects rank >= 2 input");
+  check(shape.dim(1) == channels, "BatchNorm channel mismatch");
+  std::int64_t inner = 1;
+  for (int i = 2; i < shape.rank(); ++i) inner *= shape.dim(i);
+  return {shape.dim(0), shape.dim(1), inner};
+}
+
+}  // namespace
+
+BatchNorm::BatchNorm(std::int64_t channels, float momentum, float epsilon)
+    : channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_("gamma", Tensor::ones(Shape{channels})),
+      beta_("beta", Tensor::zeros(Shape{channels})),
+      running_mean_(Tensor::zeros(Shape{channels})),
+      running_var_(Tensor::ones(Shape{channels})) {
+  check(channels > 0, "BatchNorm requires positive channel count");
+  check(momentum > 0.f && momentum <= 1.f, "BatchNorm momentum in (0,1]");
+  check(epsilon > 0.f, "BatchNorm epsilon must be positive");
+}
+
+Tensor BatchNorm::forward(const Tensor& input, bool training) {
+  const Geometry g = geometry(input.shape(), channels_);
+  const std::int64_t m = g.n * g.inner;  // reduction count per channel
+  check(m > 0, "BatchNorm forward on empty batch");
+
+  input_shape_ = input.shape();
+  forward_was_training_ = training;
+  Tensor output(input.shape());
+  x_hat_ = Tensor(input.shape());
+  inv_std_ = Tensor(Shape{channels_});
+
+  const float* px = input.data();
+  float* py = output.data();
+  float* pxh = x_hat_.data();
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    double mean, var;
+    if (training) {
+      double sum = 0.0, sq = 0.0;
+      for (std::int64_t in = 0; in < g.n; ++in) {
+        const float* base = px + (in * channels_ + c) * g.inner;
+        for (std::int64_t i = 0; i < g.inner; ++i) {
+          sum += base[i];
+          sq += static_cast<double>(base[i]) * base[i];
+        }
+      }
+      mean = sum / static_cast<double>(m);
+      var = sq / static_cast<double>(m) - mean * mean;
+      var = std::max(var, 0.0);
+      running_mean_.flat(c) = (1.f - momentum_) * running_mean_.flat(c) +
+                              momentum_ * static_cast<float>(mean);
+      running_var_.flat(c) = (1.f - momentum_) * running_var_.flat(c) +
+                             momentum_ * static_cast<float>(var);
+    } else {
+      mean = running_mean_.flat(c);
+      var = running_var_.flat(c);
+    }
+    const float inv = 1.f / std::sqrt(static_cast<float>(var) + epsilon_);
+    inv_std_.flat(c) = inv;
+    const float gam = gamma_.value.flat(c);
+    const float bet = beta_.value.flat(c);
+    for (std::int64_t in = 0; in < g.n; ++in) {
+      const float* base = px + (in * channels_ + c) * g.inner;
+      float* xh = pxh + (in * channels_ + c) * g.inner;
+      float* yo = py + (in * channels_ + c) * g.inner;
+      for (std::int64_t i = 0; i < g.inner; ++i) {
+        const float norm = (base[i] - static_cast<float>(mean)) * inv;
+        xh[i] = norm;
+        yo[i] = gam * norm + bet;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_output) {
+  check(!x_hat_.empty(), "BatchNorm::backward called before forward");
+  check(grad_output.shape() == input_shape_,
+        "BatchNorm::backward grad shape mismatch");
+  const Geometry g = geometry(input_shape_, channels_);
+  const double m = static_cast<double>(g.n * g.inner);
+
+  Tensor grad_input(input_shape_);
+  const float* pdy = grad_output.data();
+  const float* pxh = x_hat_.data();
+  float* pdx = grad_input.data();
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    // Channel-wise sums of dy and dy*x_hat.
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::int64_t in = 0; in < g.n; ++in) {
+      const float* dy = pdy + (in * channels_ + c) * g.inner;
+      const float* xh = pxh + (in * channels_ + c) * g.inner;
+      for (std::int64_t i = 0; i < g.inner; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
+      }
+    }
+    beta_.grad.flat(c) += static_cast<float>(sum_dy);
+    gamma_.grad.flat(c) += static_cast<float>(sum_dy_xhat);
+
+    const float gam = gamma_.value.flat(c);
+    const float inv = inv_std_.flat(c);
+    // In training mode the batch statistics depend on the input, which adds
+    // the mean-subtraction terms; in inference mode the running statistics
+    // are constants and the layer is a fixed affine map.
+    const float mean_dy =
+        forward_was_training_ ? static_cast<float>(sum_dy / m) : 0.f;
+    const float mean_dy_xhat =
+        forward_was_training_ ? static_cast<float>(sum_dy_xhat / m) : 0.f;
+    for (std::int64_t in = 0; in < g.n; ++in) {
+      const float* dy = pdy + (in * channels_ + c) * g.inner;
+      const float* xh = pxh + (in * channels_ + c) * g.inner;
+      float* dx = pdx + (in * channels_ + c) * g.inner;
+      for (std::int64_t i = 0; i < g.inner; ++i) {
+        dx[i] = gam * inv * (dy[i] - mean_dy - xh[i] * mean_dy_xhat);
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> BatchNorm::parameters() { return {&gamma_, &beta_}; }
+
+std::vector<std::pair<std::string, Tensor*>> BatchNorm::buffers() {
+  return {{"running_mean", &running_mean_}, {"running_var", &running_var_}};
+}
+
+std::string BatchNorm::name() const {
+  std::ostringstream out;
+  out << "BatchNorm(" << channels_ << ")";
+  return out.str();
+}
+
+}  // namespace mtsr::nn

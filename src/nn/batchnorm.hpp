@@ -1,0 +1,50 @@
+// Batch normalisation (Ioffe & Szegedy), used after every convolution in
+// both the ZipNet generator and the VGG discriminator, exactly as the paper
+// specifies ("BN layers normalise the output of each layer and are effective
+// in training acceleration").
+//
+// Works on any (N, C, ...) tensor: statistics are computed per channel over
+// the batch and all trailing axes, so one class serves both the 2-D and 3-D
+// blocks. Inference uses exponential running statistics.
+#pragma once
+
+#include "src/nn/layer.hpp"
+
+namespace mtsr::nn {
+
+/// BatchNorm over axis 1 of an (N, C, ...) tensor.
+class BatchNorm final : public Layer {
+ public:
+  /// `momentum` is the running-statistics update rate; `epsilon` stabilises
+  /// the variance denominator.
+  explicit BatchNorm(std::int64_t channels, float momentum = 0.1f,
+                     float epsilon = 1e-5f);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::vector<std::pair<std::string, Tensor*>> buffers() override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Running mean/variance (used at inference); exposed for tests.
+  [[nodiscard]] const Tensor& running_mean() const { return running_mean_; }
+  [[nodiscard]] const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::int64_t channels_;
+  float momentum_;
+  float epsilon_;
+
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Forward caches.
+  Tensor x_hat_;        // normalised input
+  Tensor inv_std_;      // per-channel 1/sqrt(var+eps)
+  Shape input_shape_;
+  bool forward_was_training_ = true;
+};
+
+}  // namespace mtsr::nn

@@ -1,0 +1,51 @@
+// 2-D convolution layer (im2col + GEMM implementation).
+//
+// Used by the discriminator's VGG blocks, the zipper convolutional blocks
+// (the paper's 24-layer core operates on 2-D feature maps once temporal
+// depth has been collapsed), the final convolutional blocks, and the SRCNN
+// baseline.
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/nn/layer.hpp"
+
+namespace mtsr::nn {
+
+/// Conv2d over (N, C, H, W) inputs with zero padding.
+///
+/// Weight layout (out_channels, in_channels, kh, kw); optional bias per
+/// output channel. Output spatial size: (H + 2p - k)/s + 1.
+class Conv2d final : public Layer {
+ public:
+  /// Constructs with He-normal weights and zero bias.
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels, int kernel,
+         int stride, int padding, Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::int64_t in_channels() const { return in_channels_; }
+  [[nodiscard]] std::int64_t out_channels() const { return out_channels_; }
+
+  /// Output spatial extent for a given input extent.
+  [[nodiscard]] std::int64_t out_extent(std::int64_t in_extent) const;
+
+ private:
+  std::int64_t in_channels_;
+  std::int64_t out_channels_;
+  int kernel_;
+  int stride_;
+  int padding_;
+  bool has_bias_;
+
+  Parameter weight_;
+  Parameter bias_;
+
+  // Forward caches.
+  Shape input_shape_;
+  std::vector<Tensor> columns_;  // per-sample im2col matrices
+};
+
+}  // namespace mtsr::nn

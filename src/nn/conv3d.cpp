@@ -1,0 +1,164 @@
+#include "src/nn/conv3d.hpp"
+
+#include <sstream>
+
+#include "src/common/check.hpp"
+#include "src/nn/init.hpp"
+
+namespace mtsr::nn {
+
+Conv3d::Conv3d(std::int64_t in_channels, std::int64_t out_channels,
+               std::array<int, 3> kernel, std::array<int, 3> stride,
+               std::array<int, 3> padding, Rng& rng, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(bias),
+      weight_("weight",
+              he_normal(Shape{out_channels, in_channels, kernel[0], kernel[1],
+                              kernel[2]},
+                        in_channels * kernel[0] * kernel[1] * kernel[2], rng)),
+      bias_("bias", Tensor::zeros(Shape{out_channels})) {
+  check(in_channels > 0 && out_channels > 0,
+        "Conv3d requires positive channels");
+  for (int i = 0; i < 3; ++i) {
+    check(kernel[i] > 0 && stride[i] > 0 && padding[i] >= 0,
+          "Conv3d bad hyper-parameters");
+  }
+}
+
+std::int64_t Conv3d::out_extent(int axis, std::int64_t in_extent) const {
+  return (in_extent + 2 * padding_[static_cast<std::size_t>(axis)] -
+          kernel_[static_cast<std::size_t>(axis)]) /
+             stride_[static_cast<std::size_t>(axis)] +
+         1;
+}
+
+Tensor Conv3d::forward(const Tensor& input, bool /*training*/) {
+  check(input.rank() == 5, "Conv3d expects (N, C, D, H, W) input");
+  check(input.dim(1) == in_channels_, "Conv3d input channel mismatch");
+  const std::int64_t n = input.dim(0), d = input.dim(2), h = input.dim(3),
+                     w = input.dim(4);
+  const std::int64_t od = out_extent(0, d), oh = out_extent(1, h),
+                     ow = out_extent(2, w);
+  check(od > 0 && oh > 0 && ow > 0, "Conv3d output would be empty");
+
+  input_ = input;
+  Tensor output(Shape{n, out_channels_, od, oh, ow});
+
+  const float* px = input.data();
+  const float* pw = weight_.value.data();
+  float* py = output.data();
+  const int kd = kernel_[0], kh = kernel_[1], kw = kernel_[2];
+  const int sd = stride_[0], sh = stride_[1], sw = stride_[2];
+  const int pd = padding_[0], ph = padding_[1], pww = padding_[2];
+
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t o = 0; o < out_channels_; ++o) {
+      const float b = has_bias_ ? bias_.value.flat(o) : 0.f;
+      for (std::int64_t zd = 0; zd < od; ++zd) {
+        for (std::int64_t zh = 0; zh < oh; ++zh) {
+          for (std::int64_t zw = 0; zw < ow; ++zw) {
+            double acc = b;
+            for (std::int64_t c = 0; c < in_channels_; ++c) {
+              for (int fd = 0; fd < kd; ++fd) {
+                const std::int64_t id = zd * sd - pd + fd;
+                if (id < 0 || id >= d) continue;
+                for (int fh = 0; fh < kh; ++fh) {
+                  const std::int64_t ih = zh * sh - ph + fh;
+                  if (ih < 0 || ih >= h) continue;
+                  const float* xrow =
+                      px + (((in * in_channels_ + c) * d + id) * h + ih) * w;
+                  const float* wrow =
+                      pw + (((o * in_channels_ + c) * kd + fd) * kh + fh) * kw;
+                  for (int fw = 0; fw < kw; ++fw) {
+                    const std::int64_t iw = zw * sw - pww + fw;
+                    if (iw < 0 || iw >= w) continue;
+                    acc += xrow[iw] * wrow[fw];
+                  }
+                }
+              }
+            }
+            py[(((in * out_channels_ + o) * od + zd) * oh + zh) * ow + zw] =
+                static_cast<float>(acc);
+          }
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor Conv3d::backward(const Tensor& grad_output) {
+  check(!input_.empty(), "Conv3d::backward called before forward");
+  check(grad_output.rank() == 5 && grad_output.dim(1) == out_channels_,
+        "Conv3d::backward grad shape mismatch");
+  const std::int64_t n = input_.dim(0), d = input_.dim(2), h = input_.dim(3),
+                     w = input_.dim(4);
+  const std::int64_t od = grad_output.dim(2), oh = grad_output.dim(3),
+                     ow = grad_output.dim(4);
+
+  Tensor grad_input(input_.shape());
+  const float* px = input_.data();
+  const float* pw = weight_.value.data();
+  const float* pdy = grad_output.data();
+  float* pdx = grad_input.data();
+  float* pdw = weight_.grad.data();
+  const int kd = kernel_[0], kh = kernel_[1], kw = kernel_[2];
+  const int sd = stride_[0], sh = stride_[1], sw = stride_[2];
+  const int pd = padding_[0], ph = padding_[1], pww = padding_[2];
+
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t o = 0; o < out_channels_; ++o) {
+      double bias_acc = 0.0;
+      for (std::int64_t zd = 0; zd < od; ++zd) {
+        for (std::int64_t zh = 0; zh < oh; ++zh) {
+          for (std::int64_t zw = 0; zw < ow; ++zw) {
+            const float g =
+                pdy[(((in * out_channels_ + o) * od + zd) * oh + zh) * ow + zw];
+            if (g == 0.f) continue;
+            bias_acc += g;
+            for (std::int64_t c = 0; c < in_channels_; ++c) {
+              for (int fd = 0; fd < kd; ++fd) {
+                const std::int64_t id = zd * sd - pd + fd;
+                if (id < 0 || id >= d) continue;
+                for (int fh = 0; fh < kh; ++fh) {
+                  const std::int64_t ih = zh * sh - ph + fh;
+                  if (ih < 0 || ih >= h) continue;
+                  const std::int64_t xbase =
+                      (((in * in_channels_ + c) * d + id) * h + ih) * w;
+                  const std::int64_t wbase =
+                      (((o * in_channels_ + c) * kd + fd) * kh + fh) * kw;
+                  for (int fw = 0; fw < kw; ++fw) {
+                    const std::int64_t iw = zw * sw - pww + fw;
+                    if (iw < 0 || iw >= w) continue;
+                    pdx[xbase + iw] += g * pw[wbase + fw];
+                    pdw[wbase + fw] += g * px[xbase + iw];
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+      if (has_bias_) bias_.grad.flat(o) += static_cast<float>(bias_acc);
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> Conv3d::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+std::string Conv3d::name() const {
+  std::ostringstream out;
+  out << "Conv3d(" << in_channels_ << "->" << out_channels_ << ", "
+      << kernel_[0] << "x" << kernel_[1] << "x" << kernel_[2] << ")";
+  return out.str();
+}
+
+}  // namespace mtsr::nn

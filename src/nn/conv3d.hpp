@@ -1,0 +1,49 @@
+// 3-D convolution layer (direct-loop implementation).
+//
+// The paper's 3D upscaling blocks apply 3-D convolutions over
+// (temporal depth, height, width) volumes to "jointly extract spatial and
+// temporal features" from the S-frame coarse input. Temporal depths are
+// small (S <= 6), so a direct nested-loop kernel is appropriate.
+#pragma once
+
+#include <array>
+
+#include "src/common/rng.hpp"
+#include "src/nn/layer.hpp"
+
+namespace mtsr::nn {
+
+/// Conv3d over (N, C, D, H, W) inputs with zero padding.
+///
+/// Weight layout (out_channels, in_channels, kd, kh, kw). Separate kernel /
+/// stride / padding per axis so temporal and spatial extents can differ.
+class Conv3d final : public Layer {
+ public:
+  /// kernel/stride/padding are (depth, height, width) triples.
+  Conv3d(std::int64_t in_channels, std::int64_t out_channels,
+         std::array<int, 3> kernel, std::array<int, 3> stride,
+         std::array<int, 3> padding, Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Output extent along axis i (0=d, 1=h, 2=w) for a given input extent.
+  [[nodiscard]] std::int64_t out_extent(int axis, std::int64_t in_extent) const;
+
+ private:
+  std::int64_t in_channels_;
+  std::int64_t out_channels_;
+  std::array<int, 3> kernel_;
+  std::array<int, 3> stride_;
+  std::array<int, 3> padding_;
+  bool has_bias_;
+
+  Parameter weight_;
+  Parameter bias_;
+
+  Tensor input_;  // cached for backward
+};
+
+}  // namespace mtsr::nn

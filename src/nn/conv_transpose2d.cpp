@@ -1,0 +1,119 @@
+#include "src/nn/conv_transpose2d.hpp"
+
+#include <sstream>
+
+#include "src/common/check.hpp"
+#include "src/nn/init.hpp"
+#include "src/tensor/tensor_ops.hpp"
+
+namespace mtsr::nn {
+
+ConvTranspose2d::ConvTranspose2d(std::int64_t in_channels,
+                                 std::int64_t out_channels, int kernel,
+                                 int stride, int padding, Rng& rng, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(bias),
+      weight_("weight",
+              he_normal(Shape{in_channels, out_channels, kernel, kernel},
+                        in_channels * kernel * kernel, rng)),
+      bias_("bias", Tensor::zeros(Shape{out_channels})) {
+  check(in_channels > 0 && out_channels > 0,
+        "ConvTranspose2d requires positive channels");
+  check(kernel > 0 && stride > 0 && padding >= 0,
+        "ConvTranspose2d bad hyper-parameters");
+  check((kernel - 1) >= padding,
+        "ConvTranspose2d requires kernel-1 >= padding for positive output");
+}
+
+std::int64_t ConvTranspose2d::out_extent(std::int64_t in_extent) const {
+  return (in_extent - 1) * stride_ - 2 * padding_ + kernel_;
+}
+
+Tensor ConvTranspose2d::forward(const Tensor& input, bool /*training*/) {
+  check(input.rank() == 4, "ConvTranspose2d expects (N, C, H, W) input");
+  check(input.dim(1) == in_channels_, "ConvTranspose2d channel mismatch");
+  const std::int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::int64_t oh = out_extent(h), ow = out_extent(w);
+  check(oh > 0 && ow > 0, "ConvTranspose2d output would be empty");
+
+  input_ = input;
+  // The matching forward convolution maps (O, oh, ow) -> (C, h, w); our
+  // forward pass is that convolution's data gradient.
+  const Tensor w_mat = weight_.value.reshape(
+      Shape{in_channels_, out_channels_ * kernel_ * kernel_});
+
+  Tensor output(Shape{n, out_channels_, oh, ow});
+  const std::int64_t out_chunk = out_channels_ * oh * ow;
+  for (std::int64_t i = 0; i < n; ++i) {
+    Tensor x_mat =
+        select0(input, i).reshape(Shape{in_channels_, h * w});  // (C, h*w)
+    Tensor cols = matmul_tn(w_mat, x_mat);  // (O*k*k, h*w)
+    Tensor y = col2im(cols, out_channels_, oh, ow, kernel_, kernel_, stride_,
+                      stride_, padding_, padding_);
+    float* dst = output.data() + i * out_chunk;
+    const float* src = y.data();
+    for (std::int64_t o = 0; o < out_channels_; ++o) {
+      const float b = has_bias_ ? bias_.value.flat(o) : 0.f;
+      for (std::int64_t p = 0; p < oh * ow; ++p) {
+        dst[o * oh * ow + p] = src[o * oh * ow + p] + b;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
+  check(!input_.empty(), "ConvTranspose2d::backward called before forward");
+  check(grad_output.rank() == 4 && grad_output.dim(1) == out_channels_,
+        "ConvTranspose2d::backward grad shape mismatch");
+  const std::int64_t n = input_.dim(0), h = input_.dim(2), w = input_.dim(3);
+  const std::int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+
+  const Tensor w_mat = weight_.value.reshape(
+      Shape{in_channels_, out_channels_ * kernel_ * kernel_});
+  Tensor grad_w_mat(Shape{in_channels_, out_channels_ * kernel_ * kernel_});
+
+  Tensor grad_input(input_.shape());
+  const std::int64_t in_chunk = in_channels_ * h * w;
+  for (std::int64_t i = 0; i < n; ++i) {
+    Tensor dy = select0(grad_output, i);  // (O, oh, ow)
+    // Bias gradient.
+    if (has_bias_) {
+      for (std::int64_t o = 0; o < out_channels_; ++o) {
+        double acc = 0.0;
+        const float* row = dy.data() + o * oh * ow;
+        for (std::int64_t p = 0; p < oh * ow; ++p) acc += row[p];
+        bias_.grad.flat(o) += static_cast<float>(acc);
+      }
+    }
+    // dX = forward-convolve dy with W: dx = W_mat * im2col(dy).
+    Tensor cols = im2col(dy, kernel_, kernel_, stride_, stride_, padding_,
+                         padding_);  // (O*k*k, h*w)
+    Tensor dx = matmul(w_mat, cols);  // (C, h*w)
+    std::copy(dx.data(), dx.data() + in_chunk, grad_input.data() + i * in_chunk);
+    // dW = x ⊗ im2col(dy): (C, h*w) * (h*w, O*k*k).
+    Tensor x_mat = select0(input_, i).reshape(Shape{in_channels_, h * w});
+    grad_w_mat.add_(matmul_nt(x_mat, cols));
+  }
+  weight_.grad.add_(grad_w_mat.reshape(weight_.value.shape()));
+  return grad_input;
+}
+
+std::vector<Parameter*> ConvTranspose2d::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+std::string ConvTranspose2d::name() const {
+  std::ostringstream out;
+  out << "ConvTranspose2d(" << in_channels_ << "->" << out_channels_ << ", "
+      << kernel_ << "x" << kernel_ << ", s" << stride_ << ", p" << padding_
+      << ")";
+  return out.str();
+}
+
+}  // namespace mtsr::nn

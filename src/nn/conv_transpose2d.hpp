@@ -1,0 +1,45 @@
+// 2-D transposed ("de-") convolution layer.
+//
+// Transposed convolution is the upscaling primitive of super-resolution
+// networks: forward is the data-gradient of an ordinary convolution, so the
+// im2col/col2im machinery is reused with roles swapped.
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/nn/layer.hpp"
+
+namespace mtsr::nn {
+
+/// ConvTranspose2d over (N, C, H, W) inputs.
+///
+/// Weight layout (in_channels, out_channels, kh, kw) — the underlying
+/// convolution maps out->in. Output extent: (H-1)*stride - 2*padding + k.
+class ConvTranspose2d final : public Layer {
+ public:
+  ConvTranspose2d(std::int64_t in_channels, std::int64_t out_channels,
+                  int kernel, int stride, int padding, Rng& rng,
+                  bool bias = true);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Output spatial extent for a given input extent.
+  [[nodiscard]] std::int64_t out_extent(std::int64_t in_extent) const;
+
+ private:
+  std::int64_t in_channels_;
+  std::int64_t out_channels_;
+  int kernel_;
+  int stride_;
+  int padding_;
+  bool has_bias_;
+
+  Parameter weight_;
+  Parameter bias_;
+
+  Tensor input_;  // cached for backward
+};
+
+}  // namespace mtsr::nn

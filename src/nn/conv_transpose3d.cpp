@@ -1,0 +1,188 @@
+#include "src/nn/conv_transpose3d.hpp"
+
+#include <sstream>
+
+#include "src/common/check.hpp"
+#include "src/nn/init.hpp"
+
+namespace mtsr::nn {
+
+ConvTranspose3d::ConvTranspose3d(std::int64_t in_channels,
+                                 std::int64_t out_channels,
+                                 std::array<int, 3> kernel,
+                                 std::array<int, 3> stride,
+                                 std::array<int, 3> padding, Rng& rng,
+                                 bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(bias),
+      weight_("weight",
+              he_normal(Shape{in_channels, out_channels, kernel[0], kernel[1],
+                              kernel[2]},
+                        in_channels * kernel[0] * kernel[1] * kernel[2], rng)),
+      bias_("bias", Tensor::zeros(Shape{out_channels})) {
+  check(in_channels > 0 && out_channels > 0,
+        "ConvTranspose3d requires positive channels");
+  for (int i = 0; i < 3; ++i) {
+    check(kernel[i] > 0 && stride[i] > 0 && padding[i] >= 0,
+          "ConvTranspose3d bad hyper-parameters");
+  }
+}
+
+std::int64_t ConvTranspose3d::out_extent(int axis,
+                                         std::int64_t in_extent) const {
+  const auto a = static_cast<std::size_t>(axis);
+  return (in_extent - 1) * stride_[a] - 2 * padding_[a] + kernel_[a];
+}
+
+Tensor ConvTranspose3d::forward(const Tensor& input, bool /*training*/) {
+  check(input.rank() == 5, "ConvTranspose3d expects (N, C, D, H, W) input");
+  check(input.dim(1) == in_channels_, "ConvTranspose3d channel mismatch");
+  const std::int64_t n = input.dim(0), d = input.dim(2), h = input.dim(3),
+                     w = input.dim(4);
+  const std::int64_t od = out_extent(0, d), oh = out_extent(1, h),
+                     ow = out_extent(2, w);
+  check(od > 0 && oh > 0 && ow > 0, "ConvTranspose3d output would be empty");
+
+  input_ = input;
+  Tensor output(Shape{n, out_channels_, od, oh, ow});
+  float* py = output.data();
+
+  if (has_bias_) {
+    for (std::int64_t in = 0; in < n; ++in) {
+      for (std::int64_t o = 0; o < out_channels_; ++o) {
+        const float b = bias_.value.flat(o);
+        float* base = py + ((in * out_channels_ + o) * od) * oh * ow;
+        for (std::int64_t p = 0; p < od * oh * ow; ++p) base[p] = b;
+      }
+    }
+  }
+
+  const float* px = input.data();
+  const float* pw = weight_.value.data();
+  const int kd = kernel_[0], kh = kernel_[1], kw = kernel_[2];
+  const int sd = stride_[0], sh = stride_[1], sw = stride_[2];
+  const int pd = padding_[0], ph = padding_[1], pww = padding_[2];
+
+  // Scatter form: each input element contributes a weighted kernel patch.
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t c = 0; c < in_channels_; ++c) {
+      for (std::int64_t id = 0; id < d; ++id) {
+        for (std::int64_t ih = 0; ih < h; ++ih) {
+          for (std::int64_t iw = 0; iw < w; ++iw) {
+            const float x =
+                px[(((in * in_channels_ + c) * d + id) * h + ih) * w + iw];
+            if (x == 0.f) continue;
+            for (std::int64_t o = 0; o < out_channels_; ++o) {
+              for (int fd = 0; fd < kd; ++fd) {
+                const std::int64_t zd = id * sd - pd + fd;
+                if (zd < 0 || zd >= od) continue;
+                for (int fh = 0; fh < kh; ++fh) {
+                  const std::int64_t zh = ih * sh - ph + fh;
+                  if (zh < 0 || zh >= oh) continue;
+                  const float* wrow =
+                      pw + (((c * out_channels_ + o) * kd + fd) * kh + fh) * kw;
+                  float* yrow =
+                      py + (((in * out_channels_ + o) * od + zd) * oh + zh) * ow;
+                  for (int fw = 0; fw < kw; ++fw) {
+                    const std::int64_t zw = iw * sw - pww + fw;
+                    if (zw < 0 || zw >= ow) continue;
+                    yrow[zw] += x * wrow[fw];
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor ConvTranspose3d::backward(const Tensor& grad_output) {
+  check(!input_.empty(), "ConvTranspose3d::backward called before forward");
+  check(grad_output.rank() == 5 && grad_output.dim(1) == out_channels_,
+        "ConvTranspose3d::backward grad shape mismatch");
+  const std::int64_t n = input_.dim(0), d = input_.dim(2), h = input_.dim(3),
+                     w = input_.dim(4);
+  const std::int64_t od = grad_output.dim(2), oh = grad_output.dim(3),
+                     ow = grad_output.dim(4);
+
+  Tensor grad_input(input_.shape());
+  const float* px = input_.data();
+  const float* pw = weight_.value.data();
+  const float* pdy = grad_output.data();
+  float* pdx = grad_input.data();
+  float* pdw = weight_.grad.data();
+  const int kd = kernel_[0], kh = kernel_[1], kw = kernel_[2];
+  const int sd = stride_[0], sh = stride_[1], sw = stride_[2];
+  const int pd = padding_[0], ph = padding_[1], pww = padding_[2];
+
+  if (has_bias_) {
+    for (std::int64_t in = 0; in < n; ++in) {
+      for (std::int64_t o = 0; o < out_channels_; ++o) {
+        double acc = 0.0;
+        const float* base = pdy + ((in * out_channels_ + o) * od) * oh * ow;
+        for (std::int64_t p = 0; p < od * oh * ow; ++p) acc += base[p];
+        bias_.grad.flat(o) += static_cast<float>(acc);
+      }
+    }
+  }
+
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t c = 0; c < in_channels_; ++c) {
+      for (std::int64_t id = 0; id < d; ++id) {
+        for (std::int64_t ih = 0; ih < h; ++ih) {
+          for (std::int64_t iw = 0; iw < w; ++iw) {
+            const std::int64_t xoff =
+                (((in * in_channels_ + c) * d + id) * h + ih) * w + iw;
+            const float x = px[xoff];
+            double dx_acc = 0.0;
+            for (std::int64_t o = 0; o < out_channels_; ++o) {
+              for (int fd = 0; fd < kd; ++fd) {
+                const std::int64_t zd = id * sd - pd + fd;
+                if (zd < 0 || zd >= od) continue;
+                for (int fh = 0; fh < kh; ++fh) {
+                  const std::int64_t zh = ih * sh - ph + fh;
+                  if (zh < 0 || zh >= oh) continue;
+                  const std::int64_t wbase =
+                      (((c * out_channels_ + o) * kd + fd) * kh + fh) * kw;
+                  const float* dyrow =
+                      pdy + (((in * out_channels_ + o) * od + zd) * oh + zh) * ow;
+                  for (int fw = 0; fw < kw; ++fw) {
+                    const std::int64_t zw = iw * sw - pww + fw;
+                    if (zw < 0 || zw >= ow) continue;
+                    const float g = dyrow[zw];
+                    dx_acc += g * pw[wbase + fw];
+                    pdw[wbase + fw] += g * x;
+                  }
+                }
+              }
+            }
+            pdx[xoff] += static_cast<float>(dx_acc);
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> ConvTranspose3d::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+std::string ConvTranspose3d::name() const {
+  std::ostringstream out;
+  out << "ConvTranspose3d(" << in_channels_ << "->" << out_channels_ << ", "
+      << kernel_[0] << "x" << kernel_[1] << "x" << kernel_[2] << ", s("
+      << stride_[0] << "," << stride_[1] << "," << stride_[2] << "))";
+  return out.str();
+}
+
+}  // namespace mtsr::nn

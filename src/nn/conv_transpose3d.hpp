@@ -1,0 +1,48 @@
+// 3-D transposed ("de-") convolution layer (direct-loop implementation).
+//
+// This is the first layer of each ZipNet 3D upscaling block: it upsamples
+// the (depth, height, width) volume — in practice stride (1, f, f) to
+// enlarge the spatial grid by a per-stage factor f while preserving the
+// temporal depth.
+#pragma once
+
+#include <array>
+
+#include "src/common/rng.hpp"
+#include "src/nn/layer.hpp"
+
+namespace mtsr::nn {
+
+/// ConvTranspose3d over (N, C, D, H, W) inputs.
+///
+/// Weight layout (in_channels, out_channels, kd, kh, kw). Output extent per
+/// axis: (in-1)*stride - 2*padding + kernel.
+class ConvTranspose3d final : public Layer {
+ public:
+  ConvTranspose3d(std::int64_t in_channels, std::int64_t out_channels,
+                  std::array<int, 3> kernel, std::array<int, 3> stride,
+                  std::array<int, 3> padding, Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Output extent along axis i (0=d, 1=h, 2=w) for a given input extent.
+  [[nodiscard]] std::int64_t out_extent(int axis, std::int64_t in_extent) const;
+
+ private:
+  std::int64_t in_channels_;
+  std::int64_t out_channels_;
+  std::array<int, 3> kernel_;
+  std::array<int, 3> stride_;
+  std::array<int, 3> padding_;
+  bool has_bias_;
+
+  Parameter weight_;
+  Parameter bias_;
+
+  Tensor input_;  // cached for backward
+};
+
+}  // namespace mtsr::nn

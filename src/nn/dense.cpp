@@ -1,0 +1,69 @@
+#include "src/nn/dense.hpp"
+
+#include <sstream>
+
+#include "src/common/check.hpp"
+#include "src/nn/init.hpp"
+#include "src/tensor/tensor_ops.hpp"
+
+namespace mtsr::nn {
+
+Dense::Dense(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+             bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias),
+      weight_("weight", xavier_uniform(Shape{out_features, in_features},
+                                       in_features, out_features, rng)),
+      bias_("bias", Tensor::zeros(Shape{out_features})) {
+  check(in_features > 0 && out_features > 0,
+        "Dense requires positive feature counts");
+}
+
+Tensor Dense::forward(const Tensor& input, bool /*training*/) {
+  check(input.rank() == 2, "Dense expects (N, in_features) input");
+  check(input.dim(1) == in_features_, "Dense input feature mismatch");
+  input_ = input;
+  Tensor out = matmul_nt(input, weight_.value);  // (N, out)
+  if (has_bias_) {
+    const std::int64_t n = out.dim(0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t o = 0; o < out_features_; ++o) {
+        out.data()[i * out_features_ + o] += bias_.value.flat(o);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  check(!input_.empty(), "Dense::backward called before forward");
+  check(grad_output.rank() == 2 && grad_output.dim(1) == out_features_,
+        "Dense::backward grad shape mismatch");
+  // dW = dyᵀ x ; dx = dy W ; db = column sums of dy.
+  weight_.grad.add_(matmul_tn(grad_output, input_));
+  if (has_bias_) {
+    const std::int64_t n = grad_output.dim(0);
+    for (std::int64_t o = 0; o < out_features_; ++o) {
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        acc += grad_output.data()[i * out_features_ + o];
+      }
+      bias_.grad.flat(o) += static_cast<float>(acc);
+    }
+  }
+  return matmul(grad_output, weight_.value);
+}
+
+std::vector<Parameter*> Dense::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+std::string Dense::name() const {
+  std::ostringstream out;
+  out << "Dense(" << in_features_ << "->" << out_features_ << ")";
+  return out.str();
+}
+
+}  // namespace mtsr::nn

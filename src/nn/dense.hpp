@@ -1,0 +1,31 @@
+// Fully-connected layer (used by the discriminator head).
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/nn/layer.hpp"
+
+namespace mtsr::nn {
+
+/// Dense layer y = W x + b over (N, in_features) inputs.
+class Dense final : public Layer {
+ public:
+  Dense(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+        bool bias = true);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  bool has_bias_;
+
+  Parameter weight_;  // (out, in)
+  Parameter bias_;    // (out)
+
+  Tensor input_;  // cached for backward
+};
+
+}  // namespace mtsr::nn

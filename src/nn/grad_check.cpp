@@ -1,0 +1,152 @@
+#include "src/nn/grad_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace mtsr::nn {
+namespace {
+
+double probe_loss(Layer& layer, const Tensor& input, const Tensor& coeffs) {
+  Tensor out = layer.forward(input, /*training=*/true);
+  check(out.shape() == coeffs.shape(),
+        "grad_check: layer output shape changed between evaluations");
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    acc += static_cast<double>(out.flat(i)) * coeffs.flat(i);
+  }
+  return acc;
+}
+
+void accumulate(double analytic, double numeric, double tol_abs,
+                double tol_rel, GradCheckResult& result) {
+  const double abs_err = std::abs(analytic - numeric);
+  const double denom = std::max({std::abs(analytic), std::abs(numeric), 1e-4});
+  const double rel_err = abs_err / denom;
+  result.max_abs_error = std::max(result.max_abs_error, abs_err);
+  result.max_rel_error = std::max(result.max_rel_error, rel_err);
+  if (abs_err > tol_abs && rel_err > tol_rel) ++result.violations;
+}
+
+}  // namespace
+
+GradCheckResult check_layer_gradients(Layer& layer, const Tensor& input,
+                                      Rng& rng, double delta, double tol_abs,
+                                      double tol_rel) {
+  // Fixed random linear probe so dL/d(out) = coeffs.
+  Tensor first_out = layer.forward(input, /*training=*/true);
+  Tensor coeffs = Tensor::randn(first_out.shape(), rng);
+
+  // Analytic gradients.
+  layer.zero_grad();
+  (void)layer.forward(input, /*training=*/true);
+  Tensor analytic_input_grad = layer.backward(coeffs);
+
+  std::vector<Tensor> analytic_param_grads;
+  for (Parameter* p : layer.parameters()) {
+    analytic_param_grads.push_back(p->grad);
+  }
+
+  GradCheckResult result;
+
+  // Input gradient via central differences.
+  Tensor x = input;
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    const float saved = x.flat(i);
+    x.flat(i) = saved + static_cast<float>(delta);
+    const double up = probe_loss(layer, x, coeffs);
+    x.flat(i) = saved - static_cast<float>(delta);
+    const double down = probe_loss(layer, x, coeffs);
+    x.flat(i) = saved;
+    const double numeric = (up - down) / (2.0 * delta);
+    accumulate(analytic_input_grad.flat(i), numeric, tol_abs, tol_rel,
+               result);
+  }
+
+  // Parameter gradients via central differences.
+  auto params = layer.parameters();
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& value = params[pi]->value;
+    for (std::int64_t i = 0; i < value.size(); ++i) {
+      const float saved = value.flat(i);
+      value.flat(i) = saved + static_cast<float>(delta);
+      const double up = probe_loss(layer, input, coeffs);
+      value.flat(i) = saved - static_cast<float>(delta);
+      const double down = probe_loss(layer, input, coeffs);
+      value.flat(i) = saved;
+      const double numeric = (up - down) / (2.0 * delta);
+      accumulate(analytic_param_grads[pi].flat(i), numeric, tol_abs, tol_rel,
+                 result);
+    }
+  }
+  return result;
+}
+
+double check_layer_gradients_directional(Layer& layer, const Tensor& input,
+                                         Rng& rng, int directions,
+                                         double delta) {
+  check(directions > 0, "directional grad check needs directions > 0");
+
+  Tensor first_out = layer.forward(input, /*training=*/true);
+  Tensor coeffs = Tensor::randn(first_out.shape(), rng);
+
+  layer.zero_grad();
+  (void)layer.forward(input, /*training=*/true);
+  Tensor input_grad = layer.backward(coeffs);
+  std::vector<Tensor> param_grads;
+  for (Parameter* p : layer.parameters()) param_grads.push_back(p->grad);
+
+  double worst = 0.0;
+  auto params = layer.parameters();
+  for (int d = 0; d < directions; ++d) {
+    // Random direction over input and all parameters, normalised to unit
+    // total L2 norm so the displacement ‖δv‖ equals delta regardless of
+    // dimensionality (otherwise truncation error grows with sqrt(N)).
+    Tensor v_input = Tensor::randn(input.shape(), rng);
+    std::vector<Tensor> v_params;
+    for (Parameter* p : params) {
+      v_params.push_back(Tensor::randn(p->value.shape(), rng));
+    }
+    double norm_sq = v_input.squared_norm();
+    for (const Tensor& vp : v_params) norm_sq += vp.squared_norm();
+    const float inv_norm = 1.f / static_cast<float>(std::sqrt(norm_sq));
+    v_input.mul_scalar_(inv_norm);
+    for (Tensor& vp : v_params) vp.mul_scalar_(inv_norm);
+
+    // Analytic projection g·v.
+    double analytic = 0.0;
+    for (std::int64_t i = 0; i < input_grad.size(); ++i) {
+      analytic += static_cast<double>(input_grad.flat(i)) * v_input.flat(i);
+    }
+    for (std::size_t pi = 0; pi < params.size(); ++pi) {
+      for (std::int64_t i = 0; i < param_grads[pi].size(); ++i) {
+        analytic += static_cast<double>(param_grads[pi].flat(i)) *
+                    v_params[pi].flat(i);
+      }
+    }
+
+    auto displace = [&](double step) {
+      Tensor x = input;
+      x.axpy_(static_cast<float>(step), v_input);
+      for (std::size_t pi = 0; pi < params.size(); ++pi) {
+        params[pi]->value.axpy_(static_cast<float>(step), v_params[pi]);
+      }
+      const double loss = probe_loss(layer, x, coeffs);
+      for (std::size_t pi = 0; pi < params.size(); ++pi) {
+        params[pi]->value.axpy_(static_cast<float>(-step), v_params[pi]);
+      }
+      return loss;
+    };
+
+    const double up = displace(delta);
+    const double down = displace(-delta);
+    const double numeric = (up - down) / (2.0 * delta);
+    const double denom =
+        std::max({std::abs(analytic), std::abs(numeric), 1e-3});
+    worst = std::max(worst, std::abs(analytic - numeric) / denom);
+  }
+  return worst;
+}
+
+}  // namespace mtsr::nn

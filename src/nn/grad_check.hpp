@@ -1,0 +1,55 @@
+// Numerical gradient checking.
+//
+// The analytic backward pass of every layer is validated in tests against a
+// central-difference approximation of a scalar probe loss. This is the main
+// correctness oracle for the from-scratch framework.
+//
+// Two checkers are provided:
+//  * check_layer_gradients — per-coordinate comparison. A coordinate counts
+//    as a violation only when BOTH its absolute and relative errors exceed
+//    their tolerances: float32 forward passes plus piecewise-linear
+//    activations make isolated coordinates noisy (a perturbation can cross
+//    a LeakyReLU kink), so pure relative comparison misreports tiny
+//    gradients.
+//  * check_layer_gradients_directional — projects the full gradient
+//    (input + all parameters) onto random directions and compares the
+//    directional derivative against central differences. Aggregation makes
+//    this robust for deep composites (ZipNet, discriminator) where
+//    per-coordinate noise accumulates.
+#pragma once
+
+#include <functional>
+
+#include "src/nn/layer.hpp"
+
+namespace mtsr::nn {
+
+/// Result of a per-coordinate gradient comparison.
+struct GradCheckResult {
+  double max_abs_error = 0.0;  ///< max |analytic - numeric|
+  double max_rel_error = 0.0;  ///< max relative error
+  int violations = 0;  ///< coordinates failing both abs and rel tolerances
+};
+
+/// Compares the layer's analytic gradients against central differences of
+/// the probe loss L(x) = Σ c_i · layer(x)_i for fixed random c. Validates
+/// the input gradient and every parameter gradient. The layer runs in
+/// training mode.
+[[nodiscard]] GradCheckResult check_layer_gradients(Layer& layer,
+                                                    const Tensor& input,
+                                                    Rng& rng,
+                                                    double delta = 1e-3,
+                                                    double tol_abs = 5e-3,
+                                                    double tol_rel = 2e-2);
+
+/// Directional-derivative check: draws `directions` random unit directions
+/// over (input ⊕ parameters) and returns the maximum relative error between
+/// the analytic projection g·v and the central difference
+/// (L(x+δv) − L(x−δv)) / 2δ.
+[[nodiscard]] double check_layer_gradients_directional(Layer& layer,
+                                                       const Tensor& input,
+                                                       Rng& rng,
+                                                       int directions = 8,
+                                                       double delta = 1e-2);
+
+}  // namespace mtsr::nn

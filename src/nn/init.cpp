@@ -1,0 +1,22 @@
+#include "src/nn/init.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace mtsr::nn {
+
+Tensor he_normal(Shape shape, std::int64_t fan_in, Rng& rng) {
+  check(fan_in > 0, "he_normal requires fan_in > 0");
+  const float stddev = std::sqrt(2.f / static_cast<float>(fan_in));
+  return Tensor::randn(std::move(shape), rng, stddev);
+}
+
+Tensor xavier_uniform(Shape shape, std::int64_t fan_in, std::int64_t fan_out,
+                      Rng& rng) {
+  check(fan_in > 0 && fan_out > 0, "xavier_uniform requires positive fans");
+  const float a = std::sqrt(6.f / static_cast<float>(fan_in + fan_out));
+  return Tensor::uniform(std::move(shape), rng, -a, a);
+}
+
+}  // namespace mtsr::nn

@@ -1,0 +1,21 @@
+// Weight initialisation schemes.
+//
+// Convolutions use He (Kaiming) initialisation, appropriate for the
+// LeakyReLU non-linearities the paper uses throughout; dense layers default
+// to Xavier/Glorot. Both are deterministic given the caller's Rng.
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace mtsr::nn {
+
+/// He-normal initialisation: N(0, sqrt(2 / fan_in)). `fan_in` is the number
+/// of input connections per output unit.
+[[nodiscard]] Tensor he_normal(Shape shape, std::int64_t fan_in, Rng& rng);
+
+/// Xavier/Glorot-uniform initialisation: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+[[nodiscard]] Tensor xavier_uniform(Shape shape, std::int64_t fan_in,
+                                    std::int64_t fan_out, Rng& rng);
+
+}  // namespace mtsr::nn

@@ -1,0 +1,15 @@
+#include "src/nn/layer.hpp"
+
+namespace mtsr::nn {
+
+void Layer::zero_grad() {
+  for (Parameter* p : parameters()) p->grad.fill(0.f);
+}
+
+std::int64_t Layer::parameter_count() {
+  std::int64_t total = 0;
+  for (Parameter* p : parameters()) total += p->value.size();
+  return total;
+}
+
+}  // namespace mtsr::nn

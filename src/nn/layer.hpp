@@ -1,0 +1,80 @@
+// Layer: the interface every neural-network building block implements.
+//
+// This framework uses explicit layer-local backpropagation rather than a
+// taped autograd: each layer caches what it needs during forward() and
+// returns the gradient with respect to its input from backward(). Composite
+// models (Sequential, ZipNet) chain these calls; skip connections are plain
+// tensor additions whose backward is gradient fan-in summation.
+//
+// Conventions:
+//  * Batches are the leading axis: (N, C, H, W) for 2-D layers and
+//    (N, C, D, H, W) for the 3-D layers used by ZipNet's upscaling blocks.
+//  * forward(input, training): `training` toggles behaviours such as
+//    batch-norm statistics; inference uses running statistics.
+//  * backward(grad_output) must be called after the matching forward() and
+//    accumulates parameter gradients (so multi-branch models can sum
+//    contributions before an optimizer step).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace mtsr::nn {
+
+/// A learnable tensor together with its gradient accumulator.
+struct Parameter {
+  std::string name;  ///< Unique within one layer; qualified by containers.
+  Tensor value;
+  Tensor grad;
+
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+};
+
+/// Base class for all layers. See file comment for the calling contract.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes the layer output and caches anything backward() needs.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Propagates `grad_output` (same shape as the last forward() output)
+  /// back through the layer: accumulates parameter gradients and returns
+  /// the gradient with respect to the last input.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters (possibly empty). Pointers remain valid for the
+  /// lifetime of the layer.
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Non-learnable state that must persist across save/load (e.g.
+  /// batch-norm running statistics). Pointers remain valid for the
+  /// lifetime of the layer.
+  virtual std::vector<std::pair<std::string, Tensor*>> buffers() {
+    return {};
+  }
+
+  /// Human-readable layer name, e.g. "Conv2d(8->16, 3x3, s1, p1)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Zeroes all parameter gradient accumulators.
+  void zero_grad();
+
+  /// Total number of learnable scalars.
+  [[nodiscard]] std::int64_t parameter_count();
+
+ protected:
+  Layer() = default;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace mtsr::nn

@@ -1,0 +1,72 @@
+#include "src/nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace mtsr::nn {
+
+LossResult mse_loss(const Tensor& prediction, const Tensor& target) {
+  check(prediction.shape() == target.shape(), "mse_loss shape mismatch");
+  check(prediction.size() > 0, "mse_loss on empty tensors");
+  const std::int64_t n = prediction.size();
+  Tensor grad(prediction.shape());
+  double acc = 0.0;
+  const float* p = prediction.data();
+  const float* t = target.data();
+  float* g = grad.data();
+  const float scale = 2.f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float d = p[i] - t[i];
+    acc += static_cast<double>(d) * d;
+    g[i] = scale * d;
+  }
+  return {acc / static_cast<double>(n), std::move(grad)};
+}
+
+LossResult bce_loss(const Tensor& probability, float label, float eps) {
+  check(probability.rank() == 2 && probability.dim(1) == 1,
+        "bce_loss expects (N, 1) probabilities");
+  check(label == 0.f || label == 1.f, "bce_loss label must be 0 or 1");
+  const std::int64_t n = probability.dim(0);
+  check(n > 0, "bce_loss on empty batch");
+  Tensor grad(probability.shape());
+  double acc = 0.0;
+  const float* p = probability.data();
+  float* g = grad.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float pi = std::clamp(p[i], eps, 1.f - eps);
+    if (label == 1.f) {
+      acc += -std::log(static_cast<double>(pi));
+      g[i] = -1.f / (pi * static_cast<float>(n));
+    } else {
+      acc += -std::log(1.0 - static_cast<double>(pi));
+      g[i] = 1.f / ((1.f - pi) * static_cast<float>(n));
+    }
+  }
+  return {acc / static_cast<double>(n), std::move(grad)};
+}
+
+Tensor per_sample_sq_error(const Tensor& prediction, const Tensor& target) {
+  check(prediction.shape() == target.shape(),
+        "per_sample_sq_error shape mismatch");
+  check(prediction.rank() >= 2, "per_sample_sq_error expects a batch axis");
+  const std::int64_t n = prediction.dim(0);
+  const std::int64_t inner = prediction.size() / n;
+  Tensor out(Shape{n});
+  const float* p = prediction.data();
+  const float* t = target.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < inner; ++j) {
+      const double d =
+          static_cast<double>(p[i * inner + j]) - t[i * inner + j];
+      acc += d * d;
+    }
+    out.flat(i) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+}  // namespace mtsr::nn

@@ -1,0 +1,41 @@
+// Loss functions.
+//
+// * MSE — used to pre-train the generator (Eq. 10) and as the data term of
+//   the generator loss (Eq. 9).
+// * Binary cross-entropy — the discriminator objective (Eq. 5 is its
+//   maximisation form; we minimise the negated value).
+//
+// Each function returns the scalar loss and writes the gradient with
+// respect to the prediction, averaged over the batch, so callers feed it
+// straight into Layer::backward().
+#pragma once
+
+#include <utility>
+
+#include "src/tensor/tensor.hpp"
+
+namespace mtsr::nn {
+
+/// Scalar loss plus gradient w.r.t. the prediction tensor.
+struct LossResult {
+  double value;
+  Tensor grad;
+};
+
+/// Mean squared error over all elements: L = mean((pred - target)²).
+[[nodiscard]] LossResult mse_loss(const Tensor& prediction,
+                                  const Tensor& target);
+
+/// Binary cross-entropy for (N, 1) probability outputs against scalar
+/// labels in {0, 1}: L = -mean(y·log p + (1-y)·log(1-p)). Probabilities are
+/// clamped to [eps, 1-eps] for numerical stability.
+[[nodiscard]] LossResult bce_loss(const Tensor& probability, float label,
+                                  float eps = 1e-6f);
+
+/// Per-sample squared error ‖pred_i - target_i‖² over an (N, ...) batch,
+/// returned as an (N) tensor. Used by the Eq. 9 generator loss, which
+/// weights each sample's MSE by its own discriminator score.
+[[nodiscard]] Tensor per_sample_sq_error(const Tensor& prediction,
+                                         const Tensor& target);
+
+}  // namespace mtsr::nn

@@ -1,0 +1,53 @@
+#include "src/nn/model_io.hpp"
+
+#include <stdexcept>
+
+#include "src/tensor/serialize.hpp"
+
+namespace mtsr::nn {
+
+void save_model(const std::string& path, Layer& model) {
+  std::vector<std::pair<std::string, Tensor>> named;
+  auto params = model.parameters();
+  auto buffers = model.buffers();
+  named.reserve(params.size() + buffers.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    named.emplace_back("p" + std::to_string(i) + ":" + params[i]->name,
+                       params[i]->value);
+  }
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    named.emplace_back("b" + std::to_string(i) + ":" + buffers[i].first,
+                       *buffers[i].second);
+  }
+  save_tensors(path, named);
+}
+
+void load_model(const std::string& path, Layer& model) {
+  auto named = load_tensors(path);
+  auto params = model.parameters();
+  auto buffers = model.buffers();
+  if (named.size() != params.size() + buffers.size()) {
+    throw std::runtime_error(
+        "load_model: tensor count mismatch (file has " +
+        std::to_string(named.size()) + ", model has " +
+        std::to_string(params.size()) + " parameters + " +
+        std::to_string(buffers.size()) + " buffers)");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (named[i].second.shape() != params[i]->value.shape()) {
+      throw std::runtime_error("load_model: shape mismatch at parameter " +
+                               named[i].first);
+    }
+    params[i]->value = named[i].second;
+  }
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    const auto& entry = named[params.size() + i];
+    if (entry.second.shape() != buffers[i].second->shape()) {
+      throw std::runtime_error("load_model: shape mismatch at buffer " +
+                               entry.first);
+    }
+    *buffers[i].second = entry.second;
+  }
+}
+
+}  // namespace mtsr::nn

@@ -1,0 +1,19 @@
+// Model checkpointing: save/load all parameters of a layer tree by name.
+#pragma once
+
+#include <string>
+
+#include "src/nn/layer.hpp"
+
+namespace mtsr::nn {
+
+/// Saves every parameter of `model` (in parameters() order) to `path`.
+/// Names are made unique by prefixing the parameter index.
+void save_model(const std::string& path, Layer& model);
+
+/// Loads parameters saved by save_model back into `model`. The model must
+/// have the same architecture (parameter count, order and shapes). Throws
+/// std::runtime_error on mismatch.
+void load_model(const std::string& path, Layer& model);
+
+}  // namespace mtsr::nn

@@ -1,0 +1,85 @@
+#include "src/nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace mtsr::nn {
+
+Optimizer::Optimizer(std::vector<Parameter*> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  check(lr > 0.f, "Optimizer requires positive learning rate");
+  for (Parameter* p : params_) {
+    check(p != nullptr, "Optimizer received a null parameter");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (Parameter* p : params_) p->grad.fill(0.f);
+}
+
+void Optimizer::set_learning_rate(float lr) {
+  check(lr > 0.f, "set_learning_rate requires positive learning rate");
+  lr_ = lr;
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
+  check(momentum >= 0.f && momentum < 1.f, "Sgd momentum must be in [0,1)");
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    velocity_.emplace_back(Tensor::zeros(p->value.shape()));
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    if (momentum_ > 0.f) {
+      velocity_[i].mul_scalar_(momentum_).add_(p.grad);
+      p.value.axpy_(-lr_, velocity_[i]);
+    } else {
+      p.value.axpy_(-lr_, p.grad);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
+           float epsilon)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  check(beta1 >= 0.f && beta1 < 1.f, "Adam beta1 must be in [0,1)");
+  check(beta2 >= 0.f && beta2 < 1.f, "Adam beta2 must be in [0,1)");
+  check(epsilon > 0.f, "Adam epsilon must be positive");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(Tensor::zeros(p->value.shape()));
+    v_.emplace_back(Tensor::zeros(p->value.shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const float* g = p.grad.data();
+    float* w = p.value.data();
+    const std::int64_t n = p.value.size();
+    for (std::int64_t j = 0; j < n; ++j) {
+      m[j] = beta1_ * m[j] + (1.f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.f - beta2_) * g[j] * g[j];
+      const float m_hat = m[j] / bc1;
+      const float v_hat = v[j] / bc2;
+      w[j] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace mtsr::nn

@@ -1,0 +1,75 @@
+#include "src/nn/pooling.hpp"
+
+#include <sstream>
+
+#include "src/common/check.hpp"
+#include "src/tensor/tensor_ops.hpp"
+
+namespace mtsr::nn {
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool /*training*/) {
+  check(input.rank() >= 3, "GlobalAvgPool expects (N, C, ...) input");
+  input_shape_ = input.shape();
+  const std::int64_t n = input.dim(0), c = input.dim(1);
+  std::int64_t inner = 1;
+  for (int i = 2; i < input.rank(); ++i) inner *= input.dim(i);
+  check(inner > 0, "GlobalAvgPool on empty spatial extent");
+
+  Tensor out(Shape{n, c});
+  const float* px = input.data();
+  for (std::int64_t i = 0; i < n * c; ++i) {
+    double acc = 0.0;
+    const float* base = px + i * inner;
+    for (std::int64_t j = 0; j < inner; ++j) acc += base[j];
+    out.data()[i] = static_cast<float>(acc / static_cast<double>(inner));
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  check(input_shape_.rank() >= 3, "GlobalAvgPool::backward before forward");
+  const std::int64_t n = input_shape_.dim(0), c = input_shape_.dim(1);
+  check(grad_output.rank() == 2 && grad_output.dim(0) == n &&
+            grad_output.dim(1) == c,
+        "GlobalAvgPool::backward grad shape mismatch");
+  std::int64_t inner = 1;
+  for (int i = 2; i < input_shape_.rank(); ++i) inner *= input_shape_.dim(i);
+
+  Tensor grad(input_shape_);
+  float* pg = grad.data();
+  const float scale = 1.f / static_cast<float>(inner);
+  for (std::int64_t i = 0; i < n * c; ++i) {
+    const float g = grad_output.data()[i] * scale;
+    float* base = pg + i * inner;
+    for (std::int64_t j = 0; j < inner; ++j) base[j] = g;
+  }
+  return grad;
+}
+
+std::string GlobalAvgPool::name() const { return "GlobalAvgPool"; }
+
+AvgPool2d::AvgPool2d(int factor) : factor_(factor) {
+  check(factor > 0, "AvgPool2d requires positive factor");
+}
+
+Tensor AvgPool2d::forward(const Tensor& input, bool /*training*/) {
+  input_shape_ = input.shape();
+  return avg_pool2d(input, factor_);
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+  check(input_shape_.rank() >= 2, "AvgPool2d::backward before forward");
+  // Each input element receives grad / factor².
+  Tensor up = upsample_nearest2d(grad_output, factor_);
+  check(up.shape() == input_shape_, "AvgPool2d::backward grad shape mismatch");
+  up.mul_scalar_(1.f / (static_cast<float>(factor_) * factor_));
+  return up;
+}
+
+std::string AvgPool2d::name() const {
+  std::ostringstream out;
+  out << "AvgPool2d(" << factor_ << ")";
+  return out.str();
+}
+
+}  // namespace mtsr::nn

@@ -1,0 +1,40 @@
+// Pooling layers.
+//
+// GlobalAvgPool reduces (N, C, H, W) to (N, C) so the discriminator head can
+// accept any spatial size — needed because the four MTSR instances present
+// different grid geometries to the same VGG-style discriminator.
+#pragma once
+
+#include "src/nn/layer.hpp"
+
+namespace mtsr::nn {
+
+/// Global average pooling over all spatial axes of an (N, C, ...) tensor.
+class GlobalAvgPool final : public Layer {
+ public:
+  GlobalAvgPool() = default;
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Shape input_shape_;
+};
+
+/// Non-overlapping average pooling of the last two axes by an integer
+/// factor; both spatial dims must be divisible by the factor.
+class AvgPool2d final : public Layer {
+ public:
+  explicit AvgPool2d(int factor);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  int factor_;
+  Shape input_shape_;
+};
+
+}  // namespace mtsr::nn

@@ -1,0 +1,40 @@
+// Sequential: ordered container of layers.
+//
+// The discriminator and SRCNN are plain stacks; ZipNet uses Sequential for
+// its sub-blocks and wires skip connections itself.
+#pragma once
+
+#include <memory>
+
+#include "src/nn/layer.hpp"
+
+namespace mtsr::nn {
+
+/// Runs layers in order; backward() runs them in reverse.
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns a reference for chaining.
+  Sequential& add(LayerPtr layer);
+
+  /// Convenience: constructs L in place.
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::vector<std::pair<std::string, Tensor*>> buffers() override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i);
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace mtsr::nn

@@ -1,0 +1,112 @@
+#include "src/tensor/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/common/check.hpp"
+
+namespace mtsr {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'T', 'S', 'R', 'T', 'N', 'S', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("tensor deserialization: truncated input");
+  return value;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const auto n = read_pod<std::uint32_t>(in);
+  std::string s(n, '\0');
+  in.read(s.data(), n);
+  if (!in) throw std::runtime_error("tensor deserialization: truncated name");
+  return s;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& out, const Tensor& tensor) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(tensor.rank()));
+  for (int i = 0; i < tensor.rank(); ++i) {
+    write_pod<std::int64_t>(out, tensor.dim(i));
+  }
+  out.write(reinterpret_cast<const char*>(tensor.data()),
+            static_cast<std::streamsize>(tensor.size() * sizeof(float)));
+  if (!out) throw std::runtime_error("write_tensor: stream write failed");
+}
+
+Tensor read_tensor(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("read_tensor: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("read_tensor: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto rank = read_pod<std::uint32_t>(in);
+  if (rank == 0 || rank > static_cast<std::uint32_t>(Shape::kMaxRank)) {
+    throw std::runtime_error("read_tensor: bad rank");
+  }
+  std::vector<std::int64_t> dims(rank);
+  for (auto& d : dims) {
+    d = read_pod<std::int64_t>(in);
+    if (d < 0) throw std::runtime_error("read_tensor: negative dim");
+  }
+  Shape shape(dims);
+  std::vector<float> values(static_cast<std::size_t>(shape.volume()));
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("read_tensor: truncated payload");
+  return Tensor(shape, std::move(values));
+}
+
+void save_tensors(const std::string& path,
+                  const std::vector<std::pair<std::string, Tensor>>& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_tensors: cannot open " + path);
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(tensors.size()));
+  for (const auto& [name, tensor] : tensors) {
+    write_string(out, name);
+    write_tensor(out, tensor);
+  }
+  if (!out) throw std::runtime_error("save_tensors: write failed for " + path);
+}
+
+std::vector<std::pair<std::string, Tensor>> load_tensors(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_tensors: cannot open " + path);
+  const auto count = read_pod<std::uint32_t>(in);
+  std::vector<std::pair<std::string, Tensor>> tensors;
+  tensors.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name = read_string(in);
+    tensors.emplace_back(std::move(name), read_tensor(in));
+  }
+  return tensors;
+}
+
+}  // namespace mtsr

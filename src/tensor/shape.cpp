@@ -1,0 +1,61 @@
+#include "src/tensor/shape.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "src/common/check.hpp"
+
+namespace mtsr {
+namespace {
+
+void validate(const std::vector<std::int64_t>& dims) {
+  check(dims.size() <= static_cast<std::size_t>(Shape::kMaxRank),
+        "Shape rank exceeds kMaxRank");
+  for (std::int64_t d : dims) {
+    check(d >= 0, "Shape dimensions must be non-negative");
+  }
+}
+
+}  // namespace
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
+  validate(dims_);
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  validate(dims_);
+}
+
+std::int64_t Shape::dim(int axis) const {
+  const int r = rank();
+  if (axis < 0) axis += r;
+  check(axis >= 0 && axis < r, "Shape::dim axis out of range");
+  return dims_[static_cast<std::size_t>(axis)];
+}
+
+std::int64_t Shape::volume() const {
+  return std::accumulate(dims_.begin(), dims_.end(), std::int64_t{1},
+                         std::multiplies<>());
+}
+
+std::vector<std::int64_t> Shape::strides() const {
+  std::vector<std::int64_t> s(dims_.size(), 1);
+  for (int i = rank() - 2; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] =
+        s[static_cast<std::size_t>(i + 1)] * dims_[static_cast<std::size_t>(i + 1)];
+  }
+  return s;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream out;
+  out << '(';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << dims_[i];
+  }
+  out << ')';
+  return out.str();
+}
+
+}  // namespace mtsr

@@ -1,0 +1,59 @@
+// Shape: the dimension list of a Tensor.
+//
+// Tensors in this library are dense, row-major and at most rank 5 — enough
+// for the (N, C, D, H, W) layout of the 3D-convolutional ZipNet blocks. Shape
+// is a small value type with the usual equality/indexing/volume helpers.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mtsr {
+
+/// Dimension list of a dense row-major tensor. Immutable value type.
+class Shape {
+ public:
+  /// Maximum supported rank; (N, C, D, H, W) is the largest layout we use.
+  static constexpr int kMaxRank = 5;
+
+  /// Empty (rank-0) shape describing a default-constructed tensor.
+  Shape() = default;
+
+  /// Constructs from an explicit dimension list. All dims must be >= 0;
+  /// rank must not exceed kMaxRank.
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  /// Number of dimensions.
+  [[nodiscard]] int rank() const { return static_cast<int>(dims_.size()); }
+
+  /// Size of dimension `axis`; negative axes count from the back.
+  [[nodiscard]] std::int64_t dim(int axis) const;
+
+  /// Alias of dim() for bracket-style access.
+  std::int64_t operator[](int axis) const { return dim(axis); }
+
+  /// Total number of elements (product of dims; 1 for rank-0).
+  [[nodiscard]] std::int64_t volume() const;
+
+  /// Row-major strides, in elements.
+  [[nodiscard]] std::vector<std::int64_t> strides() const;
+
+  /// The raw dimension vector.
+  [[nodiscard]] const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// Human-readable form, e.g. "(2, 3, 8, 8)".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    return a.dims_ == b.dims_;
+  }
+  friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace mtsr

@@ -1,0 +1,134 @@
+// Tensor: dense row-major float32 N-d array, rank <= 5.
+//
+// This is the numeric substrate for the whole reproduction: traffic frames
+// are rank-2 tensors, training batches are rank-4 (N, C, H, W) or rank-5
+// (N, C, D, H, W) tensors, and the neural-network layers in src/nn operate
+// on them. The design follows the C++ Core Guidelines: a regular value type
+// with deep-copy semantics, cheap moves, explicit contracts, and no raw
+// owning pointers (storage is a std::vector<float>).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/tensor/shape.hpp"
+
+namespace mtsr {
+
+/// Dense row-major float32 tensor of rank <= 5.
+class Tensor {
+ public:
+  /// Rank-0 empty tensor (volume 1 semantics are NOT provided; data_ empty).
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape taking ownership of `values`
+  /// (values.size() must equal shape.volume()).
+  Tensor(Shape shape, std::vector<float> values);
+
+  // ---- Factories -----------------------------------------------------------
+
+  /// All-zeros tensor.
+  [[nodiscard]] static Tensor zeros(Shape shape);
+  /// All-ones tensor.
+  [[nodiscard]] static Tensor ones(Shape shape);
+  /// Constant-filled tensor.
+  [[nodiscard]] static Tensor full(Shape shape, float value);
+  /// I.i.d. N(0, stddev²) entries.
+  [[nodiscard]] static Tensor randn(Shape shape, Rng& rng,
+                                    float stddev = 1.f);
+  /// I.i.d. U[lo, hi) entries.
+  [[nodiscard]] static Tensor uniform(Shape shape, Rng& rng, float lo = 0.f,
+                                      float hi = 1.f);
+  /// 1-D tensor [0, 1, ..., n-1].
+  [[nodiscard]] static Tensor arange(std::int64_t n);
+
+  // ---- Introspection -------------------------------------------------------
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] int rank() const { return shape_.rank(); }
+  [[nodiscard]] std::int64_t dim(int axis) const { return shape_.dim(axis); }
+  [[nodiscard]] std::int64_t size() const {
+    return static_cast<std::int64_t>(data_.size());
+  }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] std::vector<float>& storage() { return data_; }
+  [[nodiscard]] const std::vector<float>& storage() const { return data_; }
+
+  // ---- Element access ------------------------------------------------------
+
+  /// Flat (row-major) element access with bounds check.
+  [[nodiscard]] float& flat(std::int64_t i);
+  [[nodiscard]] float flat(std::int64_t i) const;
+
+  /// Multi-index element access; the number of indices must equal rank().
+  template <typename... Ix>
+  [[nodiscard]] float& at(Ix... ix) {
+    return data_[offset({static_cast<std::int64_t>(ix)...})];
+  }
+  template <typename... Ix>
+  [[nodiscard]] float at(Ix... ix) const {
+    return data_[offset({static_cast<std::int64_t>(ix)...})];
+  }
+
+  // ---- Shape manipulation (value-returning; `this` untouched) --------------
+
+  /// Same data, new shape (volumes must match).
+  [[nodiscard]] Tensor reshape(Shape new_shape) const;
+
+  /// Deep copy.
+  [[nodiscard]] Tensor clone() const { return *this; }
+
+  // ---- In-place arithmetic -------------------------------------------------
+
+  Tensor& fill(float value);
+  Tensor& add_(const Tensor& other);          ///< this += other (same shape)
+  Tensor& sub_(const Tensor& other);          ///< this -= other (same shape)
+  Tensor& mul_(const Tensor& other);          ///< this *= other (elementwise)
+  Tensor& add_scalar_(float s);               ///< this += s
+  Tensor& mul_scalar_(float s);               ///< this *= s
+  Tensor& axpy_(float alpha, const Tensor& x); ///< this += alpha * x
+  Tensor& apply_(const std::function<float(float)>& fn);
+
+  // ---- Value-returning arithmetic ------------------------------------------
+
+  [[nodiscard]] Tensor add(const Tensor& other) const;
+  [[nodiscard]] Tensor sub(const Tensor& other) const;
+  [[nodiscard]] Tensor mul(const Tensor& other) const;
+  [[nodiscard]] Tensor add_scalar(float s) const;
+  [[nodiscard]] Tensor mul_scalar(float s) const;
+  [[nodiscard]] Tensor apply(const std::function<float(float)>& fn) const;
+
+  // ---- Reductions ----------------------------------------------------------
+
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] float min() const;
+  [[nodiscard]] float max() const;
+  /// Standard deviation (population, i.e. divide by N).
+  [[nodiscard]] double stddev() const;
+  /// Sum of squared entries.
+  [[nodiscard]] double squared_norm() const;
+  /// True iff all entries are finite.
+  [[nodiscard]] bool all_finite() const;
+
+  /// Human-readable summary: shape plus min/mean/max.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  [[nodiscard]] std::size_t offset(
+      std::initializer_list<std::int64_t> idx) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace mtsr

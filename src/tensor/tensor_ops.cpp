@@ -1,0 +1,329 @@
+#include "src/tensor/tensor_ops.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/check.hpp"
+
+namespace mtsr {
+namespace {
+
+// Splits a rank-2..4 tensor into (batch, rows, cols) where batch collapses
+// all leading axes. Used by the 2-D spatial helpers below.
+struct Flat3 {
+  std::int64_t batch;
+  std::int64_t rows;
+  std::int64_t cols;
+};
+
+Flat3 flatten_spatial(const Shape& s, const char* who) {
+  check(s.rank() >= 2 && s.rank() <= 4,
+        std::string(who) + " requires a rank-2..4 tensor");
+  std::int64_t batch = 1;
+  for (int i = 0; i < s.rank() - 2; ++i) batch *= s.dim(i);
+  return {batch, s.dim(-2), s.dim(-1)};
+}
+
+Shape with_spatial(const Shape& s, std::int64_t rows, std::int64_t cols) {
+  std::vector<std::int64_t> dims = s.dims();
+  dims[dims.size() - 2] = rows;
+  dims[dims.size() - 1] = cols;
+  return Shape(dims);
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check(a.rank() == 2 && b.rank() == 2, "matmul requires rank-2 tensors");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  check(b.dim(0) == k, "matmul inner dimensions must agree: " +
+                           a.shape().to_string() + " * " +
+                           b.shape().to_string());
+  Tensor c(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j loop order: the inner loop streams both B and C rows.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.f) continue;
+      const float* brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check(a.rank() == 2 && b.rank() == 2, "matmul_tn requires rank-2 tensors");
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  check(b.dim(0) == k, "matmul_tn inner dimensions must agree");
+  Tensor c(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.f) continue;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check(a.rank() == 2 && b.rank() == 2, "matmul_nt requires rank-2 tensors");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  check(b.dim(1) == k, "matmul_nt inner dimensions must agree");
+  Tensor c(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.f;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  check(a.rank() == 2, "transpose requires a rank-2 tensor");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out(Shape{n, m});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      out.data()[j * m + i] = a.data()[i * n + j];
+    }
+  }
+  return out;
+}
+
+Tensor im2col(const Tensor& input, int kh, int kw, int stride_h, int stride_w,
+              int pad_h, int pad_w) {
+  check(input.rank() == 3, "im2col expects input of shape (C, H, W)");
+  check(kh > 0 && kw > 0 && stride_h > 0 && stride_w > 0 && pad_h >= 0 &&
+            pad_w >= 0,
+        "im2col parameters out of range");
+  const std::int64_t c = input.dim(0), h = input.dim(1), w = input.dim(2);
+  const std::int64_t oh = (h + 2 * pad_h - kh) / stride_h + 1;
+  const std::int64_t ow = (w + 2 * pad_w - kw) / stride_w + 1;
+  check(oh > 0 && ow > 0, "im2col produces empty output for these params");
+
+  Tensor out(Shape{c * kh * kw, oh * ow});
+  float* po = out.data();
+  const float* pi = input.data();
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (int ky = 0; ky < kh; ++ky) {
+      for (int kx = 0; kx < kw; ++kx) {
+        const std::int64_t row = (ch * kh + ky) * kw + kx;
+        float* orow = po + row * oh * ow;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * stride_h - pad_h + ky;
+          if (iy < 0 || iy >= h) {
+            std::fill(orow + oy * ow, orow + (oy + 1) * ow, 0.f);
+            continue;
+          }
+          const float* irow = pi + (ch * h + iy) * w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * stride_w - pad_w + kx;
+            orow[oy * ow + ox] = (ix >= 0 && ix < w) ? irow[ix] : 0.f;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor col2im(const Tensor& columns, std::int64_t channels,
+              std::int64_t height, std::int64_t width, int kh, int kw,
+              int stride_h, int stride_w, int pad_h, int pad_w) {
+  check(columns.rank() == 2, "col2im expects rank-2 columns");
+  const std::int64_t oh = (height + 2 * pad_h - kh) / stride_h + 1;
+  const std::int64_t ow = (width + 2 * pad_w - kw) / stride_w + 1;
+  check(columns.dim(0) == channels * kh * kw,
+        "col2im columns row count mismatch");
+  check(columns.dim(1) == oh * ow, "col2im columns col count mismatch");
+
+  Tensor out(Shape{channels, height, width});
+  float* po = out.data();
+  const float* pc = columns.data();
+  for (std::int64_t ch = 0; ch < channels; ++ch) {
+    for (int ky = 0; ky < kh; ++ky) {
+      for (int kx = 0; kx < kw; ++kx) {
+        const std::int64_t row = (ch * kh + ky) * kw + kx;
+        const float* crow = pc + row * oh * ow;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * stride_h - pad_h + ky;
+          if (iy < 0 || iy >= height) continue;
+          float* orow = po + (ch * height + iy) * width;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * stride_w - pad_w + kx;
+            if (ix >= 0 && ix < width) orow[ix] += crow[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor pad2d(const Tensor& input, int pad_h, int pad_w) {
+  check(pad_h >= 0 && pad_w >= 0, "pad2d requires non-negative padding");
+  const Flat3 f = flatten_spatial(input.shape(), "pad2d");
+  const std::int64_t orows = f.rows + 2 * pad_h;
+  const std::int64_t ocols = f.cols + 2 * pad_w;
+  Tensor out(with_spatial(input.shape(), orows, ocols));
+  const float* pi = input.data();
+  float* po = out.data();
+  for (std::int64_t b = 0; b < f.batch; ++b) {
+    for (std::int64_t r = 0; r < f.rows; ++r) {
+      std::memcpy(po + (b * orows + r + pad_h) * ocols + pad_w,
+                  pi + (b * f.rows + r) * f.cols,
+                  static_cast<std::size_t>(f.cols) * sizeof(float));
+    }
+  }
+  return out;
+}
+
+Tensor crop2d(const Tensor& input, std::int64_t r0, std::int64_t c0,
+              std::int64_t rows, std::int64_t cols) {
+  const Flat3 f = flatten_spatial(input.shape(), "crop2d");
+  check(r0 >= 0 && c0 >= 0 && rows > 0 && cols > 0 && r0 + rows <= f.rows &&
+            c0 + cols <= f.cols,
+        "crop2d window out of range");
+  Tensor out(with_spatial(input.shape(), rows, cols));
+  const float* pi = input.data();
+  float* po = out.data();
+  for (std::int64_t b = 0; b < f.batch; ++b) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      std::memcpy(po + (b * rows + r) * cols,
+                  pi + (b * f.rows + r0 + r) * f.cols + c0,
+                  static_cast<std::size_t>(cols) * sizeof(float));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Tensor pool2d(const Tensor& input, int factor, bool average) {
+  check(factor > 0, "pool2d requires factor > 0");
+  const Flat3 f = flatten_spatial(input.shape(),
+                                  average ? "avg_pool2d" : "sum_pool2d");
+  check(f.rows % factor == 0 && f.cols % factor == 0,
+        "pool2d spatial dims must be divisible by factor");
+  const std::int64_t orows = f.rows / factor;
+  const std::int64_t ocols = f.cols / factor;
+  Tensor out(with_spatial(input.shape(), orows, ocols));
+  const float* pi = input.data();
+  float* po = out.data();
+  const float scale = average ? 1.f / (static_cast<float>(factor) * factor)
+                              : 1.f;
+  for (std::int64_t b = 0; b < f.batch; ++b) {
+    for (std::int64_t r = 0; r < orows; ++r) {
+      for (std::int64_t c = 0; c < ocols; ++c) {
+        double acc = 0.0;
+        for (int dr = 0; dr < factor; ++dr) {
+          const float* irow =
+              pi + (b * f.rows + r * factor + dr) * f.cols + c * factor;
+          for (int dc = 0; dc < factor; ++dc) acc += irow[dc];
+        }
+        po[(b * orows + r) * ocols + c] = static_cast<float>(acc) * scale;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor avg_pool2d(const Tensor& input, int factor) {
+  return pool2d(input, factor, /*average=*/true);
+}
+
+Tensor sum_pool2d(const Tensor& input, int factor) {
+  return pool2d(input, factor, /*average=*/false);
+}
+
+Tensor upsample_nearest2d(const Tensor& input, int factor) {
+  check(factor > 0, "upsample_nearest2d requires factor > 0");
+  const Flat3 f = flatten_spatial(input.shape(), "upsample_nearest2d");
+  const std::int64_t orows = f.rows * factor;
+  const std::int64_t ocols = f.cols * factor;
+  Tensor out(with_spatial(input.shape(), orows, ocols));
+  const float* pi = input.data();
+  float* po = out.data();
+  for (std::int64_t b = 0; b < f.batch; ++b) {
+    for (std::int64_t r = 0; r < orows; ++r) {
+      const float* irow = pi + (b * f.rows + r / factor) * f.cols;
+      float* orow = po + (b * orows + r) * ocols;
+      for (std::int64_t c = 0; c < ocols; ++c) orow[c] = irow[c / factor];
+    }
+  }
+  return out;
+}
+
+Tensor concat0(const std::vector<Tensor>& parts) {
+  check(!parts.empty(), "concat0 requires at least one tensor");
+  std::int64_t total0 = 0;
+  for (const Tensor& p : parts) {
+    check(p.rank() == parts.front().rank(), "concat0 rank mismatch");
+    for (int ax = 1; ax < p.rank(); ++ax) {
+      check(p.dim(ax) == parts.front().dim(ax), "concat0 trailing dim mismatch");
+    }
+    total0 += p.dim(0);
+  }
+  std::vector<std::int64_t> dims = parts.front().shape().dims();
+  dims[0] = total0;
+  Tensor out{Shape(dims)};
+  float* po = out.data();
+  for (const Tensor& p : parts) {
+    std::memcpy(po, p.data(), static_cast<std::size_t>(p.size()) * sizeof(float));
+    po += p.size();
+  }
+  return out;
+}
+
+Tensor stack0(const std::vector<Tensor>& parts) {
+  check(!parts.empty(), "stack0 requires at least one tensor");
+  for (const Tensor& p : parts) {
+    check(p.shape() == parts.front().shape(), "stack0 shape mismatch");
+  }
+  std::vector<std::int64_t> dims = parts.front().shape().dims();
+  dims.insert(dims.begin(), static_cast<std::int64_t>(parts.size()));
+  Tensor out{Shape(dims)};
+  float* po = out.data();
+  for (const Tensor& p : parts) {
+    std::memcpy(po, p.data(), static_cast<std::size_t>(p.size()) * sizeof(float));
+    po += p.size();
+  }
+  return out;
+}
+
+Tensor select0(const Tensor& input, std::int64_t index) {
+  check(input.rank() >= 2, "select0 requires rank >= 2");
+  check(index >= 0 && index < input.dim(0), "select0 index out of range");
+  std::vector<std::int64_t> dims(input.shape().dims().begin() + 1,
+                                 input.shape().dims().end());
+  Shape out_shape(dims);
+  const std::int64_t chunk = out_shape.volume();
+  Tensor out(out_shape);
+  std::memcpy(out.data(), input.data() + index * chunk,
+              static_cast<std::size_t>(chunk) * sizeof(float));
+  return out;
+}
+
+}  // namespace mtsr

@@ -1,0 +1,71 @@
+// Free-function tensor operations: matmul, im2col/col2im, padding, cropping,
+// pooling and upsampling.
+//
+// These are the building blocks the src/nn layers are written against. All
+// functions are pure (value in, value out) and validate their shape
+// contracts; the hot loops themselves are check-free.
+#pragma once
+
+#include <cstdint>
+
+#include "src/tensor/tensor.hpp"
+
+namespace mtsr {
+
+/// C = A (m×k) * B (k×n). Both inputs must be rank-2.
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = Aᵀ (k×m) * B (k×n) without materialising Aᵀ.
+[[nodiscard]] Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C = A (m×k) * Bᵀ (n×k) without materialising Bᵀ.
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// Transpose of a rank-2 tensor.
+[[nodiscard]] Tensor transpose(const Tensor& a);
+
+/// im2col for 2-D convolution.
+///
+/// Input  (C, H, W); output (C*kh*kw, oh*ow) where
+/// oh = (H + 2*pad_h - kh)/stride_h + 1 and likewise for ow. Out-of-bounds
+/// taps read as zero (zero padding).
+[[nodiscard]] Tensor im2col(const Tensor& input, int kh, int kw, int stride_h,
+                            int stride_w, int pad_h, int pad_w);
+
+/// Adjoint of im2col: scatters columns back into a (C, H, W) image,
+/// accumulating where patches overlap.
+[[nodiscard]] Tensor col2im(const Tensor& columns, std::int64_t channels,
+                            std::int64_t height, std::int64_t width, int kh,
+                            int kw, int stride_h, int stride_w, int pad_h,
+                            int pad_w);
+
+/// Zero-pads the last two axes of a rank-2..4 tensor by (pad_h, pad_w) on
+/// each side.
+[[nodiscard]] Tensor pad2d(const Tensor& input, int pad_h, int pad_w);
+
+/// Crops the last two axes: rows [r0, r0+rows), cols [c0, c0+cols).
+[[nodiscard]] Tensor crop2d(const Tensor& input, std::int64_t r0,
+                            std::int64_t c0, std::int64_t rows,
+                            std::int64_t cols);
+
+/// Average-pools the last two axes with a non-overlapping factor×factor
+/// window. Both spatial dims must be divisible by factor.
+[[nodiscard]] Tensor avg_pool2d(const Tensor& input, int factor);
+
+/// Sum-pools the last two axes with a non-overlapping factor×factor window.
+[[nodiscard]] Tensor sum_pool2d(const Tensor& input, int factor);
+
+/// Nearest-neighbour upsampling of the last two axes by an integer factor.
+[[nodiscard]] Tensor upsample_nearest2d(const Tensor& input, int factor);
+
+/// Concatenates rank-N tensors along axis 0. All other dims must match.
+[[nodiscard]] Tensor concat0(const std::vector<Tensor>& parts);
+
+/// Stacks rank-N tensors into a rank-(N+1) tensor along a new axis 0.
+[[nodiscard]] Tensor stack0(const std::vector<Tensor>& parts);
+
+/// Extracts subtensor `index` along axis 0 of a rank-N tensor (result rank
+/// N-1).
+[[nodiscard]] Tensor select0(const Tensor& input, std::int64_t index);
+
+}  // namespace mtsr

@@ -1,0 +1,73 @@
+// Tests for anomalous-traffic injection (Section 5.5) and surge detection.
+#include <gtest/gtest.h>
+
+#include "src/common/check.hpp"
+#include "src/data/anomaly.hpp"
+
+namespace mtsr::data {
+namespace {
+
+TEST(Anomaly, EventFieldPeaksAtCentreMidEvent) {
+  TrafficEvent event;
+  event.t_begin = 0;
+  event.t_end = 10;
+  event.row = 5;
+  event.col = 7;
+  event.radius = 1.5;
+  event.amplitude_mb = 1000;
+  Tensor field = event_field(event, 5, 16, 16);
+  // Peak at the centre...
+  float max_v = field.max();
+  EXPECT_NEAR(field.at(5, 7), max_v, 1e-4);
+  // ...close to the full amplitude at the envelope peak.
+  EXPECT_GT(max_v, 900.f);
+  // Far away the surge is negligible.
+  EXPECT_LT(field.at(15, 0), 1.f);
+}
+
+TEST(Anomaly, EnvelopeIsZeroOutsideEventWindow) {
+  TrafficEvent event;
+  event.t_begin = 5;
+  event.t_end = 8;
+  EXPECT_EQ(event_field(event, 4, 8, 8).sum(), 0.0);
+  EXPECT_EQ(event_field(event, 8, 8, 8).sum(), 0.0);
+  EXPECT_GT(event_field(event, 6, 8, 8).sum(), 0.0);
+}
+
+TEST(Anomaly, InjectEventAddsOnlyDuringWindow) {
+  std::vector<Tensor> frames;
+  for (int i = 0; i < 6; ++i) frames.push_back(Tensor::full(Shape{8, 8}, 10.f));
+  TrafficEvent event;
+  event.t_begin = 2;
+  event.t_end = 5;
+  event.row = 4;
+  event.col = 4;
+  event.radius = 1.0;
+  event.amplitude_mb = 500;
+  inject_event(frames, event);
+  EXPECT_DOUBLE_EQ(frames[0].sum(), 10.0 * 64);
+  EXPECT_GT(frames[3].sum(), 10.0 * 64 + 100.0);
+  EXPECT_DOUBLE_EQ(frames[5].sum(), 10.0 * 64);
+}
+
+TEST(Anomaly, InjectValidatesRange) {
+  std::vector<Tensor> frames(3, Tensor(Shape{4, 4}));
+  TrafficEvent event;
+  event.t_begin = 1;
+  event.t_end = 5;  // beyond frame count
+  EXPECT_THROW(inject_event(frames, event), ContractViolation);
+}
+
+TEST(Anomaly, DetectSurgeFlagsOnlyElevatedCells) {
+  Tensor reference = Tensor::full(Shape{4, 4}, 10.f);
+  Tensor snapshot = reference;
+  snapshot.at(2, 3) = 200.f;
+  snapshot.at(0, 0) = 15.f;  // below threshold
+  Tensor mask = detect_surge(snapshot, reference, 50.0);
+  EXPECT_FLOAT_EQ(mask.at(2, 3), 1.f);
+  EXPECT_FLOAT_EQ(mask.at(0, 0), 0.f);
+  EXPECT_DOUBLE_EQ(mask.sum(), 1.0);
+}
+
+}  // namespace
+}  // namespace mtsr::data

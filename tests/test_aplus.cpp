@@ -1,0 +1,80 @@
+// Tests for the A+ baseline: anchored regression recovery and end-to-end SR.
+#include <gtest/gtest.h>
+
+#include "src/common/check.hpp"
+#include "src/baselines/aplus.hpp"
+#include "src/baselines/bicubic.hpp"
+#include "src/common/rng.hpp"
+#include "src/data/milan.hpp"
+#include "src/data/probes.hpp"
+#include "src/metrics/metrics.hpp"
+
+namespace mtsr::baselines {
+namespace {
+
+TEST(APlus, RequiresFitBeforePredict) {
+  APlusSR aplus;
+  data::UniformProbeLayout layout(8, 8, 2);
+  EXPECT_THROW((void)aplus.super_resolve(Tensor(Shape{8, 8}), layout),
+               ContractViolation);
+  EXPECT_FALSE(aplus.is_fitted());
+}
+
+TEST(APlus, FitsAndPredictsFiniteValues) {
+  data::MilanConfig mc;
+  mc.rows = 24;
+  mc.cols = 24;
+  mc.num_hotspots = 10;
+  mc.seed = 7;
+  data::MilanTrafficGenerator gen(mc);
+  auto train = gen.generate(60, 8);
+  auto test = gen.generate(90, 1);
+
+  data::UniformProbeLayout layout(24, 24, 2);
+  APlusConfig config;
+  config.anchors = 24;
+  config.neighbourhood = 128;
+  config.max_train_patches = 2000;
+  APlusSR aplus(config);
+  aplus.fit(train, layout);
+  EXPECT_TRUE(aplus.is_fitted());
+  EXPECT_EQ(aplus.anchor_count(), 24);
+
+  Tensor out = aplus.super_resolve(test[0], layout);
+  EXPECT_EQ(out.shape(), test[0].shape());
+  EXPECT_TRUE(out.all_finite());
+  EXPECT_EQ(aplus.name(), "A+");
+}
+
+TEST(APlus, CompetitiveWithBicubicInDistribution) {
+  data::MilanConfig mc;
+  mc.rows = 24;
+  mc.cols = 24;
+  mc.num_hotspots = 12;
+  mc.seed = 8;
+  data::MilanTrafficGenerator gen(mc);
+  auto train = gen.generate(60, 10);
+  auto test = gen.generate(100, 2);
+
+  data::UniformProbeLayout layout(24, 24, 2);
+  APlusConfig config;
+  config.anchors = 32;
+  config.neighbourhood = 256;
+  config.max_train_patches = 3000;
+  APlusSR aplus(config);
+  aplus.fit(train, layout);
+
+  BicubicInterpolator bicubic;
+  double err_ap = 0.0, err_bc = 0.0;
+  for (const Tensor& frame : test) {
+    err_ap += metrics::nrmse(aplus.super_resolve(frame, layout), frame);
+    err_bc += metrics::nrmse(bicubic.super_resolve(frame, layout), frame);
+  }
+  // Anchored regression refines bicubic; allow a small tolerance as in the
+  // SC test (the paper itself finds SC/A+ can lose to plain interpolation
+  // on traffic data — but not catastrophically).
+  EXPECT_LT(err_ap, err_bc * 1.15);
+}
+
+}  // namespace
+}  // namespace mtsr::baselines

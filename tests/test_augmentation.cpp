@@ -1,0 +1,142 @@
+// Tests for window-cropping augmentation and moving-average stitching
+// (Section 4 / Fig. 7): the paper's 441-window count, sample geometry, and
+// full-grid reconstruction.
+#include <gtest/gtest.h>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/data/augmentation.hpp"
+#include "src/tensor/tensor_ops.hpp"
+
+namespace mtsr::data {
+namespace {
+
+TrafficDataset make_dataset(std::int64_t side, int count,
+                            std::uint64_t seed = 90) {
+  Rng rng(seed);
+  std::vector<Tensor> frames;
+  for (int i = 0; i < count; ++i) {
+    frames.push_back(Tensor::uniform(Shape{side, side}, rng, 10.f, 100.f));
+  }
+  return TrafficDataset(std::move(frames), 10);
+}
+
+TEST(Augmentation, PaperGeometryYields441Windows) {
+  // The paper: 100x100 snapshots cropped into 80x80 windows at offset 1
+  // produce 441 sub-frames (21 x 21).
+  EXPECT_EQ(windows_per_snapshot(100, 100, 80, 1), 441);
+}
+
+TEST(Augmentation, WindowCountsForOtherGeometries) {
+  EXPECT_EQ(windows_per_snapshot(40, 40, 40, 1), 1);
+  EXPECT_EQ(windows_per_snapshot(40, 40, 20, 4), 6 * 6);
+  // Stride not dividing the range: boundary window is clamped in.
+  EXPECT_EQ(windows_per_snapshot(10, 10, 4, 5), 3 * 3);
+}
+
+TEST(Augmentation, EnumerateRespectsTemporalLength) {
+  auto specs = enumerate_samples(8, 8, 8, 1, 0, 5, 3);
+  // Frames 2, 3, 4 are eligible (need S-1 = 2 predecessors).
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs.front().t, 2);
+  EXPECT_EQ(specs.back().t, 4);
+}
+
+TEST(Augmentation, MakeSampleShapes) {
+  TrafficDataset ds = make_dataset(16, 6);
+  UniformProbeLayout layout(8, 8, 2);
+  Sample sample = make_sample(ds, layout, {3, 4, 2}, 3, 8);
+  EXPECT_EQ(sample.input.shape(), Shape({3, 4, 4}));
+  EXPECT_EQ(sample.target.shape(), Shape({8, 8}));
+}
+
+TEST(Augmentation, SampleInputIsWindowLocalAggregate) {
+  TrafficDataset ds = make_dataset(16, 4);
+  UniformProbeLayout layout(8, 8, 4);
+  const SampleSpec spec{2, 5, 3};
+  Sample sample = make_sample(ds, layout, spec, 1, 8);
+  // Input slice 0 must equal the probe average of the cropped window of the
+  // (normalised) frame at t = 2.
+  Tensor window = crop2d(ds.normalized_frame(2), 5, 3, 8, 8);
+  Tensor expected = layout.coarsen(window);
+  for (std::int64_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(sample.input.flat(i), expected.flat(i), 1e-6);
+  }
+}
+
+TEST(Augmentation, SampleTargetIsNormalisedCrop) {
+  TrafficDataset ds = make_dataset(12, 4);
+  UniformProbeLayout layout(4, 4, 2);
+  Sample sample = make_sample(ds, layout, {3, 2, 6}, 2, 4);
+  Tensor expected = crop2d(ds.normalized_frame(3), 2, 6, 4, 4);
+  for (std::int64_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(sample.target.flat(i), expected.flat(i));
+  }
+}
+
+TEST(Augmentation, MakeSampleValidatesSpec) {
+  TrafficDataset ds = make_dataset(12, 4);
+  UniformProbeLayout layout(4, 4, 2);
+  EXPECT_THROW((void)make_sample(ds, layout, {0, 0, 0}, 2, 4),
+               ContractViolation);  // t < S-1
+  EXPECT_THROW((void)make_sample(ds, layout, {2, 10, 0}, 2, 4),
+               ContractViolation);  // window out of range
+  UniformProbeLayout wrong(8, 8, 2);
+  EXPECT_THROW((void)make_sample(ds, wrong, {2, 0, 0}, 2, 4),
+               ContractViolation);  // layout/window mismatch
+}
+
+TEST(Stitching, IdentityPredictorReconstructsTruth) {
+  // If the "predictor" returns the true window, stitching must reproduce
+  // the normalised frame exactly (moving average of identical overlaps).
+  TrafficDataset ds = make_dataset(12, 5);
+  UniformProbeLayout layout(6, 6, 2);
+  const std::int64_t t = 3, s = 2, window = 6, stride = 3;
+  Tensor truth = ds.normalized_frame(t);
+  // Capture crops keyed by the coarse input; emulate a perfect oracle by
+  // recomputing the window from its origin. The predictor interface only
+  // sees the input, so track origins via a queue matching stitch order.
+  std::vector<Tensor> expected_windows;
+  for (std::int64_t r0 = 0; r0 + window <= 12; r0 += stride) {
+    for (std::int64_t c0 = 0; c0 + window <= 12; c0 += stride) {
+      expected_windows.push_back(crop2d(truth, r0, c0, window, window));
+    }
+  }
+  std::size_t next = 0;
+  WindowPredictor oracle = [&](const Tensor&) {
+    return expected_windows.at(next++);
+  };
+  Tensor stitched =
+      stitch_prediction(ds, layout, oracle, t, s, window, stride);
+  for (std::int64_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(stitched.flat(i), truth.flat(i), 1e-5);
+  }
+}
+
+TEST(Stitching, ConstantPredictorGivesConstantGrid) {
+  TrafficDataset ds = make_dataset(8, 4);
+  UniformProbeLayout layout(4, 4, 2);
+  WindowPredictor constant = [](const Tensor&) {
+    return Tensor::full(Shape{4, 4}, 2.5f);
+  };
+  Tensor stitched = stitch_prediction(ds, layout, constant, 2, 1, 4, 2);
+  for (std::int64_t i = 0; i < stitched.size(); ++i) {
+    EXPECT_FLOAT_EQ(stitched.flat(i), 2.5f);
+  }
+}
+
+TEST(Stitching, CoversGridWhenStrideDoesNotDivide) {
+  TrafficDataset ds = make_dataset(10, 4);
+  UniformProbeLayout layout(4, 4, 2);
+  WindowPredictor constant = [](const Tensor&) {
+    return Tensor::ones(Shape{4, 4});
+  };
+  // stride 3 over extent 10 with window 4: origins 0, 3, 6 + clamped 6...
+  Tensor stitched = stitch_prediction(ds, layout, constant, 1, 1, 4, 3);
+  for (std::int64_t i = 0; i < stitched.size(); ++i) {
+    EXPECT_FLOAT_EQ(stitched.flat(i), 1.f);
+  }
+}
+
+}  // namespace
+}  // namespace mtsr::data

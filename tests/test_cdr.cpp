@@ -1,0 +1,126 @@
+// Tests for the CDR simulator substrate: determinism, the 5 MB interim-record
+// rule, aggregation conservation, commuting behaviour and diurnal load.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/cdr.hpp"
+
+namespace mtsr::data {
+namespace {
+
+CdrConfig small_config() {
+  CdrConfig config;
+  config.rows = 16;
+  config.cols = 16;
+  config.num_users = 200;
+  config.num_intervals = 144;  // one day
+  config.seed = 101;
+  return config;
+}
+
+TEST(CdrSimulator, DeterministicPerSeed) {
+  CdrSimulator a(small_config());
+  CdrSimulator b(small_config());
+  auto ra = a.simulate();
+  auto rb = b.simulate();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].user, rb[i].user);
+    EXPECT_EQ(ra[i].cell, rb[i].cell);
+    EXPECT_EQ(ra[i].volume_mb, rb[i].volume_mb);
+  }
+}
+
+TEST(CdrSimulator, ProducesRecords) {
+  CdrSimulator sim(small_config());
+  auto records = sim.simulate();
+  EXPECT_GT(records.size(), 1000u);
+}
+
+TEST(CdrSimulator, InterimRecordsFollowFiveMbRule) {
+  CdrSimulator sim(small_config());
+  auto records = sim.simulate();
+  // Every session record of volume v must be followed by floor(v/5)
+  // interim records for the same user/interval.
+  std::size_t i = 0;
+  int checked = 0;
+  while (i < records.size() && checked < 200) {
+    if (!records[i].interim) {
+      const int expected = static_cast<int>(records[i].volume_mb / 5.f);
+      int interims = 0;
+      std::size_t j = i + 1;
+      while (j < records.size() && records[j].interim &&
+             records[j].user == records[i].user &&
+             records[j].t == records[i].t) {
+        ++interims;
+        ++j;
+      }
+      EXPECT_GE(interims, expected) << "at record " << i;
+      ++checked;
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(CdrSimulator, AggregationConservesVolume) {
+  CdrConfig config = small_config();
+  CdrSimulator sim(config);
+  auto records = sim.simulate();
+  auto frames = CdrSimulator::aggregate(records, config);
+  ASSERT_EQ(frames.size(), static_cast<std::size_t>(config.num_intervals));
+  double record_total = 0.0;
+  for (const auto& r : records) record_total += r.volume_mb;
+  double frame_total = 0.0;
+  for (const auto& f : frames) frame_total += f.sum();
+  EXPECT_NEAR(frame_total / record_total, 1.0, 1e-5);
+}
+
+TEST(CdrSimulator, UsersCommuteOnWeekdays) {
+  CdrConfig config = small_config();
+  config.start_minute_of_week = 0;  // Monday 00:00
+  CdrSimulator sim(config);
+  // 03:00 (interval 18) vs 12:00 (interval 72): most users should be at
+  // different cells (home vs work), measured over the population.
+  int moved = 0;
+  for (std::int64_t u = 0; u < config.num_users; ++u) {
+    if (sim.user_cell(u, 18) != sim.user_cell(u, 72)) ++moved;
+  }
+  EXPECT_GT(moved, config.num_users / 2);
+}
+
+TEST(CdrSimulator, DaytimeBusierThanNight) {
+  CdrConfig config = small_config();
+  config.start_minute_of_week = 0;
+  CdrSimulator sim(config);
+  auto frames = CdrSimulator::aggregate(sim.simulate(), config);
+  const double night = frames[24].sum();   // 04:00
+  const double day = frames[66].sum();     // 11:00
+  EXPECT_GT(day, night);
+}
+
+TEST(CdrSimulator, WorkCellsClusterCentrally) {
+  CdrConfig config = small_config();
+  config.start_minute_of_week = 0;
+  CdrSimulator sim(config);
+  // Work cells (weekday noon) should be nearer the centre on average than
+  // home cells (weekday 03:00).
+  const double centre = static_cast<double>(config.rows) / 2.0;
+  auto mean_distance = [&](std::int64_t t) {
+    double acc = 0.0;
+    for (std::int64_t u = 0; u < config.num_users; ++u) {
+      const std::int64_t cell = sim.user_cell(u, t);
+      const double r = static_cast<double>(cell / config.cols) - centre;
+      const double c = static_cast<double>(cell % config.cols) - centre;
+      acc += std::sqrt(r * r + c * c);
+    }
+    return acc / static_cast<double>(config.num_users);
+  };
+  EXPECT_LT(mean_distance(72), mean_distance(18));
+}
+
+}  // namespace
+}  // namespace mtsr::data

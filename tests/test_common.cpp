@@ -1,0 +1,187 @@
+// Tests for the common utilities: Rng determinism and distributions, table
+// formatting, CSV round-trips, heat-map rendering, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/common/check.hpp"
+#include "src/common/cli.hpp"
+#include "src/common/csv.hpp"
+#include "src/common/render.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/table.hpp"
+
+namespace mtsr {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.uniform() != b.uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(5);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(1.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(3.5);
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(7);
+  std::vector<double> weights{1.0, 3.0};
+  int count1 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.categorical(weights) == 1) ++count1;
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / n, 0.75, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(8);
+  Rng child = a.fork();
+  EXPECT_NE(a.uniform(), child.uniform());
+}
+
+TEST(Rng, InvalidArgumentsThrow) {
+  Rng rng(9);
+  EXPECT_THROW((void)rng.uniform(5.0, 2.0), ContractViolation);
+  EXPECT_THROW((void)rng.bernoulli(1.5), ContractViolation);
+  EXPECT_THROW((void)rng.categorical({}), ContractViolation);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"method", "NRMSE"});
+  t.add_row({"bicubic", "0.41"});
+  t.add_row({"zipnet-gan", "0.22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| method     |"), std::string::npos);
+  EXPECT_NE(out.find("| zipnet-gan |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CellCountMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Fmt, FormatsDecimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_sci(1234.5, 2), "1.23e+03");
+}
+
+TEST(Csv, RoundTripWithQuoting) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mtsr_csv_test.csv").string();
+  write_csv(path, {"name", "value"},
+            {{"plain", "1"}, {"with,comma", "2"}, {"with\"quote", "3"}});
+  auto rows = read_csv(path);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0][0], "name");
+  EXPECT_EQ(rows[2][0], "with,comma");
+  EXPECT_EQ(rows[3][0], "with\"quote");
+  std::remove(path.c_str());
+}
+
+TEST(Render, HeatmapDimensionsAndRamp) {
+  std::vector<float> grid = {0.f, 1.f, 2.f, 3.f};
+  RenderOptions options;
+  options.ramp = " #";
+  const std::string out = render_heatmap(grid, 2, 2, options);
+  // Values 0,1 normalise below 0.5 -> ' '; 2,3 normalise above -> '#'.
+  EXPECT_EQ(out, "  \n##\n");
+}
+
+TEST(Render, DownsamplesWideGrids) {
+  std::vector<float> grid(100 * 100, 1.f);
+  RenderOptions options;
+  options.max_width = 25;
+  const std::string out = render_heatmap(grid, 100, 100, options);
+  // Each rendered line should be 25 characters + newline.
+  EXPECT_EQ(out.find('\n'), 25u);
+}
+
+TEST(Render, SizeMismatchThrows) {
+  std::vector<float> grid(5, 0.f);
+  EXPECT_THROW((void)render_heatmap(grid, 2, 2), ContractViolation);
+}
+
+TEST(Cli, ParsesTypedFlags) {
+  CliParser cli("test", "test program");
+  cli.add_int("grid", 40, "grid side");
+  cli.add_double("lr", 1e-4, "learning rate");
+  cli.add_string("mode", "up-4", "instance");
+  cli.add_flag("verbose", "chatty output");
+  const char* argv[] = {"prog", "--grid", "64", "--lr=0.001", "--verbose"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("grid"), 64);
+  EXPECT_DOUBLE_EQ(cli.get_double("lr"), 0.001);
+  EXPECT_EQ(cli.get_string("mode"), "up-4");
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliParser cli("test", "test program");
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW((void)cli.parse(3, argv), ContractViolation);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("test", "test program");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+}  // namespace
+}  // namespace mtsr

@@ -1,0 +1,144 @@
+// Tests for TrafficDataset: splits, normalisation round-trips and binary IO.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/data/dataset.hpp"
+
+namespace mtsr::data {
+namespace {
+
+std::vector<Tensor> make_frames(int count, std::int64_t side,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> frames;
+  frames.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    frames.push_back(Tensor::uniform(Shape{side, side}, rng, 10.f, 100.f));
+  }
+  return frames;
+}
+
+TEST(TrafficDataset, DefaultSplitsArePaperProportions) {
+  TrafficDataset ds(make_frames(60, 8, 1), 10);
+  EXPECT_EQ(ds.train_range().begin, 0);
+  EXPECT_EQ(ds.train_range().size(), 40);   // ~2/3 (40 of 60 days)
+  EXPECT_EQ(ds.validation_range().size(), 10);
+  EXPECT_EQ(ds.test_range().size(), 10);
+  EXPECT_EQ(ds.test_range().end, 60);
+}
+
+TEST(TrafficDataset, SplitsAreContiguousAndOrdered) {
+  TrafficDataset ds(make_frames(30, 4, 2), 10);
+  ds.set_splits(0.5, 0.25);
+  EXPECT_EQ(ds.train_range().end, ds.validation_range().begin);
+  EXPECT_EQ(ds.validation_range().end, ds.test_range().begin);
+  EXPECT_EQ(ds.test_range().end, ds.frame_count());
+}
+
+TEST(TrafficDataset, NormalizationHasZeroMeanUnitVarianceOnTrain) {
+  TrafficDataset ds(make_frames(20, 8, 3), 10);
+  double sum = 0.0, sq = 0.0;
+  std::int64_t count = 0;
+  for (std::int64_t t = ds.train_range().begin; t < ds.train_range().end;
+       ++t) {
+    Tensor n = ds.normalized_frame(t);
+    for (std::int64_t i = 0; i < n.size(); ++i) {
+      sum += n.flat(i);
+      sq += static_cast<double>(n.flat(i)) * n.flat(i);
+    }
+    count += n.size();
+  }
+  EXPECT_NEAR(sum / count, 0.0, 1e-3);
+  EXPECT_NEAR(sq / count, 1.0, 1e-2);
+}
+
+TEST(TrafficDataset, DenormalizeInvertsNormalize) {
+  TrafficDataset ds(make_frames(10, 6, 4), 10);
+  Tensor back = ds.denormalize(ds.normalized_frame(7));
+  const Tensor& original = ds.frame(7);
+  for (std::int64_t i = 0; i < back.size(); ++i) {
+    EXPECT_NEAR(back.flat(i), original.flat(i), 1e-2);
+  }
+}
+
+TEST(TrafficDataset, StatsComeFromTrainSplitOnly) {
+  // Give test frames a wildly different scale; train stats must not move.
+  auto frames = make_frames(10, 4, 5);
+  for (int t = 8; t < 10; ++t) frames[static_cast<std::size_t>(t)].mul_scalar_(100.f);
+  TrafficDataset ds(std::move(frames), 10);
+  ds.set_splits(0.8, 0.0);
+  EXPECT_LT(ds.stats().mean, 100.0);  // unaffected by the inflated test set
+  EXPECT_GT(ds.peak(), 1000.0);       // peak still reflects the full dataset
+}
+
+TEST(TrafficDataset, FrameAccessValidated) {
+  TrafficDataset ds(make_frames(5, 4, 6), 10);
+  EXPECT_THROW((void)ds.frame(5), ContractViolation);
+  EXPECT_THROW((void)ds.frame(-1), ContractViolation);
+}
+
+TEST(TrafficDataset, MixedShapesRejected) {
+  std::vector<Tensor> frames = make_frames(2, 4, 7);
+  frames.push_back(Tensor(Shape{5, 5}));
+  EXPECT_THROW(TrafficDataset(std::move(frames), 10), ContractViolation);
+}
+
+TEST(TrafficDataset, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mtsr_dataset_test.bin")
+          .string();
+  TrafficDataset ds(make_frames(6, 5, 8), 10);
+  ds.save(path);
+  TrafficDataset loaded = TrafficDataset::load(path);
+  EXPECT_EQ(loaded.frame_count(), 6);
+  EXPECT_EQ(loaded.interval_minutes(), 10);
+  for (std::int64_t i = 0; i < ds.frame(3).size(); ++i) {
+    EXPECT_EQ(loaded.frame(3).flat(i), ds.frame(3).flat(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TrafficDataset, SaveLoadPreservesLogTransformFlag) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mtsr_dataset_log.bin")
+          .string();
+  TrafficDataset raw(make_frames(4, 4, 10), 10, /*log_transform=*/false);
+  raw.save(path);
+  TrafficDataset loaded = TrafficDataset::load(path);
+  EXPECT_FALSE(loaded.log_transform());
+  // Normalised values must match the raw-space path, not log space.
+  Tensor a = raw.normalized_frame(1);
+  Tensor b = loaded.normalized_frame(1);
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.flat(i), b.flat(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TrafficDataset, LogTransformChangesNormalisation) {
+  auto frames = make_frames(4, 4, 11);
+  TrafficDataset log_ds(frames, 10, /*log_transform=*/true);
+  TrafficDataset raw_ds(std::move(frames), 10, /*log_transform=*/false);
+  EXPECT_TRUE(log_ds.log_transform());
+  // Heavy values compress under log1p: the normalised max is smaller.
+  EXPECT_LT(log_ds.normalized_frame(0).max(),
+            raw_ds.normalized_frame(0).max() + 1.f);
+  // Both invert exactly.
+  Tensor back = log_ds.denormalize(log_ds.normalized_frame(2));
+  for (std::int64_t i = 0; i < back.size(); ++i) {
+    EXPECT_NEAR(back.flat(i), log_ds.frame(2).flat(i), 1e-2);
+  }
+}
+
+TEST(TrafficDataset, BadSplitFractionsRejected) {
+  TrafficDataset ds(make_frames(10, 4, 9), 10);
+  EXPECT_THROW(ds.set_splits(0.9, 0.2), ContractViolation);
+  EXPECT_THROW(ds.set_splits(0.0, 0.1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mtsr::data

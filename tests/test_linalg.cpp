@@ -1,0 +1,113 @@
+// Tests for the dense linear-algebra helpers: Cholesky solves, ridge
+// regression recovery, K-means behaviour and row normalisation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/baselines/linalg.hpp"
+#include "src/tensor/tensor_ops.hpp"
+
+namespace mtsr::baselines {
+namespace {
+
+TEST(Cholesky, SolvesKnownSystem) {
+  // A = [[4, 2], [2, 3]], b = [8, 7] -> x = [1.1, 1.6].
+  Tensor a(Shape{2, 2}, {4.f, 2.f, 2.f, 3.f});
+  Tensor b(Shape{2, 1}, {8.f, 7.f});
+  Tensor x = cholesky_solve(a, b);
+  EXPECT_NEAR(x.at(0, 0), 1.25f, 1e-4);
+  EXPECT_NEAR(x.at(1, 0), 1.5f, 1e-4);
+}
+
+TEST(Cholesky, ResidualIsSmallOnRandomSpd) {
+  Rng rng(80);
+  // Random SPD: A = M Mᵀ + I.
+  Tensor m = Tensor::randn(Shape{6, 6}, rng);
+  Tensor a = matmul_nt(m, m);
+  for (int i = 0; i < 6; ++i) a.at(i, i) += 1.f;
+  Tensor b = Tensor::randn(Shape{6, 3}, rng);
+  Tensor x = cholesky_solve(a, b);
+  Tensor residual = matmul(a, x).sub(b);
+  EXPECT_LT(residual.squared_norm(), 1e-6);
+}
+
+TEST(Cholesky, NonSpdRejected) {
+  Tensor a(Shape{2, 2}, {1.f, 2.f, 2.f, 1.f});  // indefinite
+  Tensor b(Shape{2, 1}, {1.f, 1.f});
+  EXPECT_THROW((void)cholesky_solve(a, b), std::runtime_error);
+}
+
+TEST(Ridge, RecoversLinearMap) {
+  // Generate y = W x with known W; ridge with tiny lambda must recover it.
+  Rng rng(81);
+  Tensor w_true(Shape{2, 3}, {1.f, -2.f, 0.5f, 3.f, 0.f, -1.f});
+  Tensor x = Tensor::randn(Shape{3, 50}, rng);
+  Tensor y = matmul(w_true, x);
+  Tensor w = ridge_regression(x, y, 1e-6f);
+  ASSERT_EQ(w.shape(), w_true.shape());
+  for (std::int64_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(w.flat(i), w_true.flat(i), 1e-2);
+  }
+}
+
+TEST(Ridge, LambdaShrinksSolution) {
+  Rng rng(82);
+  Tensor x = Tensor::randn(Shape{4, 30}, rng);
+  Tensor y = Tensor::randn(Shape{2, 30}, rng);
+  Tensor w_small = ridge_regression(x, y, 1e-4f);
+  Tensor w_large = ridge_regression(x, y, 1e3f);
+  EXPECT_LT(w_large.squared_norm(), w_small.squared_norm());
+}
+
+TEST(KMeans, SeparatesTwoObviousClusters) {
+  Rng rng(83);
+  // 20 points near (0,0), 20 near (10,10).
+  Tensor samples(Shape{40, 2});
+  for (int i = 0; i < 20; ++i) {
+    samples.at(i, 0) = static_cast<float>(rng.normal(0.0, 0.3));
+    samples.at(i, 1) = static_cast<float>(rng.normal(0.0, 0.3));
+    samples.at(20 + i, 0) = static_cast<float>(rng.normal(10.0, 0.3));
+    samples.at(20 + i, 1) = static_cast<float>(rng.normal(10.0, 0.3));
+  }
+  KMeansResult result = kmeans(samples, 2, 20, rng);
+  // All first-half points share one cluster, all second-half the other.
+  for (int i = 1; i < 20; ++i) {
+    EXPECT_EQ(result.assignment[static_cast<std::size_t>(i)],
+              result.assignment[0]);
+    EXPECT_EQ(result.assignment[static_cast<std::size_t>(20 + i)],
+              result.assignment[20]);
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[20]);
+  // Centroids land near the true means.
+  const float c0x = result.centroids.at(result.assignment[0], 0);
+  EXPECT_NEAR(c0x, 0.f, 0.5f);
+}
+
+TEST(KMeans, KEqualsNTrivialClusters) {
+  Rng rng(84);
+  Tensor samples = Tensor::randn(Shape{5, 3}, rng);
+  KMeansResult result = kmeans(samples, 5, 10, rng);
+  // Every sample its own centroid (possibly permuted): distances ~ 0.
+  for (int i = 0; i < 5; ++i) {
+    const int c = result.assignment[static_cast<std::size_t>(i)];
+    double dist = 0.0;
+    for (int j = 0; j < 3; ++j) {
+      const double d = samples.at(i, j) - result.centroids.at(c, j);
+      dist += d * d;
+    }
+    EXPECT_LT(dist, 1e-6);
+  }
+}
+
+TEST(NormalizeRows, UnitNormsAndOriginalsReturned) {
+  Tensor m(Shape{2, 2}, {3.f, 4.f, 0.f, 0.f});
+  auto norms = normalize_rows(m);
+  EXPECT_FLOAT_EQ(norms[0], 5.f);
+  EXPECT_NEAR(m.at(0, 0), 0.6f, 1e-6);
+  EXPECT_NEAR(m.at(0, 1), 0.8f, 1e-6);
+  // Zero row untouched.
+  EXPECT_EQ(m.at(1, 0), 0.f);
+}
+
+}  // namespace
+}  // namespace mtsr::baselines

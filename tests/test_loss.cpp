@@ -1,0 +1,87 @@
+// Tests for loss functions: values, gradients (vs. finite differences) and
+// numerical-stability clamps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/nn/loss.hpp"
+
+namespace mtsr::nn {
+namespace {
+
+TEST(MseLoss, ValueAndGradient) {
+  Tensor pred(Shape{2, 2}, {1.f, 2.f, 3.f, 4.f});
+  Tensor target(Shape{2, 2}, {1.f, 1.f, 1.f, 1.f});
+  auto [value, grad] = mse_loss(pred, target);
+  EXPECT_NEAR(value, (0.0 + 1.0 + 4.0 + 9.0) / 4.0, 1e-7);
+  // d/dp mean((p - t)²) = 2 (p - t) / n.
+  EXPECT_FLOAT_EQ(grad.flat(0), 0.f);
+  EXPECT_FLOAT_EQ(grad.flat(1), 2.f * 1.f / 4.f);
+  EXPECT_FLOAT_EQ(grad.flat(3), 2.f * 3.f / 4.f);
+}
+
+TEST(MseLoss, GradientMatchesFiniteDifference) {
+  Rng rng(40);
+  Tensor pred = Tensor::randn(Shape{3, 3}, rng);
+  Tensor target = Tensor::randn(Shape{3, 3}, rng);
+  auto [value, grad] = mse_loss(pred, target);
+  const double delta = 1e-3;
+  for (std::int64_t i = 0; i < pred.size(); ++i) {
+    Tensor up = pred;
+    up.flat(i) += static_cast<float>(delta);
+    Tensor down = pred;
+    down.flat(i) -= static_cast<float>(delta);
+    const double numeric =
+        (mse_loss(up, target).value - mse_loss(down, target).value) /
+        (2.0 * delta);
+    EXPECT_NEAR(grad.flat(i), numeric, 1e-3);
+  }
+}
+
+TEST(BceLoss, PerfectPredictionsGiveSmallLoss) {
+  Tensor good(Shape{2, 1}, {0.999f, 0.999f});
+  EXPECT_LT(bce_loss(good, 1.f).value, 0.01);
+  Tensor bad(Shape{2, 1}, {0.001f, 0.001f});
+  EXPECT_LT(bce_loss(bad, 0.f).value, 0.01);
+}
+
+TEST(BceLoss, WrongPredictionsGiveLargeLoss) {
+  Tensor wrong(Shape{1, 1}, {0.01f});
+  EXPECT_GT(bce_loss(wrong, 1.f).value, 4.0);
+}
+
+TEST(BceLoss, GradientSignsPushTowardLabel) {
+  Tensor p(Shape{1, 1}, {0.3f});
+  // Label 1: increasing p lowers the loss -> negative gradient.
+  EXPECT_LT(bce_loss(p, 1.f).grad.flat(0), 0.f);
+  // Label 0: increasing p raises the loss -> positive gradient.
+  EXPECT_GT(bce_loss(p, 0.f).grad.flat(0), 0.f);
+}
+
+TEST(BceLoss, ClampsExtremeProbabilities) {
+  Tensor p(Shape{1, 1}, {0.f});
+  const auto result = bce_loss(p, 1.f);
+  EXPECT_TRUE(std::isfinite(result.value));
+  EXPECT_TRUE(result.grad.all_finite());
+}
+
+TEST(BceLoss, RejectsBadInputs) {
+  Tensor p(Shape{2, 2});
+  EXPECT_THROW((void)bce_loss(p, 1.f), ContractViolation);
+  Tensor q(Shape{2, 1});
+  EXPECT_THROW((void)bce_loss(q, 0.5f), ContractViolation);
+}
+
+TEST(PerSampleSqError, ComputesPerSampleNorms) {
+  Tensor pred(Shape{2, 2}, {1.f, 1.f, 0.f, 0.f});
+  Tensor target(Shape{2, 2}, {0.f, 0.f, 0.f, 3.f});
+  Tensor e = per_sample_sq_error(pred, target);
+  ASSERT_EQ(e.shape(), Shape({2}));
+  EXPECT_FLOAT_EQ(e.flat(0), 2.f);
+  EXPECT_FLOAT_EQ(e.flat(1), 9.f);
+}
+
+}  // namespace
+}  // namespace mtsr::nn

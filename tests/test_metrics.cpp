@@ -1,0 +1,133 @@
+// Tests for the paper's evaluation metrics (Eqs. 11-13): known values,
+// invariants and degenerate cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/metrics/metrics.hpp"
+
+namespace mtsr::metrics {
+namespace {
+
+TEST(Nrmse, ZeroForPerfectPrediction) {
+  Tensor t = Tensor::full(Shape{4, 4}, 3.f);
+  EXPECT_DOUBLE_EQ(nrmse(t, t), 0.0);
+}
+
+TEST(Nrmse, KnownValue) {
+  // truth = 2 everywhere, prediction off by 1 everywhere:
+  // RMSE = 1, mean = 2 -> NRMSE = 0.5.
+  Tensor truth = Tensor::full(Shape{10}, 2.f);
+  Tensor pred = Tensor::full(Shape{10}, 3.f);
+  EXPECT_NEAR(nrmse(pred, truth), 0.5, 1e-9);
+}
+
+TEST(Nrmse, ScaleInvariant) {
+  // Scaling both prediction and truth leaves NRMSE unchanged — the property
+  // the paper uses it for ("comparing data sets with different scales").
+  Rng rng(10);
+  Tensor truth = Tensor::uniform(Shape{8, 8}, rng, 1.f, 2.f);
+  Tensor pred = Tensor::uniform(Shape{8, 8}, rng, 1.f, 2.f);
+  const double base = nrmse(pred, truth);
+  const double scaled = nrmse(pred.mul_scalar(7.f), truth.mul_scalar(7.f));
+  EXPECT_NEAR(base, scaled, 1e-6);
+}
+
+TEST(Nrmse, ZeroMeanTruthThrows) {
+  Tensor truth = Tensor::zeros(Shape{4});
+  Tensor pred = Tensor::ones(Shape{4});
+  EXPECT_THROW((void)nrmse(pred, truth), ContractViolation);
+}
+
+TEST(Psnr, InfiniteForIdenticalInputs) {
+  Tensor t = Tensor::full(Shape{4}, 2.f);
+  EXPECT_TRUE(std::isinf(psnr(t, t, 100.0)));
+}
+
+TEST(Psnr, KnownValue) {
+  // MSE = 4, peak = 100: PSNR = 20*log10(100) - 10*log10(4) ≈ 33.98 dB.
+  Tensor truth = Tensor::full(Shape{5}, 10.f);
+  Tensor pred = Tensor::full(Shape{5}, 12.f);
+  EXPECT_NEAR(psnr(pred, truth, 100.0), 40.0 - 10.0 * std::log10(4.0), 1e-9);
+}
+
+TEST(Psnr, MonotoneInError) {
+  Tensor truth = Tensor::full(Shape{16}, 10.f);
+  Tensor near = Tensor::full(Shape{16}, 10.5f);
+  Tensor far = Tensor::full(Shape{16}, 14.f);
+  EXPECT_GT(psnr(near, truth, 100.0), psnr(far, truth, 100.0));
+}
+
+TEST(Ssim, OneForIdenticalInputs) {
+  Rng rng(11);
+  Tensor t = Tensor::uniform(Shape{8, 8}, rng, 1.f, 5.f);
+  EXPECT_NEAR(ssim(t, t), 1.0, 1e-6);
+}
+
+TEST(Ssim, BoundedAboveByOne) {
+  Rng rng(12);
+  Tensor truth = Tensor::uniform(Shape{8, 8}, rng, 1.f, 5.f);
+  Tensor pred = Tensor::uniform(Shape{8, 8}, rng, 1.f, 5.f);
+  EXPECT_LE(ssim(pred, truth), 1.0 + 1e-9);
+}
+
+TEST(Ssim, AntiCorrelatedScoresLow) {
+  // A structurally inverted prediction must score far below a faithful one.
+  Rng rng(13);
+  Tensor truth = Tensor::uniform(Shape{64}, rng, 0.f, 1.f);
+  Tensor inverted = truth.apply([](float v) { return 1.f - v; });
+  EXPECT_LT(ssim(inverted, truth), 0.5);
+}
+
+TEST(Ssim, CustomStabilisersAccepted) {
+  Tensor truth = Tensor::full(Shape{4}, 2.f);
+  Tensor pred = Tensor::full(Shape{4}, 2.f);
+  EXPECT_NEAR(ssim(pred, truth, 1e-4, 9e-4), 1.0, 1e-9);
+}
+
+TEST(Mae, KnownValue) {
+  Tensor truth(Shape{4}, {0.f, 0.f, 0.f, 0.f});
+  Tensor pred(Shape{4}, {1.f, -1.f, 2.f, -2.f});
+  EXPECT_DOUBLE_EQ(mae(pred, truth), 1.5);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  Tensor truth = Tensor::arange(10);
+  Tensor pred = truth.mul_scalar(3.f).add_scalar(7.f);
+  EXPECT_NEAR(pearson(pred, truth), 1.0, 1e-6);
+}
+
+TEST(Pearson, ZeroVarianceGivesZero) {
+  Tensor truth = Tensor::arange(10);
+  Tensor flat = Tensor::full(Shape{10}, 5.f);
+  EXPECT_DOUBLE_EQ(pearson(flat, truth), 0.0);
+}
+
+TEST(Metrics, ShapeMismatchThrows) {
+  Tensor a(Shape{4});
+  Tensor b(Shape{5});
+  EXPECT_THROW((void)nrmse(a, b), ContractViolation);
+  EXPECT_THROW((void)psnr(a, b, 1.0), ContractViolation);
+  EXPECT_THROW((void)ssim(a, b), ContractViolation);
+}
+
+TEST(MetricAccumulator, AveragesSnapshots) {
+  MetricAccumulator acc(100.0);
+  Tensor truth = Tensor::full(Shape{4}, 10.f);
+  acc.add(Tensor::full(Shape{4}, 10.f), truth);  // perfect
+  acc.add(Tensor::full(Shape{4}, 12.f), truth);  // NRMSE 0.2
+  EXPECT_EQ(acc.count(), 2);
+  EXPECT_NEAR(acc.mean_nrmse(), 0.1, 1e-9);
+  EXPECT_GT(acc.mean_psnr(), 0.0);
+  EXPECT_FALSE(acc.summary().empty());
+}
+
+TEST(MetricAccumulator, EmptyAccumulatorThrows) {
+  MetricAccumulator acc(1.0);
+  EXPECT_THROW((void)acc.mean_nrmse(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mtsr::metrics

@@ -1,0 +1,63 @@
+// Round-trip tests for model checkpointing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/nn/activations.hpp"
+#include "src/nn/conv2d.hpp"
+#include "src/nn/model_io.hpp"
+#include "src/nn/sequential.hpp"
+
+namespace mtsr::nn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(ModelIo, SaveLoadRoundTrip) {
+  const std::string path = temp_path("mtsr_model_io_test.bin");
+  Rng rng(50);
+  Sequential a;
+  a.emplace<Conv2d>(1, 4, 3, 1, 1, rng);
+  a.emplace<LeakyReLU>(0.1f);
+  a.emplace<Conv2d>(4, 1, 3, 1, 1, rng);
+  save_model(path, a);
+
+  Rng rng2(999);  // different init — must be overwritten by load
+  Sequential b;
+  b.emplace<Conv2d>(1, 4, 3, 1, 1, rng2);
+  b.emplace<LeakyReLU>(0.1f);
+  b.emplace<Conv2d>(4, 1, 3, 1, 1, rng2);
+  load_model(path, b);
+
+  Tensor input = Tensor::randn(Shape{1, 1, 5, 5}, rng);
+  Tensor out_a = a.forward(input, false);
+  Tensor out_b = b.forward(input, false);
+  for (std::int64_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_EQ(out_a.flat(i), out_b.flat(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, ArchitectureMismatchRejected) {
+  const std::string path = temp_path("mtsr_model_io_mismatch.bin");
+  Rng rng(51);
+  Sequential a;
+  a.emplace<Conv2d>(1, 2, 3, 1, 1, rng);
+  save_model(path, a);
+
+  Sequential wrong_count;
+  wrong_count.emplace<Conv2d>(1, 2, 3, 1, 1, rng);
+  wrong_count.emplace<Conv2d>(2, 1, 3, 1, 1, rng);
+  EXPECT_THROW(load_model(path, wrong_count), std::runtime_error);
+
+  Sequential wrong_shape;
+  wrong_shape.emplace<Conv2d>(1, 3, 3, 1, 1, rng);
+  EXPECT_THROW(load_model(path, wrong_shape), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mtsr::nn

@@ -1,0 +1,163 @@
+// Tests for probe layouts (Table 1 / Fig. 8): aggregation correctness, mass
+// conservation, mixture zone structure and the input-square projection.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/data/probes.hpp"
+
+namespace mtsr::data {
+namespace {
+
+TEST(UniformProbeLayout, CoarsenAveragesBlocks) {
+  UniformProbeLayout layout(4, 4, 2);
+  Tensor fine = Tensor::arange(16).reshape(Shape{4, 4});
+  Tensor coarse = layout.coarsen(fine);
+  ASSERT_EQ(coarse.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(coarse.at(0, 0), (0 + 1 + 4 + 5) / 4.f);
+  EXPECT_FLOAT_EQ(coarse.at(1, 1), (10 + 11 + 14 + 15) / 4.f);
+}
+
+TEST(UniformProbeLayout, SpreadConservesMass) {
+  Rng rng(60);
+  UniformProbeLayout layout(8, 8, 4);
+  Tensor fine = Tensor::uniform(Shape{8, 8}, rng, 10.f, 100.f);
+  Tensor spread = layout.spread_average(fine);
+  EXPECT_NEAR(spread.sum(), fine.sum(), 1e-2);
+}
+
+TEST(UniformProbeLayout, MetadataMatchesTable1) {
+  UniformProbeLayout up2(100, 100, 2);
+  EXPECT_EQ(up2.probe_count(), 2500);
+  EXPECT_EQ(up2.input_side(), 50);
+  EXPECT_DOUBLE_EQ(up2.average_factor(), 2.0);
+  EXPECT_EQ(up2.name(), "up-2");
+
+  UniformProbeLayout up10(100, 100, 10);
+  EXPECT_EQ(up10.probe_count(), 100);   // 100x fewer measurement points
+  EXPECT_EQ(up10.input_side(), 10);
+}
+
+TEST(UniformProbeLayout, ProbeMapPartitionsGrid) {
+  UniformProbeLayout layout(6, 6, 3);
+  const auto& map = layout.probe_map();
+  ASSERT_EQ(map.size(), 36u);
+  std::set<std::int32_t> ids(map.begin(), map.end());
+  EXPECT_EQ(static_cast<std::int64_t>(ids.size()), layout.probe_count());
+  EXPECT_EQ(map[0], map[2 * 6 + 2]);   // same 3x3 block
+  EXPECT_NE(map[0], map[0 * 6 + 3]);   // different block
+}
+
+TEST(UniformProbeLayout, IndivisibleGridRejected) {
+  EXPECT_THROW(UniformProbeLayout(10, 10, 3), ContractViolation);
+}
+
+TEST(MixtureProbeLayout, CoversEveryCellExactlyOnce) {
+  MixtureProbeLayout layout(40, 40);
+  const auto& map = layout.probe_map();
+  // Every cell assigned, and per-probe cell counts match probe sizes.
+  std::map<std::int32_t, int> cells_per_probe;
+  for (std::int32_t id : map) {
+    ASSERT_GE(id, 0);
+    ++cells_per_probe[id];
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(cells_per_probe.size()),
+            layout.probe_count());
+  for (const auto& [id, count] : cells_per_probe) {
+    EXPECT_TRUE(count == 4 || count == 16 || count == 100)
+        << "probe " << id << " covers " << count << " cells";
+  }
+}
+
+TEST(MixtureProbeLayout, CompositionUsesAllThreeSizes) {
+  MixtureProbeLayout layout(100, 100);
+  const auto [n2, n4, n10] = layout.composition();
+  EXPECT_GT(n2, 0);
+  EXPECT_GT(n4, 0);
+  EXPECT_GT(n10, 0);
+  // Coverage totals the full grid.
+  EXPECT_EQ(4 * n2 + 16 * n4 + 100 * n10, 100 * 100);
+  // Probe-count proportions are in the neighbourhood of the paper's
+  // 49% / 44% / 7% split.
+  const double total = static_cast<double>(n2 + n4 + n10);
+  EXPECT_NEAR(static_cast<double>(n2) / total, 0.49, 0.15);
+  EXPECT_NEAR(static_cast<double>(n10) / total, 0.07, 0.08);
+}
+
+TEST(MixtureProbeLayout, CentreGetsFinestProbes) {
+  MixtureProbeLayout layout(100, 100);
+  Tensor gmap = layout.granularity_map();
+  // The very centre should be covered by 2x2 probes, the corner by 10x10.
+  EXPECT_FLOAT_EQ(gmap.at(50, 50), 2.f);
+  EXPECT_FLOAT_EQ(gmap.at(0, 0), 10.f);
+}
+
+TEST(MixtureProbeLayout, AverageFactorNearFour) {
+  MixtureProbeLayout layout(100, 100);
+  // Table 1: the mixture instance has average n_f = 4 (coverage-weighted).
+  EXPECT_NEAR(layout.average_factor(), 4.0, 2.0);
+  EXPECT_EQ(layout.input_side(), 25);
+}
+
+TEST(MixtureProbeLayout, CoarsenWritesProbeAverages) {
+  MixtureProbeLayout layout(40, 40);
+  Tensor fine = Tensor::full(Shape{40, 40}, 7.f);
+  Tensor input = layout.coarsen(fine);
+  ASSERT_EQ(input.shape(), Shape({10, 10}));
+  // Occupied slots hold the probe average (7); padding slots hold 0.
+  for (std::int64_t i = 0; i < layout.probe_count(); ++i) {
+    EXPECT_FLOAT_EQ(input.flat(i), 7.f);
+  }
+  for (std::int64_t i = layout.probe_count(); i < input.size(); ++i) {
+    EXPECT_FLOAT_EQ(input.flat(i), 0.f);
+  }
+}
+
+TEST(MixtureProbeLayout, SpreadConservesMass) {
+  Rng rng(61);
+  MixtureProbeLayout layout(40, 40);
+  Tensor fine = Tensor::uniform(Shape{40, 40}, rng, 10.f, 50.f);
+  Tensor spread = layout.spread_average(fine);
+  EXPECT_NEAR(spread.sum() / fine.sum(), 1.0, 1e-4);
+}
+
+TEST(MixtureProbeLayout, RequiresSuperblockDivisibility) {
+  EXPECT_THROW(MixtureProbeLayout(30, 30), ContractViolation);
+}
+
+TEST(MakeLayout, BuildsAllInstances) {
+  for (MtsrInstance instance :
+       {MtsrInstance::kUp2, MtsrInstance::kUp4, MtsrInstance::kUp10,
+        MtsrInstance::kMixture}) {
+    auto layout = make_layout(instance, 40, 40);
+    ASSERT_NE(layout, nullptr);
+    EXPECT_EQ(layout->rows(), 40);
+    EXPECT_GT(layout->probe_count(), 0);
+  }
+  EXPECT_EQ(instance_name(MtsrInstance::kUp10), "up-10");
+}
+
+// Property sweep: every layout preserves total traffic volume through
+// spread_average (aggregation must not create or destroy traffic).
+class LayoutConservation
+    : public ::testing::TestWithParam<MtsrInstance> {};
+
+TEST_P(LayoutConservation, SpreadAverageConservesVolume) {
+  Rng rng(62);
+  auto layout = make_layout(GetParam(), 40, 40);
+  Tensor fine = Tensor::uniform(Shape{40, 40}, rng, 5.f, 500.f);
+  Tensor spread = layout->spread_average(fine);
+  EXPECT_NEAR(spread.sum() / fine.sum(), 1.0, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInstances, LayoutConservation,
+                         ::testing::Values(MtsrInstance::kUp2,
+                                           MtsrInstance::kUp4,
+                                           MtsrInstance::kUp10,
+                                           MtsrInstance::kMixture));
+
+}  // namespace
+}  // namespace mtsr::data

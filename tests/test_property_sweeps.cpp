@@ -1,0 +1,198 @@
+// Cross-module property sweeps (TEST_P): shape algebra of the 3-D layers
+// over kernel/stride grids, generator determinism and physical bounds over
+// grid sizes, probe-layout invariants over factors, and metric invariants
+// over random inputs.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/data/milan.hpp"
+#include "src/data/probes.hpp"
+#include "src/metrics/metrics.hpp"
+#include "src/nn/conv3d.hpp"
+#include "src/nn/conv_transpose3d.hpp"
+
+namespace mtsr {
+namespace {
+
+// --- Conv3d shape algebra ---------------------------------------------------
+
+struct Conv3dGeom {
+  std::array<int, 3> kernel;
+  std::array<int, 3> stride;
+  std::array<int, 3> padding;
+};
+
+class Conv3dShapeSweep : public ::testing::TestWithParam<Conv3dGeom> {};
+
+TEST_P(Conv3dShapeSweep, OutputFollowsConvArithmetic) {
+  const auto geom = GetParam();
+  Rng rng(200);
+  nn::Conv3d conv(2, 3, geom.kernel, geom.stride, geom.padding, rng);
+  const std::int64_t d = 6, h = 9, w = 8;
+  Tensor out = conv.forward(Tensor::zeros(Shape{1, 2, d, h, w}), true);
+  auto expect = [&](int axis, std::int64_t in) {
+    return (in + 2 * geom.padding[static_cast<std::size_t>(axis)] -
+            geom.kernel[static_cast<std::size_t>(axis)]) /
+               geom.stride[static_cast<std::size_t>(axis)] +
+           1;
+  };
+  EXPECT_EQ(out.dim(1), 3);
+  EXPECT_EQ(out.dim(2), expect(0, d));
+  EXPECT_EQ(out.dim(3), expect(1, h));
+  EXPECT_EQ(out.dim(4), expect(2, w));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Conv3dShapeSweep,
+    ::testing::Values(Conv3dGeom{{1, 1, 1}, {1, 1, 1}, {0, 0, 0}},
+                      Conv3dGeom{{3, 3, 3}, {1, 1, 1}, {1, 1, 1}},
+                      Conv3dGeom{{1, 3, 3}, {1, 2, 2}, {0, 1, 1}},
+                      Conv3dGeom{{3, 5, 5}, {1, 1, 1}, {1, 2, 2}},
+                      Conv3dGeom{{2, 2, 2}, {2, 2, 2}, {0, 0, 0}}));
+
+// --- ConvTranspose3d round-trip geometry ------------------------------------
+
+class Deconv3dFactorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Deconv3dFactorSweep, SpatialExtentScalesByFactorDepthPreserved) {
+  const int f = GetParam();
+  Rng rng(201);
+  nn::ConvTranspose3d deconv(1, 1, {3, f + 2, f + 2}, {1, f, f}, {1, 1, 1},
+                             rng);
+  const std::int64_t d = 4, side = 5;
+  Tensor out = deconv.forward(Tensor::zeros(Shape{1, 1, d, side, side}),
+                              true);
+  EXPECT_EQ(out.dim(2), d);         // temporal depth preserved
+  EXPECT_EQ(out.dim(3), side * f);  // spatial extent multiplied
+  EXPECT_EQ(out.dim(4), side * f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, Deconv3dFactorSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --- Milan generator invariants over grid sizes ------------------------------
+
+class MilanSizeSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(MilanSizeSweep, FramesBoundedAndDeterministic) {
+  const std::int64_t side = GetParam();
+  data::MilanConfig config;
+  config.rows = side;
+  config.cols = side;
+  config.num_hotspots = std::max<std::int64_t>(side / 4, 4);
+  config.seed = 202;
+  data::MilanTrafficGenerator a(config);
+  data::MilanTrafficGenerator b(config);
+  auto fa = a.generate(10, 2);
+  auto fb = b.generate(10, 2);
+  for (std::size_t t = 0; t < fa.size(); ++t) {
+    EXPECT_EQ(fa[t].shape(), Shape({side, side}));
+    EXPECT_GE(fa[t].min(), 0.f);                       // no negative traffic
+    EXPECT_LE(fa[t].max(), 1.5f * 5496.f);             // bounded near peak
+    for (std::int64_t i = 0; i < fa[t].size(); ++i) {  // deterministic
+      ASSERT_EQ(fa[t].flat(i), fb[t].flat(i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MilanSizeSweep,
+                         ::testing::Values(12, 20, 40, 60));
+
+TEST(MilanCommute, ScheduleBounds) {
+  data::MilanConfig config;
+  config.rows = config.cols = 12;
+  config.num_hotspots = 4;
+  config.start_minute_of_week = 0;
+  data::MilanTrafficGenerator gen(config);
+  for (std::int64_t t = 0; t < 7 * 144; t += 7) {
+    const double p = gen.commute_progress(t);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  // Weekday noon near full commute; 03:00 near zero; weekend damped.
+  EXPECT_GT(gen.commute_progress(72), 0.9);        // Monday 12:00
+  EXPECT_LT(gen.commute_progress(18), 0.05);       // Monday 03:00
+  EXPECT_LT(gen.commute_progress(5 * 144 + 72),    // Saturday 12:00
+            0.5 * gen.commute_progress(72));
+}
+
+TEST(MilanTowers, SpikesAreSubProbeDetail) {
+  // Tower cells must be local maxima clearly above their neighbourhood —
+  // the needle texture of the paper's Fig. 10 surfaces.
+  data::MilanConfig config;
+  config.rows = config.cols = 30;
+  config.num_hotspots = 10;
+  config.seed = 203;
+  data::MilanTrafficGenerator gen(config);
+  auto frame = gen.generate(84, 1).front();  // mid-day
+  const auto& towers = gen.towers();
+  ASSERT_FALSE(towers.empty());
+  // Check the strongest tower (away from grid edges).
+  const data::Tower* strongest = nullptr;
+  for (const auto& t : towers) {
+    if (t.row < 2 || t.row > 27 || t.col < 2 || t.col > 27) continue;
+    if (strongest == nullptr || t.amplitude > strongest->amplitude) {
+      strongest = &t;
+    }
+  }
+  ASSERT_NE(strongest, nullptr);
+  const float centre = frame.at(strongest->row, strongest->col);
+  const float far_ring = frame.at(strongest->row + 2, strongest->col + 2);
+  EXPECT_GT(centre, far_ring);
+}
+
+// --- Probe layout invariants over factors ------------------------------------
+
+class UniformFactorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(UniformFactorSweep, CoarsenSpreadRoundTripIsProjection) {
+  // spread(coarsen(x)) is idempotent: applying it twice equals once.
+  const int factor = GetParam();
+  Rng rng(204);
+  data::UniformProbeLayout layout(40, 40, factor);
+  Tensor fine = Tensor::uniform(Shape{40, 40}, rng, 1.f, 100.f);
+  Tensor once = layout.spread_average(fine);
+  Tensor twice = layout.spread_average(once);
+  for (std::int64_t i = 0; i < once.size(); ++i) {
+    EXPECT_NEAR(once.flat(i), twice.flat(i), 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, UniformFactorSweep,
+                         ::testing::Values(2, 4, 5, 8, 10));
+
+// --- Metric invariants over random inputs ------------------------------------
+
+class MetricInvariantSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricInvariantSweep, HoldForRandomPairs) {
+  Rng rng(GetParam());
+  Tensor truth = Tensor::uniform(Shape{12, 12}, rng, 10.f, 500.f);
+  Tensor pred = Tensor::uniform(Shape{12, 12}, rng, 10.f, 500.f);
+
+  // NRMSE non-negative; zero iff identical.
+  EXPECT_GT(metrics::nrmse(pred, truth), 0.0);
+  EXPECT_DOUBLE_EQ(metrics::nrmse(truth, truth), 0.0);
+  // SSIM is symmetric when the stabilisers are fixed explicitly (the
+  // defaults derive c1/c2 from the truth's range, breaking exact symmetry
+  // by design), and bounded by 1.
+  const double c1 = 25.0, c2 = 225.0;
+  const double s1 = metrics::ssim(pred, truth, c1, c2);
+  const double s2 = metrics::ssim(truth, pred, c1, c2);
+  EXPECT_NEAR(s1, s2, 1e-9);
+  EXPECT_LE(metrics::ssim(pred, truth), 1.0 + 1e-9);
+  // PSNR decreases when error is doubled away from the truth.
+  Tensor worse = truth;
+  worse.axpy_(2.f, pred.sub(truth));
+  EXPECT_GT(metrics::psnr(pred, truth, 5496.0),
+            metrics::psnr(worse, truth, 5496.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricInvariantSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace mtsr

@@ -1,0 +1,69 @@
+// Round-trip and corruption tests for tensor serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "src/common/rng.hpp"
+#include "src/tensor/serialize.hpp"
+
+namespace mtsr {
+namespace {
+
+TEST(Serialize, StreamRoundTrip) {
+  Rng rng(7);
+  Tensor t = Tensor::randn(Shape{2, 3, 4}, rng);
+  std::stringstream buffer;
+  write_tensor(buffer, t);
+  Tensor back = read_tensor(buffer);
+  ASSERT_EQ(back.shape(), t.shape());
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back.flat(i), t.flat(i));
+  }
+}
+
+TEST(Serialize, BadMagicRejected) {
+  std::stringstream buffer;
+  buffer << "NOTATENSORFILE................";
+  EXPECT_THROW((void)read_tensor(buffer), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedPayloadRejected) {
+  Rng rng(8);
+  Tensor t = Tensor::randn(Shape{10, 10}, rng);
+  std::stringstream buffer;
+  write_tensor(buffer, t);
+  std::string data = buffer.str();
+  data.resize(data.size() / 2);
+  std::stringstream cut(data);
+  EXPECT_THROW((void)read_tensor(cut), std::runtime_error);
+}
+
+TEST(Serialize, NamedCollectionRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mtsr_serialize_test.bin")
+          .string();
+  Rng rng(9);
+  std::vector<std::pair<std::string, Tensor>> tensors;
+  tensors.emplace_back("weight", Tensor::randn(Shape{4, 4}, rng));
+  tensors.emplace_back("bias", Tensor::randn(Shape{4}, rng));
+  save_tensors(path, tensors);
+  auto loaded = load_tensors(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].first, "weight");
+  EXPECT_EQ(loaded[1].first, "bias");
+  EXPECT_EQ(loaded[0].second.shape(), tensors[0].second.shape());
+  for (std::int64_t i = 0; i < tensors[1].second.size(); ++i) {
+    EXPECT_EQ(loaded[1].second.flat(i), tensors[1].second.flat(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW((void)load_tensors("/nonexistent/zipnet.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mtsr

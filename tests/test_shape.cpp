@@ -1,0 +1,71 @@
+// Unit tests for Shape: rank/dim/volume/stride algebra and contracts.
+#include <gtest/gtest.h>
+
+#include "src/common/check.hpp"
+#include "src/tensor/shape.hpp"
+
+namespace mtsr {
+namespace {
+
+TEST(Shape, DefaultIsRankZero) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.volume(), 1);
+}
+
+TEST(Shape, InitializerListConstruction) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(1), 3);
+  EXPECT_EQ(s.dim(2), 4);
+  EXPECT_EQ(s.volume(), 24);
+}
+
+TEST(Shape, NegativeAxisCountsFromBack) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-2), 3);
+  EXPECT_EQ(s.dim(-3), 2);
+}
+
+TEST(Shape, AxisOutOfRangeThrows) {
+  Shape s{2, 3};
+  EXPECT_THROW((void)s.dim(2), ContractViolation);
+  EXPECT_THROW((void)s.dim(-3), ContractViolation);
+}
+
+TEST(Shape, RowMajorStrides) {
+  Shape s{2, 3, 4};
+  const auto strides = s.strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(Shape, EqualityComparesDims) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(Shape, NegativeDimsRejected) {
+  EXPECT_THROW(Shape({2, -1}), ContractViolation);
+}
+
+TEST(Shape, RankAboveMaxRejected) {
+  EXPECT_THROW(Shape({1, 2, 3, 4, 5, 6}), ContractViolation);
+}
+
+TEST(Shape, ZeroDimGivesZeroVolume) {
+  Shape s{4, 0, 2};
+  EXPECT_EQ(s.volume(), 0);
+}
+
+TEST(Shape, ToStringFormat) {
+  EXPECT_EQ(Shape({2, 3}).to_string(), "(2, 3)");
+}
+
+}  // namespace
+}  // namespace mtsr

@@ -1,0 +1,138 @@
+// Tests for the streaming inference engine and pipeline checkpointing —
+// the Section-6 deployment surface.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/common/check.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/core/streaming.hpp"
+#include "src/data/milan.hpp"
+#include "src/metrics/metrics.hpp"
+
+namespace mtsr::core {
+namespace {
+
+data::TrafficDataset small_dataset(std::uint64_t seed = 180) {
+  data::MilanConfig config;
+  config.rows = 16;
+  config.cols = 16;
+  config.num_hotspots = 10;
+  config.seed = seed;
+  return data::TrafficDataset(
+      data::MilanTrafficGenerator(config).generate(0, 40), 10);
+}
+
+PipelineConfig small_pipeline_config() {
+  PipelineConfig config;
+  config.instance = data::MtsrInstance::kUp4;
+  config.window = 8;
+  config.temporal_length = 3;
+  config.zipnet.base_channels = 3;
+  config.zipnet.zipper_modules = 3;
+  config.zipnet.zipper_channels = 6;
+  config.zipnet.final_channels = 8;
+  config.discriminator.base_channels = 2;
+  config.pretrain_steps = 20;
+  config.gan_rounds = 0;
+  return config;
+}
+
+TEST(StreamingInferencer, WarmsUpThenEmitsEveryInterval) {
+  data::TrafficDataset dataset = small_dataset();
+  MtsrPipeline pipeline(small_pipeline_config(), dataset);
+  StreamingInferencer stream = StreamingInferencer::from_dataset(
+      pipeline.generator(), pipeline.window_layout(), dataset, 8, 4);
+
+  EXPECT_EQ(stream.temporal_length(), 3);
+  EXPECT_EQ(stream.frames_until_ready(), 3);
+
+  // First S-1 frames warm the ring buffer without output.
+  EXPECT_FALSE(stream.push_fine(dataset.frame(0)).has_value());
+  EXPECT_FALSE(stream.push_fine(dataset.frame(1)).has_value());
+  EXPECT_EQ(stream.frames_until_ready(), 1);
+
+  // From the S-th frame on, every interval yields a prediction.
+  for (std::int64_t t = 2; t < 6; ++t) {
+    auto prediction = stream.push_fine(dataset.frame(t));
+    ASSERT_TRUE(prediction.has_value());
+    EXPECT_EQ(prediction->shape(), dataset.frame(t).shape());
+    EXPECT_TRUE(prediction->all_finite());
+  }
+  EXPECT_EQ(stream.inference_count(), 4);
+}
+
+TEST(StreamingInferencer, MatchesOfflinePipelinePrediction) {
+  // The live path must produce exactly what the offline pipeline's stitched
+  // prediction produces for the same frame history.
+  data::TrafficDataset dataset = small_dataset(181);
+  PipelineConfig config = small_pipeline_config();
+  config.stitch_stride = 4;
+  MtsrPipeline pipeline(config, dataset);
+  pipeline.train_pretrain_only();
+
+  StreamingInferencer stream = StreamingInferencer::from_dataset(
+      pipeline.generator(), pipeline.window_layout(), dataset, 8, 4);
+  std::optional<Tensor> live;
+  const std::int64_t t = 5;
+  for (std::int64_t i = t - 2; i <= t; ++i) {
+    live = stream.push_fine(dataset.frame(i));
+  }
+  ASSERT_TRUE(live.has_value());
+  Tensor offline = pipeline.predict_frame(t);
+  for (std::int64_t i = 0; i < offline.size(); ++i) {
+    EXPECT_NEAR(live->flat(i), offline.flat(i), 1e-2);
+  }
+}
+
+TEST(StreamingInferencer, RejectsWrongGeometry) {
+  data::TrafficDataset dataset = small_dataset(182);
+  MtsrPipeline pipeline(small_pipeline_config(), dataset);
+  StreamingInferencer stream = StreamingInferencer::from_dataset(
+      pipeline.generator(), pipeline.window_layout(), dataset, 8, 4);
+  EXPECT_THROW((void)stream.push_fine(Tensor(Shape{8, 8})),
+               ContractViolation);
+}
+
+TEST(PipelineCheckpoint, SaveLoadRestoresPredictions) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mtsr_generator_ckpt.bin")
+          .string();
+  data::TrafficDataset dataset = small_dataset(183);
+  PipelineConfig config = small_pipeline_config();
+  config.pretrain_steps = 40;
+
+  MtsrPipeline trained(config, dataset);
+  trained.train_pretrain_only();
+  Tensor expected = trained.predict_frame(30);
+  trained.save_generator(path);
+
+  MtsrPipeline restored(config, dataset);  // fresh weights
+  Tensor before = restored.predict_frame(30);
+  EXPECT_GT(metrics::mae(before, expected), 1e-4);  // differs pre-load
+  restored.load_generator(path);
+  Tensor after = restored.predict_frame(30);
+  for (std::int64_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(after.flat(i), expected.flat(i), 1e-3);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PipelineCheckpoint, MismatchedArchitectureRejected) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mtsr_generator_ckpt2.bin")
+          .string();
+  data::TrafficDataset dataset = small_dataset(184);
+  MtsrPipeline a(small_pipeline_config(), dataset);
+  a.save_generator(path);
+
+  PipelineConfig other = small_pipeline_config();
+  other.zipnet.zipper_channels = 12;  // different width
+  MtsrPipeline b(other, dataset);
+  EXPECT_THROW(b.load_generator(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mtsr::core

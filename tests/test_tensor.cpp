@@ -1,0 +1,131 @@
+// Unit tests for the Tensor value type: construction, access, arithmetic,
+// reductions and contracts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace mtsr {
+namespace {
+
+TEST(Tensor, ZeroInitialised) {
+  Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.size(), 6);
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.flat(i), 0.f);
+}
+
+TEST(Tensor, FactoryFull) {
+  Tensor t = Tensor::full(Shape{2, 2}, 3.5f);
+  EXPECT_EQ(t.flat(0), 3.5f);
+  EXPECT_EQ(t.flat(3), 3.5f);
+}
+
+TEST(Tensor, ArangeValues) {
+  Tensor t = Tensor::arange(4);
+  EXPECT_EQ(t.rank(), 1);
+  EXPECT_EQ(t.flat(0), 0.f);
+  EXPECT_EQ(t.flat(3), 3.f);
+}
+
+TEST(Tensor, MultiIndexAccessIsRowMajor) {
+  Tensor t = Tensor::arange(12).reshape(Shape{3, 4});
+  EXPECT_EQ(t.at(0, 0), 0.f);
+  EXPECT_EQ(t.at(0, 3), 3.f);
+  EXPECT_EQ(t.at(1, 0), 4.f);
+  EXPECT_EQ(t.at(2, 3), 11.f);
+}
+
+TEST(Tensor, AtValidatesIndexCountAndRange) {
+  Tensor t(Shape{2, 2});
+  EXPECT_THROW((void)t.at(0), ContractViolation);
+  EXPECT_THROW((void)t.at(0, 2), ContractViolation);
+  EXPECT_THROW((void)t.at(2, 0), ContractViolation);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::arange(6).reshape(Shape{2, 3});
+  Tensor r = t.reshape(Shape{3, 2});
+  EXPECT_EQ(r.at(0, 0), 0.f);
+  EXPECT_EQ(r.at(2, 1), 5.f);
+}
+
+TEST(Tensor, ReshapeVolumeMismatchThrows) {
+  Tensor t(Shape{2, 3});
+  EXPECT_THROW((void)t.reshape(Shape{2, 4}), ContractViolation);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  Tensor a = Tensor::full(Shape{2, 2}, 2.f);
+  Tensor b = Tensor::full(Shape{2, 2}, 3.f);
+  EXPECT_EQ(a.add(b).flat(0), 5.f);
+  EXPECT_EQ(a.sub(b).flat(0), -1.f);
+  EXPECT_EQ(a.mul(b).flat(0), 6.f);
+  EXPECT_EQ(a.add_scalar(1.f).flat(0), 3.f);
+  EXPECT_EQ(a.mul_scalar(4.f).flat(0), 8.f);
+}
+
+TEST(Tensor, InPlaceArithmeticReturnsSelf) {
+  Tensor a = Tensor::full(Shape{2}, 1.f);
+  Tensor b = Tensor::full(Shape{2}, 2.f);
+  a.add_(b).mul_scalar_(3.f);
+  EXPECT_EQ(a.flat(0), 9.f);
+}
+
+TEST(Tensor, AxpyAccumulates) {
+  Tensor a = Tensor::full(Shape{3}, 1.f);
+  Tensor x = Tensor::full(Shape{3}, 2.f);
+  a.axpy_(0.5f, x);
+  EXPECT_FLOAT_EQ(a.flat(0), 2.f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a(Shape{2, 2});
+  Tensor b(Shape{4});
+  EXPECT_THROW(a.add_(b), ContractViolation);
+  EXPECT_THROW(a.mul_(b), ContractViolation);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t = Tensor::arange(4);  // 0 1 2 3
+  EXPECT_DOUBLE_EQ(t.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 1.5);
+  EXPECT_EQ(t.min(), 0.f);
+  EXPECT_EQ(t.max(), 3.f);
+  EXPECT_NEAR(t.stddev(), std::sqrt(1.25), 1e-6);
+  EXPECT_DOUBLE_EQ(t.squared_norm(), 14.0);
+}
+
+TEST(Tensor, ApplyTransformsElementwise) {
+  Tensor t = Tensor::arange(3);
+  Tensor sq = t.apply([](float v) { return v * v; });
+  EXPECT_EQ(sq.flat(2), 4.f);
+  EXPECT_EQ(t.flat(2), 2.f);  // original untouched
+}
+
+TEST(Tensor, AllFiniteDetectsNan) {
+  Tensor t(Shape{2});
+  EXPECT_TRUE(t.all_finite());
+  t.flat(0) = std::nanf("");
+  EXPECT_FALSE(t.all_finite());
+}
+
+TEST(Tensor, RandnIsDeterministicPerSeed) {
+  Rng rng1(99), rng2(99);
+  Tensor a = Tensor::randn(Shape{8}, rng1);
+  Tensor b = Tensor::randn(Shape{8}, rng2);
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.flat(i), b.flat(i));
+  }
+}
+
+TEST(Tensor, CloneIsDeepCopy) {
+  Tensor a = Tensor::full(Shape{2}, 1.f);
+  Tensor b = a.clone();
+  b.flat(0) = 5.f;
+  EXPECT_EQ(a.flat(0), 1.f);
+}
+
+}  // namespace
+}  // namespace mtsr
