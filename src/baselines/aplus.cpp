@@ -7,6 +7,7 @@
 #include "src/baselines/bicubic.hpp"
 #include "src/baselines/linalg.hpp"
 #include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::baselines {
@@ -73,41 +74,44 @@ void APlusSR::fit(const std::vector<Tensor>& fine_frames,
 
   const int nn = static_cast<int>(
       std::min<std::int64_t>(config_.neighbourhood, n));
-  projections_.clear();
-  projections_.reserve(static_cast<std::size_t>(config_.anchors));
-  std::vector<std::int64_t> index(static_cast<std::size_t>(n));
-  std::iota(index.begin(), index.end(), 0);
-  std::vector<double> corr(static_cast<std::size_t>(n));
-
-  for (int a = 0; a < config_.anchors; ++a) {
-    const float* anchor = anchors_.data() + a * feat;
-    for (std::int64_t i = 0; i < n; ++i) {
-      const float* f = unit_features.data() + i * feat;
-      double dot = 0.0;
-      for (std::int64_t j = 0; j < feat; ++j) dot += anchor[j] * f[j];
-      corr[static_cast<std::size_t>(i)] = dot;
-    }
-    std::partial_sort(index.begin(), index.begin() + nn, index.end(),
-                      [&](std::int64_t x, std::int64_t y) {
-                        return corr[static_cast<std::size_t>(x)] >
-                               corr[static_cast<std::size_t>(y)];
-                      });
-    // Anchored neighbourhood matrices: X (feat, nn), Y (out, nn) over raw
-    // (unnormalised) samples.
-    Tensor x(Shape{feat, static_cast<std::int64_t>(nn)});
-    Tensor y(Shape{out_dim, static_cast<std::int64_t>(nn)});
-    for (int i = 0; i < nn; ++i) {
-      const std::int64_t s = index[static_cast<std::size_t>(i)];
-      for (std::int64_t j = 0; j < feat; ++j) {
-        x.at(j, i) = ds.features.at(s, j);
-      }
-      for (std::int64_t j = 0; j < out_dim; ++j) {
-        y.at(j, i) = ds.residuals.at(s, j);
-      }
-    }
-    projections_.push_back(ridge_regression(x, y, config_.ridge_lambda));
-    std::iota(index.begin(), index.end(), 0);
-  }
+  // Anchors are independent: each chunk ranks neighbours and solves its
+  // ridge systems with chunk-local scratch, writing projections_[a].
+  projections_.assign(static_cast<std::size_t>(config_.anchors), Tensor());
+  parallel_for_chunks(
+      config_.anchors, [&](std::int64_t begin, std::int64_t end, int) {
+        std::vector<std::int64_t> index(static_cast<std::size_t>(n));
+        std::vector<double> corr(static_cast<std::size_t>(n));
+        for (std::int64_t a = begin; a < end; ++a) {
+          const float* anchor = anchors_.data() + a * feat;
+          for (std::int64_t i = 0; i < n; ++i) {
+            const float* f = unit_features.data() + i * feat;
+            double dot = 0.0;
+            for (std::int64_t j = 0; j < feat; ++j) dot += anchor[j] * f[j];
+            corr[static_cast<std::size_t>(i)] = dot;
+          }
+          std::iota(index.begin(), index.end(), 0);
+          std::partial_sort(index.begin(), index.begin() + nn, index.end(),
+                            [&](std::int64_t x, std::int64_t y) {
+                              return corr[static_cast<std::size_t>(x)] >
+                                     corr[static_cast<std::size_t>(y)];
+                            });
+          // Anchored neighbourhood matrices: X (feat, nn), Y (out, nn) over
+          // raw (unnormalised) samples.
+          Tensor x(Shape{feat, static_cast<std::int64_t>(nn)});
+          Tensor y(Shape{out_dim, static_cast<std::int64_t>(nn)});
+          for (int i = 0; i < nn; ++i) {
+            const std::int64_t s = index[static_cast<std::size_t>(i)];
+            for (std::int64_t j = 0; j < feat; ++j) {
+              x.at(j, i) = ds.features.at(s, j);
+            }
+            for (std::int64_t j = 0; j < out_dim; ++j) {
+              y.at(j, i) = ds.residuals.at(s, j);
+            }
+          }
+          projections_[static_cast<std::size_t>(a)] =
+              ridge_regression(x, y, config_.ridge_lambda);
+        }
+      });
   fitted_ = true;
 }
 
@@ -123,19 +127,27 @@ Tensor APlusSR::super_resolve(const Tensor& fine_frame,
   const auto origins = patch_origins(mid.dim(0), mid.dim(1), size,
                                      config_.predict_stride);
   Tensor residuals(Shape{static_cast<std::int64_t>(origins.size()), out_dim});
-  std::vector<float> feature(static_cast<std::size_t>(feat));
-  for (std::size_t i = 0; i < origins.size(); ++i) {
-    extract_feature(mid, origins[i].first, origins[i].second, size,
-                    feature.data());
-    const std::int64_t a = nearest_anchor(feature.data(), feat);
-    const Tensor& p = projections_[static_cast<std::size_t>(a)];
-    for (std::int64_t r = 0; r < out_dim; ++r) {
-      double acc = 0.0;
-      const float* row = p.data() + r * feat;
-      for (std::int64_t j = 0; j < feat; ++j) acc += row[j] * feature[static_cast<std::size_t>(j)];
-      residuals.at(static_cast<std::int64_t>(i), r) = static_cast<float>(acc);
-    }
-  }
+  // Patch regressions are independent: fan out with per-chunk scratch.
+  parallel_for_chunks(
+      static_cast<std::int64_t>(origins.size()),
+      [&](std::int64_t begin, std::int64_t end, int) {
+        std::vector<float> feature(static_cast<std::size_t>(feat));
+        for (std::int64_t i = begin; i < end; ++i) {
+          const auto& origin = origins[static_cast<std::size_t>(i)];
+          extract_feature(mid, origin.first, origin.second, size,
+                          feature.data());
+          const std::int64_t a = nearest_anchor(feature.data(), feat);
+          const Tensor& p = projections_[static_cast<std::size_t>(a)];
+          for (std::int64_t r = 0; r < out_dim; ++r) {
+            double acc = 0.0;
+            const float* row = p.data() + r * feat;
+            for (std::int64_t j = 0; j < feat; ++j) {
+              acc += row[j] * feature[static_cast<std::size_t>(j)];
+            }
+            residuals.at(i, r) = static_cast<float>(acc);
+          }
+        }
+      });
   return assemble_patches(mid, origins, residuals, size);
 }
 

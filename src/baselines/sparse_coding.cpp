@@ -6,6 +6,7 @@
 #include "src/baselines/bicubic.hpp"
 #include "src/baselines/linalg.hpp"
 #include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::baselines {
@@ -115,16 +116,17 @@ void SparseCodingSR::fit(const std::vector<Tensor>& fine_frames,
   dict_lo_ = std::move(km.centroids);
   normalize_rows(dict_lo_);
 
-  // Sparse-code the training set over D_l.
+  // Sparse-code the training set over D_l. Patches are independent, so the
+  // encode loop fans out over the shared pool (each i writes column i).
   const std::int64_t feat = ds.features.dim(1);
   Tensor codes(Shape{config_.dictionary_size, n});  // (k, n)
-  for (std::int64_t i = 0; i < n; ++i) {
+  parallel_for(n, [&](std::int64_t i) {
     Tensor code = omp_encode(dict_lo_, ds.features.data() + i * feat, feat,
                              config_.sparsity);
     for (std::int64_t a = 0; a < config_.dictionary_size; ++a) {
       codes.at(a, i) = code.flat(a);
     }
-  }
+  });
 
   // Coupled high-resolution dictionary: ridge fit residuals ≈ D_h · codes.
   dict_hi_ = ridge_regression(codes, transpose(ds.residuals),
@@ -145,20 +147,28 @@ Tensor SparseCodingSR::super_resolve(const Tensor& fine_frame,
   Tensor residuals(
       Shape{static_cast<std::int64_t>(origins.size()),
             static_cast<std::int64_t>(size) * size});
-  std::vector<float> feature(static_cast<std::size_t>(feat));
-  for (std::size_t i = 0; i < origins.size(); ++i) {
-    extract_feature(mid, origins[i].first, origins[i].second, size,
-                    feature.data());
-    Tensor code = omp_encode(dict_lo_, feature.data(), feat, config_.sparsity);
-    // residual_patch = D_h · code
-    for (std::int64_t r = 0; r < residuals.dim(1); ++r) {
-      double acc = 0.0;
-      for (std::int64_t a = 0; a < config_.dictionary_size; ++a) {
-        acc += static_cast<double>(dict_hi_.at(r, a)) * code.flat(a);
-      }
-      residuals.at(static_cast<std::int64_t>(i), r) = static_cast<float>(acc);
-    }
-  }
+  // Patch predictions are independent: encode and decode on the pool, one
+  // feature scratch buffer per chunk.
+  parallel_for_chunks(
+      static_cast<std::int64_t>(origins.size()),
+      [&](std::int64_t begin, std::int64_t end, int) {
+        std::vector<float> feature(static_cast<std::size_t>(feat));
+        for (std::int64_t i = begin; i < end; ++i) {
+          const auto& origin = origins[static_cast<std::size_t>(i)];
+          extract_feature(mid, origin.first, origin.second, size,
+                          feature.data());
+          Tensor code =
+              omp_encode(dict_lo_, feature.data(), feat, config_.sparsity);
+          // residual_patch = D_h · code
+          for (std::int64_t r = 0; r < residuals.dim(1); ++r) {
+            double acc = 0.0;
+            for (std::int64_t a = 0; a < config_.dictionary_size; ++a) {
+              acc += static_cast<double>(dict_hi_.at(r, a)) * code.flat(a);
+            }
+            residuals.at(i, r) = static_cast<float>(acc);
+          }
+        }
+      });
   return assemble_patches(mid, origins, residuals, size);
 }
 

@@ -4,6 +4,7 @@
 
 #include "src/baselines/bicubic.hpp"
 #include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
 #include "src/nn/activations.hpp"
 #include "src/nn/conv2d.hpp"
 #include "src/nn/loss.hpp"
@@ -25,35 +26,49 @@ void Srcnn::fit(const std::vector<Tensor>& fine_frames,
   check(!fine_frames.empty(), "Srcnn::fit: no training frames");
   Rng rng(config_.seed);
 
-  // Normalisation statistics over the training frames.
-  double sum = 0.0, sq = 0.0;
+  // Normalisation statistics over the training frames (deterministic
+  // slot-order reduction on the pool).
+  const auto frame_count = static_cast<std::int64_t>(fine_frames.size());
   std::int64_t count = 0;
-  for (const Tensor& f : fine_frames) {
-    for (std::int64_t i = 0; i < f.size(); ++i) {
-      sum += f.flat(i);
-      sq += static_cast<double>(f.flat(i)) * f.flat(i);
-    }
-    count += f.size();
-  }
+  for (const Tensor& f : fine_frames) count += f.size();
+  using Stats = std::pair<double, double>;  // (sum, sum of squares)
+  const auto [sum, sq] = parallel_reduce(
+      frame_count, Stats{0.0, 0.0},
+      [&](std::int64_t begin, std::int64_t end) {
+        Stats acc{0.0, 0.0};
+        for (std::int64_t fi = begin; fi < end; ++fi) {
+          const Tensor& f = fine_frames[static_cast<std::size_t>(fi)];
+          const float* pf = f.data();
+          for (std::int64_t i = 0; i < f.size(); ++i) {
+            acc.first += pf[i];
+            acc.second += static_cast<double>(pf[i]) * pf[i];
+          }
+        }
+        return acc;
+      },
+      [](Stats a, Stats b) {
+        return Stats{a.first + b.first, a.second + b.second};
+      });
   mean_ = sum / static_cast<double>(count);
   stddev_ = std::sqrt(
       std::max(sq / static_cast<double>(count) - mean_ * mean_, 1e-12));
 
-  // Bicubic mids, normalised, plus normalised targets.
+  // Bicubic mids, normalised, plus normalised targets; frames are
+  // independent, so the preprocessing fans out over the pool.
   BicubicInterpolator bicubic;
-  std::vector<Tensor> mids, targets;
-  mids.reserve(fine_frames.size());
-  targets.reserve(fine_frames.size());
-  for (const Tensor& f : fine_frames) {
+  std::vector<Tensor> mids(fine_frames.size());
+  std::vector<Tensor> targets(fine_frames.size());
+  parallel_for(frame_count, [&](std::int64_t fi) {
+    const Tensor& f = fine_frames[static_cast<std::size_t>(fi)];
     Tensor mid = bicubic.super_resolve(f, layout);
     mid.add_scalar_(static_cast<float>(-mean_));
     mid.mul_scalar_(static_cast<float>(1.0 / stddev_));
-    mids.push_back(std::move(mid));
+    mids[static_cast<std::size_t>(fi)] = std::move(mid);
     Tensor t = f;
     t.add_scalar_(static_cast<float>(-mean_));
     t.mul_scalar_(static_cast<float>(1.0 / stddev_));
-    targets.push_back(std::move(t));
-  }
+    targets[static_cast<std::size_t>(fi)] = std::move(t);
+  });
 
   // 9-1-5 architecture (Dong et al.), zero-padded to preserve extent.
   network_ = std::make_unique<nn::Sequential>();

@@ -1,0 +1,239 @@
+#include "src/common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/check.hpp"
+
+namespace mtsr {
+namespace {
+
+// Fixed scheduling granularity: chunk count is min(n, kMaxChunks) so slot
+// geometry is a pure function of the trip count. 32 chunks keeps all cores
+// of typical deployment hosts busy while bounding accumulator-slot storage.
+constexpr int kMaxChunks = 32;
+
+// True while this thread is executing inside a parallel region (either a
+// pool worker, or the caller participating in its own parallel_for). Nested
+// parallel_for calls then run serially, which keeps the engine re-entrant
+// (e.g. a layer parallelising over samples whose body calls a GEMM).
+thread_local bool t_in_parallel_region = false;
+
+std::int64_t chunk_begin(std::int64_t n, int chunks, int c) {
+  const std::int64_t base = n / chunks;
+  const std::int64_t rem = n % chunks;
+  return c * base + std::min<std::int64_t>(c, rem);
+}
+
+// One parallel_for invocation. Heap-allocated and shared with the workers so
+// a straggler that wakes late only ever touches its own task's state, never
+// a subsequent task's.
+struct Task {
+  std::int64_t n = 0;
+  int chunks = 0;
+  const ChunkBody* body = nullptr;
+  std::atomic<int> next{0};
+  std::atomic<int> done{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  // Claims and runs chunks until drained; used by workers and the caller.
+  void work() {
+    for (;;) {
+      const int c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      try {
+        (*body)(chunk_begin(n, chunks, c), chunk_begin(n, chunks, c + 1), c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+      done.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+};
+
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  int size() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return worker_target_ + 1;  // workers plus the participating caller
+  }
+
+  void resize(int n) {
+    if (n < 1) n = default_size();
+    // The thread-local flag catches the serial/nested paths (which never
+    // publish current_); the current_ check catches another thread's
+    // in-flight pooled task.
+    check(!t_in_parallel_region, "set_num_threads called from a parallel region");
+    std::unique_lock<std::mutex> lock(mutex_);
+    check(current_ == nullptr, "set_num_threads called from a parallel region");
+    stop_workers(lock);
+    worker_target_ = n - 1;  // the caller thread is worker number n
+    start_workers();
+  }
+
+  void run(std::int64_t n, int chunks, const ChunkBody& body) {
+    auto task = std::make_shared<Task>();
+    task->n = n;
+    task->chunks = chunks;
+    task->body = &body;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (worker_target_ == 0 || chunks <= 1) {
+        lock.unlock();
+        t_in_parallel_region = true;
+        try {
+          task->work();
+        } catch (...) {
+          t_in_parallel_region = false;
+          throw;
+        }
+        t_in_parallel_region = false;
+        if (task->error) std::rethrow_exception(task->error);
+        return;
+      }
+      current_ = task;
+      ++generation_;
+      work_cv_.notify_all();
+    }
+
+    // The caller participates as a worker on its own task.
+    t_in_parallel_region = true;
+    task->work();
+    t_in_parallel_region = false;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return task->done.load(std::memory_order_acquire) == task->chunks;
+    });
+    current_ = nullptr;
+    lock.unlock();
+    if (task->error) std::rethrow_exception(task->error);
+  }
+
+  void notify_done() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_cv_.notify_all();
+  }
+
+  static int default_size() {
+    if (const char* env = std::getenv("MTSR_THREADS")) {
+      const int n = std::atoi(env);
+      if (n >= 1) return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+  }
+
+ private:
+  ThreadPool() {
+    worker_target_ = default_size() - 1;
+    start_workers();
+  }
+
+  ~ThreadPool() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stop_workers(lock);
+  }
+
+  void worker_loop() {
+    t_in_parallel_region = true;
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      std::shared_ptr<Task> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] {
+          return stopping_ || (current_ && generation_ != seen_generation);
+        });
+        if (stopping_) return;
+        seen_generation = generation_;
+        task = current_;
+      }
+      task->work();
+      notify_done();
+    }
+  }
+
+  void start_workers() {
+    stopping_ = false;
+    workers_.reserve(static_cast<std::size_t>(worker_target_));
+    for (int i = 0; i < worker_target_; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void stop_workers(std::unique_lock<std::mutex>& lock) {
+    stopping_ = true;
+    work_cv_.notify_all();
+    lock.unlock();
+    for (std::thread& w : workers_) w.join();
+    workers_.clear();
+    lock.lock();
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  int worker_target_ = 0;
+  bool stopping_ = false;
+  std::uint64_t generation_ = 0;
+  std::shared_ptr<Task> current_;
+};
+
+}  // namespace
+
+int num_threads() { return ThreadPool::instance().size(); }
+
+void set_num_threads(int n) { ThreadPool::instance().resize(n); }
+
+int parallel_chunk_count(std::int64_t n) {
+  if (n <= 0) return 0;
+  return static_cast<int>(std::min<std::int64_t>(n, kMaxChunks));
+}
+
+namespace {
+
+void dispatch_chunks(std::int64_t n, int chunks, const ChunkBody& body) {
+  if (n <= 0 || chunks <= 0) return;
+  if (t_in_parallel_region) {
+    // Nested region: run serially on this thread, same chunk geometry.
+    for (int c = 0; c < chunks; ++c) {
+      body(chunk_begin(n, chunks, c), chunk_begin(n, chunks, c + 1), c);
+    }
+    return;
+  }
+  ThreadPool::instance().run(n, chunks, body);
+}
+
+}  // namespace
+
+void parallel_for_chunks(std::int64_t n, const ChunkBody& body) {
+  dispatch_chunks(n, parallel_chunk_count(n), body);
+}
+
+void parallel_for_grain(std::int64_t n, std::int64_t min_grain,
+                        const ChunkBody& body) {
+  if (n <= 0) return;
+  if (min_grain < 1) min_grain = 1;
+  const std::int64_t by_grain = n / min_grain;
+  const int chunks = static_cast<int>(std::clamp<std::int64_t>(
+      by_grain, 1, parallel_chunk_count(n)));
+  dispatch_chunks(n, chunks, body);
+}
+
+}  // namespace mtsr

@@ -1,0 +1,83 @@
+// Shared parallel execution engine: a persistent thread pool driving
+// deterministic index-range parallelism.
+//
+// Every compute layer (tensor GEMM kernels, conv lowering, batch-norm,
+// pooling, the baselines and the GAN trainer) schedules work through
+// parallel_for / parallel_for_chunks instead of spawning ad-hoc threads.
+//
+// Determinism contract: [0, n) is split into parallel_chunk_count(n)
+// contiguous chunks whose geometry depends ONLY on n — never on the pool
+// size. Each index is processed exactly once, in ascending order within its
+// chunk, and per-chunk accumulator slots reduced in slot order therefore
+// yield bit-identical results for every pool size (1, 2, hardware, ...).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mtsr {
+
+/// Chunk body: processes the contiguous index range [begin, end). `slot` is
+/// the chunk index in [0, parallel_chunk_count(n)) — use it to index
+/// per-chunk accumulator slots for deterministic reductions.
+using ChunkBody =
+    std::function<void(std::int64_t begin, std::int64_t end, int slot)>;
+
+/// Current worker count (>= 1). Defaults to hardware_concurrency, clamped
+/// to >= 1; the MTSR_THREADS environment variable overrides the default.
+[[nodiscard]] int num_threads();
+
+/// Resizes the pool to `n` workers (n >= 1); n < 1 restores the default
+/// (MTSR_THREADS or hardware_concurrency). Must not be called from inside a
+/// parallel region.
+void set_num_threads(int n);
+
+/// Number of chunks (== accumulator slots) parallel_for_chunks will use for
+/// a trip count of n. Depends only on n, never on the pool size.
+[[nodiscard]] int parallel_chunk_count(std::int64_t n);
+
+/// Runs `body` over [0, n) split into parallel_chunk_count(n) contiguous
+/// chunks, distributed over the pool. Blocks until all chunks finish;
+/// rethrows the first chunk exception. Nested calls (from inside a chunk)
+/// execute serially on the calling thread.
+void parallel_for_chunks(std::int64_t n, const ChunkBody& body);
+
+/// Like parallel_for_chunks but guarantees each chunk spans at least
+/// `min_grain` indices (except a final short chunk when n < min_grain).
+/// Chunk count is clamp(n / min_grain, 1, parallel_chunk_count(n)) — still
+/// a pure function of n, never of the pool size. Use for kernels whose
+/// per-chunk setup (tile packing, scratch buffers) must amortise over a
+/// minimum block of work.
+void parallel_for_grain(std::int64_t n, std::int64_t min_grain,
+                        const ChunkBody& body);
+
+/// Element-wise convenience wrapper: runs fn(i) for every i in [0, n) with
+/// the same chunking/determinism guarantees as parallel_for_chunks.
+template <typename Fn>
+void parallel_for(std::int64_t n, Fn&& fn) {
+  parallel_for_chunks(n, [&fn](std::int64_t begin, std::int64_t end, int) {
+    for (std::int64_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+/// Deterministic parallel reduction: `body(begin, end)` produces one
+/// partial value per chunk; partials are combined with `combine` in slot
+/// order, so the result is bit-identical for every pool size.
+template <typename T, typename Body, typename Combine>
+[[nodiscard]] T parallel_reduce(std::int64_t n, T init, Body&& body,
+                                Combine&& combine) {
+  const int slots = parallel_chunk_count(n);
+  if (slots <= 0) return init;
+  std::vector<T> partials(static_cast<std::size_t>(slots), init);
+  parallel_for_chunks(n, [&](std::int64_t begin, std::int64_t end, int slot) {
+    partials[static_cast<std::size_t>(slot)] = body(begin, end);
+  });
+  T acc = init;
+  for (int s = 0; s < slots; ++s) {
+    acc = combine(acc, partials[static_cast<std::size_t>(s)]);
+  }
+  return acc;
+}
+
+}  // namespace mtsr

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
 #include "src/nn/loss.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
@@ -86,7 +87,6 @@ double GanTrainer::train_generator_step(const Batch& batch,
   const float clamp_lo = config_.prob_clamp;
   const float clamp_hi = 1.f - config_.prob_clamp;
 
-  double loss = 0.0, mse_term = 0.0;
   // Gradient of the loss w.r.t. D's output, fed backwards through D to
   // reach the generator's output (D's own parameter gradients are discarded
   // at its next zero_grad()).
@@ -94,32 +94,47 @@ double GanTrainer::train_generator_step(const Batch& batch,
   // Per-sample multiplier for the MSE part of the gradient.
   std::vector<float> mse_scale(static_cast<std::size_t>(n));
 
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float di = std::clamp(probs.flat(i), clamp_lo, clamp_hi);
-    const float se = sq_err.flat(i);
-    switch (config_.loss_mode) {
-      case LossMode::kEmpirical: {
-        // L_i = (1 − 2 log d_i) · ‖e_i‖²
-        const float a = 1.f - 2.f * std::log(di);
-        loss += static_cast<double>(a) * se;
-        mse_scale[static_cast<std::size_t>(i)] =
-            a / static_cast<float>(n);
-        grad_probs.flat(i) =
-            (-2.f / di) * se / static_cast<float>(n);
-        break;
-      }
-      case LossMode::kFixedSigma: {
-        // L_i = ‖e_i‖² − 2σ² log d_i
-        loss += static_cast<double>(se) -
-                2.0 * config_.sigma2 * std::log(static_cast<double>(di));
-        mse_scale[static_cast<std::size_t>(i)] = 1.f / static_cast<float>(n);
-        grad_probs.flat(i) =
-            (-2.f * config_.sigma2 / di) / static_cast<float>(n);
-        break;
-      }
-    }
-    mse_term += se;
-  }
+  // Per-sample terms are independent: the chunk body fills the disjoint
+  // grad/scale entries and returns the chunk's (loss, mse) partial, which
+  // reduces deterministically in slot order.
+  using Terms = std::pair<double, double>;  // (loss, mse)
+  auto [loss, mse_term] = parallel_reduce(
+      n, Terms{0.0, 0.0},
+      [&](std::int64_t begin, std::int64_t end) {
+        Terms acc{0.0, 0.0};
+        for (std::int64_t i = begin; i < end; ++i) {
+          const float di = std::clamp(probs.flat(i), clamp_lo, clamp_hi);
+          const float se = sq_err.flat(i);
+          switch (config_.loss_mode) {
+            case LossMode::kEmpirical: {
+              // L_i = (1 − 2 log d_i) · ‖e_i‖²
+              const float a = 1.f - 2.f * std::log(di);
+              acc.first += static_cast<double>(a) * se;
+              mse_scale[static_cast<std::size_t>(i)] =
+                  a / static_cast<float>(n);
+              grad_probs.flat(i) =
+                  (-2.f / di) * se / static_cast<float>(n);
+              break;
+            }
+            case LossMode::kFixedSigma: {
+              // L_i = ‖e_i‖² − 2σ² log d_i
+              acc.first += static_cast<double>(se) -
+                           2.0 * config_.sigma2 *
+                               std::log(static_cast<double>(di));
+              mse_scale[static_cast<std::size_t>(i)] =
+                  1.f / static_cast<float>(n);
+              grad_probs.flat(i) =
+                  (-2.f * config_.sigma2 / di) / static_cast<float>(n);
+              break;
+            }
+          }
+          acc.second += se;
+        }
+        return acc;
+      },
+      [](Terms a, Terms b) {
+        return Terms{a.first + b.first, a.second + b.second};
+      });
   loss /= static_cast<double>(n);
   // Telemetry reports the per-element MSE so it is directly comparable with
   // the pre-training loss (Eq. 10); the loss itself keeps Eq. 9's
@@ -133,14 +148,16 @@ double GanTrainer::train_generator_step(const Batch& batch,
 
   // Data path: d/d(pred) of the per-sample weighted squared error.
   const std::int64_t inner = pred.size() / n;
-  for (std::int64_t i = 0; i < n; ++i) {
+  float* pgp = grad_pred.data();
+  const float* pp = pred.data();
+  const float* pt = batch.targets.data();
+  parallel_for(n, [&](std::int64_t i) {
     const float scale = 2.f * mse_scale[static_cast<std::size_t>(i)];
     for (std::int64_t j = 0; j < inner; ++j) {
       const std::int64_t off = i * inner + j;
-      grad_pred.flat(off) +=
-          scale * (pred.flat(off) - batch.targets.flat(off));
+      pgp[off] += scale * (pp[off] - pt[off]);
     }
-  }
+  });
 
   generator_.backward(grad_pred);
   opt_g_.step();

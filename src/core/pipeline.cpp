@@ -85,13 +85,13 @@ void MtsrPipeline::load_generator(const std::string& path) {
 Tensor MtsrPipeline::predict_frame(std::int64_t t) {
   const std::int64_t stride =
       config_.stitch_stride > 0 ? config_.stitch_stride : config_.window / 2;
-  data::WindowPredictor predictor = [this](const Tensor& input) {
-    Tensor x = input.reshape(Shape{1, input.dim(0), input.dim(1),
-                                   input.dim(2)});
-    Tensor pred = generator_->forward(x, /*training=*/false);
-    return pred.reshape(Shape{pred.dim(1), pred.dim(2)});
+  // Whole-batch lowering at the pipeline level: every window of the frame
+  // goes through the generator as ONE batch, so each conv layer runs a
+  // single GEMM for the entire frame instead of one pass per window.
+  data::BatchWindowPredictor predictor = [this](const Tensor& batch) {
+    return generator_->forward(batch, /*training=*/false);
   };
-  Tensor normalized = data::stitch_prediction(
+  Tensor normalized = data::stitch_prediction_batched(
       dataset_, *window_layout_, predictor, t, config_.temporal_length,
       config_.window, std::max<std::int64_t>(stride, 1));
   return dataset_.denormalize(normalized);

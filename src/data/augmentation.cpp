@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::data {
@@ -116,6 +117,76 @@ Tensor stitch_prediction(const TrafficDataset& dataset,
   for (std::int64_t i = 0; i < acc.size(); ++i) {
     check_internal(weight.flat(i) > 0.f,
                    "stitch_prediction left uncovered cells");
+    acc.flat(i) /= weight.flat(i);
+  }
+  return acc;
+}
+
+Tensor stitch_prediction_batched(const TrafficDataset& dataset,
+                                 const ProbeLayout& window_layout,
+                                 const BatchWindowPredictor& predictor,
+                                 std::int64_t t, std::int64_t temporal_length,
+                                 std::int64_t window, std::int64_t stride) {
+  const std::int64_t rows = dataset.rows(), cols = dataset.cols();
+  check(window <= rows && window <= cols,
+        "stitch_prediction_batched: window too big");
+  const auto row_origins = window_origins(rows, window, stride);
+  const auto col_origins = window_origins(cols, window, stride);
+  const auto n_windows =
+      static_cast<std::int64_t>(row_origins.size() * col_origins.size());
+
+  const auto n_cols = static_cast<std::int64_t>(col_origins.size());
+
+  // Sub-batch size: enough windows per pass to keep every worker's GEMM
+  // rows full, small enough that the lowered column matrices stay
+  // cache-resident and bounded (a paper-scale 100×100 grid has 441 windows;
+  // lowering them all at once would allocate gigabytes).
+  const std::int64_t block =
+      std::max<std::int64_t>(2, 2 * static_cast<std::int64_t>(num_threads()));
+
+  Tensor acc(Shape{rows, cols});
+  Tensor weight(Shape{rows, cols});
+  for (std::int64_t b0 = 0; b0 < n_windows; b0 += block) {
+    const std::int64_t b1 = std::min(n_windows, b0 + block);
+
+    // Gather this block's coarse input sequences (windows are independent).
+    std::vector<Tensor> inputs(static_cast<std::size_t>(b1 - b0));
+    parallel_for(b1 - b0, [&](std::int64_t j) {
+      const std::int64_t i = b0 + j;
+      const std::int64_t r0 =
+          row_origins[static_cast<std::size_t>(i / n_cols)];
+      const std::int64_t c0 =
+          col_origins[static_cast<std::size_t>(i % n_cols)];
+      inputs[static_cast<std::size_t>(j)] =
+          make_sample(dataset, window_layout, {t, r0, c0}, temporal_length,
+                      window)
+              .input;
+    });
+
+    // One whole-batch pass through the predictor per block.
+    Tensor preds = predictor(stack0(inputs));  // (b1-b0, w, w)
+    check(preds.rank() == 3 && preds.dim(0) == b1 - b0 &&
+              preds.dim(1) == window && preds.dim(2) == window,
+          "stitch_prediction_batched: predictor returned wrong shape");
+
+    const float* pp = preds.data();
+    for (std::int64_t i = b0; i < b1; ++i) {
+      const std::int64_t r0 =
+          row_origins[static_cast<std::size_t>(i / n_cols)];
+      const std::int64_t c0 =
+          col_origins[static_cast<std::size_t>(i % n_cols)];
+      const float* pred = pp + (i - b0) * window * window;
+      for (std::int64_t r = 0; r < window; ++r) {
+        for (std::int64_t c = 0; c < window; ++c) {
+          acc.at(r0 + r, c0 + c) += pred[r * window + c];
+          weight.at(r0 + r, c0 + c) += 1.f;
+        }
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < acc.size(); ++i) {
+    check_internal(weight.flat(i) > 0.f,
+                   "stitch_prediction_batched left uncovered cells");
     acc.flat(i) /= weight.flat(i);
   }
   return acc;

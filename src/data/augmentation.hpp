@@ -78,4 +78,18 @@ using WindowPredictor = std::function<Tensor(const Tensor&)>;
                                        std::int64_t window,
                                        std::int64_t stride);
 
+/// Batched predictor signature: maps ALL coarse window sequences at once,
+/// (W, S, ci, ci) -> (W, w, w), so the network underneath runs one
+/// whole-batch lowered pass instead of W per-window passes.
+using BatchWindowPredictor = std::function<Tensor(const Tensor&)>;
+
+/// stitch_prediction with whole-batch lowering: gathers every window of
+/// frame `t` into one batch, runs `predictor` once, and applies the same
+/// moving-average filter. Identical output to the per-window overload when
+/// the predictors agree per sample.
+[[nodiscard]] Tensor stitch_prediction_batched(
+    const TrafficDataset& dataset, const ProbeLayout& window_layout,
+    const BatchWindowPredictor& predictor, std::int64_t t,
+    std::int64_t temporal_length, std::int64_t window, std::int64_t stride);
+
 }  // namespace mtsr::data

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
 
 namespace mtsr::nn {
 namespace {
@@ -54,7 +55,9 @@ Tensor BatchNorm::forward(const Tensor& input, bool training) {
   float* py = output.data();
   float* pxh = x_hat_.data();
 
-  for (std::int64_t c = 0; c < channels_; ++c) {
+  // Channels are fully independent (statistics, normalisation and running
+  // buffers), so the parallel engine splits the channel axis.
+  parallel_for(channels_, [&](std::int64_t c) {
     double mean, var;
     if (training) {
       double sum = 0.0, sq = 0.0;
@@ -90,7 +93,7 @@ Tensor BatchNorm::forward(const Tensor& input, bool training) {
         yo[i] = gam * norm + bet;
       }
     }
-  }
+  });
   return output;
 }
 
@@ -106,7 +109,7 @@ Tensor BatchNorm::backward(const Tensor& grad_output) {
   const float* pxh = x_hat_.data();
   float* pdx = grad_input.data();
 
-  for (std::int64_t c = 0; c < channels_; ++c) {
+  parallel_for(channels_, [&](std::int64_t c) {
     // Channel-wise sums of dy and dy*x_hat.
     double sum_dy = 0.0, sum_dy_xhat = 0.0;
     for (std::int64_t in = 0; in < g.n; ++in) {
@@ -137,7 +140,7 @@ Tensor BatchNorm::backward(const Tensor& grad_output) {
         dx[i] = gam * inv * (dy[i] - mean_dy - xh[i] * mean_dy_xhat);
       }
     }
-  }
+  });
   return grad_input;
 }
 

@@ -1,34 +1,12 @@
 #include "src/nn/conv2d.hpp"
 
 #include <sstream>
-#include <thread>
 
 #include "src/common/check.hpp"
 #include "src/nn/init.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::nn {
-namespace {
-
-/// Runs fn(i) for i in [0, n), split across at most two worker threads
-/// (deterministic: each index is processed exactly once, writes are
-/// disjoint per index). Falls back to serial execution for small batches.
-template <typename Fn>
-void parallel_batch(std::int64_t n, const Fn& fn) {
-  const unsigned hw = std::thread::hardware_concurrency();
-  if (n < 4 || hw < 2) {
-    for (std::int64_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  const std::int64_t mid = n / 2;
-  std::thread worker([&] {
-    for (std::int64_t i = mid; i < n; ++i) fn(i);
-  });
-  for (std::int64_t i = 0; i < mid; ++i) fn(i);
-  worker.join();
-}
-
-}  // namespace
 
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
                int kernel, int stride, int padding, Rng& rng, bool bias)
@@ -58,30 +36,15 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
   check(oh > 0 && ow > 0, "Conv2d output would be empty");
 
   input_shape_ = input.shape();
-  columns_.clear();
-  columns_.reserve(static_cast<std::size_t>(n));
-
+  // Whole-batch lowering: one (C·k·k, N·oh·ow) matrix, one GEMM per step.
+  columns_ = im2col_batched(input, kernel_, kernel_, stride_, stride_,
+                            padding_, padding_);
   const Tensor w_mat = weight_.value.reshape(
       Shape{out_channels_, in_channels_ * kernel_ * kernel_});
-
-  Tensor output(Shape{n, out_channels_, oh, ow});
-  const std::int64_t out_chunk = out_channels_ * oh * ow;
-  columns_.resize(static_cast<std::size_t>(n));
-  parallel_batch(n, [&](std::int64_t i) {
-    Tensor sample = select0(input, i);  // (C, H, W)
-    Tensor cols = im2col(sample, kernel_, kernel_, stride_, stride_,
-                         padding_, padding_);
-    Tensor y = matmul(w_mat, cols);  // (O, oh*ow)
-    float* dst = output.data() + i * out_chunk;
-    const float* src = y.data();
-    for (std::int64_t o = 0; o < out_channels_; ++o) {
-      const float b = has_bias_ ? bias_.value.flat(o) : 0.f;
-      for (std::int64_t p = 0; p < oh * ow; ++p) {
-        dst[o * oh * ow + p] = src[o * oh * ow + p] + b;
-      }
-    }
-    columns_[static_cast<std::size_t>(i)] = std::move(cols);
-  });
+  Tensor y = matmul(w_mat, columns_);  // (O, N*oh*ow)
+  Tensor output =
+      channel_major_to_batch(y, Shape{n, out_channels_, oh, ow});
+  if (has_bias_) add_channel_bias(output, bias_.value);
   return output;
 }
 
@@ -91,50 +54,24 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
         "Conv2d::backward grad shape mismatch");
   const std::int64_t n = input_shape_.dim(0);
   const std::int64_t h = input_shape_.dim(2), w = input_shape_.dim(3);
-  const std::int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
 
   const Tensor w_mat = weight_.value.reshape(
       Shape{out_channels_, in_channels_ * kernel_ * kernel_});
 
-  // Two thread-local accumulators (parallel_batch splits the batch into two
-  // contiguous halves at n/2); summed deterministically afterwards.
-  const std::int64_t mid = n / 2;
-  const Shape w_mat_shape{out_channels_, in_channels_ * kernel_ * kernel_};
-  Tensor grad_w_parts[2] = {Tensor(w_mat_shape), Tensor(w_mat_shape)};
-  Tensor grad_b_parts[2] = {Tensor(Shape{out_channels_}),
-                            Tensor(Shape{out_channels_})};
+  // Channel-major view of the output gradient: (O, N*oh*ow).
+  Tensor dy = batch_to_channel_major(grad_output);
 
-  Tensor grad_input(input_shape_);
-  const std::int64_t in_chunk = in_channels_ * h * w;
-  parallel_batch(n, [&](std::int64_t i) {
-    const int slot = (n >= 4 && i >= mid) ? 1 : 0;
-    Tensor dy = select0(grad_output, i)
-                    .reshape(Shape{out_channels_, oh * ow});  // (O, oh*ow)
-    // Parameter gradients (thread-local accumulation).
-    grad_w_parts[slot].add_(
-        matmul_nt(dy, columns_[static_cast<std::size_t>(i)]));
-    if (has_bias_) {
-      for (std::int64_t o = 0; o < out_channels_; ++o) {
-        double acc = 0.0;
-        const float* row = dy.data() + o * oh * ow;
-        for (std::int64_t p = 0; p < oh * ow; ++p) acc += row[p];
-        grad_b_parts[slot].flat(o) += static_cast<float>(acc);
-      }
-    }
-    // Input gradient (disjoint writes per sample).
-    Tensor dcols = matmul_tn(w_mat, dy);  // (C*k*k, oh*ow)
-    Tensor dx = col2im(dcols, in_channels_, h, w, kernel_, kernel_, stride_,
-                       stride_, padding_, padding_);
-    std::copy(dx.data(), dx.data() + in_chunk,
-              grad_input.data() + i * in_chunk);
-  });
-  grad_w_parts[0].add_(grad_w_parts[1]);
-  weight_.grad.add_(grad_w_parts[0].reshape(weight_.value.shape()));
-  if (has_bias_) {
-    grad_b_parts[0].add_(grad_b_parts[1]);
-    bias_.grad.add_(grad_b_parts[0]);
-  }
-  return grad_input;
+  // Parameter gradients: one GEMM for dW, per-channel sums for db. The
+  // lowering cache is dead after dW, so release it rather than keep a
+  // batch-sized matrix alive until the next forward.
+  weight_.grad.add_(matmul_nt(dy, columns_).reshape(weight_.value.shape()));
+  columns_ = Tensor();
+  if (has_bias_) accumulate_channel_sums(grad_output, bias_.grad);
+
+  // Input gradient: one GEMM, then the batched col2im scatter.
+  Tensor dcols = matmul_tn(w_mat, dy);  // (C*k*k, N*oh*ow)
+  return col2im_batched(dcols, n, in_channels_, h, w, kernel_, kernel_,
+                        stride_, stride_, padding_, padding_);
 }
 
 std::vector<Parameter*> Conv2d::parameters() {

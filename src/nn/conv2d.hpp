@@ -45,7 +45,7 @@ class Conv2d final : public Layer {
 
   // Forward caches.
   Shape input_shape_;
-  std::vector<Tensor> columns_;  // per-sample im2col matrices
+  Tensor columns_;  // whole-batch im2col matrix (C·k·k, N·oh·ow)
 };
 
 }  // namespace mtsr::nn

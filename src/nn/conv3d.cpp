@@ -4,6 +4,7 @@
 
 #include "src/common/check.hpp"
 #include "src/nn/init.hpp"
+#include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::nn {
 
@@ -45,108 +46,42 @@ Tensor Conv3d::forward(const Tensor& input, bool /*training*/) {
                      ow = out_extent(2, w);
   check(od > 0 && oh > 0 && ow > 0, "Conv3d output would be empty");
 
-  input_ = input;
-  Tensor output(Shape{n, out_channels_, od, oh, ow});
-
-  const float* px = input.data();
-  const float* pw = weight_.value.data();
-  float* py = output.data();
-  const int kd = kernel_[0], kh = kernel_[1], kw = kernel_[2];
-  const int sd = stride_[0], sh = stride_[1], sw = stride_[2];
-  const int pd = padding_[0], ph = padding_[1], pww = padding_[2];
-
-  for (std::int64_t in = 0; in < n; ++in) {
-    for (std::int64_t o = 0; o < out_channels_; ++o) {
-      const float b = has_bias_ ? bias_.value.flat(o) : 0.f;
-      for (std::int64_t zd = 0; zd < od; ++zd) {
-        for (std::int64_t zh = 0; zh < oh; ++zh) {
-          for (std::int64_t zw = 0; zw < ow; ++zw) {
-            double acc = b;
-            for (std::int64_t c = 0; c < in_channels_; ++c) {
-              for (int fd = 0; fd < kd; ++fd) {
-                const std::int64_t id = zd * sd - pd + fd;
-                if (id < 0 || id >= d) continue;
-                for (int fh = 0; fh < kh; ++fh) {
-                  const std::int64_t ih = zh * sh - ph + fh;
-                  if (ih < 0 || ih >= h) continue;
-                  const float* xrow =
-                      px + (((in * in_channels_ + c) * d + id) * h + ih) * w;
-                  const float* wrow =
-                      pw + (((o * in_channels_ + c) * kd + fd) * kh + fh) * kw;
-                  for (int fw = 0; fw < kw; ++fw) {
-                    const std::int64_t iw = zw * sw - pww + fw;
-                    if (iw < 0 || iw >= w) continue;
-                    acc += xrow[iw] * wrow[fw];
-                  }
-                }
-              }
-            }
-            py[(((in * out_channels_ + o) * od + zd) * oh + zh) * ow + zw] =
-                static_cast<float>(acc);
-          }
-        }
-      }
-    }
-  }
+  input_shape_ = input.shape();
+  // Whole-batch lowering: one (C·kd·kh·kw, N·od·oh·ow) matrix, one GEMM.
+  columns_ = vol2col_batched(input, kernel_[0], kernel_[1], kernel_[2],
+                             stride_[0], stride_[1], stride_[2], padding_[0],
+                             padding_[1], padding_[2]);
+  const std::int64_t taps =
+      in_channels_ * kernel_[0] * kernel_[1] * kernel_[2];
+  const Tensor w_mat = weight_.value.reshape(Shape{out_channels_, taps});
+  Tensor y = matmul(w_mat, columns_);  // (O, N*od*oh*ow)
+  Tensor output =
+      channel_major_to_batch(y, Shape{n, out_channels_, od, oh, ow});
+  if (has_bias_) add_channel_bias(output, bias_.value);
   return output;
 }
 
 Tensor Conv3d::backward(const Tensor& grad_output) {
-  check(!input_.empty(), "Conv3d::backward called before forward");
+  check(!columns_.empty(), "Conv3d::backward called before forward");
   check(grad_output.rank() == 5 && grad_output.dim(1) == out_channels_,
         "Conv3d::backward grad shape mismatch");
-  const std::int64_t n = input_.dim(0), d = input_.dim(2), h = input_.dim(3),
-                     w = input_.dim(4);
-  const std::int64_t od = grad_output.dim(2), oh = grad_output.dim(3),
-                     ow = grad_output.dim(4);
+  const std::int64_t n = input_shape_.dim(0), d = input_shape_.dim(2),
+                     h = input_shape_.dim(3), w = input_shape_.dim(4);
 
-  Tensor grad_input(input_.shape());
-  const float* px = input_.data();
-  const float* pw = weight_.value.data();
-  const float* pdy = grad_output.data();
-  float* pdx = grad_input.data();
-  float* pdw = weight_.grad.data();
-  const int kd = kernel_[0], kh = kernel_[1], kw = kernel_[2];
-  const int sd = stride_[0], sh = stride_[1], sw = stride_[2];
-  const int pd = padding_[0], ph = padding_[1], pww = padding_[2];
+  const std::int64_t taps =
+      in_channels_ * kernel_[0] * kernel_[1] * kernel_[2];
+  const Tensor w_mat = weight_.value.reshape(Shape{out_channels_, taps});
 
-  for (std::int64_t in = 0; in < n; ++in) {
-    for (std::int64_t o = 0; o < out_channels_; ++o) {
-      double bias_acc = 0.0;
-      for (std::int64_t zd = 0; zd < od; ++zd) {
-        for (std::int64_t zh = 0; zh < oh; ++zh) {
-          for (std::int64_t zw = 0; zw < ow; ++zw) {
-            const float g =
-                pdy[(((in * out_channels_ + o) * od + zd) * oh + zh) * ow + zw];
-            if (g == 0.f) continue;
-            bias_acc += g;
-            for (std::int64_t c = 0; c < in_channels_; ++c) {
-              for (int fd = 0; fd < kd; ++fd) {
-                const std::int64_t id = zd * sd - pd + fd;
-                if (id < 0 || id >= d) continue;
-                for (int fh = 0; fh < kh; ++fh) {
-                  const std::int64_t ih = zh * sh - ph + fh;
-                  if (ih < 0 || ih >= h) continue;
-                  const std::int64_t xbase =
-                      (((in * in_channels_ + c) * d + id) * h + ih) * w;
-                  const std::int64_t wbase =
-                      (((o * in_channels_ + c) * kd + fd) * kh + fh) * kw;
-                  for (int fw = 0; fw < kw; ++fw) {
-                    const std::int64_t iw = zw * sw - pww + fw;
-                    if (iw < 0 || iw >= w) continue;
-                    pdx[xbase + iw] += g * pw[wbase + fw];
-                    pdw[wbase + fw] += g * px[xbase + iw];
-                  }
-                }
-              }
-            }
-          }
-        }
-      }
-      if (has_bias_) bias_.grad.flat(o) += static_cast<float>(bias_acc);
-    }
-  }
-  return grad_input;
+  Tensor dy = batch_to_channel_major(grad_output);  // (O, N*od*oh*ow)
+
+  weight_.grad.add_(matmul_nt(dy, columns_).reshape(weight_.value.shape()));
+  columns_ = Tensor();  // dead after dW; don't pin it until the next forward
+  if (has_bias_) accumulate_channel_sums(grad_output, bias_.grad);
+
+  Tensor dcols = matmul_tn(w_mat, dy);  // (C*kd*kh*kw, N*od*oh*ow)
+  return col2vol_batched(dcols, n, in_channels_, d, h, w, kernel_[0],
+                         kernel_[1], kernel_[2], stride_[0], stride_[1],
+                         stride_[2], padding_[0], padding_[1], padding_[2]);
 }
 
 std::vector<Parameter*> Conv3d::parameters() {

@@ -1,9 +1,10 @@
-// 3-D convolution layer (direct-loop implementation).
+// 3-D convolution layer (vol2col + GEMM implementation).
 //
 // The paper's 3D upscaling blocks apply 3-D convolutions over
 // (temporal depth, height, width) volumes to "jointly extract spatial and
-// temporal features" from the S-frame coarse input. Temporal depths are
-// small (S <= 6), so a direct nested-loop kernel is appropriate.
+// temporal features" from the S-frame coarse input. The whole batch lowers
+// to one (C·kd·kh·kw, N·od·oh·ow) matrix, so each step is a single GEMM on
+// the shared parallel engine.
 #pragma once
 
 #include <array>
@@ -43,7 +44,9 @@ class Conv3d final : public Layer {
   Parameter weight_;
   Parameter bias_;
 
-  Tensor input_;  // cached for backward
+  // Forward caches.
+  Shape input_shape_;
+  Tensor columns_;  // whole-batch vol2col matrix (C·kd·kh·kw, N·od·oh·ow)
 };
 
 }  // namespace mtsr::nn

@@ -40,66 +40,40 @@ Tensor ConvTranspose2d::forward(const Tensor& input, bool /*training*/) {
   const std::int64_t oh = out_extent(h), ow = out_extent(w);
   check(oh > 0 && ow > 0, "ConvTranspose2d output would be empty");
 
-  input_ = input;
+  input_shape_ = input.shape();
   // The matching forward convolution maps (O, oh, ow) -> (C, h, w); our
-  // forward pass is that convolution's data gradient.
+  // forward pass is that convolution's data gradient. Whole-batch lowering:
+  // one GEMM produces the columns for every sample at once.
   const Tensor w_mat = weight_.value.reshape(
       Shape{in_channels_, out_channels_ * kernel_ * kernel_});
-
-  Tensor output(Shape{n, out_channels_, oh, ow});
-  const std::int64_t out_chunk = out_channels_ * oh * ow;
-  for (std::int64_t i = 0; i < n; ++i) {
-    Tensor x_mat =
-        select0(input, i).reshape(Shape{in_channels_, h * w});  // (C, h*w)
-    Tensor cols = matmul_tn(w_mat, x_mat);  // (O*k*k, h*w)
-    Tensor y = col2im(cols, out_channels_, oh, ow, kernel_, kernel_, stride_,
-                      stride_, padding_, padding_);
-    float* dst = output.data() + i * out_chunk;
-    const float* src = y.data();
-    for (std::int64_t o = 0; o < out_channels_; ++o) {
-      const float b = has_bias_ ? bias_.value.flat(o) : 0.f;
-      for (std::int64_t p = 0; p < oh * ow; ++p) {
-        dst[o * oh * ow + p] = src[o * oh * ow + p] + b;
-      }
-    }
-  }
+  x_cm_ = batch_to_channel_major(input);  // (C, N*h*w)
+  Tensor cols = matmul_tn(w_mat, x_cm_);  // (O*k*k, N*h*w)
+  Tensor output = col2im_batched(cols, n, out_channels_, oh, ow, kernel_,
+                                 kernel_, stride_, stride_, padding_,
+                                 padding_);
+  if (has_bias_) add_channel_bias(output, bias_.value);
   return output;
 }
 
 Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
-  check(!input_.empty(), "ConvTranspose2d::backward called before forward");
+  check(!x_cm_.empty(), "ConvTranspose2d::backward called before forward");
   check(grad_output.rank() == 4 && grad_output.dim(1) == out_channels_,
         "ConvTranspose2d::backward grad shape mismatch");
-  const std::int64_t n = input_.dim(0), h = input_.dim(2), w = input_.dim(3);
-  const std::int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
-
   const Tensor w_mat = weight_.value.reshape(
       Shape{in_channels_, out_channels_ * kernel_ * kernel_});
-  Tensor grad_w_mat(Shape{in_channels_, out_channels_ * kernel_ * kernel_});
 
-  Tensor grad_input(input_.shape());
-  const std::int64_t in_chunk = in_channels_ * h * w;
-  for (std::int64_t i = 0; i < n; ++i) {
-    Tensor dy = select0(grad_output, i);  // (O, oh, ow)
-    // Bias gradient.
-    if (has_bias_) {
-      for (std::int64_t o = 0; o < out_channels_; ++o) {
-        double acc = 0.0;
-        const float* row = dy.data() + o * oh * ow;
-        for (std::int64_t p = 0; p < oh * ow; ++p) acc += row[p];
-        bias_.grad.flat(o) += static_cast<float>(acc);
-      }
-    }
-    // dX = forward-convolve dy with W: dx = W_mat * im2col(dy).
-    Tensor cols = im2col(dy, kernel_, kernel_, stride_, stride_, padding_,
-                         padding_);  // (O*k*k, h*w)
-    Tensor dx = matmul(w_mat, cols);  // (C, h*w)
-    std::copy(dx.data(), dx.data() + in_chunk, grad_input.data() + i * in_chunk);
-    // dW = x ⊗ im2col(dy): (C, h*w) * (h*w, O*k*k).
-    Tensor x_mat = select0(input_, i).reshape(Shape{in_channels_, h * w});
-    grad_w_mat.add_(matmul_nt(x_mat, cols));
-  }
-  weight_.grad.add_(grad_w_mat.reshape(weight_.value.shape()));
+  // Bias gradient: per-channel sums over every sample and position.
+  if (has_bias_) accumulate_channel_sums(grad_output, bias_.grad);
+
+  // dX = forward-convolve dy with W: one batched im2col, one GEMM.
+  Tensor cols = im2col_batched(grad_output, kernel_, kernel_, stride_,
+                               stride_, padding_, padding_);  // (O*k*k, N*h*w)
+  Tensor dx_cm = matmul(w_mat, cols);  // (C, N*h*w)
+  Tensor grad_input = channel_major_to_batch(dx_cm, input_shape_);
+
+  // dW = x ⊗ im2col(dy): (C, N*h*w) * (N*h*w, O*k*k) as one GEMM.
+  weight_.grad.add_(matmul_nt(x_cm_, cols).reshape(weight_.value.shape()));
+  x_cm_ = Tensor();  // dead after dW; don't pin it until the next forward
   return grad_input;
 }
 

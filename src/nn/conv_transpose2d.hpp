@@ -39,7 +39,9 @@ class ConvTranspose2d final : public Layer {
   Parameter weight_;
   Parameter bias_;
 
-  Tensor input_;  // cached for backward
+  // Forward caches.
+  Shape input_shape_;
+  Tensor x_cm_;  // channel-major input (C, N·h·w), reused for dW
 };
 
 }  // namespace mtsr::nn

@@ -4,6 +4,7 @@
 
 #include "src/common/check.hpp"
 #include "src/nn/init.hpp"
+#include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::nn {
 
@@ -47,128 +48,44 @@ Tensor ConvTranspose3d::forward(const Tensor& input, bool /*training*/) {
                      ow = out_extent(2, w);
   check(od > 0 && oh > 0 && ow > 0, "ConvTranspose3d output would be empty");
 
-  input_ = input;
-  Tensor output(Shape{n, out_channels_, od, oh, ow});
-  float* py = output.data();
-
-  if (has_bias_) {
-    for (std::int64_t in = 0; in < n; ++in) {
-      for (std::int64_t o = 0; o < out_channels_; ++o) {
-        const float b = bias_.value.flat(o);
-        float* base = py + ((in * out_channels_ + o) * od) * oh * ow;
-        for (std::int64_t p = 0; p < od * oh * ow; ++p) base[p] = b;
-      }
-    }
-  }
-
-  const float* px = input.data();
-  const float* pw = weight_.value.data();
-  const int kd = kernel_[0], kh = kernel_[1], kw = kernel_[2];
-  const int sd = stride_[0], sh = stride_[1], sw = stride_[2];
-  const int pd = padding_[0], ph = padding_[1], pww = padding_[2];
-
-  // Scatter form: each input element contributes a weighted kernel patch.
-  for (std::int64_t in = 0; in < n; ++in) {
-    for (std::int64_t c = 0; c < in_channels_; ++c) {
-      for (std::int64_t id = 0; id < d; ++id) {
-        for (std::int64_t ih = 0; ih < h; ++ih) {
-          for (std::int64_t iw = 0; iw < w; ++iw) {
-            const float x =
-                px[(((in * in_channels_ + c) * d + id) * h + ih) * w + iw];
-            if (x == 0.f) continue;
-            for (std::int64_t o = 0; o < out_channels_; ++o) {
-              for (int fd = 0; fd < kd; ++fd) {
-                const std::int64_t zd = id * sd - pd + fd;
-                if (zd < 0 || zd >= od) continue;
-                for (int fh = 0; fh < kh; ++fh) {
-                  const std::int64_t zh = ih * sh - ph + fh;
-                  if (zh < 0 || zh >= oh) continue;
-                  const float* wrow =
-                      pw + (((c * out_channels_ + o) * kd + fd) * kh + fh) * kw;
-                  float* yrow =
-                      py + (((in * out_channels_ + o) * od + zd) * oh + zh) * ow;
-                  for (int fw = 0; fw < kw; ++fw) {
-                    const std::int64_t zw = iw * sw - pww + fw;
-                    if (zw < 0 || zw >= ow) continue;
-                    yrow[zw] += x * wrow[fw];
-                  }
-                }
-              }
-            }
-          }
-        }
-      }
-    }
-  }
+  input_shape_ = input.shape();
+  // The matching forward convolution maps (O, od, oh, ow) -> (C, d, h, w);
+  // our forward pass is its data gradient: Wᵀ X lowered, then the batched
+  // col2vol scatter. One GEMM for the whole batch.
+  const std::int64_t taps =
+      out_channels_ * kernel_[0] * kernel_[1] * kernel_[2];
+  const Tensor w_mat = weight_.value.reshape(Shape{in_channels_, taps});
+  x_cm_ = batch_to_channel_major(input);  // (C, N*d*h*w)
+  Tensor cols = matmul_tn(w_mat, x_cm_);  // (O*kd*kh*kw, N*d*h*w)
+  Tensor output = col2vol_batched(cols, n, out_channels_, od, oh, ow,
+                                  kernel_[0], kernel_[1], kernel_[2],
+                                  stride_[0], stride_[1], stride_[2],
+                                  padding_[0], padding_[1], padding_[2]);
+  if (has_bias_) add_channel_bias(output, bias_.value);
   return output;
 }
 
 Tensor ConvTranspose3d::backward(const Tensor& grad_output) {
-  check(!input_.empty(), "ConvTranspose3d::backward called before forward");
+  check(!x_cm_.empty(), "ConvTranspose3d::backward called before forward");
   check(grad_output.rank() == 5 && grad_output.dim(1) == out_channels_,
         "ConvTranspose3d::backward grad shape mismatch");
-  const std::int64_t n = input_.dim(0), d = input_.dim(2), h = input_.dim(3),
-                     w = input_.dim(4);
-  const std::int64_t od = grad_output.dim(2), oh = grad_output.dim(3),
-                     ow = grad_output.dim(4);
+  const std::int64_t taps =
+      out_channels_ * kernel_[0] * kernel_[1] * kernel_[2];
+  const Tensor w_mat = weight_.value.reshape(Shape{in_channels_, taps});
 
-  Tensor grad_input(input_.shape());
-  const float* px = input_.data();
-  const float* pw = weight_.value.data();
-  const float* pdy = grad_output.data();
-  float* pdx = grad_input.data();
-  float* pdw = weight_.grad.data();
-  const int kd = kernel_[0], kh = kernel_[1], kw = kernel_[2];
-  const int sd = stride_[0], sh = stride_[1], sw = stride_[2];
-  const int pd = padding_[0], ph = padding_[1], pww = padding_[2];
+  if (has_bias_) accumulate_channel_sums(grad_output, bias_.grad);
 
-  if (has_bias_) {
-    for (std::int64_t in = 0; in < n; ++in) {
-      for (std::int64_t o = 0; o < out_channels_; ++o) {
-        double acc = 0.0;
-        const float* base = pdy + ((in * out_channels_ + o) * od) * oh * ow;
-        for (std::int64_t p = 0; p < od * oh * ow; ++p) acc += base[p];
-        bias_.grad.flat(o) += static_cast<float>(acc);
-      }
-    }
-  }
+  // dX = forward-convolve dy with W: one batched vol2col, one GEMM.
+  Tensor cols = vol2col_batched(grad_output, kernel_[0], kernel_[1],
+                                kernel_[2], stride_[0], stride_[1],
+                                stride_[2], padding_[0], padding_[1],
+                                padding_[2]);  // (O*kd*kh*kw, N*d*h*w)
+  Tensor dx_cm = matmul(w_mat, cols);  // (C, N*d*h*w)
+  Tensor grad_input = channel_major_to_batch(dx_cm, input_shape_);
 
-  for (std::int64_t in = 0; in < n; ++in) {
-    for (std::int64_t c = 0; c < in_channels_; ++c) {
-      for (std::int64_t id = 0; id < d; ++id) {
-        for (std::int64_t ih = 0; ih < h; ++ih) {
-          for (std::int64_t iw = 0; iw < w; ++iw) {
-            const std::int64_t xoff =
-                (((in * in_channels_ + c) * d + id) * h + ih) * w + iw;
-            const float x = px[xoff];
-            double dx_acc = 0.0;
-            for (std::int64_t o = 0; o < out_channels_; ++o) {
-              for (int fd = 0; fd < kd; ++fd) {
-                const std::int64_t zd = id * sd - pd + fd;
-                if (zd < 0 || zd >= od) continue;
-                for (int fh = 0; fh < kh; ++fh) {
-                  const std::int64_t zh = ih * sh - ph + fh;
-                  if (zh < 0 || zh >= oh) continue;
-                  const std::int64_t wbase =
-                      (((c * out_channels_ + o) * kd + fd) * kh + fh) * kw;
-                  const float* dyrow =
-                      pdy + (((in * out_channels_ + o) * od + zd) * oh + zh) * ow;
-                  for (int fw = 0; fw < kw; ++fw) {
-                    const std::int64_t zw = iw * sw - pww + fw;
-                    if (zw < 0 || zw >= ow) continue;
-                    const float g = dyrow[zw];
-                    dx_acc += g * pw[wbase + fw];
-                    pdw[wbase + fw] += g * x;
-                  }
-                }
-              }
-            }
-            pdx[xoff] += static_cast<float>(dx_acc);
-          }
-        }
-      }
-    }
-  }
+  // dW = x ⊗ vol2col(dy) as one GEMM.
+  weight_.grad.add_(matmul_nt(x_cm_, cols).reshape(weight_.value.shape()));
+  x_cm_ = Tensor();  // dead after dW; don't pin it until the next forward
   return grad_input;
 }
 

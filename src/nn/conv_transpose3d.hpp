@@ -1,4 +1,4 @@
-// 3-D transposed ("de-") convolution layer (direct-loop implementation).
+// 3-D transposed ("de-") convolution layer (col2vol + GEMM implementation).
 //
 // This is the first layer of each ZipNet 3D upscaling block: it upsamples
 // the (depth, height, width) volume — in practice stride (1, f, f) to
@@ -42,7 +42,9 @@ class ConvTranspose3d final : public Layer {
   Parameter weight_;
   Parameter bias_;
 
-  Tensor input_;  // cached for backward
+  // Forward caches.
+  Shape input_shape_;
+  Tensor x_cm_;  // channel-major input (C, N·d·h·w), reused for dW
 };
 
 }  // namespace mtsr::nn

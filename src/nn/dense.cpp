@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
 #include "src/nn/init.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
@@ -26,12 +27,12 @@ Tensor Dense::forward(const Tensor& input, bool /*training*/) {
   input_ = input;
   Tensor out = matmul_nt(input, weight_.value);  // (N, out)
   if (has_bias_) {
-    const std::int64_t n = out.dim(0);
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t o = 0; o < out_features_; ++o) {
-        out.data()[i * out_features_ + o] += bias_.value.flat(o);
-      }
-    }
+    float* po = out.data();
+    const float* pb = bias_.value.data();
+    parallel_for(out.dim(0), [&](std::int64_t i) {
+      float* row = po + i * out_features_;
+      for (std::int64_t o = 0; o < out_features_; ++o) row[o] += pb[o];
+    });
   }
   return out;
 }
@@ -44,13 +45,13 @@ Tensor Dense::backward(const Tensor& grad_output) {
   weight_.grad.add_(matmul_tn(grad_output, input_));
   if (has_bias_) {
     const std::int64_t n = grad_output.dim(0);
-    for (std::int64_t o = 0; o < out_features_; ++o) {
+    const float* pdy = grad_output.data();
+    float* pdb = bias_.grad.data();
+    parallel_for(out_features_, [&](std::int64_t o) {
       double acc = 0.0;
-      for (std::int64_t i = 0; i < n; ++i) {
-        acc += grad_output.data()[i * out_features_ + o];
-      }
-      bias_.grad.flat(o) += static_cast<float>(acc);
-    }
+      for (std::int64_t i = 0; i < n; ++i) acc += pdy[i * out_features_ + o];
+      pdb[o] += static_cast<float>(acc);
+    });
   }
   return matmul(grad_output, weight_.value);
 }

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::nn {
@@ -17,12 +18,13 @@ Tensor GlobalAvgPool::forward(const Tensor& input, bool /*training*/) {
 
   Tensor out(Shape{n, c});
   const float* px = input.data();
-  for (std::int64_t i = 0; i < n * c; ++i) {
+  float* po = out.data();
+  parallel_for(n * c, [&](std::int64_t i) {
     double acc = 0.0;
     const float* base = px + i * inner;
     for (std::int64_t j = 0; j < inner; ++j) acc += base[j];
-    out.data()[i] = static_cast<float>(acc / static_cast<double>(inner));
-  }
+    po[i] = static_cast<float>(acc / static_cast<double>(inner));
+  });
   return out;
 }
 
@@ -37,12 +39,13 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
 
   Tensor grad(input_shape_);
   float* pg = grad.data();
+  const float* pdy = grad_output.data();
   const float scale = 1.f / static_cast<float>(inner);
-  for (std::int64_t i = 0; i < n * c; ++i) {
-    const float g = grad_output.data()[i] * scale;
+  parallel_for(n * c, [&](std::int64_t i) {
+    const float g = pdy[i] * scale;
     float* base = pg + i * inner;
     for (std::int64_t j = 0; j < inner; ++j) base[j] = g;
-  }
+  });
   return grad;
 }
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
 
 namespace mtsr {
 namespace {
@@ -31,6 +32,121 @@ Shape with_spatial(const Shape& s, std::int64_t rows, std::int64_t cols) {
   return Shape(dims);
 }
 
+// ---- Blocked GEMM kernels --------------------------------------------------
+//
+// Cache-blocked, pool-parallel kernels behind matmul / matmul_tn /
+// matmul_nt. Work is split over contiguous row (or column) chunks of C, so
+// every output element is owned by exactly one thread and accumulates over
+// k in a fixed ascending order — results are bit-identical for every pool
+// size.
+
+constexpr std::int64_t kKc = 256;   // k-tile: A pack of 4*kKc floats (4 KB)
+constexpr std::int64_t kNc = 1024;  // j-tile of the B/C row segments (4 KB)
+
+// C[i0:i1, j0:j1] += A[i0:i1, :] * B[:, j0:j1] for row-major A (lda = k),
+// B (ldb) and C (ldc). Inner microkernel: 4 packed A rows against a B row
+// segment streamed through L1.
+void gemm_nn_block(const float* pa, const float* pb, float* pc,
+                   std::int64_t k, std::int64_t ldb, std::int64_t ldc,
+                   std::int64_t i0, std::int64_t i1, std::int64_t j0,
+                   std::int64_t j1) {
+  alignas(64) float apack[4 * kKc];
+  for (std::int64_t kk0 = 0; kk0 < k; kk0 += kKc) {
+    const std::int64_t kk1 = std::min(k, kk0 + kKc);
+    std::int64_t i = i0;
+    for (; i + 4 <= i1; i += 4) {
+      // Pack the 4×kc A tile k-major: the microkernel reads one quad per k.
+      for (std::int64_t kk = kk0; kk < kk1; ++kk) {
+        float* q = apack + (kk - kk0) * 4;
+        q[0] = pa[(i + 0) * k + kk];
+        q[1] = pa[(i + 1) * k + kk];
+        q[2] = pa[(i + 2) * k + kk];
+        q[3] = pa[(i + 3) * k + kk];
+      }
+      float* c0 = pc + (i + 0) * ldc;
+      float* c1 = pc + (i + 1) * ldc;
+      float* c2 = pc + (i + 2) * ldc;
+      float* c3 = pc + (i + 3) * ldc;
+      for (std::int64_t jj0 = j0; jj0 < j1; jj0 += kNc) {
+        const std::int64_t jj1 = std::min(j1, jj0 + kNc);
+        for (std::int64_t kk = kk0; kk < kk1; ++kk) {
+          const float* q = apack + (kk - kk0) * 4;
+          const float a0 = q[0], a1 = q[1], a2 = q[2], a3 = q[3];
+          if (a0 == 0.f && a1 == 0.f && a2 == 0.f && a3 == 0.f) continue;
+          const float* brow = pb + kk * ldb;
+          for (std::int64_t j = jj0; j < jj1; ++j) {
+            const float bkj = brow[j];
+            c0[j] += a0 * bkj;
+            c1[j] += a1 * bkj;
+            c2[j] += a2 * bkj;
+            c3[j] += a3 * bkj;
+          }
+        }
+      }
+    }
+    for (; i < i1; ++i) {  // remainder rows: plain i-k-j over the tile
+      float* crow = pc + i * ldc;
+      for (std::int64_t kk = kk0; kk < kk1; ++kk) {
+        const float aik = pa[i * k + kk];
+        if (aik == 0.f) continue;
+        const float* brow = pb + kk * ldb;
+        for (std::int64_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+// Parallel driver for C = A * B given row-major operands. Splits over rows
+// when C is tall, over columns when C is wide (conv lowering produces
+// short-and-wide products), so the pool stays busy either way.
+// Minimum work per chunk: wide-enough column blocks keep the vectorised
+// inner loop long, tall-enough row blocks amortise the A-tile packing.
+constexpr std::int64_t kRowGrain = 16;
+constexpr std::int64_t kColGrain = 128;
+
+void gemm_nn(const float* pa, const float* pb, float* pc, std::int64_t m,
+             std::int64_t k, std::int64_t n) {
+  if (m >= n) {
+    parallel_for_grain(m, kRowGrain, [&](std::int64_t i0, std::int64_t i1, int) {
+      gemm_nn_block(pa, pb, pc, k, n, n, i0, i1, 0, n);
+    });
+  } else {
+    parallel_for_grain(n, kColGrain, [&](std::int64_t j0, std::int64_t j1, int) {
+      gemm_nn_block(pa, pb, pc, k, n, n, 0, m, j0, j1);
+    });
+  }
+}
+
+// C[i0:i1, j0:j1] with C[i,j] = dot(A row i, B row j); both rows are
+// contiguous of length k. Fixed four-lane reduction over k (lane l sums
+// k ≡ l mod 4, lanes combined in order) — deterministic in k alone.
+void gemm_nt_block(const float* pa, const float* pb, float* pc,
+                   std::int64_t k, std::int64_t ldc, std::int64_t i0,
+                   std::int64_t i1, std::int64_t j0, std::int64_t j1) {
+  constexpr std::int64_t kJt = 16;  // B rows kept hot per tile
+  for (std::int64_t jj0 = j0; jj0 < j1; jj0 += kJt) {
+    const std::int64_t jj1 = std::min(j1, jj0 + kJt);
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * ldc;
+      for (std::int64_t j = jj0; j < jj1; ++j) {
+        const float* brow = pb + j * k;
+        float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+        std::int64_t kk = 0;
+        for (; kk + 4 <= k; kk += 4) {
+          acc0 += arow[kk + 0] * brow[kk + 0];
+          acc1 += arow[kk + 1] * brow[kk + 1];
+          acc2 += arow[kk + 2] * brow[kk + 2];
+          acc3 += arow[kk + 3] * brow[kk + 3];
+        }
+        float acc = (acc0 + acc1) + (acc2 + acc3);
+        for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] = acc;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -40,19 +156,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                            a.shape().to_string() + " * " +
                            b.shape().to_string());
   Tensor c(Shape{m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // i-k-j loop order: the inner loop streams both B and C rows.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.f) continue;
-      const float* brow = pb + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  gemm_nn(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -60,20 +164,11 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   check(a.rank() == 2 && b.rank() == 2, "matmul_tn requires rank-2 tensors");
   const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   check(b.dim(0) == k, "matmul_tn inner dimensions must agree");
+  // Materialise Aᵀ (O(m·k), negligible next to the O(m·k·n) product) so the
+  // core kernel always streams contiguous A rows.
+  Tensor at = transpose(a);
   Tensor c(Shape{m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.f) continue;
-      float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
-    }
-  }
+  gemm_nn(at.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -85,15 +180,14 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.f;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = acc;
-    }
+  if (m >= n) {
+    parallel_for_grain(m, kRowGrain, [&](std::int64_t i0, std::int64_t i1, int) {
+      gemm_nt_block(pa, pb, pc, k, n, i0, i1, 0, n);
+    });
+  } else {
+    parallel_for_grain(n, kRowGrain, [&](std::int64_t j0, std::int64_t j1, int) {
+      gemm_nt_block(pa, pb, pc, k, n, 0, m, j0, j1);
+    });
   }
   return c;
 }
@@ -102,11 +196,23 @@ Tensor transpose(const Tensor& a) {
   check(a.rank() == 2, "transpose requires a rank-2 tensor");
   const std::int64_t m = a.dim(0), n = a.dim(1);
   Tensor out(Shape{n, m});
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) {
-      out.data()[j * m + i] = a.data()[i * n + j];
+  const float* pi = a.data();
+  float* po = out.data();
+  // 32×32 tiles keep both the read and the strided write streams in L1.
+  constexpr std::int64_t kTile = 32;
+  parallel_for_grain(n, kTile, [&](std::int64_t r0, std::int64_t r1, int) {
+    for (std::int64_t jt = r0; jt < r1; jt += kTile) {
+      const std::int64_t jmax = std::min(r1, jt + kTile);
+      for (std::int64_t it = 0; it < m; it += kTile) {
+        const std::int64_t imax = std::min(m, it + kTile);
+        for (std::int64_t j = jt; j < jmax; ++j) {
+          for (std::int64_t i = it; i < imax; ++i) {
+            po[j * m + i] = pi[i * n + j];
+          }
+        }
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -180,6 +286,266 @@ Tensor col2im(const Tensor& columns, std::int64_t channels,
   return out;
 }
 
+Tensor im2col_batched(const Tensor& input, int kh, int kw, int stride_h,
+                      int stride_w, int pad_h, int pad_w) {
+  check(input.rank() == 4, "im2col_batched expects input of shape (N, C, H, W)");
+  check(kh > 0 && kw > 0 && stride_h > 0 && stride_w > 0 && pad_h >= 0 &&
+            pad_w >= 0,
+        "im2col_batched parameters out of range");
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  const std::int64_t oh = (h + 2 * pad_h - kh) / stride_h + 1;
+  const std::int64_t ow = (w + 2 * pad_w - kw) / stride_w + 1;
+  check(oh > 0 && ow > 0, "im2col_batched produces empty output");
+
+  Tensor out(Shape{c * kh * kw, n * oh * ow});
+  float* po = out.data();
+  const float* pi = input.data();
+  // Each output row is contiguous over all samples; rows are independent.
+  parallel_for(c * kh * kw, [&](std::int64_t row) {
+    const std::int64_t ch = row / (kh * kw);
+    const std::int64_t rem = row % (kh * kw);
+    const int ky = static_cast<int>(rem / kw);
+    const int kx = static_cast<int>(rem % kw);
+    float* orow = po + row * n * oh * ow;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* img = pi + (i * c + ch) * h * w;
+      float* oseg = orow + i * oh * ow;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        const std::int64_t iy = oy * stride_h - pad_h + ky;
+        if (iy < 0 || iy >= h) {
+          std::fill(oseg + oy * ow, oseg + (oy + 1) * ow, 0.f);
+          continue;
+        }
+        const float* irow = img + iy * w;
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          const std::int64_t ix = ox * stride_w - pad_w + kx;
+          oseg[oy * ow + ox] = (ix >= 0 && ix < w) ? irow[ix] : 0.f;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor col2im_batched(const Tensor& columns, std::int64_t n,
+                      std::int64_t channels, std::int64_t height,
+                      std::int64_t width, int kh, int kw, int stride_h,
+                      int stride_w, int pad_h, int pad_w) {
+  check(columns.rank() == 2, "col2im_batched expects rank-2 columns");
+  const std::int64_t oh = (height + 2 * pad_h - kh) / stride_h + 1;
+  const std::int64_t ow = (width + 2 * pad_w - kw) / stride_w + 1;
+  check(columns.dim(0) == channels * kh * kw,
+        "col2im_batched columns row count mismatch");
+  check(columns.dim(1) == n * oh * ow,
+        "col2im_batched columns col count mismatch");
+
+  Tensor out(Shape{n, channels, height, width});
+  float* po = out.data();
+  const float* pc = columns.data();
+  // Samples write disjoint output chunks; scatter order within a sample is
+  // fixed, so results are pool-size independent.
+  parallel_for(n, [&](std::int64_t i) {
+    float* img_base = po + i * channels * height * width;
+    for (std::int64_t ch = 0; ch < channels; ++ch) {
+      for (int ky = 0; ky < kh; ++ky) {
+        for (int kx = 0; kx < kw; ++kx) {
+          const std::int64_t row = (ch * kh + ky) * kw + kx;
+          const float* crow = pc + row * n * oh * ow + i * oh * ow;
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            const std::int64_t iy = oy * stride_h - pad_h + ky;
+            if (iy < 0 || iy >= height) continue;
+            float* orow = img_base + (ch * height + iy) * width;
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              const std::int64_t ix = ox * stride_w - pad_w + kx;
+              if (ix >= 0 && ix < width) orow[ix] += crow[oy * ow + ox];
+            }
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor vol2col_batched(const Tensor& input, int kd, int kh, int kw,
+                       int stride_d, int stride_h, int stride_w, int pad_d,
+                       int pad_h, int pad_w) {
+  check(input.rank() == 5,
+        "vol2col_batched expects input of shape (N, C, D, H, W)");
+  check(kd > 0 && kh > 0 && kw > 0 && stride_d > 0 && stride_h > 0 &&
+            stride_w > 0 && pad_d >= 0 && pad_h >= 0 && pad_w >= 0,
+        "vol2col_batched parameters out of range");
+  const std::int64_t n = input.dim(0), c = input.dim(1), d = input.dim(2),
+                     h = input.dim(3), w = input.dim(4);
+  const std::int64_t od = (d + 2 * pad_d - kd) / stride_d + 1;
+  const std::int64_t oh = (h + 2 * pad_h - kh) / stride_h + 1;
+  const std::int64_t ow = (w + 2 * pad_w - kw) / stride_w + 1;
+  check(od > 0 && oh > 0 && ow > 0, "vol2col_batched produces empty output");
+
+  Tensor out(Shape{c * kd * kh * kw, n * od * oh * ow});
+  float* po = out.data();
+  const float* pi = input.data();
+  const std::int64_t taps = static_cast<std::int64_t>(kd) * kh * kw;
+  parallel_for(c * taps, [&](std::int64_t row) {
+    const std::int64_t ch = row / taps;
+    std::int64_t rem = row % taps;
+    const int kz = static_cast<int>(rem / (kh * kw));
+    rem %= kh * kw;
+    const int ky = static_cast<int>(rem / kw);
+    const int kx = static_cast<int>(rem % kw);
+    float* orow = po + row * n * od * oh * ow;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* vol = pi + (i * c + ch) * d * h * w;
+      float* oseg = orow + i * od * oh * ow;
+      for (std::int64_t oz = 0; oz < od; ++oz) {
+        const std::int64_t iz = oz * stride_d - pad_d + kz;
+        if (iz < 0 || iz >= d) {
+          std::fill(oseg + oz * oh * ow, oseg + (oz + 1) * oh * ow, 0.f);
+          continue;
+        }
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * stride_h - pad_h + ky;
+          float* oline = oseg + (oz * oh + oy) * ow;
+          if (iy < 0 || iy >= h) {
+            std::fill(oline, oline + ow, 0.f);
+            continue;
+          }
+          const float* irow = vol + (iz * h + iy) * w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * stride_w - pad_w + kx;
+            oline[ox] = (ix >= 0 && ix < w) ? irow[ix] : 0.f;
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor col2vol_batched(const Tensor& columns, std::int64_t n,
+                       std::int64_t channels, std::int64_t depth,
+                       std::int64_t height, std::int64_t width, int kd, int kh,
+                       int kw, int stride_d, int stride_h, int stride_w,
+                       int pad_d, int pad_h, int pad_w) {
+  check(columns.rank() == 2, "col2vol_batched expects rank-2 columns");
+  const std::int64_t od = (depth + 2 * pad_d - kd) / stride_d + 1;
+  const std::int64_t oh = (height + 2 * pad_h - kh) / stride_h + 1;
+  const std::int64_t ow = (width + 2 * pad_w - kw) / stride_w + 1;
+  const std::int64_t taps = static_cast<std::int64_t>(kd) * kh * kw;
+  check(columns.dim(0) == channels * taps,
+        "col2vol_batched columns row count mismatch");
+  check(columns.dim(1) == n * od * oh * ow,
+        "col2vol_batched columns col count mismatch");
+
+  Tensor out(Shape{n, channels, depth, height, width});
+  float* po = out.data();
+  const float* pc = columns.data();
+  parallel_for(n, [&](std::int64_t i) {
+    float* vol_base = po + i * channels * depth * height * width;
+    for (std::int64_t ch = 0; ch < channels; ++ch) {
+      for (int kz = 0; kz < kd; ++kz) {
+        for (int ky = 0; ky < kh; ++ky) {
+          for (int kx = 0; kx < kw; ++kx) {
+            const std::int64_t row =
+                ((ch * kd + kz) * kh + ky) * kw + kx;
+            const float* crow =
+                pc + row * n * od * oh * ow + i * od * oh * ow;
+            for (std::int64_t oz = 0; oz < od; ++oz) {
+              const std::int64_t iz = oz * stride_d - pad_d + kz;
+              if (iz < 0 || iz >= depth) continue;
+              for (std::int64_t oy = 0; oy < oh; ++oy) {
+                const std::int64_t iy = oy * stride_h - pad_h + ky;
+                if (iy < 0 || iy >= height) continue;
+                float* orow =
+                    vol_base + ((ch * depth + iz) * height + iy) * width;
+                const float* cline = crow + (oz * oh + oy) * ow;
+                for (std::int64_t ox = 0; ox < ow; ++ox) {
+                  const std::int64_t ix = ox * stride_w - pad_w + kx;
+                  if (ix >= 0 && ix < width) orow[ix] += cline[ox];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor batch_to_channel_major(const Tensor& input) {
+  check(input.rank() >= 3, "batch_to_channel_major expects (N, C, ...) input");
+  const std::int64_t n = input.dim(0), c = input.dim(1);
+  std::int64_t inner = 1;
+  for (int i = 2; i < input.rank(); ++i) inner *= input.dim(i);
+  Tensor out(Shape{c, n * inner});
+  const float* pi = input.data();
+  float* po = out.data();
+  parallel_for(c, [&](std::int64_t ch) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      std::memcpy(po + (ch * n + i) * inner, pi + (i * c + ch) * inner,
+                  static_cast<std::size_t>(inner) * sizeof(float));
+    }
+  });
+  return out;
+}
+
+Tensor channel_major_to_batch(const Tensor& mat, const Shape& out_shape) {
+  check(mat.rank() == 2, "channel_major_to_batch expects a rank-2 matrix");
+  check(out_shape.rank() >= 3, "channel_major_to_batch needs (N, C, ...) out");
+  const std::int64_t n = out_shape.dim(0), c = out_shape.dim(1);
+  std::int64_t inner = 1;
+  for (int i = 2; i < out_shape.rank(); ++i) inner *= out_shape.dim(i);
+  check(mat.dim(0) == c && mat.dim(1) == n * inner,
+        "channel_major_to_batch shape mismatch");
+  Tensor out(out_shape);
+  const float* pi = mat.data();
+  float* po = out.data();
+  parallel_for(n, [&](std::int64_t i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      std::memcpy(po + (i * c + ch) * inner, pi + (ch * n + i) * inner,
+                  static_cast<std::size_t>(inner) * sizeof(float));
+    }
+  });
+  return out;
+}
+
+void add_channel_bias(Tensor& batch, const Tensor& bias) {
+  check(batch.rank() >= 3, "add_channel_bias expects (N, C, ...) input");
+  const std::int64_t n = batch.dim(0), c = batch.dim(1);
+  check(bias.rank() == 1 && bias.dim(0) == c,
+        "add_channel_bias bias shape mismatch");
+  std::int64_t inner = 1;
+  for (int i = 2; i < batch.rank(); ++i) inner *= batch.dim(i);
+  float* po = batch.data();
+  const float* pb = bias.data();
+  parallel_for(n * c, [&](std::int64_t i) {
+    const float b = pb[i % c];
+    float* seg = po + i * inner;
+    for (std::int64_t p = 0; p < inner; ++p) seg[p] += b;
+  });
+}
+
+void accumulate_channel_sums(const Tensor& batch, Tensor& sums) {
+  check(batch.rank() >= 3, "accumulate_channel_sums expects (N, C, ...)");
+  const std::int64_t n = batch.dim(0), c = batch.dim(1);
+  check(sums.rank() == 1 && sums.dim(0) == c,
+        "accumulate_channel_sums sums shape mismatch");
+  std::int64_t inner = 1;
+  for (int i = 2; i < batch.rank(); ++i) inner *= batch.dim(i);
+  const float* pi = batch.data();
+  float* ps = sums.data();
+  parallel_for(c, [&](std::int64_t ch) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* seg = pi + (i * c + ch) * inner;
+      for (std::int64_t p = 0; p < inner; ++p) acc += seg[p];
+    }
+    ps[ch] += static_cast<float>(acc);
+  });
+}
+
 Tensor pad2d(const Tensor& input, int pad_h, int pad_w) {
   check(pad_h >= 0 && pad_w >= 0, "pad2d requires non-negative padding");
   const Flat3 f = flatten_spatial(input.shape(), "pad2d");
@@ -232,7 +598,7 @@ Tensor pool2d(const Tensor& input, int factor, bool average) {
   float* po = out.data();
   const float scale = average ? 1.f / (static_cast<float>(factor) * factor)
                               : 1.f;
-  for (std::int64_t b = 0; b < f.batch; ++b) {
+  parallel_for(f.batch, [&](std::int64_t b) {
     for (std::int64_t r = 0; r < orows; ++r) {
       for (std::int64_t c = 0; c < ocols; ++c) {
         double acc = 0.0;
@@ -244,7 +610,7 @@ Tensor pool2d(const Tensor& input, int factor, bool average) {
         po[(b * orows + r) * ocols + c] = static_cast<float>(acc) * scale;
       }
     }
-  }
+  });
   return out;
 }
 
@@ -266,13 +632,13 @@ Tensor upsample_nearest2d(const Tensor& input, int factor) {
   Tensor out(with_spatial(input.shape(), orows, ocols));
   const float* pi = input.data();
   float* po = out.data();
-  for (std::int64_t b = 0; b < f.batch; ++b) {
+  parallel_for(f.batch, [&](std::int64_t b) {
     for (std::int64_t r = 0; r < orows; ++r) {
       const float* irow = pi + (b * f.rows + r / factor) * f.cols;
       float* orow = po + (b * orows + r) * ocols;
       for (std::int64_t c = 0; c < ocols; ++c) orow[c] = irow[c / factor];
     }
-  }
+  });
   return out;
 }
 

@@ -4,6 +4,11 @@
 // These are the building blocks the src/nn layers are written against. All
 // functions are pure (value in, value out) and validate their shape
 // contracts; the hot loops themselves are check-free.
+//
+// The matmul family and the batched lowering helpers run cache-blocked
+// kernels on the shared thread pool (src/common/parallel.hpp). Every kernel
+// preserves a fixed per-element accumulation order, so results are
+// bit-identical for every pool size.
 #pragma once
 
 #include <cstdint>
@@ -15,7 +20,7 @@ namespace mtsr {
 /// C = A (m×k) * B (k×n). Both inputs must be rank-2.
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
 
-/// C = Aᵀ (k×m) * B (k×n) without materialising Aᵀ.
+/// C = Aᵀ (k×m) * B (k×n); the transpose is never exposed to the caller.
 [[nodiscard]] Tensor matmul_tn(const Tensor& a, const Tensor& b);
 
 /// C = A (m×k) * Bᵀ (n×k) without materialising Bᵀ.
@@ -38,6 +43,58 @@ namespace mtsr {
                             std::int64_t height, std::int64_t width, int kh,
                             int kw, int stride_h, int stride_w, int pad_h,
                             int pad_w);
+
+/// Whole-batch im2col: input (N, C, H, W) -> (C*kh*kw, N*oh*ow), with the
+/// columns of sample i occupying the contiguous range [i*oh*ow, (i+1)*oh*ow).
+/// Lets a convolution over the whole batch run as ONE GEMM per step.
+[[nodiscard]] Tensor im2col_batched(const Tensor& input, int kh, int kw,
+                                    int stride_h, int stride_w, int pad_h,
+                                    int pad_w);
+
+/// Adjoint of im2col_batched: scatters (C*kh*kw, N*oh*ow) columns back into
+/// an (N, C, H, W) batch, accumulating where patches overlap.
+[[nodiscard]] Tensor col2im_batched(const Tensor& columns, std::int64_t n,
+                                    std::int64_t channels, std::int64_t height,
+                                    std::int64_t width, int kh, int kw,
+                                    int stride_h, int stride_w, int pad_h,
+                                    int pad_w);
+
+/// Whole-batch 3-D lowering: input (N, C, D, H, W) ->
+/// (C*kd*kh*kw, N*od*oh*ow), sample i's columns contiguous as in
+/// im2col_batched.
+[[nodiscard]] Tensor vol2col_batched(const Tensor& input, int kd, int kh,
+                                     int kw, int stride_d, int stride_h,
+                                     int stride_w, int pad_d, int pad_h,
+                                     int pad_w);
+
+/// Adjoint of vol2col_batched: scatters columns back into an
+/// (N, C, D, H, W) batch.
+[[nodiscard]] Tensor col2vol_batched(const Tensor& columns, std::int64_t n,
+                                     std::int64_t channels, std::int64_t depth,
+                                     std::int64_t height, std::int64_t width,
+                                     int kd, int kh, int kw, int stride_d,
+                                     int stride_h, int stride_w, int pad_d,
+                                     int pad_h, int pad_w);
+
+/// Reorders (N, C, *) into a channel-major matrix (C, N*inner) where inner
+/// is the product of the trailing dims. The GEMM-side layout of the batched
+/// conv lowering.
+[[nodiscard]] Tensor batch_to_channel_major(const Tensor& input);
+
+/// Inverse of batch_to_channel_major: (C, N*inner) -> out_shape, which must
+/// be (N, C, *) with matching volume.
+[[nodiscard]] Tensor channel_major_to_batch(const Tensor& mat,
+                                            const Shape& out_shape);
+
+/// In-place broadcast-add of a per-channel bias (C) over an (N, C, *)
+/// batch. The bias path shared by every conv layer's forward.
+void add_channel_bias(Tensor& batch, const Tensor& bias);
+
+/// Accumulates per-channel sums of an (N, C, *) batch into `sums` (C) —
+/// the bias-gradient reduction shared by every conv layer's backward.
+/// Deterministic: channel c sums samples then positions in ascending order
+/// regardless of pool size.
+void accumulate_channel_sums(const Tensor& batch, Tensor& sums);
 
 /// Zero-pads the last two axes of a rank-2..4 tensor by (pad_h, pad_w) on
 /// each side.
