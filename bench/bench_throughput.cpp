@@ -6,6 +6,18 @@
 // operations and the end-to-end inference paths of every method.
 #include <benchmark/benchmark.h>
 
+#if __has_include("src/common/workspace.hpp")
+// Workspace builds retain conv lowering slices for a backward that never
+// comes in a forward-only bench loop; scope each iteration so the arena
+// stays at its steady-state high-water mark. (The guard keeps this file
+// compilable against the pre-workspace engine for interleaved comparisons.)
+#include "src/common/workspace.hpp"
+#define MTSR_BENCH_WS_SCOPE() \
+  mtsr::Workspace::Scope ws_scope(mtsr::Workspace::tls())
+#else
+#define MTSR_BENCH_WS_SCOPE() ((void)0)
+#endif
+
 #include "bench/bench_common.hpp"
 #include "src/baselines/bicubic.hpp"
 #include "src/core/pipeline.hpp"
@@ -30,12 +42,41 @@ void BM_Matmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
 
+// Wide conv-lowering GEMM geometry: short A (out-channels × taps) against
+// an enormous lowered-columns B (taps × N·oh·ow) — the exact product shape
+// the packed-B panel path targets.
+void BM_WideLoweringGemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(7);
+  Tensor a = Tensor::randn(Shape{32, 288}, rng);   // 32 ch, 32*3*3 taps
+  Tensor b = Tensor::randn(Shape{288, n}, rng);    // lowered columns
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 288 * n);
+}
+BENCHMARK(BM_WideLoweringGemm)->Arg(8192)->Arg(32768);
+
+// Whole-batch conv forward: the batched im2col + one wide GEMM per step.
+void BM_Conv2dForwardBatched(benchmark::State& state) {
+  const auto batch = state.range(0);
+  Rng rng(8);
+  nn::Conv2d conv(16, 16, 3, 1, 1, rng);
+  Tensor input = Tensor::randn(Shape{batch, 16, 20, 20}, rng);
+  for (auto _ : state) {
+    MTSR_BENCH_WS_SCOPE();
+    benchmark::DoNotOptimize(conv.forward(input, false));
+  }
+}
+BENCHMARK(BM_Conv2dForwardBatched)->Arg(8)->Arg(32);
+
 void BM_Conv2dForward(benchmark::State& state) {
   const auto side = state.range(0);
   Rng rng(2);
   nn::Conv2d conv(8, 8, 3, 1, 1, rng);
   Tensor input = Tensor::randn(Shape{1, 8, side, side}, rng);
   for (auto _ : state) {
+    MTSR_BENCH_WS_SCOPE();
     benchmark::DoNotOptimize(conv.forward(input, false));
   }
 }
@@ -47,6 +88,7 @@ void BM_Conv3dForward(benchmark::State& state) {
   nn::Conv3d conv(4, 4, {3, 3, 3}, {1, 1, 1}, {1, 1, 1}, rng);
   Tensor input = Tensor::randn(Shape{1, 4, 3, side, side}, rng);
   for (auto _ : state) {
+    MTSR_BENCH_WS_SCOPE();
     benchmark::DoNotOptimize(conv.forward(input, false));
   }
 }
@@ -59,6 +101,7 @@ void BM_Deconv3dUpscale(benchmark::State& state) {
                              {1, factor, factor}, {1, 1, 1}, rng);
   Tensor input = Tensor::randn(Shape{1, 4, 3, 10, 10}, rng);
   for (auto _ : state) {
+    MTSR_BENCH_WS_SCOPE();
     benchmark::DoNotOptimize(deconv.forward(input, false));
   }
 }

@@ -5,6 +5,7 @@
 #include "src/baselines/bicubic.hpp"
 #include "src/common/check.hpp"
 #include "src/common/parallel.hpp"
+#include "src/common/workspace.hpp"
 #include "src/nn/activations.hpp"
 #include "src/nn/conv2d.hpp"
 #include "src/nn/loss.hpp"
@@ -106,6 +107,10 @@ void Srcnn::fit(const std::vector<Tensor>& fine_frames,
       }
       Tensor x = stack0(xs);  // (bs, 1, w, w)
       Tensor y = stack0(ys);
+      // Step-scoped workspace: the conv layers' lowering slices are
+      // rewound by backward; the scope reclaims any remainder so the
+      // arena stops growing after the first step.
+      Workspace::Scope ws_step(Workspace::tls());
       Tensor pred = network_->forward(x, /*training=*/true);
       auto [loss, grad] = nn::mse_loss(pred, y);
       optimizer.zero_grad();
@@ -127,6 +132,8 @@ Tensor Srcnn::super_resolve(const Tensor& fine_frame,
   mid.add_scalar_(static_cast<float>(-mean_));
   mid.mul_scalar_(static_cast<float>(1.0 / stddev_));
   Tensor x = mid.reshape(Shape{1, 1, rows, cols});
+  // Inference-only pass: scope away the retained lowering slices.
+  Workspace::Scope ws_scope(Workspace::tls());
   Tensor pred = network_->forward(x, /*training=*/false);
   Tensor out = pred.reshape(Shape{rows, cols});
   out.mul_scalar_(static_cast<float>(stddev_));

@@ -1,0 +1,142 @@
+#include "src/common/workspace.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+
+namespace mtsr {
+namespace {
+
+// Alignment and minimum block size, in floats. 64-byte alignment keeps
+// GEMM panel loads cache-line aligned; the 256 KiB floor stops tiny first
+// allocations from fragmenting the arena into many blocks during warm-up.
+constexpr std::int64_t kAlignFloats = 16;  // 64 bytes
+constexpr std::int64_t kMinBlockFloats = 64 * 1024;
+
+std::int64_t round_up(std::int64_t n, std::int64_t to) {
+  return (n + to - 1) / to * to;
+}
+
+}  // namespace
+
+void Workspace::add_block(std::int64_t min_floats) {
+  Block b;
+  // Doubling policy: each growth at least doubles total capacity, so a
+  // warm-up phase performs O(log peak) heap allocations in the worst case.
+  b.cap = std::max({min_floats, kMinBlockFloats, capacity_});
+  b.storage = std::make_unique<float[]>(
+      static_cast<std::size_t>(b.cap + kAlignFloats));
+  auto addr = reinterpret_cast<std::uintptr_t>(b.storage.get());
+  const std::uintptr_t aligned = round_up(static_cast<std::int64_t>(addr),
+                                          kAlignFloats * sizeof(float));
+  b.base = b.storage.get() + (aligned - addr) / sizeof(float);
+  capacity_ += b.cap;
+  ++growth_events_;
+  blocks_.push_back(std::move(b));
+}
+
+float* Workspace::alloc(std::int64_t count) {
+  check(count >= 0, "Workspace::alloc: negative size");
+  const std::int64_t need = std::max(round_up(count, kAlignFloats),
+                                     kAlignFloats);
+  // Advance past full blocks. Blocks beyond cur_ are empty (a rewind reset
+  // them), so the first one with room is the bump target.
+  while (cur_ < static_cast<std::int32_t>(blocks_.size()) &&
+         blocks_[static_cast<std::size_t>(cur_)].cap -
+                 blocks_[static_cast<std::size_t>(cur_)].used <
+             need) {
+    ++cur_;
+  }
+  if (cur_ == static_cast<std::int32_t>(blocks_.size())) add_block(need);
+  Block& b = blocks_[static_cast<std::size_t>(cur_)];
+  float* p = b.base + b.used;
+  b.used += need;
+  live_ += need;
+  peak_ = std::max(peak_, live_);
+  ++alloc_count_;
+  return p;
+}
+
+Workspace::Checkpoint Workspace::checkpoint() const {
+  if (blocks_.empty()) return Checkpoint{};
+  return Checkpoint{cur_, blocks_[static_cast<std::size_t>(cur_)].used};
+}
+
+bool Workspace::alive(const Checkpoint& cp) const {
+  if (blocks_.empty()) return cp.block == 0 && cp.used == 0;
+  if (cp.block < 0 || cp.block >= static_cast<std::int32_t>(blocks_.size())) {
+    return false;
+  }
+  return cp.block < cur_ ||
+         (cp.block == cur_ &&
+          cp.used <= blocks_[static_cast<std::size_t>(cur_)].used);
+}
+
+void Workspace::recompute_live() {
+  live_ = 0;
+  for (const Block& b : blocks_) live_ += b.used;
+}
+
+void Workspace::rewind(const Checkpoint& cp) {
+  if (blocks_.empty()) {
+    check(cp.block == 0 && cp.used == 0, "Workspace::rewind: bad checkpoint");
+    return;
+  }
+  check(cp.block >= 0 && cp.block < static_cast<std::int32_t>(blocks_.size()),
+        "Workspace::rewind: checkpoint block out of range");
+  const bool in_order =
+      cp.block < cur_ ||
+      (cp.block == cur_ &&
+       cp.used <= blocks_[static_cast<std::size_t>(cur_)].used);
+  check(in_order, "Workspace::rewind: out-of-order (non-LIFO) rewind");
+  check(cp.used <= blocks_[static_cast<std::size_t>(cp.block)].used,
+        "Workspace::rewind: checkpoint above block watermark");
+  for (std::size_t i = static_cast<std::size_t>(cp.block) + 1;
+       i < blocks_.size(); ++i) {
+    blocks_[i].used = 0;
+  }
+  blocks_[static_cast<std::size_t>(cp.block)].used = cp.used;
+  cur_ = cp.block;
+  recompute_live();
+  // Fully drained: consolidate the chain into one block of the same total
+  // capacity so steady state bumps through a single contiguous span. Not a
+  // growth event — capacity is unchanged.
+  if (live_ == 0 && blocks_.size() > 1) {
+    const std::int64_t total = capacity_;
+    blocks_.clear();
+    capacity_ = 0;
+    const std::int64_t saved_growth = growth_events_;
+    add_block(total);
+    growth_events_ = saved_growth;
+    cur_ = 0;
+  }
+}
+
+void Workspace::release_all() {
+  if (blocks_.empty()) return;
+  rewind(Checkpoint{0, 0});
+}
+
+Workspace::Stats Workspace::stats() const {
+  constexpr std::int64_t f = static_cast<std::int64_t>(sizeof(float));
+  return Stats{capacity_ * f, live_ * f, peak_ * f, alloc_count_,
+               growth_events_};
+}
+
+Workspace& Workspace::tls() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+WsMatrix ws_matrix(Workspace& ws, std::int64_t rows, std::int64_t cols) {
+  check(rows >= 0 && cols >= 0, "ws_matrix: negative extent");
+  WsMatrix m;
+  m.mark = ws.checkpoint();
+  m.data = ws.alloc(rows * cols);
+  m.end = ws.checkpoint();
+  m.rows = rows;
+  m.cols = cols;
+  return m;
+}
+
+}  // namespace mtsr

@@ -1,0 +1,142 @@
+// Workspace: a bump arena with high-water-mark reuse that plans the scratch
+// memory of every compute layer.
+//
+// The training loop runs thousands of conv2d/conv3d/deconv steps per epoch;
+// each one needs im2col/vol2col matrices, GEMM outputs and channel-major
+// views whose sizes repeat step after step. Instead of heap-allocating them
+// anew (the dominant cost at paper-scale batch sizes), the tensor ops and
+// nn layers carve them out of a per-thread Workspace: allocation is a bump,
+// release is a rewind, and after a warm-up step the arena reaches its
+// high-water capacity and never grows again.
+//
+// Ownership rules (see also README "Workspace-planned execution"):
+//  - alloc() returns memory valid until a checkpoint at or below it is
+//    rewound. Rewinds must be LIFO: never rewind below a slice that is
+//    still live.
+//  - Scope is the RAII form: everything allocated inside is freed on exit.
+//  - A layer's forward may retain a slice (recording the checkpoint taken
+//    just before the alloc); its backward rewinds it. Because backward
+//    visits layers in exact reverse order of forward, these releases are
+//    LIFO by construction.
+//  - Inference-only loops (no backward) must wrap each model call in a
+//    Scope, otherwise retained slices accumulate until the enclosing scope.
+//  - backward must run in the same enclosing Scope as its forward.
+//
+// The arena is chained from blocks so growth NEVER moves live allocations;
+// when a rewind drains it completely, the blocks consolidate into one so
+// steady state is a single pure bump.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mtsr {
+
+/// Per-thread bump arena for kernel/layer scratch memory.
+class Workspace {
+ public:
+  /// Position in the arena; obtained from checkpoint(), consumed by
+  /// rewind(). Trivially copyable.
+  struct Checkpoint {
+    std::int32_t block = 0;
+    std::int64_t used = 0;
+  };
+
+  /// Allocation statistics. capacity/growth are the signals the
+  /// allocation-regression tests assert on: in steady state a train step or
+  /// a stitched prediction must leave both untouched.
+  struct Stats {
+    std::int64_t capacity_bytes = 0;  ///< backing capacity (high-water)
+    std::int64_t live_bytes = 0;      ///< currently bump-allocated
+    std::int64_t peak_bytes = 0;      ///< max live_bytes ever reached
+    std::int64_t alloc_count = 0;     ///< cumulative alloc() calls
+    std::int64_t growth_events = 0;   ///< times the capacity grew
+  };
+
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// 64-byte-aligned block of `count` floats, valid until a checkpoint at
+  /// or below it is rewound. count == 0 yields a distinct valid pointer.
+  [[nodiscard]] float* alloc(std::int64_t count);
+
+  /// Current position; rewind(checkpoint()) frees everything allocated
+  /// after this call.
+  [[nodiscard]] Checkpoint checkpoint() const;
+
+  /// True iff the arena position is at or above `cp`, i.e. nothing
+  /// allocated before `cp` has been rewound away. Layers use this to catch
+  /// a backward whose forward ran in a since-rewound scope. Positional
+  /// only: it cannot detect memory that was rewound and then re-bumped by
+  /// unrelated allocations — pair forward/backward within one scope.
+  [[nodiscard]] bool alive(const Checkpoint& cp) const;
+
+  /// Frees every allocation made after `cp` was taken. Rewinding above the
+  /// current position (out of LIFO order) is a contract violation.
+  void rewind(const Checkpoint& cp);
+
+  /// Rewinds to empty (keeps capacity).
+  void release_all();
+
+  [[nodiscard]] Stats stats() const;
+
+  /// RAII checkpoint: frees everything allocated inside the scope.
+  class Scope {
+   public:
+    explicit Scope(Workspace& ws) : ws_(ws), cp_(ws.checkpoint()) {}
+    ~Scope() { ws_.rewind(cp_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Workspace& ws_;
+    Checkpoint cp_;
+  };
+
+  /// The calling thread's workspace. Layers and kernels allocate from the
+  /// thread driving them; pool workers that allocate (rare) get their own.
+  [[nodiscard]] static Workspace& tls();
+
+ private:
+  struct Block {
+    std::unique_ptr<float[]> storage;  // raw, over-allocated for alignment
+    float* base = nullptr;             // 64-byte-aligned start
+    std::int64_t cap = 0;              // floats
+    std::int64_t used = 0;             // floats
+  };
+
+  void add_block(std::int64_t min_floats);
+  void recompute_live();
+
+  std::vector<Block> blocks_;
+  std::int32_t cur_ = 0;  // block currently bump-allocating
+  std::int64_t capacity_ = 0;
+  std::int64_t live_ = 0;
+  std::int64_t peak_ = 0;
+  std::int64_t alloc_count_ = 0;
+  std::int64_t growth_events_ = 0;
+};
+
+/// Non-owning handle to an arena-resident rank-2 scratch matrix plus the
+/// checkpoint that releases it. The layer idiom: forward stores the matrix
+/// it must keep for backward, backward consumes it and rewinds the mark.
+struct WsMatrix {
+  float* data = nullptr;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  Workspace::Checkpoint mark;  ///< taken just before the alloc (frees it)
+  Workspace::Checkpoint end;   ///< taken just after the alloc (liveness)
+
+  [[nodiscard]] bool empty() const { return data == nullptr; }
+  [[nodiscard]] std::int64_t size() const { return rows * cols; }
+};
+
+/// Takes a checkpoint, then allocates a rows×cols matrix above it, so
+/// Workspace::rewind(result.mark) frees exactly this matrix (and anything
+/// allocated after it).
+[[nodiscard]] WsMatrix ws_matrix(Workspace& ws, std::int64_t rows,
+                                 std::int64_t cols);
+
+}  // namespace mtsr

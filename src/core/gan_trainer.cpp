@@ -5,6 +5,7 @@
 
 #include "src/common/check.hpp"
 #include "src/common/parallel.hpp"
+#include "src/common/workspace.hpp"
 #include "src/nn/loss.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
@@ -43,6 +44,10 @@ std::vector<double> GanTrainer::pretrain(const SampleSource& source,
   std::vector<double> losses;
   losses.reserve(static_cast<std::size_t>(steps));
   for (int step = 0; step < steps; ++step) {
+    // Step-scoped workspace: backward rewinds what forward retained, and
+    // the scope reclaims anything left, so the arena stops growing after
+    // the first step.
+    Workspace::Scope ws_step(Workspace::tls());
     Batch batch = sample_batch(source);
     Tensor pred = generator_.forward(batch.inputs, /*training=*/true);
     auto [loss, grad] = nn::mse_loss(pred, batch.targets);
@@ -56,6 +61,9 @@ std::vector<double> GanTrainer::pretrain(const SampleSource& source,
 
 double GanTrainer::train_discriminator_step(const Batch& batch,
                                             GanRoundStats& stats) {
+  // Step-scoped workspace: reclaims the generator's inference-pass slices
+  // (no backward runs through it in the D sub-epoch).
+  Workspace::Scope ws_step(Workspace::tls());
   // Real half: maximise log D(real) <=> minimise BCE(D(real), 1).
   opt_d_.zero_grad();
   Tensor p_real = discriminator_.forward(batch.targets, /*training=*/true);
@@ -77,6 +85,7 @@ double GanTrainer::train_discriminator_step(const Batch& batch,
 
 double GanTrainer::train_generator_step(const Batch& batch,
                                         GanRoundStats& stats) {
+  Workspace::Scope ws_step(Workspace::tls());
   const std::int64_t n = batch.inputs.dim(0);
 
   Tensor pred = generator_.forward(batch.inputs, /*training=*/true);

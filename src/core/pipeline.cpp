@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.hpp"
+#include "src/common/workspace.hpp"
 #include "src/nn/model_io.hpp"
 
 namespace mtsr::core {
@@ -89,6 +90,10 @@ Tensor MtsrPipeline::predict_frame(std::int64_t t) {
   // goes through the generator as ONE batch, so each conv layer runs a
   // single GEMM for the entire frame instead of one pass per window.
   data::BatchWindowPredictor predictor = [this](const Tensor& batch) {
+    // Inference-only pass: the scope reclaims every arena slice the layers
+    // retain for a backward that never comes, so repeated frame predictions
+    // run at a fixed workspace high-water mark (zero arena growth).
+    Workspace::Scope ws_scope(Workspace::tls());
     return generator_->forward(batch, /*training=*/false);
   };
   Tensor normalized = data::stitch_prediction_batched(

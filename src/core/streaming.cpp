@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/check.hpp"
+#include "src/common/workspace.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::core {
@@ -97,6 +98,9 @@ std::optional<Tensor> StreamingInferencer::push_fine(
       Tensor input = stack0(coarse);
       Tensor x = input.reshape(
           Shape{1, input.dim(0), input.dim(1), input.dim(2)});
+      // Inference-only pass: reclaim the layers' retained arena slices so
+      // the per-window loop runs at a fixed workspace high-water mark.
+      Workspace::Scope ws_scope(Workspace::tls());
       Tensor pred = generator_.forward(x, /*training=*/false);
       for (std::int64_t r = 0; r < window_; ++r) {
         for (std::int64_t c = 0; c < window_; ++c) {

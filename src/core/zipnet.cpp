@@ -4,6 +4,7 @@
 
 #include "src/baselines/bicubic.hpp"
 #include "src/common/check.hpp"
+#include "src/common/workspace.hpp"
 #include "src/tensor/tensor_ops.hpp"
 #include "src/nn/activations.hpp"
 #include "src/nn/batchnorm.hpp"
@@ -124,29 +125,32 @@ Tensor ZipNet::forward(const Tensor& input, bool training) {
   collapsed_shape_ = Shape{n, ch * s, h, w};
   Tensor x0 = entry_->forward(u.reshape(collapsed_shape_), training);
 
-  // Zipper chain: x_i = B_i(x_{i-1}) [+ x_{i-2}].
-  chain_.clear();
-  chain_.reserve(zipper_modules_.size() + 1);
-  chain_.push_back(x0);
+  // Zipper chain: x_i = B_i(x_{i-1}) [+ x_{i-2}]. The activations are only
+  // needed while wiring the skips, so the chain is local to forward;
+  // backward re-derives the skip routing from indices alone.
+  std::vector<Tensor> chain;
+  chain.reserve(zipper_modules_.size() + 1);
+  chain.push_back(std::move(x0));
   for (std::size_t i = 0; i < zipper_modules_.size(); ++i) {
-    Tensor xi = zipper_modules_[i]->forward(chain_.back(), training);
-    const std::size_t idx = i + 1;  // index of x_i in chain_
+    Tensor xi = zipper_modules_[i]->forward(chain.back(), training);
+    const std::size_t idx = i + 1;  // index of x_i in the chain
     switch (config_.skip_mode) {
       case SkipMode::kZipper:
-        if (idx >= 2) xi.add_(chain_[idx - 2]);
+        if (idx >= 2) xi.add_(chain[idx - 2]);
         break;
       case SkipMode::kResidualPairs:
-        if (idx >= 2 && idx % 2 == 0) xi.add_(chain_[idx - 2]);
+        if (idx >= 2 && idx % 2 == 0) xi.add_(chain[idx - 2]);
         break;
       case SkipMode::kNone:
         break;
     }
-    chain_.push_back(std::move(xi));
+    chain.push_back(std::move(xi));
   }
+  forward_ran_ = true;
 
-  Tensor z = chain_.back();
+  Tensor z = chain.back();
   if (config_.skip_mode != SkipMode::kNone) {
-    z = z.add(chain_.front());  // global skip
+    z = z.add(chain.front());  // global skip
   }
 
   Tensor out = final_->forward(z, training);  // (N, 1, H, W)
@@ -156,7 +160,14 @@ Tensor ZipNet::forward(const Tensor& input, bool training) {
     // Most recent coarse frame, upsampled to the output geometry.
     Tensor latest = crop_latest_input(input);
     if (config_.residual_base == ZipNetConfig::ResidualBase::kNearest) {
-      result.add_(upsample_nearest2d(latest, total_upscale()));
+      // Upsample into arena scratch and fold it onto the result in place.
+      Workspace& ws = Workspace::tls();
+      Workspace::Scope scratch(ws);
+      float* up = ws.alloc(result.size());
+      upsample_nearest2d_into(latest.data(), n, latest.dim(1), latest.dim(2),
+                              total_upscale(), 1.f, up);
+      float* dst = result.data();
+      for (std::int64_t i = 0; i < result.size(); ++i) dst[i] += up[i];
     } else {
       for (std::int64_t i = 0; i < n; ++i) {
         Tensor base = baselines::bicubic_upsample(select0(latest, i),
@@ -183,7 +194,7 @@ Tensor ZipNet::crop_latest_input(const Tensor& input) const {
 }
 
 Tensor ZipNet::backward(const Tensor& grad_output) {
-  check(!chain_.empty(), "ZipNet::backward called before forward");
+  check(forward_ran_, "ZipNet::backward called before forward");
   const std::int64_t n = input_shape_.dim(0);
   check(grad_output.rank() == 3 && grad_output.dim(0) == n,
         "ZipNet::backward grad shape mismatch");

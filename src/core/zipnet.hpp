@@ -91,10 +91,12 @@ class ZipNet final : public nn::Layer {
   std::vector<std::unique_ptr<nn::Sequential>> zipper_modules_;
   std::unique_ptr<nn::Sequential> final_;
 
-  // Forward caches.
+  // Forward caches. The zipper activations themselves are local to
+  // forward — backward only routes gradients along the (linear) skips, so
+  // nothing batch-sized is pinned between passes.
   Shape input_shape_;
   Shape collapsed_shape_;  ///< (N, C·S, h, w) between 3-D and 2-D stages
-  std::vector<Tensor> chain_;  ///< x_0 .. x_M zipper activations
+  bool forward_ran_ = false;
 };
 
 /// Stage-factor decomposition for a total upscale factor, following the

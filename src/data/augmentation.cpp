@@ -4,6 +4,7 @@
 
 #include "src/common/check.hpp"
 #include "src/common/parallel.hpp"
+#include "src/common/workspace.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::data {
@@ -103,6 +104,9 @@ Tensor stitch_prediction(const TrafficDataset& dataset,
     for (std::int64_t c0 : col_origins) {
       const Sample sample = make_sample(dataset, window_layout,
                                         {t, r0, c0}, temporal_length, window);
+      // Scoped per window: whatever arena memory the predictor's layers
+      // retain is reclaimed before the next window.
+      Workspace::Scope ws_scope(Workspace::tls());
       Tensor pred = predictor(sample.input);
       check(pred.rank() == 2 && pred.dim(0) == window && pred.dim(1) == window,
             "stitch_prediction: predictor returned wrong shape");
@@ -163,7 +167,9 @@ Tensor stitch_prediction_batched(const TrafficDataset& dataset,
               .input;
     });
 
-    // One whole-batch pass through the predictor per block.
+    // One whole-batch pass through the predictor per block, scoped so any
+    // arena memory the predictor's layers retain is reclaimed per block.
+    Workspace::Scope ws_scope(Workspace::tls());
     Tensor preds = predictor(stack0(inputs));  // (b1-b0, w, w)
     check(preds.rank() == 3 && preds.dim(0) == b1 - b0 &&
               preds.dim(1) == window && preds.dim(2) == window,

@@ -34,7 +34,8 @@ BatchNorm::BatchNorm(std::int64_t channels, float momentum, float epsilon)
       gamma_("gamma", Tensor::ones(Shape{channels})),
       beta_("beta", Tensor::zeros(Shape{channels})),
       running_mean_(Tensor::zeros(Shape{channels})),
-      running_var_(Tensor::ones(Shape{channels})) {
+      running_var_(Tensor::ones(Shape{channels})),
+      inv_std_(Tensor::zeros(Shape{channels})) {
   check(channels > 0, "BatchNorm requires positive channel count");
   check(momentum > 0.f && momentum <= 1.f, "BatchNorm momentum in (0,1]");
   check(epsilon > 0.f, "BatchNorm epsilon must be positive");
@@ -48,12 +49,12 @@ Tensor BatchNorm::forward(const Tensor& input, bool training) {
   input_shape_ = input.shape();
   forward_was_training_ = training;
   Tensor output(input.shape());
-  x_hat_ = Tensor(input.shape());
-  inv_std_ = Tensor(Shape{channels_});
+  // The normalised input lives in the arena until backward rewinds it.
+  x_hat_ = ws_matrix(Workspace::tls(), g.n * channels_, g.inner);
 
   const float* px = input.data();
   float* py = output.data();
-  float* pxh = x_hat_.data();
+  float* pxh = x_hat_.data;
 
   // Channels are fully independent (statistics, normalisation and running
   // buffers), so the parallel engine splits the channel axis.
@@ -98,7 +99,9 @@ Tensor BatchNorm::forward(const Tensor& input, bool training) {
 }
 
 Tensor BatchNorm::backward(const Tensor& grad_output) {
-  check(!x_hat_.empty(), "BatchNorm::backward called before forward");
+  check(!x_hat_.empty() && Workspace::tls().alive(x_hat_.end),
+        "BatchNorm::backward called before forward (or forward's workspace "
+        "scope was rewound)");
   check(grad_output.shape() == input_shape_,
         "BatchNorm::backward grad shape mismatch");
   const Geometry g = geometry(input_shape_, channels_);
@@ -106,7 +109,7 @@ Tensor BatchNorm::backward(const Tensor& grad_output) {
 
   Tensor grad_input(input_shape_);
   const float* pdy = grad_output.data();
-  const float* pxh = x_hat_.data();
+  const float* pxh = x_hat_.data;
   float* pdx = grad_input.data();
 
   parallel_for(channels_, [&](std::int64_t c) {
@@ -141,6 +144,9 @@ Tensor BatchNorm::backward(const Tensor& grad_output) {
       }
     }
   });
+
+  Workspace::tls().rewind(x_hat_.mark);  // x̂ dead — LIFO release
+  x_hat_ = WsMatrix{};
   return grad_input;
 }
 

@@ -8,6 +8,7 @@
 // blocks. Inference uses exponential running statistics.
 #pragma once
 
+#include "src/common/workspace.hpp"
 #include "src/nn/layer.hpp"
 
 namespace mtsr::nn {
@@ -41,8 +42,8 @@ class BatchNorm final : public Layer {
   Tensor running_var_;
 
   // Forward caches.
-  Tensor x_hat_;        // normalised input
-  Tensor inv_std_;      // per-channel 1/sqrt(var+eps)
+  WsMatrix x_hat_;      // arena-resident normalised input, freed by backward
+  Tensor inv_std_;      // per-channel 1/sqrt(var+eps) (allocated once)
   Shape input_shape_;
   bool forward_was_training_ = true;
 };

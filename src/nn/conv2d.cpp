@@ -36,42 +36,64 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
   check(oh > 0 && ow > 0, "Conv2d output would be empty");
 
   input_shape_ = input.shape();
-  // Whole-batch lowering: one (C·k·k, N·oh·ow) matrix, one GEMM per step.
-  columns_ = im2col_batched(input, kernel_, kernel_, stride_, stride_,
-                            padding_, padding_);
-  const Tensor w_mat = weight_.value.reshape(
-      Shape{out_channels_, in_channels_ * kernel_ * kernel_});
-  Tensor y = matmul(w_mat, columns_);  // (O, N*oh*ow)
-  Tensor output =
-      channel_major_to_batch(y, Shape{n, out_channels_, oh, ow});
+  // Whole-batch lowering into the arena: one (C·k·k, N·oh·ow) matrix, one
+  // GEMM per step. The matrix is retained until backward rewinds it.
+  Workspace& ws = Workspace::tls();
+  cols_ = ws_matrix(ws, in_channels_ * kernel_ * kernel_, n * oh * ow);
+  im2col_batched_into(input.data(), n, in_channels_, h, w, kernel_, kernel_,
+                      stride_, stride_, padding_, padding_, cols_.data);
+
+  Tensor output(Shape{n, out_channels_, oh, ow});
+  {
+    Workspace::Scope scratch(ws);
+    float* y = ws.alloc(out_channels_ * cols_.cols);  // (O, N*oh*ow)
+    matmul_into(weight_.value.data(), cols_.data, y, out_channels_,
+                cols_.rows, cols_.cols);
+    channel_major_to_batch_into(y, n, out_channels_, oh * ow, output.data());
+  }
   if (has_bias_) add_channel_bias(output, bias_.value);
   return output;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
-  check(!columns_.empty(), "Conv2d::backward called before forward");
+  Workspace& ws = Workspace::tls();
+  check(!cols_.empty() && ws.alive(cols_.end),
+        "Conv2d::backward called before forward (or forward's workspace "
+        "scope was rewound)");
   check(grad_output.rank() == 4 && grad_output.dim(1) == out_channels_,
         "Conv2d::backward grad shape mismatch");
   const std::int64_t n = input_shape_.dim(0);
   const std::int64_t h = input_shape_.dim(2), w = input_shape_.dim(3);
+  const std::int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+  check(grad_output.dim(0) == n && n * oh * ow == cols_.cols,
+        "Conv2d::backward grad geometry does not match forward");
+  Tensor grad_input(input_shape_);
+  {
+    Workspace::Scope scratch(ws);
+    // Channel-major view of the output gradient: (O, N*oh*ow).
+    float* dy = ws.alloc(out_channels_ * cols_.cols);
+    batch_to_channel_major_into(grad_output.data(), n, out_channels_,
+                                oh * ow, dy);
 
-  const Tensor w_mat = weight_.value.reshape(
-      Shape{out_channels_, in_channels_ * kernel_ * kernel_});
+    // Parameter gradients: dW accumulates straight into the grad buffer
+    // (one GEMM), db is the per-channel sum reduction.
+    matmul_nt_into(dy, cols_.data, weight_.grad.data(), out_channels_,
+                   cols_.cols, cols_.rows, /*accumulate=*/true);
+    if (has_bias_) accumulate_channel_sums(grad_output, bias_.grad);
 
-  // Channel-major view of the output gradient: (O, N*oh*ow).
-  Tensor dy = batch_to_channel_major(grad_output);
-
-  // Parameter gradients: one GEMM for dW, per-channel sums for db. The
-  // lowering cache is dead after dW, so release it rather than keep a
-  // batch-sized matrix alive until the next forward.
-  weight_.grad.add_(matmul_nt(dy, columns_).reshape(weight_.value.shape()));
-  columns_ = Tensor();
-  if (has_bias_) accumulate_channel_sums(grad_output, bias_.grad);
-
-  // Input gradient: one GEMM, then the batched col2im scatter.
-  Tensor dcols = matmul_tn(w_mat, dy);  // (C*k*k, N*oh*ow)
-  return col2im_batched(dcols, n, in_channels_, h, w, kernel_, kernel_,
-                        stride_, stride_, padding_, padding_);
+    // Input gradient: one GEMM, then the batched col2im scatter.
+    float* dcols = ws.alloc(cols_.rows * cols_.cols);  // (C*k*k, N*oh*ow)
+    matmul_tn_into(weight_.value.data(), dy, dcols, out_channels_, cols_.rows,
+                   cols_.cols);
+    col2im_batched_into(dcols, n, in_channels_, h, w, kernel_, kernel_,
+                        stride_, stride_, padding_, padding_,
+                        grad_input.data());
+  }
+  // The lowering matrix is dead: rewind its arena slice (LIFO — everything
+  // allocated after it in this layer's forward is already gone).
+  ws.rewind(cols_.mark);
+  cols_ = WsMatrix{};
+  return grad_input;
 }
 
 std::vector<Parameter*> Conv2d::parameters() {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "src/common/rng.hpp"
+#include "src/common/workspace.hpp"
 #include "src/nn/layer.hpp"
 
 namespace mtsr::nn {
@@ -15,6 +16,10 @@ namespace mtsr::nn {
 ///
 /// Weight layout (out_channels, in_channels, kh, kw); optional bias per
 /// output channel. Output spatial size: (H + 2p - k)/s + 1.
+///
+/// Workspace lifetimes: forward retains the whole-batch im2col matrix in
+/// the thread's arena; backward consumes it and rewinds. Inference loops
+/// that never call backward must run inside a Workspace::Scope.
 class Conv2d final : public Layer {
  public:
   /// Constructs with He-normal weights and zero bias.
@@ -45,7 +50,7 @@ class Conv2d final : public Layer {
 
   // Forward caches.
   Shape input_shape_;
-  Tensor columns_;  // whole-batch im2col matrix (C·k·k, N·oh·ow)
+  WsMatrix cols_;  // arena-resident im2col matrix (C·k·k, N·oh·ow)
 };
 
 }  // namespace mtsr::nn

@@ -47,41 +47,65 @@ Tensor Conv3d::forward(const Tensor& input, bool /*training*/) {
   check(od > 0 && oh > 0 && ow > 0, "Conv3d output would be empty");
 
   input_shape_ = input.shape();
-  // Whole-batch lowering: one (C·kd·kh·kw, N·od·oh·ow) matrix, one GEMM.
-  columns_ = vol2col_batched(input, kernel_[0], kernel_[1], kernel_[2],
-                             stride_[0], stride_[1], stride_[2], padding_[0],
-                             padding_[1], padding_[2]);
+  // Whole-batch lowering into the arena: one (C·kd·kh·kw, N·od·oh·ow)
+  // matrix, one GEMM. Retained until backward rewinds it.
+  Workspace& ws = Workspace::tls();
   const std::int64_t taps =
       in_channels_ * kernel_[0] * kernel_[1] * kernel_[2];
-  const Tensor w_mat = weight_.value.reshape(Shape{out_channels_, taps});
-  Tensor y = matmul(w_mat, columns_);  // (O, N*od*oh*ow)
-  Tensor output =
-      channel_major_to_batch(y, Shape{n, out_channels_, od, oh, ow});
+  cols_ = ws_matrix(ws, taps, n * od * oh * ow);
+  vol2col_batched_into(input.data(), n, in_channels_, d, h, w, kernel_[0],
+                       kernel_[1], kernel_[2], stride_[0], stride_[1],
+                       stride_[2], padding_[0], padding_[1], padding_[2],
+                       cols_.data);
+
+  Tensor output(Shape{n, out_channels_, od, oh, ow});
+  {
+    Workspace::Scope scratch(ws);
+    float* y = ws.alloc(out_channels_ * cols_.cols);  // (O, N*od*oh*ow)
+    matmul_into(weight_.value.data(), cols_.data, y, out_channels_, taps,
+                cols_.cols);
+    channel_major_to_batch_into(y, n, out_channels_, od * oh * ow,
+                                output.data());
+  }
   if (has_bias_) add_channel_bias(output, bias_.value);
   return output;
 }
 
 Tensor Conv3d::backward(const Tensor& grad_output) {
-  check(!columns_.empty(), "Conv3d::backward called before forward");
+  Workspace& ws = Workspace::tls();
+  check(!cols_.empty() && ws.alive(cols_.end),
+        "Conv3d::backward called before forward (or forward's workspace "
+        "scope was rewound)");
   check(grad_output.rank() == 5 && grad_output.dim(1) == out_channels_,
         "Conv3d::backward grad shape mismatch");
   const std::int64_t n = input_shape_.dim(0), d = input_shape_.dim(2),
                      h = input_shape_.dim(3), w = input_shape_.dim(4);
+  const std::int64_t inner =
+      grad_output.dim(2) * grad_output.dim(3) * grad_output.dim(4);
+  check(grad_output.dim(0) == n && n * inner == cols_.cols,
+        "Conv3d::backward grad geometry does not match forward");
+  Tensor grad_input(input_shape_);
+  {
+    Workspace::Scope scratch(ws);
+    float* dy = ws.alloc(out_channels_ * cols_.cols);  // (O, N*od*oh*ow)
+    batch_to_channel_major_into(grad_output.data(), n, out_channels_, inner,
+                                dy);
 
-  const std::int64_t taps =
-      in_channels_ * kernel_[0] * kernel_[1] * kernel_[2];
-  const Tensor w_mat = weight_.value.reshape(Shape{out_channels_, taps});
+    matmul_nt_into(dy, cols_.data, weight_.grad.data(), out_channels_,
+                   cols_.cols, cols_.rows, /*accumulate=*/true);
+    if (has_bias_) accumulate_channel_sums(grad_output, bias_.grad);
 
-  Tensor dy = batch_to_channel_major(grad_output);  // (O, N*od*oh*ow)
-
-  weight_.grad.add_(matmul_nt(dy, columns_).reshape(weight_.value.shape()));
-  columns_ = Tensor();  // dead after dW; don't pin it until the next forward
-  if (has_bias_) accumulate_channel_sums(grad_output, bias_.grad);
-
-  Tensor dcols = matmul_tn(w_mat, dy);  // (C*kd*kh*kw, N*od*oh*ow)
-  return col2vol_batched(dcols, n, in_channels_, d, h, w, kernel_[0],
+    float* dcols = ws.alloc(cols_.rows * cols_.cols);
+    matmul_tn_into(weight_.value.data(), dy, dcols, out_channels_, cols_.rows,
+                   cols_.cols);
+    col2vol_batched_into(dcols, n, in_channels_, d, h, w, kernel_[0],
                          kernel_[1], kernel_[2], stride_[0], stride_[1],
-                         stride_[2], padding_[0], padding_[1], padding_[2]);
+                         stride_[2], padding_[0], padding_[1], padding_[2],
+                         grad_input.data());
+  }
+  ws.rewind(cols_.mark);  // lowering matrix dead after dW/dX — LIFO release
+  cols_ = WsMatrix{};
+  return grad_input;
 }
 
 std::vector<Parameter*> Conv3d::parameters() {

@@ -10,6 +10,7 @@
 #include <array>
 
 #include "src/common/rng.hpp"
+#include "src/common/workspace.hpp"
 #include "src/nn/layer.hpp"
 
 namespace mtsr::nn {
@@ -46,7 +47,7 @@ class Conv3d final : public Layer {
 
   // Forward caches.
   Shape input_shape_;
-  Tensor columns_;  // whole-batch vol2col matrix (C·kd·kh·kw, N·od·oh·ow)
+  WsMatrix cols_;  // arena-resident vol2col matrix (C·kd·kh·kw, N·od·oh·ow)
 };
 
 }  // namespace mtsr::nn

@@ -42,38 +42,64 @@ Tensor ConvTranspose2d::forward(const Tensor& input, bool /*training*/) {
 
   input_shape_ = input.shape();
   // The matching forward convolution maps (O, oh, ow) -> (C, h, w); our
-  // forward pass is that convolution's data gradient. Whole-batch lowering:
-  // one GEMM produces the columns for every sample at once.
-  const Tensor w_mat = weight_.value.reshape(
-      Shape{in_channels_, out_channels_ * kernel_ * kernel_});
-  x_cm_ = batch_to_channel_major(input);  // (C, N*h*w)
-  Tensor cols = matmul_tn(w_mat, x_cm_);  // (O*k*k, N*h*w)
-  Tensor output = col2im_batched(cols, n, out_channels_, oh, ow, kernel_,
-                                 kernel_, stride_, stride_, padding_,
-                                 padding_);
+  // forward pass is that convolution's data gradient. The channel-major
+  // input view is retained in the arena for dW; backward rewinds it.
+  Workspace& ws = Workspace::tls();
+  const std::int64_t taps = out_channels_ * kernel_ * kernel_;
+  x_cm_ = ws_matrix(ws, in_channels_, n * h * w);
+  batch_to_channel_major_into(input.data(), n, in_channels_, h * w,
+                              x_cm_.data);
+
+  Tensor output(Shape{n, out_channels_, oh, ow});
+  {
+    Workspace::Scope scratch(ws);
+    float* cols = ws.alloc(taps * x_cm_.cols);  // (O*k*k, N*h*w)
+    matmul_tn_into(weight_.value.data(), x_cm_.data, cols, in_channels_, taps,
+                   x_cm_.cols);
+    col2im_batched_into(cols, n, out_channels_, oh, ow, kernel_, kernel_,
+                        stride_, stride_, padding_, padding_, output.data());
+  }
   if (has_bias_) add_channel_bias(output, bias_.value);
   return output;
 }
 
 Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
-  check(!x_cm_.empty(), "ConvTranspose2d::backward called before forward");
+  Workspace& ws = Workspace::tls();
+  check(!x_cm_.empty() && ws.alive(x_cm_.end),
+        "ConvTranspose2d::backward called before forward (or forward's "
+        "workspace scope was rewound)");
   check(grad_output.rank() == 4 && grad_output.dim(1) == out_channels_,
         "ConvTranspose2d::backward grad shape mismatch");
-  const Tensor w_mat = weight_.value.reshape(
-      Shape{in_channels_, out_channels_ * kernel_ * kernel_});
+  const std::int64_t n = input_shape_.dim(0);
+  const std::int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+  const std::int64_t taps = out_channels_ * kernel_ * kernel_;
+  check(grad_output.dim(0) == n && oh == out_extent(input_shape_.dim(2)) &&
+            ow == out_extent(input_shape_.dim(3)),
+        "ConvTranspose2d::backward grad geometry does not match forward");
 
   // Bias gradient: per-channel sums over every sample and position.
   if (has_bias_) accumulate_channel_sums(grad_output, bias_.grad);
+  Tensor grad_input(input_shape_);
+  {
+    Workspace::Scope scratch(ws);
+    // Forward-convolve dy with W: one batched im2col, one GEMM.
+    float* cols = ws.alloc(taps * x_cm_.cols);  // (O*k*k, N*h*w)
+    im2col_batched_into(grad_output.data(), n, out_channels_, oh, ow, kernel_,
+                        kernel_, stride_, stride_, padding_, padding_, cols);
+    float* dx_cm = ws.alloc(in_channels_ * x_cm_.cols);  // (C, N*h*w)
+    matmul_into(weight_.value.data(), cols, dx_cm, in_channels_, taps,
+                x_cm_.cols);
+    channel_major_to_batch_into(dx_cm, n, in_channels_,
+                                input_shape_.dim(2) * input_shape_.dim(3),
+                                grad_input.data());
 
-  // dX = forward-convolve dy with W: one batched im2col, one GEMM.
-  Tensor cols = im2col_batched(grad_output, kernel_, kernel_, stride_,
-                               stride_, padding_, padding_);  // (O*k*k, N*h*w)
-  Tensor dx_cm = matmul(w_mat, cols);  // (C, N*h*w)
-  Tensor grad_input = channel_major_to_batch(dx_cm, input_shape_);
-
-  // dW = x ⊗ im2col(dy): (C, N*h*w) * (N*h*w, O*k*k) as one GEMM.
-  weight_.grad.add_(matmul_nt(x_cm_, cols).reshape(weight_.value.shape()));
-  x_cm_ = Tensor();  // dead after dW; don't pin it until the next forward
+    // dW += x ⊗ im2col(dy): (C, N*h*w) * (N*h*w, O*k*k) as one GEMM,
+    // accumulated straight into the grad buffer.
+    matmul_nt_into(x_cm_.data, cols, weight_.grad.data(), in_channels_,
+                   x_cm_.cols, taps, /*accumulate=*/true);
+  }
+  ws.rewind(x_cm_.mark);  // channel-major view dead after dW — LIFO release
+  x_cm_ = WsMatrix{};
   return grad_input;
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "src/common/rng.hpp"
+#include "src/common/workspace.hpp"
 #include "src/nn/layer.hpp"
 
 namespace mtsr::nn {
@@ -41,7 +42,7 @@ class ConvTranspose2d final : public Layer {
 
   // Forward caches.
   Shape input_shape_;
-  Tensor x_cm_;  // channel-major input (C, N·h·w), reused for dW
+  WsMatrix x_cm_;  // arena-resident channel-major input (C, N·h·w) for dW
 };
 
 }  // namespace mtsr::nn

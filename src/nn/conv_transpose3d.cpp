@@ -51,41 +51,71 @@ Tensor ConvTranspose3d::forward(const Tensor& input, bool /*training*/) {
   input_shape_ = input.shape();
   // The matching forward convolution maps (O, od, oh, ow) -> (C, d, h, w);
   // our forward pass is its data gradient: Wᵀ X lowered, then the batched
-  // col2vol scatter. One GEMM for the whole batch.
+  // col2vol scatter. The channel-major input view stays in the arena for
+  // dW; backward rewinds it.
+  Workspace& ws = Workspace::tls();
   const std::int64_t taps =
       out_channels_ * kernel_[0] * kernel_[1] * kernel_[2];
-  const Tensor w_mat = weight_.value.reshape(Shape{in_channels_, taps});
-  x_cm_ = batch_to_channel_major(input);  // (C, N*d*h*w)
-  Tensor cols = matmul_tn(w_mat, x_cm_);  // (O*kd*kh*kw, N*d*h*w)
-  Tensor output = col2vol_batched(cols, n, out_channels_, od, oh, ow,
-                                  kernel_[0], kernel_[1], kernel_[2],
-                                  stride_[0], stride_[1], stride_[2],
-                                  padding_[0], padding_[1], padding_[2]);
+  x_cm_ = ws_matrix(ws, in_channels_, n * d * h * w);
+  batch_to_channel_major_into(input.data(), n, in_channels_, d * h * w,
+                              x_cm_.data);
+
+  Tensor output(Shape{n, out_channels_, od, oh, ow});
+  {
+    Workspace::Scope scratch(ws);
+    float* cols = ws.alloc(taps * x_cm_.cols);  // (O*kd*kh*kw, N*d*h*w)
+    matmul_tn_into(weight_.value.data(), x_cm_.data, cols, in_channels_, taps,
+                   x_cm_.cols);
+    col2vol_batched_into(cols, n, out_channels_, od, oh, ow, kernel_[0],
+                         kernel_[1], kernel_[2], stride_[0], stride_[1],
+                         stride_[2], padding_[0], padding_[1], padding_[2],
+                         output.data());
+  }
   if (has_bias_) add_channel_bias(output, bias_.value);
   return output;
 }
 
 Tensor ConvTranspose3d::backward(const Tensor& grad_output) {
-  check(!x_cm_.empty(), "ConvTranspose3d::backward called before forward");
+  Workspace& ws = Workspace::tls();
+  check(!x_cm_.empty() && ws.alive(x_cm_.end),
+        "ConvTranspose3d::backward called before forward (or forward's "
+        "workspace scope was rewound)");
   check(grad_output.rank() == 5 && grad_output.dim(1) == out_channels_,
         "ConvTranspose3d::backward grad shape mismatch");
+  const std::int64_t n = input_shape_.dim(0);
   const std::int64_t taps =
       out_channels_ * kernel_[0] * kernel_[1] * kernel_[2];
-  const Tensor w_mat = weight_.value.reshape(Shape{in_channels_, taps});
+  check(grad_output.dim(0) == n &&
+            grad_output.dim(2) == out_extent(0, input_shape_.dim(2)) &&
+            grad_output.dim(3) == out_extent(1, input_shape_.dim(3)) &&
+            grad_output.dim(4) == out_extent(2, input_shape_.dim(4)),
+        "ConvTranspose3d::backward grad geometry does not match forward");
 
   if (has_bias_) accumulate_channel_sums(grad_output, bias_.grad);
+  Tensor grad_input(input_shape_);
+  {
+    Workspace::Scope scratch(ws);
+    // dX = forward-convolve dy with W: one batched vol2col, one GEMM.
+    float* cols = ws.alloc(taps * x_cm_.cols);  // (O*kd*kh*kw, N*d*h*w)
+    vol2col_batched_into(grad_output.data(), n, out_channels_,
+                         grad_output.dim(2), grad_output.dim(3),
+                         grad_output.dim(4), kernel_[0], kernel_[1],
+                         kernel_[2], stride_[0], stride_[1], stride_[2],
+                         padding_[0], padding_[1], padding_[2], cols);
+    float* dx_cm = ws.alloc(in_channels_ * x_cm_.cols);  // (C, N*d*h*w)
+    matmul_into(weight_.value.data(), cols, dx_cm, in_channels_, taps,
+                x_cm_.cols);
+    channel_major_to_batch_into(
+        dx_cm, n, in_channels_,
+        input_shape_.dim(2) * input_shape_.dim(3) * input_shape_.dim(4),
+        grad_input.data());
 
-  // dX = forward-convolve dy with W: one batched vol2col, one GEMM.
-  Tensor cols = vol2col_batched(grad_output, kernel_[0], kernel_[1],
-                                kernel_[2], stride_[0], stride_[1],
-                                stride_[2], padding_[0], padding_[1],
-                                padding_[2]);  // (O*kd*kh*kw, N*d*h*w)
-  Tensor dx_cm = matmul(w_mat, cols);  // (C, N*d*h*w)
-  Tensor grad_input = channel_major_to_batch(dx_cm, input_shape_);
-
-  // dW = x ⊗ vol2col(dy) as one GEMM.
-  weight_.grad.add_(matmul_nt(x_cm_, cols).reshape(weight_.value.shape()));
-  x_cm_ = Tensor();  // dead after dW; don't pin it until the next forward
+    // dW += x ⊗ vol2col(dy) as one GEMM, accumulated in place.
+    matmul_nt_into(x_cm_.data, cols, weight_.grad.data(), in_channels_,
+                   x_cm_.cols, taps, /*accumulate=*/true);
+  }
+  ws.rewind(x_cm_.mark);  // channel-major view dead after dW — LIFO release
+  x_cm_ = WsMatrix{};
   return grad_input;
 }
 

@@ -9,6 +9,7 @@
 #include <array>
 
 #include "src/common/rng.hpp"
+#include "src/common/workspace.hpp"
 #include "src/nn/layer.hpp"
 
 namespace mtsr::nn {
@@ -44,7 +45,7 @@ class ConvTranspose3d final : public Layer {
 
   // Forward caches.
   Shape input_shape_;
-  Tensor x_cm_;  // channel-major input (C, N·d·h·w), reused for dW
+  WsMatrix x_cm_;  // arena-resident channel-major input (C, N·d·h·w) for dW
 };
 
 }  // namespace mtsr::nn

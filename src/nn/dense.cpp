@@ -1,5 +1,6 @@
 #include "src/nn/dense.hpp"
 
+#include <cstring>
 #include <sstream>
 
 #include "src/common/check.hpp"
@@ -24,12 +25,21 @@ Dense::Dense(std::int64_t in_features, std::int64_t out_features, Rng& rng,
 Tensor Dense::forward(const Tensor& input, bool /*training*/) {
   check(input.rank() == 2, "Dense expects (N, in_features) input");
   check(input.dim(1) == in_features_, "Dense input feature mismatch");
-  input_ = input;
-  Tensor out = matmul_nt(input, weight_.value);  // (N, out)
+  const std::int64_t n = input.dim(0);
+
+  // Cache the input in the arena for dW; backward rewinds it.
+  Workspace& ws = Workspace::tls();
+  x_ = ws_matrix(ws, n, in_features_);
+  std::memcpy(x_.data, input.data(),
+              static_cast<std::size_t>(input.size()) * sizeof(float));
+
+  Tensor out(Shape{n, out_features_});
+  matmul_nt_into(x_.data, weight_.value.data(), out.data(), n, in_features_,
+                 out_features_);
   if (has_bias_) {
     float* po = out.data();
     const float* pb = bias_.value.data();
-    parallel_for(out.dim(0), [&](std::int64_t i) {
+    parallel_for(n, [&](std::int64_t i) {
       float* row = po + i * out_features_;
       for (std::int64_t o = 0; o < out_features_; ++o) row[o] += pb[o];
     });
@@ -38,13 +48,18 @@ Tensor Dense::forward(const Tensor& input, bool /*training*/) {
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {
-  check(!input_.empty(), "Dense::backward called before forward");
+  check(!x_.empty() && Workspace::tls().alive(x_.end),
+        "Dense::backward called before forward (or forward's workspace "
+        "scope was rewound)");
   check(grad_output.rank() == 2 && grad_output.dim(1) == out_features_,
         "Dense::backward grad shape mismatch");
-  // dW = dyᵀ x ; dx = dy W ; db = column sums of dy.
-  weight_.grad.add_(matmul_tn(grad_output, input_));
+  const std::int64_t n = grad_output.dim(0);
+  check(n == x_.rows, "Dense::backward grad batch does not match forward");
+
+  // dW += dyᵀ x (accumulated in place); dx = dy W ; db = column sums of dy.
+  matmul_tn_into(grad_output.data(), x_.data, weight_.grad.data(), n,
+                 out_features_, in_features_, /*accumulate=*/true);
   if (has_bias_) {
-    const std::int64_t n = grad_output.dim(0);
     const float* pdy = grad_output.data();
     float* pdb = bias_.grad.data();
     parallel_for(out_features_, [&](std::int64_t o) {
@@ -53,7 +68,13 @@ Tensor Dense::backward(const Tensor& grad_output) {
       pdb[o] += static_cast<float>(acc);
     });
   }
-  return matmul(grad_output, weight_.value);
+  Tensor grad_input(Shape{n, in_features_});
+  matmul_into(grad_output.data(), weight_.value.data(), grad_input.data(), n,
+              out_features_, in_features_);
+
+  Workspace::tls().rewind(x_.mark);  // input cache dead — LIFO release
+  x_ = WsMatrix{};
+  return grad_input;
 }
 
 std::vector<Parameter*> Dense::parameters() {

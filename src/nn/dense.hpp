@@ -2,6 +2,7 @@
 #pragma once
 
 #include "src/common/rng.hpp"
+#include "src/common/workspace.hpp"
 #include "src/nn/layer.hpp"
 
 namespace mtsr::nn {
@@ -25,7 +26,7 @@ class Dense final : public Layer {
   Parameter weight_;  // (out, in)
   Parameter bias_;    // (out)
 
-  Tensor input_;  // cached for backward
+  WsMatrix x_;  // arena-resident input copy (N, in), cached for backward
 };
 
 }  // namespace mtsr::nn

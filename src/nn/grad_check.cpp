@@ -4,11 +4,16 @@
 #include <cmath>
 
 #include "src/common/check.hpp"
+#include "src/common/workspace.hpp"
 
 namespace mtsr::nn {
 namespace {
 
 double probe_loss(Layer& layer, const Tensor& input, const Tensor& coeffs) {
+  // Forward-only probe: scope away the arena slices the layer retains for
+  // a backward that never comes (central differences run thousands of
+  // these per check).
+  Workspace::Scope ws_scope(Workspace::tls());
   Tensor out = layer.forward(input, /*training=*/true);
   check(out.shape() == coeffs.shape(),
         "grad_check: layer output shape changed between evaluations");
@@ -34,9 +39,14 @@ void accumulate(double analytic, double numeric, double tol_abs,
 GradCheckResult check_layer_gradients(Layer& layer, const Tensor& input,
                                       Rng& rng, double delta, double tol_abs,
                                       double tol_rel) {
-  // Fixed random linear probe so dL/d(out) = coeffs.
-  Tensor first_out = layer.forward(input, /*training=*/true);
-  Tensor coeffs = Tensor::randn(first_out.shape(), rng);
+  // Fixed random linear probe so dL/d(out) = coeffs. (Scoped: this forward
+  // is only shape discovery, no backward follows.)
+  Tensor coeffs;
+  {
+    Workspace::Scope ws_scope(Workspace::tls());
+    Tensor first_out = layer.forward(input, /*training=*/true);
+    coeffs = Tensor::randn(first_out.shape(), rng);
+  }
 
   // Analytic gradients.
   layer.zero_grad();
@@ -88,8 +98,12 @@ double check_layer_gradients_directional(Layer& layer, const Tensor& input,
                                          double delta) {
   check(directions > 0, "directional grad check needs directions > 0");
 
-  Tensor first_out = layer.forward(input, /*training=*/true);
-  Tensor coeffs = Tensor::randn(first_out.shape(), rng);
+  Tensor coeffs;
+  {
+    Workspace::Scope ws_scope(Workspace::tls());
+    Tensor first_out = layer.forward(input, /*training=*/true);
+    coeffs = Tensor::randn(first_out.shape(), rng);
+  }
 
   layer.zero_grad();
   (void)layer.forward(input, /*training=*/true);

@@ -62,10 +62,19 @@ Tensor AvgPool2d::forward(const Tensor& input, bool /*training*/) {
 
 Tensor AvgPool2d::backward(const Tensor& grad_output) {
   check(input_shape_.rank() >= 2, "AvgPool2d::backward before forward");
-  // Each input element receives grad / factor².
-  Tensor up = upsample_nearest2d(grad_output, factor_);
-  check(up.shape() == input_shape_, "AvgPool2d::backward grad shape mismatch");
-  up.mul_scalar_(1.f / (static_cast<float>(factor_) * factor_));
+  const std::int64_t rows = grad_output.dim(-2), cols = grad_output.dim(-1);
+  std::int64_t batch = 1;
+  for (int i = 0; i < grad_output.rank() - 2; ++i) batch *= grad_output.dim(i);
+  Tensor up(input_shape_);
+  check(rows * factor_ == input_shape_.dim(-2) &&
+            cols * factor_ == input_shape_.dim(-1) &&
+            up.size() == batch * rows * cols * factor_ * factor_,
+        "AvgPool2d::backward grad shape mismatch");
+  // Each input element receives grad / factor²; the upsample fuses the
+  // scale and writes straight into the result.
+  upsample_nearest2d_into(grad_output.data(), batch, rows, cols, factor_,
+                          1.f / (static_cast<float>(factor_) * factor_),
+                          up.data());
   return up;
 }
 

@@ -5,6 +5,7 @@
 
 #include "src/common/check.hpp"
 #include "src/common/parallel.hpp"
+#include "src/common/workspace.hpp"
 
 namespace mtsr {
 namespace {
@@ -32,97 +33,292 @@ Shape with_spatial(const Shape& s, std::int64_t rows, std::int64_t cols) {
   return Shape(dims);
 }
 
-// ---- Blocked GEMM kernels --------------------------------------------------
+// ---- Packed-B blocked GEMM -------------------------------------------------
 //
-// Cache-blocked, pool-parallel kernels behind matmul / matmul_tn /
-// matmul_nt. Work is split over contiguous row (or column) chunks of C, so
-// every output element is owned by exactly one thread and accumulates over
-// k in a fixed ascending order — results are bit-identical for every pool
-// size.
+// C = A * B runs over (k-tile, j-tile) panels of B packed into Workspace
+// scratch: each panel is a kKc×kNc tile copied once into a contiguous,
+// cache-line-aligned span, then streamed through L1/L2 by every row group
+// that needs it. Tall products (m >= n) pack all panels up front and share
+// them across the pool's row chunks; wide products (the conv lowerings:
+// short A, enormous B) split over panel-aligned column chunks, each packing
+// its own panels exactly once.
+//
+// Work is split so every output element is owned by exactly one thread and
+// accumulates over k in a fixed ascending order — results are bit-identical
+// for every pool size.
 
-constexpr std::int64_t kKc = 256;   // k-tile: A pack of 4*kKc floats (4 KB)
-constexpr std::int64_t kNc = 1024;  // j-tile of the B/C row segments (4 KB)
+constexpr std::int64_t kKc = 256;  // k rows per panel (A quad pack: 4 KB)
+constexpr std::int64_t kNc = 512;  // j columns per panel (panel: 512 KB, L2-resident)
 
-// C[i0:i1, j0:j1] += A[i0:i1, :] * B[:, j0:j1] for row-major A (lda = k),
-// B (ldb) and C (ldc). Inner microkernel: 4 packed A rows against a B row
-// segment streamed through L1.
-void gemm_nn_block(const float* pa, const float* pb, float* pc,
-                   std::int64_t k, std::int64_t ldb, std::int64_t ldc,
-                   std::int64_t i0, std::int64_t i1, std::int64_t j0,
-                   std::int64_t j1) {
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+// Copies B[kk0:kk1, j0:j1] (row-major, leading dimension ldb) into `panel`
+// with a fixed row stride of kNc.
+void pack_b_panel(const float* pb, std::int64_t ldb, std::int64_t kk0,
+                  std::int64_t kk1, std::int64_t j0, std::int64_t j1,
+                  float* panel) {
+  const std::size_t bytes =
+      static_cast<std::size_t>(j1 - j0) * sizeof(float);
+  for (std::int64_t kk = kk0; kk < kk1; ++kk) {
+    std::memcpy(panel + (kk - kk0) * kNc, pb + kk * ldb + j0, bytes);
+  }
+}
+
+// Register-tile width of the microkernel: a 4×16 C tile is held in
+// registers across the whole k-tile, so C is loaded/stored once per panel
+// instead of once per k step.
+constexpr std::int64_t kMr = 16;
+
+// SIMD dispatch: the hot microkernels are compiled once per ISA level
+// (SSE2 baseline, AVX2, AVX-512) via target_clones and the dynamic linker
+// picks the widest one the host supports at load time. The choice is fixed
+// for the lifetime of the process, so the pool-size bit-identity guarantee
+// is unaffected. Disabled under sanitizers (ifunc resolution order) and on
+// non-x86 targets.
+#if defined(__x86_64__) && defined(__GNUC__) && \
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#define MTSR_SIMD_CLONES \
+  __attribute__((target_clones("avx512f", "avx2", "default")))
+#else
+#define MTSR_SIMD_CLONES
+#endif
+
+// C[i0:i1, j0:j1] += A[i0:i1, kk0:kk1] * panel, where `panel` holds B rows
+// kk0:kk1 for absolute columns [j0, j1) (row stride kNc). Microkernel: a
+// 4×kMr C tile accumulated in registers against packed A quads and panel
+// rows streamed through L1. Per output element the accumulation is the
+// plain ascending-k sequence (the registers only hold what memory held
+// before), so results stay bit-identical across pool sizes AND match the
+// unblocked i-k-j order exactly.
+MTSR_SIMD_CLONES
+void gemm_nn_panel(const float* pa, std::int64_t lda, const float* panel,
+                   float* pc, std::int64_t ldc, std::int64_t i0,
+                   std::int64_t i1, std::int64_t kk0, std::int64_t kk1,
+                   std::int64_t j0, std::int64_t j1) {
   alignas(64) float apack[4 * kKc];
-  for (std::int64_t kk0 = 0; kk0 < k; kk0 += kKc) {
-    const std::int64_t kk1 = std::min(k, kk0 + kKc);
-    std::int64_t i = i0;
-    for (; i + 4 <= i1; i += 4) {
-      // Pack the 4×kc A tile k-major: the microkernel reads one quad per k.
-      for (std::int64_t kk = kk0; kk < kk1; ++kk) {
-        float* q = apack + (kk - kk0) * 4;
-        q[0] = pa[(i + 0) * k + kk];
-        q[1] = pa[(i + 1) * k + kk];
-        q[2] = pa[(i + 2) * k + kk];
-        q[3] = pa[(i + 3) * k + kk];
+  const std::int64_t width = j1 - j0;
+  std::int64_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    // Pack the 4×kc A tile k-major: the microkernel reads one quad per k.
+    for (std::int64_t kk = kk0; kk < kk1; ++kk) {
+      float* q = apack + (kk - kk0) * 4;
+      q[0] = pa[(i + 0) * lda + kk];
+      q[1] = pa[(i + 1) * lda + kk];
+      q[2] = pa[(i + 2) * lda + kk];
+      q[3] = pa[(i + 3) * lda + kk];
+    }
+    float* c0 = pc + (i + 0) * ldc + j0;
+    float* c1 = pc + (i + 1) * ldc + j0;
+    float* c2 = pc + (i + 2) * ldc + j0;
+    float* c3 = pc + (i + 3) * ldc + j0;
+    std::int64_t j = 0;
+    for (; j + kMr <= width; j += kMr) {
+      alignas(64) float acc0[kMr], acc1[kMr], acc2[kMr], acc3[kMr];
+      for (int t = 0; t < kMr; ++t) {
+        acc0[t] = c0[j + t];
+        acc1[t] = c1[j + t];
+        acc2[t] = c2[j + t];
+        acc3[t] = c3[j + t];
       }
-      float* c0 = pc + (i + 0) * ldc;
-      float* c1 = pc + (i + 1) * ldc;
-      float* c2 = pc + (i + 2) * ldc;
-      float* c3 = pc + (i + 3) * ldc;
-      for (std::int64_t jj0 = j0; jj0 < j1; jj0 += kNc) {
-        const std::int64_t jj1 = std::min(j1, jj0 + kNc);
-        for (std::int64_t kk = kk0; kk < kk1; ++kk) {
-          const float* q = apack + (kk - kk0) * 4;
-          const float a0 = q[0], a1 = q[1], a2 = q[2], a3 = q[3];
-          if (a0 == 0.f && a1 == 0.f && a2 == 0.f && a3 == 0.f) continue;
-          const float* brow = pb + kk * ldb;
-          for (std::int64_t j = jj0; j < jj1; ++j) {
-            const float bkj = brow[j];
-            c0[j] += a0 * bkj;
-            c1[j] += a1 * bkj;
-            c2[j] += a2 * bkj;
-            c3[j] += a3 * bkj;
-          }
+      for (std::int64_t kk = kk0; kk < kk1; ++kk) {
+        const float* q = apack + (kk - kk0) * 4;
+        const float a0 = q[0], a1 = q[1], a2 = q[2], a3 = q[3];
+        if (a0 == 0.f && a1 == 0.f && a2 == 0.f && a3 == 0.f) continue;
+        const float* b = panel + (kk - kk0) * kNc + j;
+        for (int t = 0; t < kMr; ++t) {
+          const float bt = b[t];
+          acc0[t] += a0 * bt;
+          acc1[t] += a1 * bt;
+          acc2[t] += a2 * bt;
+          acc3[t] += a3 * bt;
         }
       }
+      for (int t = 0; t < kMr; ++t) {
+        c0[j + t] = acc0[t];
+        c1[j + t] = acc1[t];
+        c2[j + t] = acc2[t];
+        c3[j + t] = acc3[t];
+      }
     }
-    for (; i < i1; ++i) {  // remainder rows: plain i-k-j over the tile
-      float* crow = pc + i * ldc;
+    for (; j < width; ++j) {  // tail columns: same order, registers per row
+      float s0 = c0[j], s1 = c1[j], s2 = c2[j], s3 = c3[j];
       for (std::int64_t kk = kk0; kk < kk1; ++kk) {
-        const float aik = pa[i * k + kk];
-        if (aik == 0.f) continue;
-        const float* brow = pb + kk * ldb;
-        for (std::int64_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+        const float* q = apack + (kk - kk0) * 4;
+        const float bt = panel[(kk - kk0) * kNc + j];
+        s0 += q[0] * bt;
+        s1 += q[1] * bt;
+        s2 += q[2] * bt;
+        s3 += q[3] * bt;
+      }
+      c0[j] = s0;
+      c1[j] = s1;
+      c2[j] = s2;
+      c3[j] = s3;
+    }
+  }
+  for (; i < i1; ++i) {  // remainder rows: plain i-k-j over the panel
+    float* crow = pc + i * ldc + j0;
+    for (std::int64_t kk = kk0; kk < kk1; ++kk) {
+      const float aik = pa[i * lda + kk];
+      if (aik == 0.f) continue;
+      const float* brow = panel + (kk - kk0) * kNc;
+      for (std::int64_t j = 0; j < width; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+// Minimum rows per chunk in the tall dispatch: amortises the A-tile packing.
+constexpr std::int64_t kRowGrain = 16;
+// Minimum columns per chunk in the small-k column dispatch.
+constexpr std::int64_t kColGrain = 128;
+
+// Products with only a few accumulation terms per output element cannot
+// amortise panel packing or the register-tile load/store, so they stream B
+// in place and accumulate straight into C. Dispatch is a pure function of
+// k, so determinism across pool sizes is unaffected.
+constexpr std::int64_t kSmallK = 32;
+
+MTSR_SIMD_CLONES
+void gemm_nn_small_k_block(const float* pa, const float* pb, float* pc,
+                           std::int64_t k, std::int64_t ldb,
+                           std::int64_t ldc, std::int64_t i0, std::int64_t i1,
+                           std::int64_t j0, std::int64_t j1,
+                           bool accumulate) {
+  alignas(64) float apack[4 * kSmallK];
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(j1 - j0) * sizeof(float);
+  std::int64_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      float* q = apack + kk * 4;
+      q[0] = pa[(i + 0) * k + kk];
+      q[1] = pa[(i + 1) * k + kk];
+      q[2] = pa[(i + 2) * k + kk];
+      q[3] = pa[(i + 3) * k + kk];
+    }
+    float* c0 = pc + (i + 0) * ldc;
+    float* c1 = pc + (i + 1) * ldc;
+    float* c2 = pc + (i + 2) * ldc;
+    float* c3 = pc + (i + 3) * ldc;
+    if (!accumulate) {
+      std::memset(c0 + j0, 0, row_bytes);
+      std::memset(c1 + j0, 0, row_bytes);
+      std::memset(c2 + j0, 0, row_bytes);
+      std::memset(c3 + j0, 0, row_bytes);
+    }
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float* q = apack + kk * 4;
+      const float a0 = q[0], a1 = q[1], a2 = q[2], a3 = q[3];
+      if (a0 == 0.f && a1 == 0.f && a2 == 0.f && a3 == 0.f) continue;
+      const float* brow = pb + kk * ldb;
+      for (std::int64_t j = j0; j < j1; ++j) {
+        const float bkj = brow[j];
+        c0[j] += a0 * bkj;
+        c1[j] += a1 * bkj;
+        c2[j] += a2 * bkj;
+        c3[j] += a3 * bkj;
       }
     }
   }
+  for (; i < i1; ++i) {  // remainder rows
+    float* crow = pc + i * ldc;
+    if (!accumulate) std::memset(crow + j0, 0, row_bytes);
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.f) continue;
+      const float* brow = pb + kk * ldb;
+      for (std::int64_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+    }
+  }
 }
 
-// Parallel driver for C = A * B given row-major operands. Splits over rows
-// when C is tall, over columns when C is wide (conv lowering produces
+// Parallel packed-B driver for C = A * B (all row-major). Splits over rows
+// when C is tall, over B panels when C is wide (conv lowering produces
 // short-and-wide products), so the pool stays busy either way.
-// Minimum work per chunk: wide-enough column blocks keep the vectorised
-// inner loop long, tall-enough row blocks amortise the A-tile packing.
-constexpr std::int64_t kRowGrain = 16;
-constexpr std::int64_t kColGrain = 128;
-
 void gemm_nn(const float* pa, const float* pb, float* pc, std::int64_t m,
-             std::int64_t k, std::int64_t n) {
+             std::int64_t k, std::int64_t n, bool accumulate) {
+  if (k <= kSmallK) {  // degenerate k: no packing, no workspace
+    if (m >= n) {
+      parallel_for_grain(m, kRowGrain,
+                         [&](std::int64_t i0, std::int64_t i1, int) {
+        gemm_nn_small_k_block(pa, pb, pc, k, n, n, i0, i1, 0, n, accumulate);
+      });
+    } else {
+      parallel_for_grain(n, kColGrain,
+                         [&](std::int64_t j0, std::int64_t j1, int) {
+        gemm_nn_small_k_block(pa, pb, pc, k, n, n, 0, m, j0, j1, accumulate);
+      });
+    }
+    return;
+  }
+  Workspace& ws = Workspace::tls();
+  Workspace::Scope scratch(ws);
+  const std::int64_t nkt = ceil_div(k, kKc);
+  const std::int64_t njt = ceil_div(n, kNc);
+  // jt-major so one column block's k-panels are contiguous; k-tiles within
+  // a block pack back-to-back (no padding between short edge tiles).
+  float* packed = ws.alloc(njt * k * kNc);
+  const auto panel_at = [&](std::int64_t kk0, std::int64_t jt) {
+    return packed + (jt * k + kk0) * kNc;
+  };
+
   if (m >= n) {
-    parallel_for_grain(m, kRowGrain, [&](std::int64_t i0, std::int64_t i1, int) {
-      gemm_nn_block(pa, pb, pc, k, n, n, i0, i1, 0, n);
+    // Tall C: pack every panel once (parallel over panels), then share the
+    // packed matrix read-only across all row chunks.
+    parallel_for(nkt * njt, [&](std::int64_t p) {
+      const std::int64_t jt = p / nkt, kk0 = (p % nkt) * kKc;
+      pack_b_panel(pb, n, kk0, std::min(k, kk0 + kKc), jt * kNc,
+                   std::min(n, (jt + 1) * kNc), panel_at(kk0, jt));
+    });
+    parallel_for_grain(m, kRowGrain,
+                       [&](std::int64_t i0, std::int64_t i1, int) {
+      if (!accumulate) {
+        std::memset(pc + i0 * n, 0,
+                    static_cast<std::size_t>((i1 - i0) * n) * sizeof(float));
+      }
+      for (std::int64_t jt = 0; jt < njt; ++jt) {
+        const std::int64_t j0 = jt * kNc, j1 = std::min(n, j0 + kNc);
+        for (std::int64_t kk0 = 0; kk0 < k; kk0 += kKc) {
+          gemm_nn_panel(pa, k, panel_at(kk0, jt), pc, n, i0, i1, kk0,
+                        std::min(k, kk0 + kKc), j0, j1);
+        }
+      }
     });
   } else {
-    parallel_for_grain(n, kColGrain, [&](std::int64_t j0, std::int64_t j1, int) {
-      gemm_nn_block(pa, pb, pc, k, n, n, 0, m, j0, j1);
+    // Wide C: panel-aligned column chunks. Each chunk owns a range of
+    // j-tiles outright, packs each of its panels exactly once, and consumes
+    // it while it is still L2-hot.
+    parallel_for_grain(njt, 1, [&](std::int64_t t0, std::int64_t t1, int) {
+      for (std::int64_t jt = t0; jt < t1; ++jt) {
+        const std::int64_t j0 = jt * kNc, j1 = std::min(n, j0 + kNc);
+        if (!accumulate) {
+          for (std::int64_t i = 0; i < m; ++i) {
+            std::memset(pc + i * n + j0, 0,
+                        static_cast<std::size_t>(j1 - j0) * sizeof(float));
+          }
+        }
+        for (std::int64_t kk0 = 0; kk0 < k; kk0 += kKc) {
+          float* panel = panel_at(kk0, jt);
+          const std::int64_t kk1 = std::min(k, kk0 + kKc);
+          pack_b_panel(pb, n, kk0, kk1, j0, j1, panel);
+          gemm_nn_panel(pa, k, panel, pc, n, 0, m, kk0, kk1, j0, j1);
+        }
+      }
     });
   }
 }
 
-// C[i0:i1, j0:j1] with C[i,j] = dot(A row i, B row j); both rows are
-// contiguous of length k. Fixed four-lane reduction over k (lane l sums
-// k ≡ l mod 4, lanes combined in order) — deterministic in k alone.
+// C[i0:i1, j0:j1] with C[i,j] (+)= dot(A row i, B row j); both rows are
+// contiguous of length k, so B needs no packing. Fixed four-lane reduction
+// over k (lane l sums k ≡ l mod 4, lanes combined in order) — deterministic
+// in k alone.
+MTSR_SIMD_CLONES
 void gemm_nt_block(const float* pa, const float* pb, float* pc,
                    std::int64_t k, std::int64_t ldc, std::int64_t i0,
-                   std::int64_t i1, std::int64_t j0, std::int64_t j1) {
+                   std::int64_t i1, std::int64_t j0, std::int64_t j1,
+                   bool accumulate) {
   constexpr std::int64_t kJt = 16;  // B rows kept hot per tile
   for (std::int64_t jj0 = j0; jj0 < j1; jj0 += kJt) {
     const std::int64_t jj1 = std::min(j1, jj0 + kJt);
@@ -141,7 +337,11 @@ void gemm_nt_block(const float* pa, const float* pb, float* pc,
         }
         float acc = (acc0 + acc1) + (acc2 + acc3);
         for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        crow[j] = acc;
+        if (accumulate) {
+          crow[j] += acc;
+        } else {
+          crow[j] = acc;
+        }
       }
     }
   }
@@ -149,55 +349,39 @@ void gemm_nt_block(const float* pa, const float* pb, float* pc,
 
 }  // namespace
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  check(a.rank() == 2 && b.rank() == 2, "matmul requires rank-2 tensors");
-  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  check(b.dim(0) == k, "matmul inner dimensions must agree: " +
-                           a.shape().to_string() + " * " +
-                           b.shape().to_string());
-  Tensor c(Shape{m, n});
-  gemm_nn(a.data(), b.data(), c.data(), m, k, n);
-  return c;
+void matmul_into(const float* a, const float* b, float* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n, bool accumulate) {
+  gemm_nn(a, b, c, m, k, n, accumulate);
 }
 
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  check(a.rank() == 2 && b.rank() == 2, "matmul_tn requires rank-2 tensors");
-  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  check(b.dim(0) == k, "matmul_tn inner dimensions must agree");
-  // Materialise Aᵀ (O(m·k), negligible next to the O(m·k·n) product) so the
-  // core kernel always streams contiguous A rows.
-  Tensor at = transpose(a);
-  Tensor c(Shape{m, n});
-  gemm_nn(at.data(), b.data(), c.data(), m, k, n);
-  return c;
+void matmul_tn_into(const float* a, const float* b, float* c, std::int64_t k,
+                    std::int64_t m, std::int64_t n, bool accumulate) {
+  // Materialise Aᵀ in workspace scratch (O(m·k), negligible next to the
+  // O(m·k·n) product) so the core kernel always streams contiguous A rows.
+  Workspace& ws = Workspace::tls();
+  Workspace::Scope scratch(ws);
+  float* at = ws.alloc(m * k);
+  transpose_into(a, k, m, at);
+  gemm_nn(at, b, c, m, k, n, accumulate);
 }
 
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  check(a.rank() == 2 && b.rank() == 2, "matmul_nt requires rank-2 tensors");
-  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  check(b.dim(1) == k, "matmul_nt inner dimensions must agree");
-  Tensor c(Shape{m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
+void matmul_nt_into(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t k, std::int64_t n, bool accumulate) {
   if (m >= n) {
-    parallel_for_grain(m, kRowGrain, [&](std::int64_t i0, std::int64_t i1, int) {
-      gemm_nt_block(pa, pb, pc, k, n, i0, i1, 0, n);
+    parallel_for_grain(m, kRowGrain,
+                       [&](std::int64_t i0, std::int64_t i1, int) {
+      gemm_nt_block(a, b, c, k, n, i0, i1, 0, n, accumulate);
     });
   } else {
-    parallel_for_grain(n, kRowGrain, [&](std::int64_t j0, std::int64_t j1, int) {
-      gemm_nt_block(pa, pb, pc, k, n, 0, m, j0, j1);
+    parallel_for_grain(n, kRowGrain,
+                       [&](std::int64_t j0, std::int64_t j1, int) {
+      gemm_nt_block(a, b, c, k, n, 0, m, j0, j1, accumulate);
     });
   }
-  return c;
 }
 
-Tensor transpose(const Tensor& a) {
-  check(a.rank() == 2, "transpose requires a rank-2 tensor");
-  const std::int64_t m = a.dim(0), n = a.dim(1);
-  Tensor out(Shape{n, m});
-  const float* pi = a.data();
-  float* po = out.data();
+void transpose_into(const float* a, std::int64_t m, std::int64_t n,
+                    float* out) {
   // 32×32 tiles keep both the read and the strided write streams in L1.
   constexpr std::int64_t kTile = 32;
   parallel_for_grain(n, kTile, [&](std::int64_t r0, std::int64_t r1, int) {
@@ -207,12 +391,49 @@ Tensor transpose(const Tensor& a) {
         const std::int64_t imax = std::min(m, it + kTile);
         for (std::int64_t j = jt; j < jmax; ++j) {
           for (std::int64_t i = it; i < imax; ++i) {
-            po[j * m + i] = pi[i * n + j];
+            out[j * m + i] = a[i * n + j];
           }
         }
       }
     }
   });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check(a.rank() == 2 && b.rank() == 2, "matmul requires rank-2 tensors");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  check(b.dim(0) == k, "matmul inner dimensions must agree: " +
+                           a.shape().to_string() + " * " +
+                           b.shape().to_string());
+  Tensor c(Shape{m, n});
+  // The fresh tensor is already zeroed; accumulate mode skips the kernel's
+  // redundant clear of C (bitwise-identical result).
+  matmul_into(a.data(), b.data(), c.data(), m, k, n, /*accumulate=*/true);
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check(a.rank() == 2 && b.rank() == 2, "matmul_tn requires rank-2 tensors");
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  check(b.dim(0) == k, "matmul_tn inner dimensions must agree");
+  Tensor c(Shape{m, n});
+  matmul_tn_into(a.data(), b.data(), c.data(), k, m, n, /*accumulate=*/true);
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check(a.rank() == 2 && b.rank() == 2, "matmul_nt requires rank-2 tensors");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  check(b.dim(1) == k, "matmul_nt inner dimensions must agree");
+  Tensor c(Shape{m, n});
+  matmul_nt_into(a.data(), b.data(), c.data(), m, k, n);
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  check(a.rank() == 2, "transpose requires a rank-2 tensor");
+  Tensor out(Shape{a.dim(1), a.dim(0)});
+  transpose_into(a.data(), a.dim(0), a.dim(1), out.data());
   return out;
 }
 
@@ -286,21 +507,12 @@ Tensor col2im(const Tensor& columns, std::int64_t channels,
   return out;
 }
 
-Tensor im2col_batched(const Tensor& input, int kh, int kw, int stride_h,
-                      int stride_w, int pad_h, int pad_w) {
-  check(input.rank() == 4, "im2col_batched expects input of shape (N, C, H, W)");
-  check(kh > 0 && kw > 0 && stride_h > 0 && stride_w > 0 && pad_h >= 0 &&
-            pad_w >= 0,
-        "im2col_batched parameters out of range");
-  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
-                     w = input.dim(3);
+void im2col_batched_into(const float* pi, std::int64_t n, std::int64_t c,
+                         std::int64_t h, std::int64_t w, int kh, int kw,
+                         int stride_h, int stride_w, int pad_h, int pad_w,
+                         float* po) {
   const std::int64_t oh = (h + 2 * pad_h - kh) / stride_h + 1;
   const std::int64_t ow = (w + 2 * pad_w - kw) / stride_w + 1;
-  check(oh > 0 && ow > 0, "im2col_batched produces empty output");
-
-  Tensor out(Shape{c * kh * kw, n * oh * ow});
-  float* po = out.data();
-  const float* pi = input.data();
   // Each output row is contiguous over all samples; rows are independent.
   parallel_for(c * kh * kw, [&](std::int64_t row) {
     const std::int64_t ch = row / (kh * kw);
@@ -325,28 +537,39 @@ Tensor im2col_batched(const Tensor& input, int kh, int kw, int stride_h,
       }
     }
   });
+}
+
+Tensor im2col_batched(const Tensor& input, int kh, int kw, int stride_h,
+                      int stride_w, int pad_h, int pad_w) {
+  check(input.rank() == 4, "im2col_batched expects input of shape (N, C, H, W)");
+  check(kh > 0 && kw > 0 && stride_h > 0 && stride_w > 0 && pad_h >= 0 &&
+            pad_w >= 0,
+        "im2col_batched parameters out of range");
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  const std::int64_t oh = (h + 2 * pad_h - kh) / stride_h + 1;
+  const std::int64_t ow = (w + 2 * pad_w - kw) / stride_w + 1;
+  check(oh > 0 && ow > 0, "im2col_batched produces empty output");
+
+  Tensor out(Shape{c * kh * kw, n * oh * ow});
+  im2col_batched_into(input.data(), n, c, h, w, kh, kw, stride_h, stride_w,
+                      pad_h, pad_w, out.data());
   return out;
 }
 
-Tensor col2im_batched(const Tensor& columns, std::int64_t n,
-                      std::int64_t channels, std::int64_t height,
-                      std::int64_t width, int kh, int kw, int stride_h,
-                      int stride_w, int pad_h, int pad_w) {
-  check(columns.rank() == 2, "col2im_batched expects rank-2 columns");
+void col2im_batched_into(const float* pc, std::int64_t n,
+                         std::int64_t channels, std::int64_t height,
+                         std::int64_t width, int kh, int kw, int stride_h,
+                         int stride_w, int pad_h, int pad_w, float* po) {
   const std::int64_t oh = (height + 2 * pad_h - kh) / stride_h + 1;
   const std::int64_t ow = (width + 2 * pad_w - kw) / stride_w + 1;
-  check(columns.dim(0) == channels * kh * kw,
-        "col2im_batched columns row count mismatch");
-  check(columns.dim(1) == n * oh * ow,
-        "col2im_batched columns col count mismatch");
-
-  Tensor out(Shape{n, channels, height, width});
-  float* po = out.data();
-  const float* pc = columns.data();
   // Samples write disjoint output chunks; scatter order within a sample is
   // fixed, so results are pool-size independent.
   parallel_for(n, [&](std::int64_t i) {
     float* img_base = po + i * channels * height * width;
+    std::memset(img_base, 0,
+                static_cast<std::size_t>(channels * height * width) *
+                    sizeof(float));
     for (std::int64_t ch = 0; ch < channels; ++ch) {
       for (int ky = 0; ky < kh; ++ky) {
         for (int kx = 0; kx < kw; ++kx) {
@@ -365,27 +588,34 @@ Tensor col2im_batched(const Tensor& columns, std::int64_t n,
       }
     }
   });
+}
+
+Tensor col2im_batched(const Tensor& columns, std::int64_t n,
+                      std::int64_t channels, std::int64_t height,
+                      std::int64_t width, int kh, int kw, int stride_h,
+                      int stride_w, int pad_h, int pad_w) {
+  check(columns.rank() == 2, "col2im_batched expects rank-2 columns");
+  const std::int64_t oh = (height + 2 * pad_h - kh) / stride_h + 1;
+  const std::int64_t ow = (width + 2 * pad_w - kw) / stride_w + 1;
+  check(columns.dim(0) == channels * kh * kw,
+        "col2im_batched columns row count mismatch");
+  check(columns.dim(1) == n * oh * ow,
+        "col2im_batched columns col count mismatch");
+
+  Tensor out(Shape{n, channels, height, width});
+  col2im_batched_into(columns.data(), n, channels, height, width, kh, kw,
+                      stride_h, stride_w, pad_h, pad_w, out.data());
   return out;
 }
 
-Tensor vol2col_batched(const Tensor& input, int kd, int kh, int kw,
-                       int stride_d, int stride_h, int stride_w, int pad_d,
-                       int pad_h, int pad_w) {
-  check(input.rank() == 5,
-        "vol2col_batched expects input of shape (N, C, D, H, W)");
-  check(kd > 0 && kh > 0 && kw > 0 && stride_d > 0 && stride_h > 0 &&
-            stride_w > 0 && pad_d >= 0 && pad_h >= 0 && pad_w >= 0,
-        "vol2col_batched parameters out of range");
-  const std::int64_t n = input.dim(0), c = input.dim(1), d = input.dim(2),
-                     h = input.dim(3), w = input.dim(4);
+void vol2col_batched_into(const float* pi, std::int64_t n, std::int64_t c,
+                          std::int64_t d, std::int64_t h, std::int64_t w,
+                          int kd, int kh, int kw, int stride_d, int stride_h,
+                          int stride_w, int pad_d, int pad_h, int pad_w,
+                          float* po) {
   const std::int64_t od = (d + 2 * pad_d - kd) / stride_d + 1;
   const std::int64_t oh = (h + 2 * pad_h - kh) / stride_h + 1;
   const std::int64_t ow = (w + 2 * pad_w - kw) / stride_w + 1;
-  check(od > 0 && oh > 0 && ow > 0, "vol2col_batched produces empty output");
-
-  Tensor out(Shape{c * kd * kh * kw, n * od * oh * ow});
-  float* po = out.data();
-  const float* pi = input.data();
   const std::int64_t taps = static_cast<std::int64_t>(kd) * kh * kw;
   parallel_for(c * taps, [&](std::int64_t row) {
     const std::int64_t ch = row / taps;
@@ -420,29 +650,43 @@ Tensor vol2col_batched(const Tensor& input, int kd, int kh, int kw,
       }
     }
   });
+}
+
+Tensor vol2col_batched(const Tensor& input, int kd, int kh, int kw,
+                       int stride_d, int stride_h, int stride_w, int pad_d,
+                       int pad_h, int pad_w) {
+  check(input.rank() == 5,
+        "vol2col_batched expects input of shape (N, C, D, H, W)");
+  check(kd > 0 && kh > 0 && kw > 0 && stride_d > 0 && stride_h > 0 &&
+            stride_w > 0 && pad_d >= 0 && pad_h >= 0 && pad_w >= 0,
+        "vol2col_batched parameters out of range");
+  const std::int64_t n = input.dim(0), c = input.dim(1), d = input.dim(2),
+                     h = input.dim(3), w = input.dim(4);
+  const std::int64_t od = (d + 2 * pad_d - kd) / stride_d + 1;
+  const std::int64_t oh = (h + 2 * pad_h - kh) / stride_h + 1;
+  const std::int64_t ow = (w + 2 * pad_w - kw) / stride_w + 1;
+  check(od > 0 && oh > 0 && ow > 0, "vol2col_batched produces empty output");
+
+  Tensor out(Shape{c * kd * kh * kw, n * od * oh * ow});
+  vol2col_batched_into(input.data(), n, c, d, h, w, kd, kh, kw, stride_d,
+                       stride_h, stride_w, pad_d, pad_h, pad_w, out.data());
   return out;
 }
 
-Tensor col2vol_batched(const Tensor& columns, std::int64_t n,
-                       std::int64_t channels, std::int64_t depth,
-                       std::int64_t height, std::int64_t width, int kd, int kh,
-                       int kw, int stride_d, int stride_h, int stride_w,
-                       int pad_d, int pad_h, int pad_w) {
-  check(columns.rank() == 2, "col2vol_batched expects rank-2 columns");
+void col2vol_batched_into(const float* pc, std::int64_t n,
+                          std::int64_t channels, std::int64_t depth,
+                          std::int64_t height, std::int64_t width, int kd,
+                          int kh, int kw, int stride_d, int stride_h,
+                          int stride_w, int pad_d, int pad_h, int pad_w,
+                          float* po) {
   const std::int64_t od = (depth + 2 * pad_d - kd) / stride_d + 1;
   const std::int64_t oh = (height + 2 * pad_h - kh) / stride_h + 1;
   const std::int64_t ow = (width + 2 * pad_w - kw) / stride_w + 1;
-  const std::int64_t taps = static_cast<std::int64_t>(kd) * kh * kw;
-  check(columns.dim(0) == channels * taps,
-        "col2vol_batched columns row count mismatch");
-  check(columns.dim(1) == n * od * oh * ow,
-        "col2vol_batched columns col count mismatch");
-
-  Tensor out(Shape{n, channels, depth, height, width});
-  float* po = out.data();
-  const float* pc = columns.data();
   parallel_for(n, [&](std::int64_t i) {
     float* vol_base = po + i * channels * depth * height * width;
+    std::memset(vol_base, 0,
+                static_cast<std::size_t>(channels * depth * height * width) *
+                    sizeof(float));
     for (std::int64_t ch = 0; ch < channels; ++ch) {
       for (int kz = 0; kz < kd; ++kz) {
         for (int ky = 0; ky < kh; ++ky) {
@@ -471,7 +715,39 @@ Tensor col2vol_batched(const Tensor& columns, std::int64_t n,
       }
     }
   });
+}
+
+Tensor col2vol_batched(const Tensor& columns, std::int64_t n,
+                       std::int64_t channels, std::int64_t depth,
+                       std::int64_t height, std::int64_t width, int kd, int kh,
+                       int kw, int stride_d, int stride_h, int stride_w,
+                       int pad_d, int pad_h, int pad_w) {
+  check(columns.rank() == 2, "col2vol_batched expects rank-2 columns");
+  const std::int64_t od = (depth + 2 * pad_d - kd) / stride_d + 1;
+  const std::int64_t oh = (height + 2 * pad_h - kh) / stride_h + 1;
+  const std::int64_t ow = (width + 2 * pad_w - kw) / stride_w + 1;
+  const std::int64_t taps = static_cast<std::int64_t>(kd) * kh * kw;
+  check(columns.dim(0) == channels * taps,
+        "col2vol_batched columns row count mismatch");
+  check(columns.dim(1) == n * od * oh * ow,
+        "col2vol_batched columns col count mismatch");
+
+  Tensor out(Shape{n, channels, depth, height, width});
+  col2vol_batched_into(columns.data(), n, channels, depth, height, width, kd,
+                       kh, kw, stride_d, stride_h, stride_w, pad_d, pad_h,
+                       pad_w, out.data());
   return out;
+}
+
+void batch_to_channel_major_into(const float* pi, std::int64_t n,
+                                 std::int64_t c, std::int64_t inner,
+                                 float* po) {
+  parallel_for(c, [&](std::int64_t ch) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      std::memcpy(po + (ch * n + i) * inner, pi + (i * c + ch) * inner,
+                  static_cast<std::size_t>(inner) * sizeof(float));
+    }
+  });
 }
 
 Tensor batch_to_channel_major(const Tensor& input) {
@@ -480,15 +756,19 @@ Tensor batch_to_channel_major(const Tensor& input) {
   std::int64_t inner = 1;
   for (int i = 2; i < input.rank(); ++i) inner *= input.dim(i);
   Tensor out(Shape{c, n * inner});
-  const float* pi = input.data();
-  float* po = out.data();
-  parallel_for(c, [&](std::int64_t ch) {
-    for (std::int64_t i = 0; i < n; ++i) {
-      std::memcpy(po + (ch * n + i) * inner, pi + (i * c + ch) * inner,
+  batch_to_channel_major_into(input.data(), n, c, inner, out.data());
+  return out;
+}
+
+void channel_major_to_batch_into(const float* pi, std::int64_t n,
+                                 std::int64_t c, std::int64_t inner,
+                                 float* po) {
+  parallel_for(n, [&](std::int64_t i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      std::memcpy(po + (i * c + ch) * inner, pi + (ch * n + i) * inner,
                   static_cast<std::size_t>(inner) * sizeof(float));
     }
   });
-  return out;
 }
 
 Tensor channel_major_to_batch(const Tensor& mat, const Shape& out_shape) {
@@ -500,14 +780,7 @@ Tensor channel_major_to_batch(const Tensor& mat, const Shape& out_shape) {
   check(mat.dim(0) == c && mat.dim(1) == n * inner,
         "channel_major_to_batch shape mismatch");
   Tensor out(out_shape);
-  const float* pi = mat.data();
-  float* po = out.data();
-  parallel_for(n, [&](std::int64_t i) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      std::memcpy(po + (i * c + ch) * inner, pi + (ch * n + i) * inner,
-                  static_cast<std::size_t>(inner) * sizeof(float));
-    }
-  });
+  channel_major_to_batch_into(mat.data(), n, c, inner, out.data());
   return out;
 }
 
@@ -624,21 +897,28 @@ Tensor sum_pool2d(const Tensor& input, int factor) {
   return pool2d(input, factor, /*average=*/false);
 }
 
+void upsample_nearest2d_into(const float* pi, std::int64_t batch,
+                             std::int64_t rows, std::int64_t cols, int factor,
+                             float scale, float* po) {
+  const std::int64_t orows = rows * factor;
+  const std::int64_t ocols = cols * factor;
+  parallel_for(batch, [&](std::int64_t b) {
+    for (std::int64_t r = 0; r < orows; ++r) {
+      const float* irow = pi + (b * rows + r / factor) * cols;
+      float* orow = po + (b * orows + r) * ocols;
+      for (std::int64_t c = 0; c < ocols; ++c) {
+        orow[c] = irow[c / factor] * scale;
+      }
+    }
+  });
+}
+
 Tensor upsample_nearest2d(const Tensor& input, int factor) {
   check(factor > 0, "upsample_nearest2d requires factor > 0");
   const Flat3 f = flatten_spatial(input.shape(), "upsample_nearest2d");
-  const std::int64_t orows = f.rows * factor;
-  const std::int64_t ocols = f.cols * factor;
-  Tensor out(with_spatial(input.shape(), orows, ocols));
-  const float* pi = input.data();
-  float* po = out.data();
-  parallel_for(f.batch, [&](std::int64_t b) {
-    for (std::int64_t r = 0; r < orows; ++r) {
-      const float* irow = pi + (b * f.rows + r / factor) * f.cols;
-      float* orow = po + (b * orows + r) * ocols;
-      for (std::int64_t c = 0; c < ocols; ++c) orow[c] = irow[c / factor];
-    }
-  });
+  Tensor out(with_spatial(input.shape(), f.rows * factor, f.cols * factor));
+  upsample_nearest2d_into(input.data(), f.batch, f.rows, f.cols, factor, 1.f,
+                          out.data());
   return out;
 }
 

@@ -1,14 +1,23 @@
 // Free-function tensor operations: matmul, im2col/col2im, padding, cropping,
 // pooling and upsampling.
 //
-// These are the building blocks the src/nn layers are written against. All
-// functions are pure (value in, value out) and validate their shape
-// contracts; the hot loops themselves are check-free.
+// These are the building blocks the src/nn layers are written against. Each
+// hot op comes in two forms:
 //
-// The matmul family and the batched lowering helpers run cache-blocked
-// kernels on the shared thread pool (src/common/parallel.hpp). Every kernel
-// preserves a fixed per-element accumulation order, so results are
-// bit-identical for every pool size.
+//  - the pure variant (value in, value out) validates its shape contract
+//    and allocates the result tensor;
+//  - the `_into` variant is destination-passing: it writes into a caller-
+//    provided buffer (typically carved from the thread's Workspace arena)
+//    and performs no allocation of its own beyond transient GEMM packing
+//    scratch.
+//
+// The pure variants are thin wrappers over the `_into` cores, so both paths
+// compute identical results. The matmul family runs a cache-blocked,
+// packed-B panel kernel on the shared thread pool (src/common/parallel.hpp):
+// the B matrix is packed once per (k-tile, j-tile) panel and shared across
+// row chunks, cutting DRAM traffic on the short-and-wide products conv
+// lowering produces. Every kernel preserves a fixed per-element accumulation
+// order, so results are bit-identical for every pool size.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +25,8 @@
 #include "src/tensor/tensor.hpp"
 
 namespace mtsr {
+
+// ---- GEMM family -----------------------------------------------------------
 
 /// C = A (m×k) * B (k×n). Both inputs must be rank-2.
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
@@ -28,6 +39,27 @@ namespace mtsr {
 
 /// Transpose of a rank-2 tensor.
 [[nodiscard]] Tensor transpose(const Tensor& a);
+
+/// c = a (m×k) * b (k×n), written into caller memory. When `accumulate` is
+/// set the product is added onto the existing contents of c instead of
+/// overwriting — the destination-passing form of `grad.add_(matmul(...))`.
+void matmul_into(const float* a, const float* b, float* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n, bool accumulate = false);
+
+/// c = aᵀ * b for a stored (k×m) row-major and b (k×n). Uses transient
+/// Workspace scratch for the packed transpose.
+void matmul_tn_into(const float* a, const float* b, float* c, std::int64_t k,
+                    std::int64_t m, std::int64_t n, bool accumulate = false);
+
+/// c = a (m×k) * bᵀ for b stored (n×k) row-major.
+void matmul_nt_into(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t k, std::int64_t n, bool accumulate = false);
+
+/// out (n×m) = transpose of a (m×n), written into caller memory.
+void transpose_into(const float* a, std::int64_t m, std::int64_t n,
+                    float* out);
+
+// ---- Conv lowering ---------------------------------------------------------
 
 /// im2col for 2-D convolution.
 ///
@@ -76,6 +108,38 @@ namespace mtsr {
                                      int stride_h, int stride_w, int pad_d,
                                      int pad_h, int pad_w);
 
+/// Destination-passing im2col_batched: input (n, c, h, w) laid out
+/// row-major at `input`, columns written to `out` (c*kh*kw rows of
+/// n*oh*ow floats). Every output element is written (padding taps as 0).
+void im2col_batched_into(const float* input, std::int64_t n, std::int64_t c,
+                         std::int64_t h, std::int64_t w, int kh, int kw,
+                         int stride_h, int stride_w, int pad_h, int pad_w,
+                         float* out);
+
+/// Destination-passing col2im_batched; `out` (n*channels*height*width) is
+/// zeroed before the scatter.
+void col2im_batched_into(const float* columns, std::int64_t n,
+                         std::int64_t channels, std::int64_t height,
+                         std::int64_t width, int kh, int kw, int stride_h,
+                         int stride_w, int pad_h, int pad_w, float* out);
+
+/// Destination-passing vol2col_batched (see vol2col_batched).
+void vol2col_batched_into(const float* input, std::int64_t n, std::int64_t c,
+                          std::int64_t d, std::int64_t h, std::int64_t w,
+                          int kd, int kh, int kw, int stride_d, int stride_h,
+                          int stride_w, int pad_d, int pad_h, int pad_w,
+                          float* out);
+
+/// Destination-passing col2vol_batched; `out` is zeroed before the scatter.
+void col2vol_batched_into(const float* columns, std::int64_t n,
+                          std::int64_t channels, std::int64_t depth,
+                          std::int64_t height, std::int64_t width, int kd,
+                          int kh, int kw, int stride_d, int stride_h,
+                          int stride_w, int pad_d, int pad_h, int pad_w,
+                          float* out);
+
+// ---- Batch/channel-major reordering ----------------------------------------
+
 /// Reorders (N, C, *) into a channel-major matrix (C, N*inner) where inner
 /// is the product of the trailing dims. The GEMM-side layout of the batched
 /// conv lowering.
@@ -86,6 +150,18 @@ namespace mtsr {
 [[nodiscard]] Tensor channel_major_to_batch(const Tensor& mat,
                                             const Shape& out_shape);
 
+/// Destination-passing batch_to_channel_major over raw (n, c, inner) data.
+void batch_to_channel_major_into(const float* input, std::int64_t n,
+                                 std::int64_t c, std::int64_t inner,
+                                 float* out);
+
+/// Destination-passing channel_major_to_batch over raw (n, c, inner) data.
+void channel_major_to_batch_into(const float* mat, std::int64_t n,
+                                 std::int64_t c, std::int64_t inner,
+                                 float* out);
+
+// ---- Channel bias / reductions ---------------------------------------------
+
 /// In-place broadcast-add of a per-channel bias (C) over an (N, C, *)
 /// batch. The bias path shared by every conv layer's forward.
 void add_channel_bias(Tensor& batch, const Tensor& bias);
@@ -95,6 +171,8 @@ void add_channel_bias(Tensor& batch, const Tensor& bias);
 /// Deterministic: channel c sums samples then positions in ascending order
 /// regardless of pool size.
 void accumulate_channel_sums(const Tensor& batch, Tensor& sums);
+
+// ---- Spatial helpers -------------------------------------------------------
 
 /// Zero-pads the last two axes of a rank-2..4 tensor by (pad_h, pad_w) on
 /// each side.
@@ -114,6 +192,13 @@ void accumulate_channel_sums(const Tensor& batch, Tensor& sums);
 
 /// Nearest-neighbour upsampling of the last two axes by an integer factor.
 [[nodiscard]] Tensor upsample_nearest2d(const Tensor& input, int factor);
+
+/// Destination-passing nearest-neighbour upsample over raw (batch, rows,
+/// cols) data, with every output element scaled by `scale` — the fused form
+/// of AvgPool2d's backward (upsample then divide by factor²).
+void upsample_nearest2d_into(const float* input, std::int64_t batch,
+                             std::int64_t rows, std::int64_t cols, int factor,
+                             float scale, float* out);
 
 /// Concatenates rank-N tensors along axis 0. All other dims must match.
 [[nodiscard]] Tensor concat0(const std::vector<Tensor>& parts);

@@ -133,6 +133,25 @@ TEST(ParallelEngine, PropagatesExceptions) {
   EXPECT_EQ(total.load(), 16);
 }
 
+TEST(ParallelEngine, SetNumThreadsFromInsideParallelRegionThrows) {
+  // Resizing the pool while a parallel region is executing would join the
+  // very thread running the body; the engine must refuse.
+  std::atomic<int> threw{0};
+  parallel_for(8, [&](std::int64_t i) {
+    if (i != 0) return;
+    try {
+      set_num_threads(2);
+    } catch (const ContractViolation&) {
+      threw.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(threw.load(), 1);
+  // The pool must stay usable afterwards.
+  std::atomic<int> total{0};
+  parallel_for(16, [&](std::int64_t) { total++; });
+  EXPECT_EQ(total.load(), 16);
+}
+
 TEST(ParallelEngine, SetNumThreadsRoundTrips) {
   PoolGuard guard;
   set_num_threads(3);
