@@ -18,9 +18,18 @@
 #define MTSR_BENCH_WS_SCOPE() ((void)0)
 #endif
 
+#if __has_include("src/serving/engine.hpp")
+// Serving-engine scenarios (absent when this file is compiled against a
+// pre-serving tree for interleaved old-vs-new comparisons).
+#include "src/serving/engine.hpp"
+#include "src/serving/model.hpp"
+#define MTSR_HAS_SERVING 1
+#endif
+
 #include "bench/bench_common.hpp"
 #include "src/baselines/bicubic.hpp"
 #include "src/core/pipeline.hpp"
+#include "src/data/augmentation.hpp"
 #include "src/nn/conv2d.hpp"
 #include "src/nn/conv3d.hpp"
 #include "src/nn/conv_transpose3d.hpp"
@@ -139,6 +148,134 @@ BENCHMARK(BM_ZipNetFullGridInference)
     ->Arg(static_cast<int>(data::MtsrInstance::kUp10))
     ->Arg(static_cast<int>(data::MtsrInstance::kMixture))
     ->Unit(benchmark::kMillisecond);
+
+// ---- Multi-frame, multi-session serving ------------------------------------
+//
+// The gateway workload of Section 6 at the paper's city scale: predictions
+// for consecutive test frames of several concurrent 100×100 streams, served
+// three ways over the same generator:
+//  * BM_ServeStatelessStitch — the serial predict_frame path as it existed
+//    before the serving engine (and still the public stitch API): every
+//    prediction re-derives each window's coarse history from the full
+//    frame, so each frame is normalised W·S times instead of once.
+//  * BM_ServePredictFrameSerial — today's predict_frame entry point (in a
+//    post-redesign tree, the forwarding shim over the engine).
+//  * BM_ServeEngine — engine sessions: rolling per-window aggregate cache,
+//    fixed sub-batching, and the double-buffered gather/GEMM overlap when
+//    the pool has workers to spare.
+// Keeping all three in one binary makes the comparison layout-fair: the
+// generator inner kernels are the same machine code for every scenario.
+
+constexpr std::int64_t kServeSessions = 2;
+constexpr std::int64_t kServeFrames = 3;  // predictions per session
+
+core::PipelineConfig serve_config(std::int64_t side) {
+  core::PipelineConfig config =
+      bench::bench_pipeline_config(data::MtsrInstance::kUp4, side);
+  config.stitch_stride = 10;  // 81 windows per 100x100 frame
+  return config;
+}
+
+std::vector<data::TrafficDataset> serve_datasets(std::int64_t side) {
+  std::vector<data::TrafficDataset> datasets;
+  for (std::int64_t i = 0; i < kServeSessions; ++i) {
+    bench::BenchData geometry;
+    geometry.side = side;
+    geometry.frames = 16;
+    geometry.seed = 42 + static_cast<std::uint64_t>(i);  // one city each
+    datasets.push_back(bench::make_dataset(geometry));
+  }
+  return datasets;
+}
+
+void BM_ServeStatelessStitch(benchmark::State& state) {
+  const std::int64_t side = state.range(0);
+  const auto datasets = serve_datasets(side);
+  const core::PipelineConfig config = serve_config(side);
+  std::vector<std::unique_ptr<core::MtsrPipeline>> pipelines;
+  for (const auto& dataset : datasets) {
+    pipelines.push_back(
+        std::make_unique<core::MtsrPipeline>(config, dataset));
+  }
+  const std::int64_t s = config.temporal_length;
+  for (auto _ : state) {
+    for (std::int64_t t = s - 1; t < s - 1 + kServeFrames; ++t) {
+      for (std::size_t i = 0; i < pipelines.size(); ++i) {
+        // The pre-engine predict_frame body: stateless stitch over
+        // make_sample gathers, then denormalise.
+        core::MtsrPipeline& pipeline = *pipelines[i];
+        data::BatchWindowPredictor predictor = [&](const Tensor& batch) {
+          MTSR_BENCH_WS_SCOPE();
+          return pipeline.generator().forward(batch, /*training=*/false);
+        };
+        Tensor normalized = data::stitch_prediction_batched(
+            datasets[i], pipeline.window_layout(), predictor, t,
+            config.temporal_length, config.window, config.stitch_stride);
+        benchmark::DoNotOptimize(datasets[i].denormalize(normalized));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kServeSessions * kServeFrames);
+}
+BENCHMARK(BM_ServeStatelessStitch)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_ServePredictFrameSerial(benchmark::State& state) {
+  const std::int64_t side = state.range(0);
+  const auto datasets = serve_datasets(side);
+  std::vector<std::unique_ptr<core::MtsrPipeline>> pipelines;
+  for (const auto& dataset : datasets) {
+    pipelines.push_back(
+        std::make_unique<core::MtsrPipeline>(serve_config(side), dataset));
+  }
+  const std::int64_t s = pipelines.front()->config().temporal_length;
+  for (auto _ : state) {
+    // Frame-major, as measurements arrive at a gateway: frame t of every
+    // stream is served before frame t+1 of any.
+    for (std::int64_t t = s - 1; t < s - 1 + kServeFrames; ++t) {
+      for (auto& pipeline : pipelines) {
+        benchmark::DoNotOptimize(pipeline->predict_frame(t));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kServeSessions * kServeFrames);
+}
+BENCHMARK(BM_ServePredictFrameSerial)->Arg(100)->Unit(benchmark::kMillisecond);
+
+#ifdef MTSR_HAS_SERVING
+void BM_ServeEngine(benchmark::State& state) {
+  const std::int64_t side = state.range(0);
+  const auto datasets = serve_datasets(side);
+  const core::PipelineConfig config = serve_config(side);
+  // One generator serves every city stream (sessions multiplex the model).
+  core::MtsrPipeline pipeline(config, datasets.front());
+  serving::Engine engine;
+  engine.register_model(
+      "zipnet", std::make_shared<serving::ZipNetModel>(pipeline.generator()));
+  std::vector<serving::Engine::SessionId> sessions;
+  for (const auto& dataset : datasets) {
+    sessions.push_back(engine.open_session(serving::SessionConfig::from_dataset(
+        "zipnet", config.instance, dataset, config.window,
+        config.stitch_stride)));
+  }
+  const std::int64_t s = pipeline.config().temporal_length;
+  for (auto _ : state) {
+    for (const auto id : sessions) engine.session(id).reset();
+    std::int64_t produced = 0;
+    for (std::int64_t t = 0; t < s - 1 + kServeFrames; ++t) {
+      for (std::size_t i = 0; i < sessions.size(); ++i) {
+        auto prediction = engine.push(sessions[i], datasets[i].frame(t));
+        if (prediction) ++produced;
+        benchmark::DoNotOptimize(prediction);
+      }
+    }
+    if (produced != kServeSessions * kServeFrames) {
+      state.SkipWithError("serving produced the wrong prediction count");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kServeSessions * kServeFrames);
+}
+BENCHMARK(BM_ServeEngine)->Arg(100)->Unit(benchmark::kMillisecond);
+#endif  // MTSR_HAS_SERVING
 
 // Probe aggregation (the gateway-side cost of producing model input).
 void BM_ProbeAggregation(benchmark::State& state) {

@@ -1,10 +1,27 @@
 #include "src/baselines/super_resolver.hpp"
 
+#include "src/baselines/aplus.hpp"
+#include "src/baselines/bicubic.hpp"
+#include "src/baselines/sparse_coding.hpp"
+#include "src/baselines/srcnn.hpp"
+#include "src/common/check.hpp"
+
 namespace mtsr::baselines {
 
 Tensor UniformInterpolator::super_resolve(
     const Tensor& fine_frame, const data::ProbeLayout& layout) const {
   return layout.spread_average(fine_frame);
+}
+
+std::unique_ptr<SuperResolver> make_super_resolver(const std::string& name) {
+  if (name == "uniform") return std::make_unique<UniformInterpolator>();
+  if (name == "bicubic") return std::make_unique<BicubicInterpolator>();
+  if (name == "sc") return std::make_unique<SparseCodingSR>();
+  if (name == "aplus") return std::make_unique<APlusSR>();
+  if (name == "srcnn") return std::make_unique<Srcnn>();
+  check(false, "make_super_resolver: unknown baseline \"" + name +
+                   "\" (known: uniform, bicubic, sc, aplus, srcnn)");
+  return nullptr;  // unreachable
 }
 
 }  // namespace mtsr::baselines

@@ -8,6 +8,7 @@
 // operates on one image.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -56,5 +57,14 @@ class UniformInterpolator final : public SuperResolver {
       const Tensor& fine_frame, const data::ProbeLayout& layout) const override;
   [[nodiscard]] std::string name() const override { return "Uniform"; }
 };
+
+/// Constructs a baseline by its Section-5.3 name — "uniform", "bicubic",
+/// "sc", "aplus" or "srcnn" (case-sensitive), with each method's default
+/// configuration. Parametric methods come unfitted; call fit() before use.
+/// Throws ContractViolation for unknown names, listing the known ones.
+/// This is the registry the serving engine's BaselineModel adapters build
+/// on, so deep and shallow methods are interchangeable by name.
+[[nodiscard]] std::unique_ptr<SuperResolver> make_super_resolver(
+    const std::string& name);
 
 }  // namespace mtsr::baselines

@@ -236,4 +236,10 @@ void parallel_for_grain(std::int64_t n, std::int64_t min_grain,
   dispatch_chunks(n, chunks, body);
 }
 
+namespace detail {
+
+void mark_thread_inside_parallel_region() { t_in_parallel_region = true; }
+
+}  // namespace detail
+
 }  // namespace mtsr

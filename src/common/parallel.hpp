@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <future>
+#include <memory>
 #include <vector>
 
 namespace mtsr {
@@ -60,6 +62,39 @@ void parallel_for(std::int64_t n, Fn&& fn) {
     for (std::int64_t i = begin; i < end; ++i) fn(i);
   });
 }
+
+namespace detail {
+/// Permanently marks the calling thread as being inside a parallel region,
+/// so its parallel_for calls run serially and never contend with the
+/// pool's in-flight task. Used by dedicated stage threads (StageExecutor);
+/// pool workers get the same flag from the pool itself.
+void mark_thread_inside_parallel_region();
+}  // namespace detail
+
+/// A dedicated background thread for pipeline-stage tasks that must overlap
+/// pool-parallel work (e.g. the window gather of stitch block i+1 while
+/// block i is inside the generator GEMMs). Tasks run serially in submission
+/// order on the stage thread; the thread counts as being inside a parallel
+/// region, so parallel_for calls made from a task execute serially on the
+/// stage thread and never contend with the pool's in-flight task.
+class StageExecutor {
+ public:
+  /// The stage thread starts lazily on the first submit().
+  StageExecutor();
+  /// Drains pending tasks, then joins the stage thread.
+  ~StageExecutor();
+  StageExecutor(const StageExecutor&) = delete;
+  StageExecutor& operator=(const StageExecutor&) = delete;
+
+  /// Schedules `fn` after all previously submitted tasks. The returned
+  /// future's get()/wait() blocks until the task finishes and rethrows any
+  /// exception it raised.
+  std::future<void> submit(std::function<void()> fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Deterministic parallel reduction: `body(begin, end)` produces one
 /// partial value per chunk; partials are combined with `combine` in slot

@@ -64,4 +64,21 @@ std::string fmt_sci(double value, int precision) {
   return buf;
 }
 
+std::string fmt_bytes(long long bytes) {
+  char buf[64];
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof(buf), "%lld B", bytes);
+  } else if (bytes < 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else if (bytes < 1024LL * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
 }  // namespace mtsr

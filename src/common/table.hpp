@@ -40,4 +40,8 @@ class Table {
 /// Formats a double in scientific notation with the given precision.
 [[nodiscard]] std::string fmt_sci(double value, int precision = 3);
 
+/// Formats a byte count with a binary-unit suffix ("640 B", "1.5 KiB",
+/// "12.0 MiB") — used by the serving telemetry tables.
+[[nodiscard]] std::string fmt_bytes(long long bytes);
+
 }  // namespace mtsr

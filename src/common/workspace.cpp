@@ -128,6 +128,22 @@ Workspace& Workspace::tls() {
   return ws;
 }
 
+void Workspace::swap_guts(Workspace& other) {
+  blocks_.swap(other.blocks_);
+  std::swap(cur_, other.cur_);
+  std::swap(capacity_, other.capacity_);
+  std::swap(live_, other.live_);
+  std::swap(peak_, other.peak_);
+  std::swap(alloc_count_, other.alloc_count_);
+  std::swap(growth_events_, other.growth_events_);
+}
+
+Workspace::Bind::Bind(Workspace& ws) : target_(&ws) {
+  tls().swap_guts(*target_);
+}
+
+Workspace::Bind::~Bind() { tls().swap_guts(*target_); }
+
 WsMatrix ws_matrix(Workspace& ws, std::int64_t rows, std::int64_t cols) {
   check(rows >= 0 && cols >= 0, "ws_matrix: negative extent");
   WsMatrix m;

@@ -97,7 +97,28 @@ class Workspace {
 
   /// The calling thread's workspace. Layers and kernels allocate from the
   /// thread driving them; pool workers that allocate (rare) get their own.
+  /// Returns the thread's own arena unless a Bind is active, in which case
+  /// the bound arena is returned instead.
   [[nodiscard]] static Workspace& tls();
+
+  /// RAII rebind: while alive, allocations through tls() on THIS thread
+  /// land in `ws` instead of the thread's own arena, so a caller-owned
+  /// workspace (e.g. a serving session's) planes every layer/kernel
+  /// allocation made underneath it. Implemented by swapping the arena guts
+  /// into the thread's workspace object (a handful of pointer swaps), so
+  /// the tls() hot path is untouched. Binds nest (restore is LIFO) and must
+  /// be destroyed on the thread that created them; a bound arena must not
+  /// be entered by two threads at once.
+  class Bind {
+   public:
+    explicit Bind(Workspace& ws);
+    ~Bind();
+    Bind(const Bind&) = delete;
+    Bind& operator=(const Bind&) = delete;
+
+   private:
+    Workspace* target_;
+  };
 
  private:
   struct Block {
@@ -109,6 +130,7 @@ class Workspace {
 
   void add_block(std::int64_t min_floats);
   void recompute_live();
+  void swap_guts(Workspace& other);
 
   std::vector<Block> blocks_;
   std::int32_t cur_ = 0;  // block currently bump-allocating

@@ -3,8 +3,8 @@
 #include <algorithm>
 
 #include "src/common/check.hpp"
-#include "src/common/workspace.hpp"
 #include "src/nn/model_io.hpp"
+#include "src/serving/model.hpp"
 
 namespace mtsr::core {
 
@@ -80,26 +80,69 @@ void MtsrPipeline::save_generator(const std::string& path) {
 }
 
 void MtsrPipeline::load_generator(const std::string& path) {
-  nn::load_model(path, *generator_);
+  try {
+    nn::load_model(path, *generator_);
+  } catch (const std::runtime_error& e) {
+    // Name the generator the checkpoint was matched against: the usual
+    // cause is a pipeline config (widths, modules, upscale stages) that
+    // differs from the one the checkpoint was trained with.
+    throw std::runtime_error(
+        "load_generator(" + path +
+        "): checkpoint does not match the configured generator \"" +
+        generator_->name() + "\": " + e.what());
+  }
+}
+
+void MtsrPipeline::ensure_serving() {
+  if (engine_) return;
+  const std::int64_t stride =
+      config_.stitch_stride > 0 ? config_.stitch_stride : config_.window / 2;
+  engine_ = std::make_unique<serving::Engine>();
+  engine_->register_model(
+      "zipnet", std::make_shared<serving::ZipNetModel>(*generator_));
+  serving::SessionConfig session = serving::SessionConfig::from_dataset(
+      "zipnet", config_.instance, dataset_, config_.window,
+      std::max<std::int64_t>(stride, 1));
+  session.layout = window_layout_.get();
+  // Bit-identity with the pre-engine predict_frame: the legacy block keeps
+  // the pool-scaled sub-batch shapes the old stitcher produced.
+  session.block = serving::SessionConfig::kLegacyBlock;
+  session_ = engine_->open_session(std::move(session));
+}
+
+serving::Engine& MtsrPipeline::engine() {
+  ensure_serving();
+  return *engine_;
 }
 
 Tensor MtsrPipeline::predict_frame(std::int64_t t) {
-  const std::int64_t stride =
-      config_.stitch_stride > 0 ? config_.stitch_stride : config_.window / 2;
-  // Whole-batch lowering at the pipeline level: every window of the frame
-  // goes through the generator as ONE batch, so each conv layer runs a
-  // single GEMM for the entire frame instead of one pass per window.
-  data::BatchWindowPredictor predictor = [this](const Tensor& batch) {
-    // Inference-only pass: the scope reclaims every arena slice the layers
-    // retain for a backward that never comes, so repeated frame predictions
-    // run at a fixed workspace high-water mark (zero arena growth).
-    Workspace::Scope ws_scope(Workspace::tls());
-    return generator_->forward(batch, /*training=*/false);
-  };
-  Tensor normalized = data::stitch_prediction_batched(
-      dataset_, *window_layout_, predictor, t, config_.temporal_length,
-      config_.window, std::max<std::int64_t>(stride, 1));
-  return dataset_.denormalize(normalized);
+  const std::int64_t s = config_.temporal_length;
+  check(t >= s - 1 && t < dataset_.frame_count(),
+        "predict_frame: t out of range");
+  ensure_serving();
+  serving::Session& session = engine_->session(session_);
+  std::optional<Tensor> result;
+  try {
+    if (t == streamed_t_ + 1 && session.frames_until_ready() == 0) {
+      // Consecutive frame: the session already holds [t-S+1, t-1] coarsened.
+      result = session.push(dataset_.frame(t));
+    } else {
+      session.reset();
+      for (std::int64_t f = t - s + 1; f <= t; ++f) {
+        result = session.push(dataset_.frame(f));
+      }
+    }
+  } catch (...) {
+    // The session history may have advanced past streamed_t_; drop it so a
+    // retry cannot take the consecutive-frame fast path against a history
+    // that no longer matches.
+    session.reset();
+    streamed_t_ = -1;
+    throw;
+  }
+  streamed_t_ = t;
+  check_internal(result.has_value(), "predict_frame: session not warm");
+  return std::move(*result);
 }
 
 metrics::MetricAccumulator MtsrPipeline::evaluate(std::int64_t max_frames) {

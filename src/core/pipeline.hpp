@@ -13,6 +13,7 @@
 #include "src/data/dataset.hpp"
 #include "src/data/probes.hpp"
 #include "src/metrics/metrics.hpp"
+#include "src/serving/engine.hpp"
 
 namespace mtsr::core {
 
@@ -46,6 +47,12 @@ class MtsrPipeline {
 
   /// Full-grid prediction for frame `t` (raw MB), stitched from overlapping
   /// windows with the moving-average filter.
+  ///
+  /// Forwarding shim over the serving engine: the frames [t-S+1, t] are
+  /// streamed into an internal session configured for bit-identical outputs
+  /// to the pre-engine implementation (legacy pool-scaled sub-batching).
+  /// Consecutive calls (t, t+1, ...) reuse the session's rolling window
+  /// cache, so sweeps like evaluate() skip re-aggregating shared history.
   [[nodiscard]] Tensor predict_frame(std::int64_t t);
 
   /// Evaluates stitched predictions against ground truth over up to
@@ -60,6 +67,11 @@ class MtsrPipeline {
   /// load_generator requires an architecture-identical pipeline config.
   void save_generator(const std::string& path);
   void load_generator(const std::string& path);
+
+  /// The serving engine behind predict_frame/evaluate. The pipeline's
+  /// generator is registered as model "zipnet"; callers may open additional
+  /// sessions (other strides, other models) against it.
+  [[nodiscard]] serving::Engine& engine();
 
   [[nodiscard]] ZipNet& generator() { return *generator_; }
   [[nodiscard]] Discriminator& discriminator() { return *discriminator_; }
@@ -81,6 +93,8 @@ class MtsrPipeline {
   }
 
  private:
+  void ensure_serving();
+
   PipelineConfig config_;
   const data::TrafficDataset& dataset_;
   std::unique_ptr<data::ProbeLayout> window_layout_;
@@ -89,6 +103,10 @@ class MtsrPipeline {
   std::unique_ptr<GanTrainer> trainer_;
   std::vector<double> pretrain_losses_;
   std::vector<GanRoundStats> gan_history_;
+
+  std::unique_ptr<serving::Engine> engine_;
+  serving::Engine::SessionId session_ = 0;
+  std::int64_t streamed_t_ = -1;  ///< newest frame in the session history
 };
 
 }  // namespace mtsr::core

@@ -1,32 +1,30 @@
 #include "src/core/streaming.hpp"
 
-#include <cmath>
-
 #include "src/common/check.hpp"
-#include "src/common/workspace.hpp"
-#include "src/tensor/tensor_ops.hpp"
+#include "src/serving/model.hpp"
 
 namespace mtsr::core {
 
 StreamingInferencer::StreamingInferencer(
     ZipNet& generator, const data::ProbeLayout& window_layout,
     std::int64_t grid_rows, std::int64_t grid_cols, std::int64_t window,
-    std::int64_t stitch_stride, data::NormStats stats, bool log_transform)
-    : generator_(generator),
-      layout_(window_layout),
-      rows_(grid_rows),
-      cols_(grid_cols),
-      window_(window),
-      stride_(stitch_stride),
-      s_(generator.config().temporal_length),
-      stats_(stats),
-      log_transform_(log_transform) {
-  check(window_ > 0 && window_ <= rows_ && window_ <= cols_,
-        "StreamingInferencer: window must fit the grid");
-  check(stride_ > 0, "StreamingInferencer: stride must be positive");
-  check(window_layout.rows() == window_ && window_layout.cols() == window_,
-        "StreamingInferencer: layout geometry must match the window");
-  check(stats_.stddev > 0.0, "StreamingInferencer: bad normalisation stats");
+    std::int64_t stitch_stride, data::NormStats stats, bool log_transform) {
+  check(stitch_stride > 0, "StreamingInferencer: stride must be positive");
+  engine_.register_model(
+      "zipnet", std::make_shared<serving::ZipNetModel>(generator));
+  serving::SessionConfig session;
+  session.model = "zipnet";
+  session.rows = grid_rows;
+  session.cols = grid_cols;
+  session.window = window;
+  session.stitch_stride = stitch_stride;
+  session.stats = stats;
+  session.log_transform = log_transform;
+  session.layout = &window_layout;
+  // Bit-identity with the pre-engine implementation, which ran one batch-1
+  // generator pass per window.
+  session.block = 1;
+  session_ = engine_.open_session(std::move(session));
 }
 
 StreamingInferencer StreamingInferencer::from_dataset(
@@ -38,83 +36,21 @@ StreamingInferencer StreamingInferencer::from_dataset(
                              dataset.stats(), dataset.log_transform());
 }
 
-Tensor StreamingInferencer::normalize(const Tensor& raw) const {
-  Tensor out = raw;
-  if (log_transform_) {
-    out.apply_([](float v) { return std::log1p(std::max(v, 0.f)); });
-  }
-  out.add_scalar_(static_cast<float>(-stats_.mean));
-  out.mul_scalar_(static_cast<float>(1.0 / stats_.stddev));
-  return out;
-}
-
-Tensor StreamingInferencer::denormalize(const Tensor& normalized) const {
-  Tensor out = normalized;
-  out.mul_scalar_(static_cast<float>(stats_.stddev));
-  out.add_scalar_(static_cast<float>(stats_.mean));
-  if (log_transform_) {
-    out.apply_([](float v) { return std::expm1(std::min(v, 20.f)); });
-  }
-  return out;
+std::optional<Tensor> StreamingInferencer::push_fine(
+    const Tensor& fine_snapshot) {
+  return engine_.push(session_, fine_snapshot);
 }
 
 std::int64_t StreamingInferencer::frames_until_ready() const {
-  return std::max<std::int64_t>(
-      s_ - static_cast<std::int64_t>(history_.size()), 0);
+  return engine_.session(session_).frames_until_ready();
 }
 
-std::optional<Tensor> StreamingInferencer::push_fine(
-    const Tensor& fine_snapshot) {
-  check(fine_snapshot.rank() == 2 && fine_snapshot.dim(0) == rows_ &&
-            fine_snapshot.dim(1) == cols_,
-        "StreamingInferencer::push_fine: wrong snapshot shape");
-  history_.push_back(normalize(fine_snapshot));
-  if (static_cast<std::int64_t>(history_.size()) > s_) history_.pop_front();
-  if (static_cast<std::int64_t>(history_.size()) < s_) return std::nullopt;
+std::int64_t StreamingInferencer::temporal_length() const {
+  return engine_.session(session_).temporal_length();
+}
 
-  // Slide the window across the grid, aggregate each crop's history into
-  // the model input, and moving-average the overlapping predictions — the
-  // same stitching as the offline pipeline, but over the live ring buffer.
-  Tensor acc(Shape{rows_, cols_});
-  Tensor weight(Shape{rows_, cols_});
-  auto origins = [&](std::int64_t extent) {
-    std::vector<std::int64_t> list;
-    for (std::int64_t o = 0; o + window_ <= extent; o += stride_) {
-      list.push_back(o);
-    }
-    if (list.empty() || list.back() + window_ < extent) {
-      list.push_back(extent - window_);
-    }
-    return list;
-  };
-  for (std::int64_t r0 : origins(rows_)) {
-    for (std::int64_t c0 : origins(cols_)) {
-      std::vector<Tensor> coarse;
-      coarse.reserve(static_cast<std::size_t>(s_));
-      for (const Tensor& frame : history_) {
-        coarse.push_back(
-            layout_.coarsen(crop2d(frame, r0, c0, window_, window_)));
-      }
-      Tensor input = stack0(coarse);
-      Tensor x = input.reshape(
-          Shape{1, input.dim(0), input.dim(1), input.dim(2)});
-      // Inference-only pass: reclaim the layers' retained arena slices so
-      // the per-window loop runs at a fixed workspace high-water mark.
-      Workspace::Scope ws_scope(Workspace::tls());
-      Tensor pred = generator_.forward(x, /*training=*/false);
-      for (std::int64_t r = 0; r < window_; ++r) {
-        for (std::int64_t c = 0; c < window_; ++c) {
-          acc.at(r0 + r, c0 + c) += pred.at(std::int64_t{0}, r, c);
-          weight.at(r0 + r, c0 + c) += 1.f;
-        }
-      }
-    }
-  }
-  for (std::int64_t i = 0; i < acc.size(); ++i) {
-    acc.flat(i) /= weight.flat(i);
-  }
-  ++inferences_;
-  return denormalize(acc);
+std::int64_t StreamingInferencer::inference_count() const {
+  return engine_.session(session_).inference_count();
 }
 
 }  // namespace mtsr::core

@@ -5,18 +5,22 @@
 // work off-line". This component is that deployment surface: it consumes
 // coarse probe snapshots one interval at a time, maintains the rolling
 // window of the last S frames, and emits a fine-grained traffic map as soon
-// as enough history has accumulated. Normalisation statistics are taken
-// from the training dataset, so the inferencer is self-contained once
-// constructed (the generator can come fresh from training or from a
-// checkpoint on disk).
+// as enough history has accumulated.
+//
+// Since the serving redesign this class is a thin forwarding shim over
+// mtsr::serving::Engine — one registered ZipNet model, one session — kept
+// for API compatibility and configured for bit-identical outputs to the
+// pre-engine implementation (per-window batch-1 generator passes). New code
+// should open sessions on an Engine directly: it serves many streams and
+// many models at once and sub-batches the generator passes.
 #pragma once
 
-#include <deque>
 #include <optional>
 
 #include "src/core/zipnet.hpp"
 #include "src/data/dataset.hpp"
 #include "src/data/probes.hpp"
+#include "src/serving/engine.hpp"
 
 namespace mtsr::core {
 
@@ -27,7 +31,7 @@ class StreamingInferencer {
   /// windows of `window × window` fine cells, coarse inputs from
   /// `window_layout`, stitched across the `grid_rows × grid_cols` city at
   /// `stitch_stride`. `stats`/`log_transform` are the training dataset's
-  /// normalisation parameters; `peak` caps denormalised outputs.
+  /// normalisation parameters.
   StreamingInferencer(ZipNet& generator,
                       const data::ProbeLayout& window_layout,
                       std::int64_t grid_rows, std::int64_t grid_cols,
@@ -53,22 +57,14 @@ class StreamingInferencer {
   [[nodiscard]] std::int64_t frames_until_ready() const;
 
   /// Temporal window length S required by the generator.
-  [[nodiscard]] std::int64_t temporal_length() const { return s_; }
+  [[nodiscard]] std::int64_t temporal_length() const;
 
   /// Number of inferences produced so far.
-  [[nodiscard]] std::int64_t inference_count() const { return inferences_; }
+  [[nodiscard]] std::int64_t inference_count() const;
 
  private:
-  [[nodiscard]] Tensor normalize(const Tensor& raw) const;
-  [[nodiscard]] Tensor denormalize(const Tensor& normalized) const;
-
-  ZipNet& generator_;
-  const data::ProbeLayout& layout_;
-  std::int64_t rows_, cols_, window_, stride_, s_;
-  data::NormStats stats_;
-  bool log_transform_;
-  std::deque<Tensor> history_;  ///< last <= S normalised fine frames
-  std::int64_t inferences_ = 0;
+  serving::Engine engine_;
+  serving::Engine::SessionId session_ = 0;
 };
 
 }  // namespace mtsr::core

@@ -8,33 +8,75 @@
 #include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::data {
-namespace {
 
-std::vector<std::int64_t> window_origins(std::int64_t extent,
+std::vector<std::int64_t> stitch_origins(std::int64_t extent,
                                          std::int64_t window,
                                          std::int64_t stride) {
+  check(window > 0 && stride > 0 && window <= extent,
+        "stitch_origins: bad geometry");
   std::vector<std::int64_t> origins;
   for (std::int64_t o = 0; o + window <= extent; o += stride) {
     origins.push_back(o);
   }
-  // Clamp a final window to the boundary so the whole extent is covered
-  // even when stride does not divide (extent - window).
   if (origins.empty() || origins.back() + window < extent) {
     origins.push_back(extent - window);
   }
   return origins;
 }
 
-}  // namespace
+std::int64_t legacy_stitch_block() {
+  return std::max<std::int64_t>(2, 2 * static_cast<std::int64_t>(num_threads()));
+}
+
+StitchPlan make_stitch_plan(std::int64_t rows, std::int64_t cols,
+                            std::int64_t window, std::int64_t stride,
+                            std::int64_t block) {
+  StitchPlan plan;
+  plan.row_origins = stitch_origins(rows, window, stride);
+  plan.col_origins = stitch_origins(cols, window, stride);
+  plan.rows = rows;
+  plan.cols = cols;
+  plan.window = window;
+  plan.block = block > 0 ? block : legacy_stitch_block();
+  return plan;
+}
+
+void stitch_accumulate(const StitchPlan& plan, const Tensor& preds,
+                       std::int64_t w0, Tensor& acc, Tensor& weight) {
+  const std::int64_t window = plan.window;
+  check(preds.rank() == 3 && preds.dim(1) == window && preds.dim(2) == window,
+        "stitch_accumulate: predictions have the wrong window shape");
+  check(w0 >= 0 && w0 + preds.dim(0) <= plan.window_count(),
+        "stitch_accumulate: window range out of plan");
+  const float* pp = preds.data();
+  for (std::int64_t i = w0; i < w0 + preds.dim(0); ++i) {
+    const std::int64_t r0 = plan.row_origin(i);
+    const std::int64_t c0 = plan.col_origin(i);
+    const float* pred = pp + (i - w0) * window * window;
+    for (std::int64_t r = 0; r < window; ++r) {
+      for (std::int64_t c = 0; c < window; ++c) {
+        acc.at(r0 + r, c0 + c) += pred[r * window + c];
+        weight.at(r0 + r, c0 + c) += 1.f;
+      }
+    }
+  }
+}
+
+void stitch_finalize(Tensor& acc, const Tensor& weight) {
+  for (std::int64_t i = 0; i < acc.size(); ++i) {
+    check_internal(weight.flat(i) > 0.f, "stitching left uncovered cells");
+    acc.flat(i) /= weight.flat(i);
+  }
+}
 
 std::int64_t windows_per_snapshot(std::int64_t rows, std::int64_t cols,
                                   std::int64_t window, std::int64_t stride) {
   check(window > 0 && stride > 0 && window <= rows && window <= cols,
         "windows_per_snapshot: bad geometry");
   const auto r = static_cast<std::int64_t>(
-      window_origins(rows, window, stride).size());
+      stitch_origins(rows, window, stride).size());
   const auto c = static_cast<std::int64_t>(
-      window_origins(cols, window, stride).size());
+      stitch_origins(cols, window, stride).size());
   return r * c;
 }
 
@@ -48,8 +90,8 @@ std::vector<SampleSpec> enumerate_samples(std::int64_t rows,
   check(window > 0 && stride > 0 && window <= rows && window <= cols,
         "enumerate_samples: bad geometry");
   check(temporal_length >= 1, "enumerate_samples: S must be >= 1");
-  const auto row_origins = window_origins(rows, window, stride);
-  const auto col_origins = window_origins(cols, window, stride);
+  const auto row_origins = stitch_origins(rows, window, stride);
+  const auto col_origins = stitch_origins(cols, window, stride);
   std::vector<SampleSpec> specs;
   const std::int64_t first_t = std::max(t_begin, temporal_length - 1);
   for (std::int64_t t = first_t; t < t_end; ++t) {
@@ -95,8 +137,8 @@ Tensor stitch_prediction(const TrafficDataset& dataset,
                          std::int64_t stride) {
   const std::int64_t rows = dataset.rows(), cols = dataset.cols();
   check(window <= rows && window <= cols, "stitch_prediction: window too big");
-  const auto row_origins = window_origins(rows, window, stride);
-  const auto col_origins = window_origins(cols, window, stride);
+  const auto row_origins = stitch_origins(rows, window, stride);
+  const auto col_origins = stitch_origins(cols, window, stride);
 
   Tensor acc(Shape{rows, cols});
   Tensor weight(Shape{rows, cols});
@@ -134,36 +176,26 @@ Tensor stitch_prediction_batched(const TrafficDataset& dataset,
   const std::int64_t rows = dataset.rows(), cols = dataset.cols();
   check(window <= rows && window <= cols,
         "stitch_prediction_batched: window too big");
-  const auto row_origins = window_origins(rows, window, stride);
-  const auto col_origins = window_origins(cols, window, stride);
-  const auto n_windows =
-      static_cast<std::int64_t>(row_origins.size() * col_origins.size());
-
-  const auto n_cols = static_cast<std::int64_t>(col_origins.size());
-
-  // Sub-batch size: enough windows per pass to keep every worker's GEMM
-  // rows full, small enough that the lowered column matrices stay
-  // cache-resident and bounded (a paper-scale 100×100 grid has 441 windows;
-  // lowering them all at once would allocate gigabytes).
-  const std::int64_t block =
-      std::max<std::int64_t>(2, 2 * static_cast<std::int64_t>(num_threads()));
+  // The legacy pool-scaled sub-batch keeps every worker's GEMM rows full
+  // while the lowered column matrices stay cache-resident and bounded (a
+  // paper-scale 100×100 grid has 441 windows; lowering them all at once
+  // would allocate gigabytes).
+  const StitchPlan plan = make_stitch_plan(rows, cols, window, stride);
+  const std::int64_t n_windows = plan.window_count();
 
   Tensor acc(Shape{rows, cols});
   Tensor weight(Shape{rows, cols});
-  for (std::int64_t b0 = 0; b0 < n_windows; b0 += block) {
-    const std::int64_t b1 = std::min(n_windows, b0 + block);
+  for (std::int64_t b0 = 0; b0 < n_windows; b0 += plan.block) {
+    const std::int64_t b1 = std::min(n_windows, b0 + plan.block);
 
     // Gather this block's coarse input sequences (windows are independent).
     std::vector<Tensor> inputs(static_cast<std::size_t>(b1 - b0));
     parallel_for(b1 - b0, [&](std::int64_t j) {
       const std::int64_t i = b0 + j;
-      const std::int64_t r0 =
-          row_origins[static_cast<std::size_t>(i / n_cols)];
-      const std::int64_t c0 =
-          col_origins[static_cast<std::size_t>(i % n_cols)];
       inputs[static_cast<std::size_t>(j)] =
-          make_sample(dataset, window_layout, {t, r0, c0}, temporal_length,
-                      window)
+          make_sample(dataset, window_layout,
+                      {t, plan.row_origin(i), plan.col_origin(i)},
+                      temporal_length, window)
               .input;
     });
 
@@ -171,30 +203,11 @@ Tensor stitch_prediction_batched(const TrafficDataset& dataset,
     // arena memory the predictor's layers retain is reclaimed per block.
     Workspace::Scope ws_scope(Workspace::tls());
     Tensor preds = predictor(stack0(inputs));  // (b1-b0, w, w)
-    check(preds.rank() == 3 && preds.dim(0) == b1 - b0 &&
-              preds.dim(1) == window && preds.dim(2) == window,
+    check(preds.rank() == 3 && preds.dim(0) == b1 - b0,
           "stitch_prediction_batched: predictor returned wrong shape");
-
-    const float* pp = preds.data();
-    for (std::int64_t i = b0; i < b1; ++i) {
-      const std::int64_t r0 =
-          row_origins[static_cast<std::size_t>(i / n_cols)];
-      const std::int64_t c0 =
-          col_origins[static_cast<std::size_t>(i % n_cols)];
-      const float* pred = pp + (i - b0) * window * window;
-      for (std::int64_t r = 0; r < window; ++r) {
-        for (std::int64_t c = 0; c < window; ++c) {
-          acc.at(r0 + r, c0 + c) += pred[r * window + c];
-          weight.at(r0 + r, c0 + c) += 1.f;
-        }
-      }
-    }
+    stitch_accumulate(plan, preds, b0, acc, weight);
   }
-  for (std::int64_t i = 0; i < acc.size(); ++i) {
-    check_internal(weight.flat(i) > 0.f,
-                   "stitch_prediction_batched left uncovered cells");
-    acc.flat(i) /= weight.flat(i);
-  }
+  stitch_finalize(acc, weight);
   return acc;
 }
 

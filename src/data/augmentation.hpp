@@ -83,6 +83,66 @@ using WindowPredictor = std::function<Tensor(const Tensor&)>;
 /// whole-batch lowered pass instead of W per-window passes.
 using BatchWindowPredictor = std::function<Tensor(const Tensor&)>;
 
+/// Window origins along one axis: multiples of `stride`, with a final
+/// origin clamped to the boundary so the whole extent is covered even when
+/// stride does not divide (extent - window).
+[[nodiscard]] std::vector<std::int64_t> stitch_origins(std::int64_t extent,
+                                                       std::int64_t window,
+                                                       std::int64_t stride);
+
+/// The pool-scaled sub-batch size stitch_prediction_batched has always
+/// used: enough windows per generator pass to keep every worker's GEMM rows
+/// full, small enough that the lowered column matrices stay cache-resident.
+/// Pool-size dependent — serving sessions that must be reproducible across
+/// pool sizes pick a fixed block instead.
+[[nodiscard]] std::int64_t legacy_stitch_block();
+
+/// The window tiling of one full-grid stitched prediction: per-axis origins
+/// plus the sub-batch block size (windows per predictor pass). Window i (in
+/// row-major window order) covers origin(i) .. origin(i) + window.
+struct StitchPlan {
+  std::vector<std::int64_t> row_origins;
+  std::vector<std::int64_t> col_origins;
+  std::int64_t rows = 0;    ///< full-grid extent the windows tile
+  std::int64_t cols = 0;
+  std::int64_t window = 0;
+  std::int64_t block = 0;
+
+  [[nodiscard]] std::int64_t window_count() const {
+    return static_cast<std::int64_t>(row_origins.size() * col_origins.size());
+  }
+  [[nodiscard]] std::int64_t block_count() const {
+    return (window_count() + block - 1) / block;
+  }
+  [[nodiscard]] std::int64_t row_origin(std::int64_t i) const {
+    return row_origins[static_cast<std::size_t>(
+        i / static_cast<std::int64_t>(col_origins.size()))];
+  }
+  [[nodiscard]] std::int64_t col_origin(std::int64_t i) const {
+    return col_origins[static_cast<std::size_t>(
+        i % static_cast<std::int64_t>(col_origins.size()))];
+  }
+};
+
+/// Builds the stitch plan for a grid. `block` <= 0 selects
+/// legacy_stitch_block().
+[[nodiscard]] StitchPlan make_stitch_plan(std::int64_t rows, std::int64_t cols,
+                                          std::int64_t window,
+                                          std::int64_t stride,
+                                          std::int64_t block = 0);
+
+/// Accumulates one block's predictions (windows [w0, w0 + preds.dim(0)) of
+/// the plan, preds of shape (B, w, w)) into the moving-average accumulators.
+/// Additions run in ascending window order, so every stitcher built on this
+/// helper performs bit-identical float arithmetic regardless of how blocks
+/// were produced (serially or double-buffered).
+void stitch_accumulate(const StitchPlan& plan, const Tensor& preds,
+                       std::int64_t w0, Tensor& acc, Tensor& weight);
+
+/// Divides the accumulated predictions by their coverage counts in place —
+/// the final moving-average step shared by all stitchers.
+void stitch_finalize(Tensor& acc, const Tensor& weight);
+
 /// stitch_prediction with whole-batch lowering: gathers every window of
 /// frame `t` into one batch, runs `predictor` once, and applies the same
 /// moving-average filter. Identical output to the per-window overload when

@@ -71,24 +71,34 @@ const Tensor& TrafficDataset::frame(std::int64_t t) const {
   return frames_[static_cast<std::size_t>(t)];
 }
 
-Tensor TrafficDataset::normalized_frame(std::int64_t t) const {
-  Tensor out = frame(t);
-  if (log_transform_) {
+Tensor normalize_frame(const Tensor& raw, const NormStats& stats,
+                       bool log_transform) {
+  Tensor out = raw;
+  if (log_transform) {
     out.apply_([](float v) { return std::log1p(std::max(v, 0.f)); });
   }
-  out.add_scalar_(static_cast<float>(-stats_.mean));
-  out.mul_scalar_(static_cast<float>(1.0 / stats_.stddev));
+  out.add_scalar_(static_cast<float>(-stats.mean));
+  out.mul_scalar_(static_cast<float>(1.0 / stats.stddev));
   return out;
 }
 
-Tensor TrafficDataset::denormalize(const Tensor& normalized) const {
+Tensor denormalize_frame(const Tensor& normalized, const NormStats& stats,
+                         bool log_transform) {
   Tensor out = normalized;
-  out.mul_scalar_(static_cast<float>(stats_.stddev));
-  out.add_scalar_(static_cast<float>(stats_.mean));
-  if (log_transform_) {
+  out.mul_scalar_(static_cast<float>(stats.stddev));
+  out.add_scalar_(static_cast<float>(stats.mean));
+  if (log_transform) {
     out.apply_([](float v) { return std::expm1(std::min(v, 20.f)); });
   }
   return out;
+}
+
+Tensor TrafficDataset::normalized_frame(std::int64_t t) const {
+  return normalize_frame(frame(t), stats_, log_transform_);
+}
+
+Tensor TrafficDataset::denormalize(const Tensor& normalized) const {
+  return denormalize_frame(normalized, stats_, log_transform_);
 }
 
 void TrafficDataset::save(const std::string& path) const {

@@ -22,6 +22,18 @@ struct NormStats {
   double stddev = 1.0;
 };
 
+/// The dataset normalisation kernel: optional log1p (clamped at zero),
+/// then the z-score. The ONE definition of the transform — the dataset,
+/// the serving sessions, and the baseline adapters all call it, so their
+/// outputs stay bit-identical by construction.
+[[nodiscard]] Tensor normalize_frame(const Tensor& raw, const NormStats& stats,
+                                     bool log_transform);
+
+/// Inverse of normalize_frame (expm1 clamped at 20 against overflow).
+[[nodiscard]] Tensor denormalize_frame(const Tensor& normalized,
+                                       const NormStats& stats,
+                                       bool log_transform);
+
 /// Contiguous index range [begin, end).
 struct SplitRange {
   std::int64_t begin = 0;

@@ -1,6 +1,9 @@
 #include "src/nn/model_io.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "src/tensor/serialize.hpp"
 
@@ -22,6 +25,44 @@ void save_model(const std::string& path, Layer& model) {
   save_tensors(path, named);
 }
 
+namespace {
+
+// First checkpoint entry whose name or shape diverges from the model's
+// expectation — the layer-level diagnosis for an architecture mismatch.
+std::string first_divergence(
+    const std::vector<std::pair<std::string, Tensor>>& named,
+    const std::vector<Parameter*>& params,
+    const std::vector<std::pair<std::string, Tensor*>>& buffers) {
+  const std::size_t n =
+      std::min(named.size(), params.size() + buffers.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool is_param = i < params.size();
+    const std::string expected_name =
+        is_param ? "p" + std::to_string(i) + ":" + params[i]->name
+                 : "b" + std::to_string(i - params.size()) + ":" +
+                       buffers[i - params.size()].first;
+    const Shape& expected_shape =
+        is_param ? params[i]->value.shape()
+                 : buffers[i - params.size()].second->shape();
+    if (named[i].first != expected_name) {
+      return "first divergence at index " + std::to_string(i) +
+             ": model expects " + expected_name + " " +
+             expected_shape.to_string() + ", checkpoint has " +
+             named[i].first + " " + named[i].second.shape().to_string();
+    }
+    if (named[i].second.shape() != expected_shape) {
+      return "first divergence at " + expected_name + ": model expects " +
+             expected_shape.to_string() + ", checkpoint has " +
+             named[i].second.shape().to_string();
+    }
+  }
+  return "the common prefix matches; the checkpoint architecture has " +
+         std::string(named.size() > n ? "extra" : "missing") +
+         " trailing tensors";
+}
+
+}  // namespace
+
 void load_model(const std::string& path, Layer& model) {
   auto named = load_tensors(path);
   auto params = model.parameters();
@@ -31,22 +72,32 @@ void load_model(const std::string& path, Layer& model) {
         "load_model: tensor count mismatch (file has " +
         std::to_string(named.size()) + ", model has " +
         std::to_string(params.size()) + " parameters + " +
-        std::to_string(buffers.size()) + " buffers)");
+        std::to_string(buffers.size()) + " buffers); " +
+        first_divergence(named, params, buffers));
   }
   for (std::size_t i = 0; i < params.size(); ++i) {
     if (named[i].second.shape() != params[i]->value.shape()) {
-      throw std::runtime_error("load_model: shape mismatch at parameter " +
-                               named[i].first);
+      throw std::runtime_error(
+          "load_model: shape mismatch at parameter " + named[i].first +
+          " (model expects " + params[i]->value.shape().to_string() +
+          ", checkpoint has " + named[i].second.shape().to_string() + ")");
     }
-    params[i]->value = named[i].second;
   }
   for (std::size_t i = 0; i < buffers.size(); ++i) {
     const auto& entry = named[params.size() + i];
     if (entry.second.shape() != buffers[i].second->shape()) {
-      throw std::runtime_error("load_model: shape mismatch at buffer " +
-                               entry.first);
+      throw std::runtime_error(
+          "load_model: shape mismatch at buffer " + entry.first +
+          " (model expects " + buffers[i].second->shape().to_string() +
+          ", checkpoint has " + entry.second.shape().to_string() + ")");
     }
-    *buffers[i].second = entry.second;
+  }
+  // All-or-nothing: verified above, so a half-restored model is impossible.
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = named[i].second;
+  }
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    *buffers[i].second = named[params.size() + i].second;
   }
 }
 

@@ -1,0 +1,100 @@
+#include "src/serving/engine.hpp"
+
+#include <utility>
+
+#include "src/common/check.hpp"
+#include "src/common/table.hpp"
+
+namespace mtsr::serving {
+
+void Engine::register_model(const std::string& name,
+                            std::shared_ptr<Model> model) {
+  check(!name.empty(), "Engine::register_model: empty name");
+  check(model != nullptr, "Engine::register_model: null model");
+  models_[name] = std::move(model);
+}
+
+bool Engine::has_model(const std::string& name) const {
+  return models_.count(name) > 0;
+}
+
+std::shared_ptr<Model> Engine::model(const std::string& name) const {
+  auto it = models_.find(name);
+  check(it != models_.end(), "Engine: unknown model \"" + name + "\"");
+  return it->second;
+}
+
+std::vector<std::string> Engine::model_names() const {
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, _] : models_) names.push_back(name);
+  return names;
+}
+
+Engine::SessionId Engine::open_session(SessionConfig config) {
+  std::shared_ptr<Model> m = model(config.model);  // throws when unknown
+  const SessionId id = next_id_++;
+  sessions_[id] =
+      std::make_unique<Session>(std::move(m), std::move(config), &stage_);
+  return id;
+}
+
+Session& Engine::session(SessionId id) {
+  auto it = sessions_.find(id);
+  check(it != sessions_.end(),
+        "Engine: unknown session " + std::to_string(id));
+  return *it->second;
+}
+
+const Session& Engine::session(SessionId id) const {
+  auto it = sessions_.find(id);
+  check(it != sessions_.end(),
+        "Engine: unknown session " + std::to_string(id));
+  return *it->second;
+}
+
+void Engine::close_session(SessionId id) {
+  check(sessions_.erase(id) == 1,
+        "Engine: unknown session " + std::to_string(id));
+}
+
+std::optional<Tensor> Engine::push(SessionId id, const Tensor& fine_snapshot) {
+  return session(id).push(fine_snapshot);
+}
+
+Engine::Stats Engine::stats() const {
+  Stats stats;
+  stats.sessions.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    SessionStats s;
+    s.id = id;
+    s.model = session->model().name();
+    s.rows = session->config().rows;
+    s.cols = session->config().cols;
+    s.window = session->config().window;
+    s.temporal_length = session->temporal_length();
+    s.frames_until_ready = session->frames_until_ready();
+    s.inference_count = session->inference_count();
+    s.arena = session->arena_stats();
+    stats.sessions.push_back(std::move(s));
+  }
+  return stats;
+}
+
+std::string render_stats_table(const Engine::Stats& stats) {
+  Table table({"session", "model", "grid", "window", "S", "warm-up",
+               "inferences", "arena cap", "arena peak", "growth"});
+  for (const Engine::SessionStats& s : stats.sessions) {
+    table.add_row({std::to_string(s.id), s.model,
+                   std::to_string(s.rows) + "x" + std::to_string(s.cols),
+                   std::to_string(s.window), std::to_string(s.temporal_length),
+                   std::to_string(s.frames_until_ready),
+                   std::to_string(s.inference_count),
+                   fmt_bytes(s.arena.capacity_bytes),
+                   fmt_bytes(s.arena.peak_bytes),
+                   std::to_string(s.arena.growth_events)});
+  }
+  return table.render();
+}
+
+}  // namespace mtsr::serving

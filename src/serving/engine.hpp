@@ -1,0 +1,105 @@
+// serving::Engine — the unified inference-serving front end.
+//
+// The gateway deployment of the paper (Section 6) is a process that serves
+// many streams continuously. The engine is that process's core: models are
+// registered once by name (a trained ZipNet, any SuperResolver baseline, a
+// checkpoint restored offline), sessions multiplex any number of concurrent
+// streams — different cities, different MTSR instances, different models —
+// and each session runs full-frame prediction as a double-buffered stitch
+// pipeline over its own pair of workspace arenas.
+//
+// Ownership rules:
+//  * the engine owns its sessions; close_session() or the engine's
+//    destruction frees them (a Session& from session() does not outlive
+//    either);
+//  * models are shared_ptr so many sessions (and many engines) can serve
+//    one set of weights; adapters over borrowed networks (ZipNetModel,
+//    non-owning BaselineModel) additionally require the wrapped network to
+//    outlive every engine it is registered with;
+//  * the engine itself is single-threaded: calls into one engine must be
+//    serialised by the caller (the pool + stage threads below it are the
+//    parallelism story).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/serving/session.hpp"
+
+namespace mtsr::serving {
+
+/// Multi-model, multi-session inference server.
+class Engine {
+ public:
+  using SessionId = std::int64_t;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // ---- Model registry ------------------------------------------------------
+
+  /// Registers `model` under `name`. Re-registering a name replaces the
+  /// model for sessions opened afterwards; open sessions keep the instance
+  /// they were created with.
+  void register_model(const std::string& name, std::shared_ptr<Model> model);
+
+  [[nodiscard]] bool has_model(const std::string& name) const;
+  [[nodiscard]] std::shared_ptr<Model> model(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> model_names() const;
+
+  // ---- Sessions ------------------------------------------------------------
+
+  /// Opens a stream against the model named by `config.model`. Throws when
+  /// the model is unknown or rejects the stream geometry.
+  [[nodiscard]] SessionId open_session(SessionConfig config);
+
+  [[nodiscard]] Session& session(SessionId id);
+  [[nodiscard]] const Session& session(SessionId id) const;
+  void close_session(SessionId id);
+  [[nodiscard]] std::int64_t session_count() const {
+    return static_cast<std::int64_t>(sessions_.size());
+  }
+
+  /// Convenience forward of Session::push.
+  std::optional<Tensor> push(SessionId id, const Tensor& fine_snapshot);
+
+  // ---- Telemetry -----------------------------------------------------------
+
+  /// One session's serving counters plus its arena telemetry (the rotating
+  /// workspace pair, combined). Long-running deployments alarm on
+  /// growth_events / capacity_bytes moving after warm-up.
+  struct SessionStats {
+    SessionId id = 0;
+    std::string model;
+    std::int64_t rows = 0, cols = 0, window = 0;
+    std::int64_t temporal_length = 0;
+    std::int64_t frames_until_ready = 0;
+    std::int64_t inference_count = 0;
+    Workspace::Stats arena;
+  };
+  struct Stats {
+    std::vector<SessionStats> sessions;  ///< ascending session id
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<Model>> models_;
+  std::map<SessionId, std::unique_ptr<Session>> sessions_;
+  SessionId next_id_ = 1;
+  // One stage thread serves every session: engine calls are serialised, so
+  // only one session can be inside an inference at a time. Declared last:
+  // destroyed first, so it drains in-flight gathers while sessions are
+  // still alive.
+  StageExecutor stage_;
+};
+
+/// Renders engine statistics as the CLI telemetry table (one row per
+/// session: stream geometry, serving counters, arena capacity/peak/growth).
+[[nodiscard]] std::string render_stats_table(const Engine::Stats& stats);
+
+}  // namespace mtsr::serving

@@ -1,0 +1,80 @@
+#include "src/serving/model.hpp"
+
+#include <cstring>
+
+#include "src/baselines/super_resolver.hpp"
+#include "src/common/check.hpp"
+#include "src/core/zipnet.hpp"
+
+namespace mtsr::serving {
+
+ZipNetModel::ZipNetModel(core::ZipNet& generator, std::string name)
+    : generator_(generator), name_(std::move(name)) {
+  check(!name_.empty(), "ZipNetModel: empty model name");
+}
+
+std::int64_t ZipNetModel::temporal_length() const {
+  return generator_.config().temporal_length;
+}
+
+void ZipNetModel::validate(const StreamContext& stream) const {
+  check(stream.layout != nullptr, "ZipNetModel: stream has no probe layout");
+  check(stream.temporal_length == temporal_length(),
+        "ZipNetModel: stream temporal length differs from the generator's S");
+  const std::int64_t predicted =
+      stream.layout->input_side() * generator_.total_upscale();
+  check(predicted == stream.window,
+        "ZipNetModel: generator upscale does not map the layout's input "
+        "side onto the stream window");
+}
+
+Tensor ZipNetModel::predict(const WindowBatch& batch,
+                            const StreamContext& stream) {
+  (void)stream;
+  check(batch.coarse.rank() == 4, "ZipNetModel: expected (B, S, ci, ci)");
+  return generator_.forward(batch.coarse, /*training=*/false);
+}
+
+BaselineModel::BaselineModel(const baselines::SuperResolver& resolver)
+    : resolver_(&resolver) {}
+
+BaselineModel::BaselineModel(
+    std::unique_ptr<baselines::SuperResolver> resolver)
+    : owned_(std::move(resolver)), resolver_(owned_.get()) {
+  check(resolver_ != nullptr, "BaselineModel: null resolver");
+}
+
+BaselineModel::~BaselineModel() = default;
+
+std::string BaselineModel::name() const { return resolver_->name(); }
+
+Tensor BaselineModel::predict(const WindowBatch& batch,
+                              const StreamContext& stream) {
+  check(stream.layout != nullptr, "BaselineModel: stream has no probe layout");
+  check(batch.fine_raw.rank() == 3 && batch.fine_raw.dim(1) == stream.window &&
+            batch.fine_raw.dim(2) == stream.window,
+        "BaselineModel: expected (B, w, w) raw fine crops");
+  const std::int64_t n = batch.fine_raw.dim(0);
+  const std::int64_t w = stream.window;
+  Tensor out(Shape{n, w, w});
+  Tensor window{Shape{w, w}};
+  for (std::int64_t b = 0; b < n; ++b) {
+    std::memcpy(window.data(), batch.fine_raw.data() + b * w * w,
+                sizeof(float) * static_cast<std::size_t>(w * w));
+    // The resolver models the measurement internally: it derives the probe
+    // aggregates from the fine crop via the layout, exactly as the offline
+    // comparison path does, then reconstructs the fine window.
+    Tensor raw = resolver_->super_resolve(window, *stream.layout);
+    check(raw.rank() == 2 && raw.dim(0) == w && raw.dim(1) == w,
+          "BaselineModel: resolver returned wrong shape");
+    // Normalise into the engine's stitch currency (the session averages
+    // overlapping windows in normalised units and denormalises once).
+    Tensor norm =
+        data::normalize_frame(raw, stream.stats, stream.log_transform);
+    std::memcpy(out.data() + b * w * w, norm.data(),
+                sizeof(float) * static_cast<std::size_t>(w * w));
+  }
+  return out;
+}
+
+}  // namespace mtsr::serving

@@ -1,0 +1,134 @@
+// serving::Model — the single vtable every inference method stands behind.
+//
+// The paper's deployment story (Section 6) is a gateway that continuously
+// turns coarse probe aggregates into fine-grained traffic maps. The engine
+// serves that workload through one interface: the deep ZipNet generator and
+// every shallow SuperResolver baseline adapt to the same window-batch
+// contract, so a session can be switched between methods by name without
+// touching the feed or stitch code.
+//
+// Contract: a model maps one gathered batch of windows to normalised fine
+// windows (B, w, w). The session owns the stream state (history,
+// normalisation, stitching); the model is stateless between calls apart
+// from its own weights, which makes one model instance shareable across
+// every session of an engine.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/data/dataset.hpp"
+#include "src/data/probes.hpp"
+#include "src/tensor/tensor.hpp"
+
+namespace mtsr::core {
+class ZipNet;
+}
+namespace mtsr::baselines {
+class SuperResolver;
+}
+
+namespace mtsr::serving {
+
+/// Geometry and normalisation of one stream, fixed when a session opens.
+/// `layout` is the window-local probe layout (built for window × window).
+struct StreamContext {
+  const data::ProbeLayout* layout = nullptr;
+  std::int64_t window = 0;           ///< fine window side w
+  std::int64_t temporal_length = 1;  ///< S frames the session holds
+  data::NormStats stats;             ///< training-split statistics
+  bool log_transform = true;
+};
+
+/// Which gathered views a model consumes. The session gathers only what the
+/// model asks for, so deep models never pay for raw fine crops and
+/// single-snapshot baselines never pay for coarse history.
+struct ModelInputs {
+  bool coarse_history = true;  ///< (B, S, ci, ci) normalised coarse windows
+  bool fine_latest = false;    ///< (B, w, w) raw-MB crops of the newest frame
+};
+
+/// One gathered block of windows. Tensors the model did not request are
+/// empty.
+struct WindowBatch {
+  Tensor coarse;    ///< (B, S, ci, ci), normalised units
+  Tensor fine_raw;  ///< (B, w, w), raw MB
+};
+
+/// Interface over every serving-capable inference method.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Frames of history a session must accumulate before predicting (S for
+  /// the temporal deep models, 1 for single-snapshot baselines).
+  [[nodiscard]] virtual std::int64_t temporal_length() const = 0;
+
+  [[nodiscard]] virtual ModelInputs inputs() const = 0;
+
+  /// Throws ContractViolation when the model cannot serve this stream
+  /// geometry (called once at session open).
+  virtual void validate(const StreamContext& stream) const { (void)stream; }
+
+  /// Maps one gathered window batch to (B, w, w) normalised fine windows.
+  /// Calls are serialised by the engine; implementations may keep forward
+  /// caches without locking.
+  [[nodiscard]] virtual Tensor predict(const WindowBatch& batch,
+                                       const StreamContext& stream) = 0;
+
+ protected:
+  Model() = default;
+};
+
+/// Adapter over the trained ZipNet generator. Non-owning: the generator
+/// (typically owned by a MtsrPipeline or restored from a checkpoint) must
+/// outlive the model.
+class ZipNetModel final : public Model {
+ public:
+  explicit ZipNetModel(core::ZipNet& generator, std::string name = "zipnet");
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::int64_t temporal_length() const override;
+  [[nodiscard]] ModelInputs inputs() const override {
+    return {/*coarse_history=*/true, /*fine_latest=*/false};
+  }
+  void validate(const StreamContext& stream) const override;
+  [[nodiscard]] Tensor predict(const WindowBatch& batch,
+                               const StreamContext& stream) override;
+
+ private:
+  core::ZipNet& generator_;
+  std::string name_;
+};
+
+/// Adapter over any SuperResolver baseline (single-snapshot: S = 1). The
+/// resolver reconstructs each raw fine window from its probe aggregates;
+/// the adapter normalises the result so baselines share the engine's
+/// stitch currency with the deep models.
+class BaselineModel final : public Model {
+ public:
+  /// Non-owning; `resolver` must outlive the model.
+  explicit BaselineModel(const baselines::SuperResolver& resolver);
+  /// Owning.
+  explicit BaselineModel(std::unique_ptr<baselines::SuperResolver> resolver);
+  ~BaselineModel() override;
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::int64_t temporal_length() const override { return 1; }
+  [[nodiscard]] ModelInputs inputs() const override {
+    return {/*coarse_history=*/false, /*fine_latest=*/true};
+  }
+  [[nodiscard]] Tensor predict(const WindowBatch& batch,
+                               const StreamContext& stream) override;
+
+ private:
+  std::unique_ptr<baselines::SuperResolver> owned_;
+  const baselines::SuperResolver* resolver_;
+};
+
+}  // namespace mtsr::serving

@@ -1,0 +1,156 @@
+// serving::Session — one live stream's state: rolling history, window
+// cache, and the double-buffered stitched-inference loop.
+//
+// A session owns everything one city/stream needs between requests:
+//  * the last S frames, pre-coarsened per stitch window on arrival, so a
+//    steady-state inference re-aggregates nothing (the legacy predict_frame
+//    path re-normalised the full frame once per window per history step —
+//    quadratic waste on city-scale grids);
+//  * a dedicated rotating pair of mtsr::Workspace arenas. Block k of the
+//    stitch executes with ws[k % 2] bound as the thread workspace, while
+//    the gather of block k+1 runs on the engine's stage thread under
+//    ws[(k+1) % 2] — workspace-aware double buffering: the generator's GEMM
+//    scratch and the next block's gather never touch the same arena. After
+//    warm-up both arenas sit at their high-water capacity and steady-state
+//    serving performs zero growth (Engine::stats() exposes the counters).
+//
+// Determinism: with a fixed `block`, session outputs are bit-identical
+// across pool sizes and across whether double-buffering is enabled — the
+// stage thread only changes WHEN a block is gathered, never its values, and
+// stitch_accumulate fixes the float-add order. The legacy shims instead
+// select the pool-scaled block of the entry points they replace, which
+// makes them bit-identical to the pre-redesign code at any pool size.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "src/common/parallel.hpp"
+#include "src/common/workspace.hpp"
+#include "src/data/augmentation.hpp"
+#include "src/serving/model.hpp"
+
+namespace mtsr::serving {
+
+/// Everything needed to open one stream.
+struct SessionConfig {
+  std::string model;  ///< registered model name (Engine::open_session)
+
+  data::MtsrInstance instance = data::MtsrInstance::kUp4;
+  std::int64_t rows = 0;  ///< full city grid
+  std::int64_t cols = 0;
+  std::int64_t window = 0;         ///< stitch window side w
+  std::int64_t stitch_stride = 0;  ///< 0 -> window / 2
+
+  data::NormStats stats;  ///< training-split normalisation
+  bool log_transform = true;
+
+  /// Window-local probe layout override. When null the session builds
+  /// make_layout(instance, window, window) and owns it; a non-null layout
+  /// is borrowed and must outlive the session.
+  const data::ProbeLayout* layout = nullptr;
+
+  /// Windows per generator pass. kDefaultBlock (0) selects a fixed
+  /// sub-batch that never depends on the pool size, so session outputs are
+  /// reproducible across deployments; kLegacyBlock (-1) re-evaluates the
+  /// pool-scaled block of the pre-redesign entry points on every inference
+  /// (the forwarding shims use it for bit-identical outputs).
+  static constexpr std::int64_t kDefaultBlock = 0;
+  static constexpr std::int64_t kLegacyBlock = -1;
+  std::int64_t block = kDefaultBlock;
+
+  /// Double-buffering: kAuto enables the stage-thread overlap when the
+  /// pool has more than one worker (on a single core the overlap cannot
+  /// buy wall-clock time).
+  enum class Overlap { kAuto, kOff, kOn };
+  Overlap overlap = Overlap::kAuto;
+
+  /// Pulls grid geometry and normalisation from a dataset.
+  [[nodiscard]] static SessionConfig from_dataset(
+      std::string model, data::MtsrInstance instance,
+      const data::TrafficDataset& dataset, std::int64_t window,
+      std::int64_t stitch_stride);
+};
+
+/// One open stream. Feed raw fine snapshots with push(); once S frames have
+/// been observed every push returns the stitched full-grid inference.
+class Session {
+ public:
+  /// `stage` is the executor used for the double-buffered gather when
+  /// overlap engages; the engine passes one shared executor to all its
+  /// sessions (calls into one engine are serialised, so one stage thread
+  /// serves any number of streams). A standalone session (null) creates
+  /// its own lazily.
+  explicit Session(std::shared_ptr<Model> model, SessionConfig config,
+                   StageExecutor* stage = nullptr);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Feeds the snapshot for the current interval (raw MB, rows × cols). In
+  /// a deployment the gateway only holds probe aggregates; this models the
+  /// measurement step by aggregating internally via the probe layout, so
+  /// the model only ever sees coarse data (plus raw crops for baselines
+  /// that re-derive their own aggregates). Returns the fine-grained
+  /// full-grid inference in MB, or std::nullopt while warming up.
+  std::optional<Tensor> push(const Tensor& fine_snapshot);
+
+  /// Drops the rolling history (the arenas keep their capacity).
+  void reset();
+
+  /// Frames still needed before inference starts.
+  [[nodiscard]] std::int64_t frames_until_ready() const;
+
+  /// Temporal window S required by the model.
+  [[nodiscard]] std::int64_t temporal_length() const { return s_; }
+
+  /// Inferences produced so far.
+  [[nodiscard]] std::int64_t inference_count() const { return inferences_; }
+
+  [[nodiscard]] const SessionConfig& config() const { return config_; }
+  [[nodiscard]] const Model& model() const { return *model_; }
+
+  /// Combined statistics of the session's rotating arena pair. In steady
+  /// state capacity and growth_events stay constant push after push.
+  [[nodiscard]] Workspace::Stats arena_stats() const;
+
+ private:
+  struct FrameEntry {
+    Tensor coarse_windows;  ///< (W, ci, ci): every stitch window, coarsened
+    Tensor raw;             ///< raw frame; kept only for fine_latest models
+  };
+
+  [[nodiscard]] Tensor normalize(const Tensor& raw) const;
+  [[nodiscard]] Tensor denormalize(const Tensor& normalized) const;
+  [[nodiscard]] Tensor coarsen_windows(const Tensor& normalized) const;
+  void gather_block(std::int64_t b0, std::int64_t b1, int slot);
+  [[nodiscard]] Tensor infer();
+
+  std::shared_ptr<Model> model_;
+  SessionConfig config_;
+  std::unique_ptr<data::ProbeLayout> owned_layout_;
+  const data::ProbeLayout* layout_ = nullptr;
+  StreamContext stream_;
+  data::StitchPlan plan_;  ///< block re-evaluated per infer for kLegacyBlock
+  ModelInputs needs_;
+  std::int64_t s_ = 1;
+  std::int64_t stride_ = 0;
+  std::int64_t inferences_ = 0;
+
+  std::deque<FrameEntry> history_;  ///< last <= S frames
+
+  /// Double-buffer slots: gather state + execution arena, rotated per
+  /// stitch block.
+  struct Slot {
+    Workspace ws;
+    WindowBatch batch;
+  };
+  Slot slots_[2];
+  StageExecutor* stage_ = nullptr;  ///< shared (engine) or owned_stage_
+  std::unique_ptr<StageExecutor> owned_stage_;  ///< standalone fallback
+};
+
+}  // namespace mtsr::serving
