@@ -26,6 +26,12 @@
 #define MTSR_HAS_SERVING 1
 #endif
 
+#if __has_include("src/tensor/quant.hpp")
+// int8 inference path (absent in pre-quantisation trees).
+#include "src/tensor/quant.hpp"
+#define MTSR_HAS_QUANT 1
+#endif
+
 #include "bench/bench_common.hpp"
 #include "src/baselines/bicubic.hpp"
 #include "src/core/pipeline.hpp"
@@ -65,6 +71,39 @@ void BM_WideLoweringGemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 32 * 288 * n);
 }
 BENCHMARK(BM_WideLoweringGemm)->Arg(8192)->Arg(32768);
+
+#ifdef MTSR_HAS_QUANT
+// The quantised GEMM at the same logical product as BM_WideLoweringGemm
+// (32 output channels × 288 taps × n positions, A quantised, B packed s8
+// ONCE outside the loop — weights pack at model-load time in the serving
+// path). Speedup over BM_WideLoweringGemm is the kernel-level acceptance
+// number; both run in this binary, so the comparison is layout-fair.
+void BM_GemmU8S8(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(7);
+  const std::int64_t k = 288, o = 32;
+  const std::int64_t kpad = (k + 3) / 4 * 4;
+  std::vector<std::uint8_t> a(static_cast<std::size_t>(n * kpad));
+  for (auto& v : a) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  std::vector<std::int8_t> b(static_cast<std::size_t>(k * o));
+  for (auto& v : b) {
+    v = static_cast<std::int8_t>(
+        rng.uniform_int(-quant::kWeightQmax, quant::kWeightQmax));
+  }
+  const PackedInt8B packed = pack_b_s8(b.data(), k, o);
+  std::vector<float> col_scale(static_cast<std::size_t>(packed.npad), 0.01f);
+  std::vector<float> bias(static_cast<std::size_t>(packed.npad), 0.5f);
+  std::vector<float> c(static_cast<std::size_t>(n * packed.npad));
+  const QuantEpilogue ep{col_scale.data(), 37, bias.data(), 0.1f};
+  for (auto _ : state) {
+    gemm_u8s8(a.data(), kpad, packed, n, ep, c.data(), packed.npad);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(gemm_u8s8_kernel_name());
+  state.SetItemsProcessed(state.iterations() * o * k * n);
+}
+BENCHMARK(BM_GemmU8S8)->Arg(8192)->Arg(32768);
+#endif  // MTSR_HAS_QUANT
 
 // Whole-batch conv forward: the batched im2col + one wide GEMM per step.
 void BM_Conv2dForwardBatched(benchmark::State& state) {
@@ -275,6 +314,52 @@ void BM_ServeEngine(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kServeSessions * kServeFrames);
 }
 BENCHMARK(BM_ServeEngine)->Arg(100)->Unit(benchmark::kMillisecond);
+
+#ifdef MTSR_HAS_QUANT
+// The same multi-session workload served by the int8-quantised generator:
+// one-shot conversion outside the timed loop (weights pack once), then
+// "zipnet-int8" sessions through the identical engine/stitch path. The
+// cpu_time ratio against BM_ServeEngine is the end-to-end acceptance
+// number for the quantised serving path.
+void BM_ServeEngineInt8(benchmark::State& state) {
+  const std::int64_t side = state.range(0);
+  const auto datasets = serve_datasets(side);
+  const core::PipelineConfig config = serve_config(side);
+  core::MtsrPipeline pipeline(config, datasets.front());
+  serving::Engine engine;
+  engine.register_model(
+      "zipnet-int8",
+      serving::quantize_generator(
+          pipeline.generator(),
+          serving::calibration_batches(
+              datasets.front(), pipeline.window_layout(),
+              config.temporal_length, config.window, /*frames=*/4)));
+  std::vector<serving::Engine::SessionId> sessions;
+  for (const auto& dataset : datasets) {
+    sessions.push_back(engine.open_session(serving::SessionConfig::from_dataset(
+        "zipnet-int8", config.instance, dataset, config.window,
+        config.stitch_stride)));
+  }
+  const std::int64_t s = pipeline.config().temporal_length;
+  for (auto _ : state) {
+    for (const auto id : sessions) engine.session(id).reset();
+    std::int64_t produced = 0;
+    for (std::int64_t t = 0; t < s - 1 + kServeFrames; ++t) {
+      for (std::size_t i = 0; i < sessions.size(); ++i) {
+        auto prediction = engine.push(sessions[i], datasets[i].frame(t));
+        if (prediction) ++produced;
+        benchmark::DoNotOptimize(prediction);
+      }
+    }
+    if (produced != kServeSessions * kServeFrames) {
+      state.SkipWithError("serving produced the wrong prediction count");
+    }
+  }
+  state.SetLabel(gemm_u8s8_kernel_name());
+  state.SetItemsProcessed(state.iterations() * kServeSessions * kServeFrames);
+}
+BENCHMARK(BM_ServeEngineInt8)->Arg(100)->Unit(benchmark::kMillisecond);
+#endif  // MTSR_HAS_QUANT
 #endif  // MTSR_HAS_SERVING
 
 // Probe aggregation (the gateway-side cost of producing model input).

@@ -6,12 +6,18 @@
 // post-processing approaches that only work off-line". This example plays
 // that scenario end to end: offline training + checkpoint to disk, then a
 // fresh "gateway process" restores the checkpoint into a serving engine and
-// multiplexes two concurrent sessions over the same feed — the ZipNet-GAN
-// model and a bicubic baseline behind the same Model vtable — reporting
-// accuracy and latency per interval plus the per-session workspace-arena
-// telemetry a long-running deployment would alarm on.
+// multiplexes concurrent sessions over the same feed — the ZipNet-GAN
+// model, its int8-quantised twin (calibrated from a handful of training
+// frames and registered as "zipnet-int8"), and a bicubic baseline, all
+// behind the same Model vtable — reporting accuracy and latency per
+// interval plus the per-session workspace-arena telemetry a long-running
+// deployment would alarm on. After the stream it prints the float-vs-int8
+// accuracy/throughput comparison a gateway operator would use to pick the
+// serving model.
 //
 // Run:  ./live_stream [--side 32] [--steps 500] [--intervals 12]
+//                     [--model zipnet|zipnet-int8|bicubic]
+#include <algorithm>
 #include <cstdio>
 
 #include "src/baselines/super_resolver.hpp"
@@ -22,6 +28,7 @@
 #include "src/metrics/metrics.hpp"
 #include "src/serving/engine.hpp"
 #include "src/serving/model.hpp"
+#include "src/tensor/tensor_ops.hpp"
 
 using namespace mtsr;
 
@@ -31,6 +38,9 @@ int main(int argc, char** argv) {
   cli.add_int("side", 32, "fine grid side length");
   cli.add_int("steps", 500, "pre-training steps");
   cli.add_int("intervals", 12, "live intervals to stream");
+  cli.add_string("model", "zipnet",
+                 "serving model for the live stream (any registered name: "
+                 "zipnet, zipnet-int8, bicubic)");
   if (!cli.parse(argc, argv)) return 0;
   const std::int64_t side = cli.get_int("side");
 
@@ -72,21 +82,41 @@ int main(int argc, char** argv) {
   serving::Engine engine;
   engine.register_model(
       "zipnet", std::make_shared<serving::ZipNetModel>(gateway.generator()));
+  // One-shot int8 conversion of the restored generator: BatchNorms fold
+  // into the conv scales, weights pack to s8 panels once, activation
+  // scales calibrate from a handful of training-split frames.
+  engine.register_model(
+      "zipnet-int8",
+      serving::quantize_generator(
+          gateway.generator(),
+          serving::calibration_batches(dataset, gateway.window_layout(),
+                                       config.temporal_length, config.window,
+                                       /*frames=*/6)));
   engine.register_model("bicubic",
                         std::make_shared<serving::BaselineModel>(
                             baselines::make_super_resolver("bicubic")));
 
+  const std::string chosen = cli.get_string("model");
+  if (!engine.has_model(chosen)) {
+    std::printf("unknown --model \"%s\" (registered:", chosen.c_str());
+    for (const auto& name : engine.model_names()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf(")\n");
+    return 1;
+  }
+
   serving::SessionConfig stream_config = serving::SessionConfig::from_dataset(
-      "zipnet", config.instance, dataset, config.window,
+      chosen, config.instance, dataset, config.window,
       /*stitch_stride=*/config.window / 2);
   const auto deep = engine.open_session(stream_config);
   stream_config.model = "bicubic";
   const auto shallow = engine.open_session(stream_config);
 
   std::printf("\nstreaming %lld live intervals over %lld sessions "
-              "(S=%lld warm-up):\n",
+              "(model %s, S=%lld warm-up):\n",
               static_cast<long long>(cli.get_int("intervals")),
-              static_cast<long long>(engine.session_count()),
+              static_cast<long long>(engine.session_count()), chosen.c_str(),
               static_cast<long long>(engine.session(deep).temporal_length()));
   const std::int64_t t0 = dataset.test_range().begin;
   double worst_latency_ms = 0.0;
@@ -118,6 +148,52 @@ int main(int argc, char** argv) {
   std::printf("\nworst per-interval latency %.0f ms against a 10-minute "
               "measurement period — %.0fx headroom for city-scale grids.\n",
               worst_latency_ms, 10.0 * 60.0 * 1000.0 / worst_latency_ms);
+
+  // --- Float vs int8: the quantised-serving decision line. ------------------
+  // Same feed through both generator models; accuracy in NRMSE against the
+  // ground-truth fine frames, throughput as served frames per second.
+  {
+    serving::SessionConfig cmp = serving::SessionConfig::from_dataset(
+        "zipnet", config.instance, dataset, config.window, config.window / 2);
+    const auto float_id = engine.open_session(cmp);
+    cmp.model = "zipnet-int8";
+    const auto int8_id = engine.open_session(cmp);
+    const std::int64_t frames =
+        std::min<std::int64_t>(cli.get_int("intervals"),
+                               dataset.test_range().end - t0);
+    double nrmse_float = 0.0, nrmse_int8 = 0.0;
+    double ms_float = 0.0, ms_int8 = 0.0;
+    std::int64_t produced = 0;
+    for (std::int64_t t = t0; t < t0 + frames; ++t) {
+      Stopwatch swf;
+      auto f = engine.push(float_id, dataset.frame(t));
+      const double mf = swf.millis();
+      Stopwatch swq;
+      auto q = engine.push(int8_id, dataset.frame(t));
+      const double mq = swq.millis();
+      // Warm-up pushes produce no prediction; keeping them out of the
+      // timers too makes the frames/s figures measure serving only.
+      if (!f || !q) continue;
+      ms_float += mf;
+      ms_int8 += mq;
+      nrmse_float += metrics::nrmse(*f, dataset.frame(t));
+      nrmse_int8 += metrics::nrmse(*q, dataset.frame(t));
+      ++produced;
+    }
+    if (produced > 0) {
+      nrmse_float /= static_cast<double>(produced);
+      nrmse_int8 /= static_cast<double>(produced);
+      std::printf(
+          "\nfloat vs int8 (%s kernel): NRMSE %.4f vs %.4f (%+.2f%% rel), "
+          "throughput %.1f vs %.1f frames/s (%.2fx)\n",
+          gemm_u8s8_kernel_name(), nrmse_float, nrmse_int8,
+          100.0 * (nrmse_int8 - nrmse_float) / nrmse_float,
+          1000.0 * produced / ms_float, 1000.0 * produced / ms_int8,
+          ms_float / ms_int8);
+    }
+    engine.close_session(float_id);
+    engine.close_session(int8_id);
+  }
 
   // Per-session arena telemetry: in steady state capacity and growth stay
   // frozen; a moving "growth" column in production is the alarm signal.

@@ -159,29 +159,18 @@ Tensor ZipNet::forward(const Tensor& input, bool training) {
   if (config_.residual_base != ZipNetConfig::ResidualBase::kNone) {
     // Most recent coarse frame, upsampled to the output geometry.
     Tensor latest = crop_latest_input(input);
-    if (config_.residual_base == ZipNetConfig::ResidualBase::kNearest) {
-      // Upsample into arena scratch and fold it onto the result in place.
-      Workspace& ws = Workspace::tls();
-      Workspace::Scope scratch(ws);
-      float* up = ws.alloc(result.size());
-      upsample_nearest2d_into(latest.data(), n, latest.dim(1), latest.dim(2),
-                              total_upscale(), 1.f, up);
-      float* dst = result.data();
-      for (std::int64_t i = 0; i < result.size(); ++i) dst[i] += up[i];
-    } else {
-      for (std::int64_t i = 0; i < n; ++i) {
-        Tensor base = baselines::bicubic_upsample(select0(latest, i),
-                                                  total_upscale());
-        float* dst = result.data() + i * base.size();
-        const float* src = base.data();
-        for (std::int64_t j = 0; j < base.size(); ++j) dst[j] += src[j];
-      }
-    }
+    add_residual_base(result, latest, config_.residual_base,
+                      total_upscale());
   }
   return result;
 }
 
 Tensor ZipNet::crop_latest_input(const Tensor& input) const {
+  return latest_coarse_frame(input);
+}
+
+Tensor latest_coarse_frame(const Tensor& input) {
+  check(input.rank() == 4, "latest_coarse_frame expects (N, S, ci, ci)");
   const std::int64_t n = input.dim(0), s = input.dim(1);
   const std::int64_t ci_h = input.dim(2), ci_w = input.dim(3);
   Tensor latest(Shape{n, ci_h, ci_w});
@@ -191,6 +180,29 @@ Tensor ZipNet::crop_latest_input(const Tensor& input) const {
     std::copy(src, src + frame, latest.data() + i * frame);
   }
   return latest;
+}
+
+void add_residual_base(Tensor& result, const Tensor& latest,
+                       ZipNetConfig::ResidualBase mode, int factor) {
+  if (mode == ZipNetConfig::ResidualBase::kNone) return;
+  const std::int64_t n = latest.dim(0);
+  if (mode == ZipNetConfig::ResidualBase::kNearest) {
+    // Upsample into arena scratch and fold it onto the result in place.
+    Workspace& ws = Workspace::tls();
+    Workspace::Scope scratch(ws);
+    float* up = ws.alloc(result.size());
+    upsample_nearest2d_into(latest.data(), n, latest.dim(1), latest.dim(2),
+                            factor, 1.f, up);
+    float* dst = result.data();
+    for (std::int64_t i = 0; i < result.size(); ++i) dst[i] += up[i];
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) {
+      Tensor base = baselines::bicubic_upsample(select0(latest, i), factor);
+      float* dst = result.data() + i * base.size();
+      const float* src = base.data();
+      for (std::int64_t j = 0; j < base.size(); ++j) dst[j] += src[j];
+    }
+  }
 }
 
 Tensor ZipNet::backward(const Tensor& grad_output) {

@@ -80,6 +80,19 @@ class ZipNet final : public nn::Layer {
 
   [[nodiscard]] const ZipNetConfig& config() const { return config_; }
 
+  /// Read-only structural access — the int8 conversion (zipnet_int8.hpp)
+  /// walks these blocks to mirror the architecture with quantised layers.
+  [[nodiscard]] const std::vector<std::unique_ptr<nn::Sequential>>&
+  upscale_blocks() const {
+    return upscale_blocks_;
+  }
+  [[nodiscard]] const nn::Sequential& entry_block() const { return *entry_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<nn::Sequential>>&
+  zipper_blocks() const {
+    return zipper_modules_;
+  }
+  [[nodiscard]] const nn::Sequential& final_block() const { return *final_; }
+
  private:
   /// Extracts the most recent temporal slice of an (N, S, ci, ci) input.
   [[nodiscard]] Tensor crop_latest_input(const Tensor& input) const;
@@ -103,5 +116,16 @@ class ZipNet final : public nn::Layer {
 /// paper's block counts: 2 → {2}; 4 → {2,2}; 10 → {1,2,5}. Other totals are
 /// factorised greedily into factors <= 5 (1 is only used for 10).
 [[nodiscard]] std::vector<int> upscale_stages(int total_factor);
+
+/// Extracts the most recent temporal slice of an (N, S, ci, ci) coarse
+/// input — the frame the residual interpolation base upsamples. Shared by
+/// the float generator and its int8 mirror.
+[[nodiscard]] Tensor latest_coarse_frame(const Tensor& input);
+
+/// Adds the residual interpolation base in place: `latest` (N, ci, ci)
+/// upsampled by `factor` (nearest or bicubic per `mode`) onto `result`
+/// (N, ci·factor, ci·factor). kNone is a no-op.
+void add_residual_base(Tensor& result, const Tensor& latest,
+                       ZipNetConfig::ResidualBase mode, int factor);
 
 }  // namespace mtsr::core

@@ -1,0 +1,169 @@
+#include "src/core/zipnet_int8.hpp"
+
+#include "src/common/check.hpp"
+
+namespace mtsr::core {
+namespace {
+
+// Casts Sequential::layer(i) to the expected concrete type; the generator's
+// block structure is fixed by ZipNet's constructor, so a mismatch means the
+// conversion walked out of sync with the architecture.
+template <typename L>
+const L& layer_as(const nn::Sequential& seq, std::size_t i,
+                  const char* where) {
+  const L* typed = dynamic_cast<const L*>(&seq.layer(i));
+  check(typed != nullptr, std::string("ZipNetInt8: unexpected layer type in ") +
+                              where + " block");
+  return *typed;
+}
+
+}  // namespace
+
+ZipNetInt8::ZipNetInt8(const ZipNet& generator)
+    : config_(generator.config()) {
+  const float alpha = config_.lrelu_alpha;
+
+  // 3-D upscaling blocks: [deconv BN lrelu, (conv BN lrelu)*].
+  for (const auto& block : generator.upscale_blocks()) {
+    Stage3d stage;
+    stage.deconv = std::make_unique<nn::QuantConvTranspose3d>(
+        layer_as<nn::ConvTranspose3d>(*block, 0, "upscale"),
+        &layer_as<nn::BatchNorm>(*block, 1, "upscale"), alpha);
+    for (std::size_t i = 3; i + 1 < block->size(); i += 3) {
+      stage.convs.push_back(std::make_unique<nn::QuantConv3d>(
+          layer_as<nn::Conv3d>(*block, i, "upscale"),
+          &layer_as<nn::BatchNorm>(*block, i + 1, "upscale"), alpha));
+    }
+    upscale_.push_back(std::move(stage));
+  }
+
+  // Entry convolution: [conv BN lrelu].
+  entry_ = std::make_unique<nn::QuantConv2d>(
+      layer_as<nn::Conv2d>(generator.entry_block(), 0, "entry"),
+      &layer_as<nn::BatchNorm>(generator.entry_block(), 1, "entry"), alpha);
+
+  // Zipper modules: [conv BN lrelu] each.
+  for (const auto& module : generator.zipper_blocks()) {
+    zipper_.push_back(std::make_unique<nn::QuantConv2d>(
+        layer_as<nn::Conv2d>(*module, 0, "zipper"),
+        &layer_as<nn::BatchNorm>(*module, 1, "zipper"), alpha));
+  }
+
+  // Final blocks: two [conv BN lrelu], then the linear output conv.
+  const nn::Sequential& fin = generator.final_block();
+  check(fin.size() == 7, "ZipNetInt8: unexpected final block length");
+  for (std::size_t i = 0; i < 6; i += 3) {
+    final_.push_back(std::make_unique<nn::QuantConv2d>(
+        layer_as<nn::Conv2d>(fin, i, "final"),
+        &layer_as<nn::BatchNorm>(fin, i + 1, "final"), alpha));
+  }
+  final_.push_back(std::make_unique<nn::QuantConv2d>(
+      layer_as<nn::Conv2d>(fin, 6, "final"), nullptr, 1.f));
+}
+
+int ZipNetInt8::total_upscale() const {
+  int total = 1;
+  for (int f : config_.upscale_factors) total *= f;
+  return total;
+}
+
+Tensor ZipNetInt8::forward_calibrate(const Tensor& input) {
+  check(!frozen_, "ZipNetInt8::forward_calibrate after freeze()");
+  return run(input, /*quantised=*/false);
+}
+
+Tensor ZipNetInt8::forward(const Tensor& input) {
+  check(frozen_, "ZipNetInt8::forward before freeze() — calibrate first");
+  return run(input, /*quantised=*/true);
+}
+
+void ZipNetInt8::freeze() {
+  check(!frozen_, "ZipNetInt8: already frozen");
+  for (Stage3d& stage : upscale_) {
+    stage.deconv->freeze();
+    for (auto& conv : stage.convs) conv->freeze();
+  }
+  entry_->freeze();
+  for (auto& module : zipper_) module->freeze();
+  for (auto& conv : final_) conv->freeze();
+  frozen_ = true;
+}
+
+std::unique_ptr<ZipNetInt8> ZipNetInt8::convert(
+    const ZipNet& generator, const std::vector<Tensor>& calibration) {
+  check(!calibration.empty(),
+        "ZipNetInt8::convert: calibration batches required (activation "
+        "scales are data-dependent)");
+  auto net = std::make_unique<ZipNetInt8>(generator);
+  for (const Tensor& batch : calibration) {
+    (void)net->forward_calibrate(batch);
+  }
+  net->freeze();
+  return net;
+}
+
+Tensor ZipNetInt8::run(const Tensor& input, bool quantised) {
+  check(input.rank() == 4, "ZipNetInt8 expects (N, S, ci, ci) input");
+  check(input.dim(1) == config_.temporal_length,
+        "ZipNetInt8 input temporal length mismatch");
+  const std::int64_t n = input.dim(0), s = input.dim(1);
+
+  const auto conv3d_fwd = [&](nn::QuantConv3d& layer, const Tensor& x) {
+    return quantised ? layer.forward(x) : layer.forward_calibrate(x);
+  };
+  const auto conv2d_fwd = [&](nn::QuantConv2d& layer, const Tensor& x) {
+    return quantised ? layer.forward(x) : layer.forward_calibrate(x);
+  };
+
+  // (N, S, ci, ci) -> (N, 1, S, ci, ci): one 3-D channel, depth = time.
+  Tensor u = input.reshape(Shape{n, 1, s, input.dim(2), input.dim(3)});
+  for (Stage3d& stage : upscale_) {
+    u = quantised ? stage.deconv->forward(u)
+                  : stage.deconv->forward_calibrate(u);
+    for (auto& conv : stage.convs) u = conv3d_fwd(*conv, u);
+  }
+
+  // Collapse channels × depth into 2-D feature maps.
+  const std::int64_t ch = u.dim(1), h = u.dim(3), w = u.dim(4);
+  Tensor x0 = conv2d_fwd(*entry_, u.reshape(Shape{n, ch * s, h, w}));
+
+  // Zipper chain: x_i = B_i(x_{i-1}) [+ x_{i-2}] — float adds, exactly as
+  // the float generator wires them.
+  std::vector<Tensor> chain;
+  chain.reserve(zipper_.size() + 1);
+  chain.push_back(std::move(x0));
+  for (std::size_t i = 0; i < zipper_.size(); ++i) {
+    Tensor xi = conv2d_fwd(*zipper_[i], chain.back());
+    const std::size_t idx = i + 1;
+    switch (config_.skip_mode) {
+      case SkipMode::kZipper:
+        if (idx >= 2) xi.add_(chain[idx - 2]);
+        break;
+      case SkipMode::kResidualPairs:
+        if (idx >= 2 && idx % 2 == 0) xi.add_(chain[idx - 2]);
+        break;
+      case SkipMode::kNone:
+        break;
+    }
+    chain.push_back(std::move(xi));
+  }
+
+  Tensor z = chain.back();
+  if (config_.skip_mode != SkipMode::kNone) {
+    z = z.add(chain.front());  // global skip
+  }
+
+  for (auto& conv : final_) z = conv2d_fwd(*conv, z);
+  Tensor result = z.reshape(Shape{n, z.dim(2), z.dim(3)});
+
+  if (config_.residual_base != ZipNetConfig::ResidualBase::kNone) {
+    // Same shared helpers as ZipNet::forward, so the mirror cannot
+    // diverge from the float generator's residual-base handling.
+    Tensor latest = latest_coarse_frame(input);
+    add_residual_base(result, latest, config_.residual_base,
+                      total_upscale());
+  }
+  return result;
+}
+
+}  // namespace mtsr::core

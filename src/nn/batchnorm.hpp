@@ -31,6 +31,13 @@ class BatchNorm final : public Layer {
   [[nodiscard]] const Tensor& running_mean() const { return running_mean_; }
   [[nodiscard]] const Tensor& running_var() const { return running_var_; }
 
+  /// Learned affine parameters and the variance epsilon — everything the
+  /// int8 conversion needs to fold this layer into the preceding conv.
+  [[nodiscard]] const Tensor& gamma() const { return gamma_.value; }
+  [[nodiscard]] const Tensor& beta() const { return beta_.value; }
+  [[nodiscard]] float epsilon() const { return epsilon_; }
+  [[nodiscard]] std::int64_t channels() const { return channels_; }
+
  private:
   std::int64_t channels_;
   float momentum_;

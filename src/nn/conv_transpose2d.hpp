@@ -29,6 +29,16 @@ class ConvTranspose2d final : public Layer {
   /// Output spatial extent for a given input extent.
   [[nodiscard]] std::int64_t out_extent(std::int64_t in_extent) const;
 
+  [[nodiscard]] std::int64_t in_channels() const { return in_channels_; }
+  [[nodiscard]] std::int64_t out_channels() const { return out_channels_; }
+  [[nodiscard]] int kernel() const { return kernel_; }
+  [[nodiscard]] int stride() const { return stride_; }
+  [[nodiscard]] int padding() const { return padding_; }
+  [[nodiscard]] bool has_bias() const { return has_bias_; }
+  /// Trained parameter values (read-only; used by the int8 conversion).
+  [[nodiscard]] const Tensor& weight() const { return weight_.value; }
+  [[nodiscard]] const Tensor& bias() const { return bias_.value; }
+
  private:
   std::int64_t in_channels_;
   std::int64_t out_channels_;

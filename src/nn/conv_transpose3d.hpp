@@ -32,6 +32,16 @@ class ConvTranspose3d final : public Layer {
   /// Output extent along axis i (0=d, 1=h, 2=w) for a given input extent.
   [[nodiscard]] std::int64_t out_extent(int axis, std::int64_t in_extent) const;
 
+  [[nodiscard]] std::int64_t in_channels() const { return in_channels_; }
+  [[nodiscard]] std::int64_t out_channels() const { return out_channels_; }
+  [[nodiscard]] const std::array<int, 3>& kernel() const { return kernel_; }
+  [[nodiscard]] const std::array<int, 3>& stride() const { return stride_; }
+  [[nodiscard]] const std::array<int, 3>& padding() const { return padding_; }
+  [[nodiscard]] bool has_bias() const { return has_bias_; }
+  /// Trained parameter values (read-only; used by the int8 conversion).
+  [[nodiscard]] const Tensor& weight() const { return weight_.value; }
+  [[nodiscard]] const Tensor& bias() const { return bias_.value; }
+
  private:
   std::int64_t in_channels_;
   std::int64_t out_channels_;

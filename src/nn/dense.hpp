@@ -18,6 +18,13 @@ class Dense final : public Layer {
   std::vector<Parameter*> parameters() override;
   [[nodiscard]] std::string name() const override;
 
+  [[nodiscard]] std::int64_t in_features() const { return in_features_; }
+  [[nodiscard]] std::int64_t out_features() const { return out_features_; }
+  [[nodiscard]] bool has_bias() const { return has_bias_; }
+  /// Trained parameter values (read-only; used by the int8 conversion).
+  [[nodiscard]] const Tensor& weight() const { return weight_.value; }
+  [[nodiscard]] const Tensor& bias() const { return bias_.value; }
+
  private:
   std::int64_t in_features_;
   std::int64_t out_features_;

@@ -60,4 +60,9 @@ Layer& Sequential::layer(std::size_t i) {
   return *layers_[i];
 }
 
+const Layer& Sequential::layer(std::size_t i) const {
+  check(i < layers_.size(), "Sequential::layer index out of range");
+  return *layers_[i];
+}
+
 }  // namespace mtsr::nn

@@ -32,6 +32,7 @@ class Sequential final : public Layer {
 
   [[nodiscard]] std::size_t size() const { return layers_.size(); }
   [[nodiscard]] Layer& layer(std::size_t i);
+  [[nodiscard]] const Layer& layer(std::size_t i) const;
 
  private:
   std::vector<LayerPtr> layers_;

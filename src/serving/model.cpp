@@ -1,10 +1,15 @@
 #include "src/serving/model.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/baselines/super_resolver.hpp"
 #include "src/common/check.hpp"
+#include "src/common/workspace.hpp"
 #include "src/core/zipnet.hpp"
+#include "src/core/zipnet_int8.hpp"
+#include "src/data/augmentation.hpp"
+#include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::serving {
 
@@ -33,6 +38,98 @@ Tensor ZipNetModel::predict(const WindowBatch& batch,
   (void)stream;
   check(batch.coarse.rank() == 4, "ZipNetModel: expected (B, S, ci, ci)");
   return generator_.forward(batch.coarse, /*training=*/false);
+}
+
+ZipNetInt8Model::ZipNetInt8Model(std::unique_ptr<core::ZipNetInt8> net,
+                                 std::string name)
+    : net_(std::move(net)), name_(std::move(name)) {
+  check(net_ != nullptr, "ZipNetInt8Model: null network");
+  check(net_->frozen(),
+        "ZipNetInt8Model: network must be frozen (calibrate + freeze, or "
+        "use quantize_generator)");
+  check(!name_.empty(), "ZipNetInt8Model: empty model name");
+}
+
+ZipNetInt8Model::~ZipNetInt8Model() = default;
+
+std::int64_t ZipNetInt8Model::temporal_length() const {
+  return net_->temporal_length();
+}
+
+void ZipNetInt8Model::validate(const StreamContext& stream) const {
+  check(stream.layout != nullptr,
+        "ZipNetInt8Model: stream has no probe layout");
+  check(stream.temporal_length == temporal_length(),
+        "ZipNetInt8Model: stream temporal length differs from the "
+        "generator's S");
+  const std::int64_t predicted =
+      stream.layout->input_side() * net_->total_upscale();
+  check(predicted == stream.window,
+        "ZipNetInt8Model: generator upscale does not map the layout's "
+        "input side onto the stream window");
+}
+
+Tensor ZipNetInt8Model::predict(const WindowBatch& batch,
+                                const StreamContext& stream) {
+  (void)stream;
+  check(batch.coarse.rank() == 4, "ZipNetInt8Model: expected (B, S, ci, ci)");
+  return net_->forward(batch.coarse);
+}
+
+std::shared_ptr<ZipNetInt8Model> quantize_generator(
+    const core::ZipNet& generator, const std::vector<Tensor>& calibration,
+    std::string name) {
+  // Conversion runs float forwards through the mirror; scope the arena so
+  // a long-lived caller (engine set-up code) does not keep the calibration
+  // high-water mark alive.
+  Workspace::Scope scope(Workspace::tls());
+  return std::make_shared<ZipNetInt8Model>(
+      core::ZipNetInt8::convert(generator, calibration), std::move(name));
+}
+
+std::vector<Tensor> calibration_batches(const data::TrafficDataset& dataset,
+                                        const data::ProbeLayout& layout,
+                                        std::int64_t temporal_length,
+                                        std::int64_t window,
+                                        std::int64_t frames) {
+  check(frames > 0, "calibration_batches: need at least one frame");
+  check(layout.rows() == window && layout.cols() == window,
+        "calibration_batches: layout geometry must match the window");
+  const data::SplitRange train = dataset.train_range();
+  const std::int64_t first = train.begin + temporal_length - 1;
+  check(first < train.end,
+        "calibration_batches: training split shorter than S");
+  const std::int64_t available = train.end - first;
+  const std::int64_t count = std::min<std::int64_t>(frames, available);
+
+  // Window origins: the four corners plus the centre, clamped to the grid
+  // — enough spatial diversity to bracket each layer's activation range.
+  const std::int64_t max_r = dataset.rows() - window;
+  const std::int64_t max_c = dataset.cols() - window;
+  check(max_r >= 0 && max_c >= 0,
+        "calibration_batches: window larger than the grid");
+  const std::pair<std::int64_t, std::int64_t> origins[] = {
+      {0, 0},
+      {0, max_c},
+      {max_r, 0},
+      {max_r, max_c},
+      {max_r / 2, max_c / 2}};
+
+  std::vector<Tensor> batches;
+  batches.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    // Spread evenly over the training split.
+    const std::int64_t t = first + i * available / count;
+    std::vector<Tensor> inputs;
+    for (const auto& [r0, c0] : origins) {
+      data::Sample sample = data::make_sample(
+          dataset, layout, data::SampleSpec{t, r0, c0}, temporal_length,
+          window);
+      inputs.push_back(std::move(sample.input));
+    }
+    batches.push_back(stack0(inputs));
+  }
+  return batches;
 }
 
 BaselineModel::BaselineModel(const baselines::SuperResolver& resolver)

@@ -23,6 +23,7 @@
 
 namespace mtsr::core {
 class ZipNet;
+class ZipNetInt8;
 }
 namespace mtsr::baselines {
 class SuperResolver;
@@ -105,6 +106,49 @@ class ZipNetModel final : public Model {
   core::ZipNet& generator_;
   std::string name_;
 };
+
+/// Adapter over the int8-quantised generator (core::ZipNetInt8). Owning:
+/// the quantised network exists only to serve. Interchangeable with
+/// ZipNetModel in any session — same window-batch contract, same stitch —
+/// at ~4x lower weight memory traffic; register it as "zipnet-int8" beside
+/// the float "zipnet" and switch streams by name.
+class ZipNetInt8Model final : public Model {
+ public:
+  /// `net` must be frozen (ZipNetInt8::convert does calibrate + freeze).
+  explicit ZipNetInt8Model(std::unique_ptr<core::ZipNetInt8> net,
+                           std::string name = "zipnet-int8");
+  ~ZipNetInt8Model() override;
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::int64_t temporal_length() const override;
+  [[nodiscard]] ModelInputs inputs() const override {
+    return {/*coarse_history=*/true, /*fine_latest=*/false};
+  }
+  void validate(const StreamContext& stream) const override;
+  [[nodiscard]] Tensor predict(const WindowBatch& batch,
+                               const StreamContext& stream) override;
+
+ private:
+  std::unique_ptr<core::ZipNetInt8> net_;
+  std::string name_;
+};
+
+/// One-shot int8 conversion of a trained generator into a serving model:
+/// mirrors the architecture, calibrates activation scales over
+/// `calibration` ((B, S, ci, ci) normalised coarse-window batches — see
+/// calibration_batches), quantises + packs the weights once, and wraps the
+/// frozen network as a registrable Model.
+[[nodiscard]] std::shared_ptr<ZipNetInt8Model> quantize_generator(
+    const core::ZipNet& generator, const std::vector<Tensor>& calibration,
+    std::string name = "zipnet-int8");
+
+/// Gathers calibration batches for quantize_generator from up to `frames`
+/// training-split frames of a dataset: each batch stacks a handful of
+/// stitch-geometry coarse window sequences ((B, S, ci, ci), normalised),
+/// i.e. exactly what a serving session feeds the model.
+[[nodiscard]] std::vector<Tensor> calibration_batches(
+    const data::TrafficDataset& dataset, const data::ProbeLayout& layout,
+    std::int64_t temporal_length, std::int64_t window, std::int64_t frames);
 
 /// Adapter over any SuperResolver baseline (single-snapshot: S = 1). The
 /// resolver reconstructs each raw fine window from its probe aggregates;

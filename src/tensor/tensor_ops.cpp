@@ -1,11 +1,19 @@
 #include "src/tensor/tensor_ops.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <string_view>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 #include "src/common/check.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/workspace.hpp"
+#include "src/tensor/quant.hpp"
 
 namespace mtsr {
 namespace {
@@ -347,7 +355,293 @@ void gemm_nt_block(const float* pa, const float* pb, float* pc,
   }
 }
 
+// ---- Quantised u8·s8 GEMM --------------------------------------------------
+//
+// C = epilogue(A_u8 · B_s8) with exact int32 accumulation. B is pre-packed
+// (PackedInt8B) in (k-group, column, 4) order so each 4-k step of one
+// column is a contiguous 4-byte group: the AVX2/AVX-512 kernels broadcast
+// 4 A bytes and run maddubs (u8·s8 pairs → i16) + madd (i16 pairs → i32)
+// against 8/16 columns per vector. Weights are bounded by ±quant::kWeightQmax
+// (= 63), so the i16 pair sums can never saturate and every kernel —
+// scalar, AVX2, AVX-512, any pool size — produces identical accumulators.
+// The float epilogue uses single-rounding fmaf/fmadd and max-based
+// LeakyReLU in all paths, so outputs are bit-identical too.
+
+// One output element's dequant + bias + LeakyReLU. max(y, alpha*y) equals
+// LeakyReLU for alpha <= 1 and is the exact elementwise form the vector
+// epilogues use.
+inline float u8s8_epilogue_one(std::int32_t acc, std::int32_t zp_comp,
+                               float scale, float bias, float alpha) {
+  const float y =
+      std::fmaf(scale, static_cast<float>(acc - zp_comp), bias);
+  return std::max(y, y * alpha);
+}
+
+// Scalar kernel (and the j/row-tail path of the SIMD kernels): plain
+// ascending-k s32 accumulation over the packed layout.
+void u8s8_block_scalar(const std::uint8_t* a, std::int64_t lda,
+                       const std::int8_t* packed, std::int64_t npad,
+                       std::int64_t kgroups, const std::int32_t* colsum,
+                       float* c, std::int64_t ldc, std::int64_t i0,
+                       std::int64_t i1, std::int64_t j0, std::int64_t j1,
+                       const QuantEpilogue& ep) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const std::uint8_t* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (std::int64_t j = j0; j < j1; ++j) {
+      std::int32_t acc = 0;
+      for (std::int64_t kg = 0; kg < kgroups; ++kg) {
+        const std::int8_t* bq = packed + (kg * npad + j) * 4;
+        const std::uint8_t* aq = arow + kg * 4;
+        acc += static_cast<std::int32_t>(aq[0]) * bq[0] +
+               static_cast<std::int32_t>(aq[1]) * bq[1] +
+               static_cast<std::int32_t>(aq[2]) * bq[2] +
+               static_cast<std::int32_t>(aq[3]) * bq[3];
+      }
+      crow[j] = u8s8_epilogue_one(acc, ep.a_zp * colsum[j], ep.col_scale[j],
+                                  ep.bias != nullptr ? ep.bias[j] : 0.f,
+                                  ep.lrelu_alpha);
+    }
+  }
+}
+
+using U8S8BlockFn = void (*)(const std::uint8_t*, std::int64_t,
+                             const std::int8_t*, std::int64_t, std::int64_t,
+                             const std::int32_t*, float*, std::int64_t,
+                             std::int64_t, std::int64_t, std::int64_t,
+                             std::int64_t, const QuantEpilogue&);
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+// AVX2 kernel: 4-row × 16-column register tile, maddubs + madd per 4-k
+// group, vectorised epilogue. Full 16-column blocks only; the column tail
+// falls through to the scalar kernel (identical results).
+__attribute__((target("avx2,fma"))) void u8s8_block_avx2(
+    const std::uint8_t* a, std::int64_t lda, const std::int8_t* packed,
+    std::int64_t npad, std::int64_t kgroups, const std::int32_t* colsum,
+    float* c, std::int64_t ldc, std::int64_t i0, std::int64_t i1,
+    std::int64_t j0, std::int64_t j1, const QuantEpilogue& ep) {
+  const __m256i ones16 = _mm256_set1_epi16(1);
+  const __m256i zp = _mm256_set1_epi32(ep.a_zp);
+  const __m256 alpha = _mm256_set1_ps(ep.lrelu_alpha);
+  for (std::int64_t i = i0; i < i1; i += 4) {
+    const std::int64_t rg = std::min<std::int64_t>(4, i1 - i);
+    std::int64_t j = j0;
+    for (; j + 16 <= j1; j += 16) {
+      __m256i acc[4][2];
+      for (std::int64_t r = 0; r < rg; ++r) {
+        acc[r][0] = _mm256_setzero_si256();
+        acc[r][1] = _mm256_setzero_si256();
+      }
+      for (std::int64_t kg = 0; kg < kgroups; ++kg) {
+        const std::int8_t* bq = packed + (kg * npad + j) * 4;
+        const __m256i b0 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bq));
+        const __m256i b1 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bq + 32));
+        for (std::int64_t r = 0; r < rg; ++r) {
+          std::int32_t aw;
+          std::memcpy(&aw, a + (i + r) * lda + kg * 4, 4);
+          const __m256i av = _mm256_set1_epi32(aw);
+          acc[r][0] = _mm256_add_epi32(
+              acc[r][0],
+              _mm256_madd_epi16(_mm256_maddubs_epi16(av, b0), ones16));
+          acc[r][1] = _mm256_add_epi32(
+              acc[r][1],
+              _mm256_madd_epi16(_mm256_maddubs_epi16(av, b1), ones16));
+        }
+      }
+      const __m256i comp0 = _mm256_mullo_epi32(
+          zp, _mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(colsum + j)));
+      const __m256i comp1 = _mm256_mullo_epi32(
+          zp, _mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(colsum + j + 8)));
+      const __m256 sc0 = _mm256_loadu_ps(ep.col_scale + j);
+      const __m256 sc1 = _mm256_loadu_ps(ep.col_scale + j + 8);
+      const __m256 bi0 = ep.bias != nullptr ? _mm256_loadu_ps(ep.bias + j)
+                                            : _mm256_setzero_ps();
+      const __m256 bi1 = ep.bias != nullptr
+                             ? _mm256_loadu_ps(ep.bias + j + 8)
+                             : _mm256_setzero_ps();
+      for (std::int64_t r = 0; r < rg; ++r) {
+        const __m256 t0 =
+            _mm256_cvtepi32_ps(_mm256_sub_epi32(acc[r][0], comp0));
+        const __m256 t1 =
+            _mm256_cvtepi32_ps(_mm256_sub_epi32(acc[r][1], comp1));
+        __m256 y0 = _mm256_fmadd_ps(sc0, t0, bi0);
+        __m256 y1 = _mm256_fmadd_ps(sc1, t1, bi1);
+        y0 = _mm256_max_ps(y0, _mm256_mul_ps(y0, alpha));
+        y1 = _mm256_max_ps(y1, _mm256_mul_ps(y1, alpha));
+        _mm256_storeu_ps(c + (i + r) * ldc + j, y0);
+        _mm256_storeu_ps(c + (i + r) * ldc + j + 8, y1);
+      }
+    }
+    if (j < j1) {
+      u8s8_block_scalar(a, lda, packed, npad, kgroups, colsum, c, ldc, i,
+                        i + rg, j, j1, ep);
+    }
+  }
+}
+
+// AVX-512BW kernel: same structure, 16 columns per vector.
+// GCC's avx512fintrin.h implements _mm512_undefined_ps as "__Y = __Y",
+// which trips -Wmaybe-uninitialized through the cvt/max wrappers; the
+// value is never actually consumed uninitialised.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+__attribute__((target("avx512f,avx512bw"))) void u8s8_block_avx512(
+    const std::uint8_t* a, std::int64_t lda, const std::int8_t* packed,
+    std::int64_t npad, std::int64_t kgroups, const std::int32_t* colsum,
+    float* c, std::int64_t ldc, std::int64_t i0, std::int64_t i1,
+    std::int64_t j0, std::int64_t j1, const QuantEpilogue& ep) {
+  const __m512i ones16 = _mm512_set1_epi16(1);
+  const __m512i zp = _mm512_set1_epi32(ep.a_zp);
+  const __m512 alpha = _mm512_set1_ps(ep.lrelu_alpha);
+  for (std::int64_t i = i0; i < i1; i += 4) {
+    const std::int64_t rg = std::min<std::int64_t>(4, i1 - i);
+    std::int64_t j = j0;
+    for (; j + 16 <= j1; j += 16) {
+      __m512i acc[4];
+      for (std::int64_t r = 0; r < rg; ++r) acc[r] = _mm512_setzero_si512();
+      for (std::int64_t kg = 0; kg < kgroups; ++kg) {
+        const __m512i b = _mm512_loadu_si512(packed + (kg * npad + j) * 4);
+        for (std::int64_t r = 0; r < rg; ++r) {
+          std::int32_t aw;
+          std::memcpy(&aw, a + (i + r) * lda + kg * 4, 4);
+          const __m512i av = _mm512_set1_epi32(aw);
+          acc[r] = _mm512_add_epi32(
+              acc[r], _mm512_madd_epi16(_mm512_maddubs_epi16(av, b), ones16));
+        }
+      }
+      const __m512i comp = _mm512_mullo_epi32(
+          zp, _mm512_loadu_si512(colsum + j));
+      const __m512 sc = _mm512_loadu_ps(ep.col_scale + j);
+      const __m512 bi = ep.bias != nullptr ? _mm512_loadu_ps(ep.bias + j)
+                                           : _mm512_setzero_ps();
+      for (std::int64_t r = 0; r < rg; ++r) {
+        const __m512 t = _mm512_cvtepi32_ps(_mm512_sub_epi32(acc[r], comp));
+        __m512 y = _mm512_fmadd_ps(sc, t, bi);
+        y = _mm512_max_ps(y, _mm512_mul_ps(y, alpha));
+        _mm512_storeu_ps(c + (i + r) * ldc + j, y);
+      }
+    }
+    if (j < j1) {
+      u8s8_block_scalar(a, lda, packed, npad, kgroups, colsum, c, ldc, i,
+                        i + rg, j, j1, ep);
+    }
+  }
+}
+#pragma GCC diagnostic pop
+
+#endif  // __x86_64__ && __GNUC__
+
+struct U8S8Kernel {
+  U8S8BlockFn fn = &u8s8_block_scalar;
+  const char* name = "scalar";
+};
+
+// Picks the widest kernel the host supports, capped by MTSR_SIMD
+// ("scalar" | "avx2" | "avx512"). Resolved once per process, so — like the
+// float target_clones dispatch — the choice cannot vary mid-run.
+U8S8Kernel resolve_u8s8_kernel() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  const char* env = std::getenv("MTSR_SIMD");
+  const std::string_view want = env != nullptr ? env : "";
+  if (want == "scalar") return {};
+  const bool allow_avx512 = want.empty() || want == "avx512";
+  const bool allow_avx2 = allow_avx512 || want == "avx2";
+  if (allow_avx512 && __builtin_cpu_supports("avx512bw")) {
+    return {&u8s8_block_avx512, "avx512"};
+  }
+  if (allow_avx2 && __builtin_cpu_supports("avx2") &&
+      __builtin_cpu_supports("fma")) {
+    return {&u8s8_block_avx2, "avx2"};
+  }
+#endif
+  return {};
+}
+
+const U8S8Kernel& u8s8_kernel() {
+  static const U8S8Kernel kernel = resolve_u8s8_kernel();
+  return kernel;
+}
+
 }  // namespace
+
+PackedInt8B pack_b_s8(const std::int8_t* b, std::int64_t k, std::int64_t n) {
+  check(k > 0 && n > 0, "pack_b_s8: empty matrix");
+  PackedInt8B packed;
+  packed.k = k;
+  packed.n = n;
+  packed.npad = (n + 15) / 16 * 16;
+  const std::int64_t kgroups = packed.kpad() / 4;
+  packed.data.assign(
+      static_cast<std::size_t>(kgroups * packed.npad * 4), 0);
+  packed.colsum.assign(static_cast<std::size_t>(packed.npad), 0);
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const std::int8_t* brow = b + kk * n;
+    const std::int64_t kg = kk / 4, kr = kk % 4;
+    std::int8_t* prow = packed.data.data() + kg * packed.npad * 4 + kr;
+    for (std::int64_t j = 0; j < n; ++j) {
+      check(brow[j] >= -quant::kWeightQmax && brow[j] <= quant::kWeightQmax,
+            "pack_b_s8: value outside the ±kWeightQmax saturation-free "
+            "weight range");
+      prow[j * 4] = brow[j];
+      packed.colsum[static_cast<std::size_t>(j)] += brow[j];
+    }
+  }
+  return packed;
+}
+
+void gemm_u8s8(const std::uint8_t* a, std::int64_t lda, const PackedInt8B& b,
+               std::int64_t m, const QuantEpilogue& ep, float* c,
+               std::int64_t ldc) {
+  check(!b.empty(), "gemm_u8s8: empty packed B");
+  check(m > 0, "gemm_u8s8: empty A");
+  check(lda >= b.kpad(), "gemm_u8s8: lda must cover the padded k extent");
+  check(ep.col_scale != nullptr, "gemm_u8s8: missing column scales");
+  if (ldc <= 0) ldc = b.n;
+  check(ldc >= b.n, "gemm_u8s8: ldc must cover the column extent");
+  // Padded destination: compute the zero-pad columns too, so the vector
+  // path never falls back to the scalar column tail.
+  const std::int64_t jspan = ldc >= b.npad ? b.npad : b.n;
+  const U8S8BlockFn fn = u8s8_kernel().fn;
+  const std::int64_t kgroups = b.kpad() / 4;
+  const std::int8_t* packed = b.data.data();
+  const std::int32_t* colsum = b.colsum.data();
+  if (m >= jspan) {
+    // Tall C: split rows; every chunk streams the whole (small) packed B.
+    parallel_for_grain(m, kRowGrain,
+                       [&](std::int64_t i0, std::int64_t i1, int) {
+      fn(a, lda, packed, b.npad, kgroups, colsum, c, ldc, i0, i1, 0, jspan,
+         ep);
+    });
+  } else {
+    // Wide C: split 16-column blocks so SIMD chunks stay vector-aligned.
+    const std::int64_t nblocks = (jspan + 15) / 16;
+    parallel_for_grain(nblocks, 1, [&](std::int64_t t0, std::int64_t t1,
+                                       int) {
+      fn(a, lda, packed, b.npad, kgroups, colsum, c, ldc, 0, m, t0 * 16,
+         std::min(jspan, t1 * 16), ep);
+    });
+  }
+}
+
+void gemm_u8s8_ref(const std::uint8_t* a, std::int64_t lda,
+                   const PackedInt8B& b, std::int64_t m,
+                   const QuantEpilogue& ep, float* c, std::int64_t ldc) {
+  check(!b.empty(), "gemm_u8s8_ref: empty packed B");
+  check(lda >= b.kpad(), "gemm_u8s8_ref: lda must cover the padded k extent");
+  check(ep.col_scale != nullptr, "gemm_u8s8_ref: missing column scales");
+  if (ldc <= 0) ldc = b.n;
+  check(ldc >= b.n, "gemm_u8s8_ref: ldc must cover the column extent");
+  const std::int64_t jspan = ldc >= b.npad ? b.npad : b.n;
+  u8s8_block_scalar(a, lda, b.data.data(), b.npad, b.kpad() / 4,
+                    b.colsum.data(), c, ldc, 0, m, 0, jspan, ep);
+}
+
+const char* gemm_u8s8_kernel_name() { return u8s8_kernel().name; }
 
 void matmul_into(const float* a, const float* b, float* c, std::int64_t m,
                  std::int64_t k, std::int64_t n, bool accumulate) {
@@ -737,6 +1031,188 @@ Tensor col2vol_batched(const Tensor& columns, std::int64_t n,
                        kh, kw, stride_d, stride_h, stride_w, pad_d, pad_h,
                        pad_w, out.data());
   return out;
+}
+
+namespace {
+
+// One lowered output line: ow bytes for a fixed (channel, ky, kx) tap and
+// input row. For the unit-stride case the in-range span is one contiguous
+// memcpy between two pad fills; the generic case checks per element.
+inline void lower_u8_line(const std::uint8_t* irow, std::int64_t w,
+                          std::int64_t ow, int stride_w, int pad_w, int kx,
+                          std::uint8_t pad, std::uint8_t* oline) {
+  if (stride_w == 1) {
+    // ix = ox - pad_w + kx in [0, w) <=> ox in [head, head + span).
+    const std::int64_t head =
+        std::min(ow, std::max<std::int64_t>(0, pad_w - kx));
+    const std::int64_t span =
+        std::min(ow, w + pad_w - kx) - head;
+    if (head > 0) std::memset(oline, pad, static_cast<std::size_t>(head));
+    if (span > 0) {
+      std::memcpy(oline + head, irow + head - pad_w + kx,
+                  static_cast<std::size_t>(span));
+    }
+    const std::int64_t tail = ow - head - std::max<std::int64_t>(span, 0);
+    if (tail > 0) {
+      std::memset(oline + ow - tail, pad, static_cast<std::size_t>(tail));
+    }
+    return;
+  }
+  for (std::int64_t ox = 0; ox < ow; ++ox) {
+    const std::int64_t ix = ox * stride_w - pad_w + kx;
+    oline[ox] = (ix >= 0 && ix < w) ? irow[ix] : pad;
+  }
+}
+
+}  // namespace
+
+void im2col_batched_u8_into(const std::uint8_t* pi, std::int64_t n,
+                            std::int64_t c, std::int64_t h, std::int64_t w,
+                            int kh, int kw, int stride_h, int stride_w,
+                            int pad_h, int pad_w, std::uint8_t pad,
+                            std::uint8_t* po) {
+  const std::int64_t oh = (h + 2 * pad_h - kh) / stride_h + 1;
+  const std::int64_t ow = (w + 2 * pad_w - kw) / stride_w + 1;
+  // Same row-parallel structure as the float lowering, 4x less bandwidth.
+  parallel_for(c * kh * kw, [&](std::int64_t row) {
+    const std::int64_t ch = row / (kh * kw);
+    const std::int64_t rem = row % (kh * kw);
+    const int ky = static_cast<int>(rem / kw);
+    const int kx = static_cast<int>(rem % kw);
+    std::uint8_t* orow = po + row * n * oh * ow;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::uint8_t* img = pi + (i * c + ch) * h * w;
+      std::uint8_t* oseg = orow + i * oh * ow;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        const std::int64_t iy = oy * stride_h - pad_h + ky;
+        if (iy < 0 || iy >= h) {
+          std::memset(oseg + oy * ow, pad, static_cast<std::size_t>(ow));
+          continue;
+        }
+        lower_u8_line(img + iy * w, w, ow, stride_w, pad_w, kx, pad,
+                      oseg + oy * ow);
+      }
+    }
+  });
+}
+
+void vol2col_batched_u8_into(const std::uint8_t* pi, std::int64_t n,
+                             std::int64_t c, std::int64_t d, std::int64_t h,
+                             std::int64_t w, int kd, int kh, int kw,
+                             int stride_d, int stride_h, int stride_w,
+                             int pad_d, int pad_h, int pad_w, std::uint8_t pad,
+                             std::uint8_t* po) {
+  const std::int64_t od = (d + 2 * pad_d - kd) / stride_d + 1;
+  const std::int64_t oh = (h + 2 * pad_h - kh) / stride_h + 1;
+  const std::int64_t ow = (w + 2 * pad_w - kw) / stride_w + 1;
+  const std::int64_t taps = static_cast<std::int64_t>(kd) * kh * kw;
+  parallel_for(c * taps, [&](std::int64_t row) {
+    const std::int64_t ch = row / taps;
+    std::int64_t rem = row % taps;
+    const int kz = static_cast<int>(rem / (kh * kw));
+    rem %= kh * kw;
+    const int ky = static_cast<int>(rem / kw);
+    const int kx = static_cast<int>(rem % kw);
+    std::uint8_t* orow = po + row * n * od * oh * ow;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::uint8_t* vol = pi + (i * c + ch) * d * h * w;
+      std::uint8_t* oseg = orow + i * od * oh * ow;
+      for (std::int64_t oz = 0; oz < od; ++oz) {
+        const std::int64_t iz = oz * stride_d - pad_d + kz;
+        if (iz < 0 || iz >= d) {
+          std::memset(oseg + oz * oh * ow, pad,
+                      static_cast<std::size_t>(oh * ow));
+          continue;
+        }
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * stride_h - pad_h + ky;
+          std::uint8_t* oline = oseg + (oz * oh + oy) * ow;
+          if (iy < 0 || iy >= h) {
+            std::memset(oline, pad, static_cast<std::size_t>(ow));
+            continue;
+          }
+          lower_u8_line(vol + (iz * h + iy) * w, w, ow, stride_w, pad_w, kx,
+                        pad, oline);
+        }
+      }
+    }
+  });
+}
+
+namespace {
+
+#if defined(__x86_64__)
+// 16×16 byte-tile transpose: four unpack-butterfly stages (stride-8
+// pairing with doubling element width) land the transpose in identity row
+// order. SSE2 is the x86-64 baseline, so no dispatch is needed.
+inline void transpose16x16_u8(const std::uint8_t* src, std::int64_t src_ld,
+                              std::uint8_t* dst, std::int64_t dst_ld) {
+  __m128i x[16], y[16];
+  for (int i = 0; i < 16; ++i) {
+    x[i] = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(src + i * src_ld));
+  }
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < 8; ++i) {
+      y[2 * i] = _mm_unpacklo_epi8(x[i], x[i + 8]);
+      y[2 * i + 1] = _mm_unpackhi_epi8(x[i], x[i + 8]);
+    }
+    for (int i = 0; i < 8; ++i) {
+      x[2 * i] = _mm_unpacklo_epi8(y[i], y[i + 8]);
+      x[2 * i + 1] = _mm_unpackhi_epi8(y[i], y[i + 8]);
+    }
+  }
+  for (int i = 0; i < 16; ++i) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i * dst_ld), x[i]);
+  }
+}
+#endif
+
+}  // namespace
+
+void transpose_u8_into(const std::uint8_t* a, std::int64_t rows,
+                       std::int64_t cols, std::uint8_t* out,
+                       std::int64_t row_stride) {
+  check(row_stride >= rows, "transpose_u8_into: row_stride < rows");
+  // 64×64 byte macro-tiles keep both streams L1-resident; inside, full
+  // 16×16 sub-tiles run the SIMD butterfly and the edges go scalar.
+  constexpr std::int64_t kTile = 64;
+  parallel_for_grain(cols, kTile, [&](std::int64_t c0, std::int64_t c1, int) {
+    for (std::int64_t ct = c0; ct < c1; ct += kTile) {
+      const std::int64_t cmax = std::min(c1, ct + kTile);
+      for (std::int64_t rt = 0; rt < rows; rt += kTile) {
+        const std::int64_t rmax = std::min(rows, rt + kTile);
+        std::int64_t c = ct;
+#if defined(__x86_64__)
+        for (; c + 16 <= cmax; c += 16) {
+          std::int64_t r = rt;
+          for (; r + 16 <= rmax; r += 16) {
+            transpose16x16_u8(a + r * cols + c, cols,
+                              out + c * row_stride + r, row_stride);
+          }
+          for (std::int64_t cc = c; cc < c + 16; ++cc) {
+            std::uint8_t* orow = out + cc * row_stride;
+            for (std::int64_t rr = r; rr < rmax; ++rr) {
+              orow[rr] = a[rr * cols + cc];
+            }
+          }
+        }
+#endif
+        for (; c < cmax; ++c) {
+          std::uint8_t* orow = out + c * row_stride;
+          for (std::int64_t r = rt; r < rmax; ++r) {
+            orow[r] = a[r * cols + c];
+          }
+        }
+      }
+      if (row_stride > rows) {
+        for (std::int64_t c = ct; c < cmax; ++c) {
+          std::memset(out + c * row_stride + rows, 0,
+                      static_cast<std::size_t>(row_stride - rows));
+        }
+      }
+    }
+  });
 }
 
 void batch_to_channel_major_into(const float* pi, std::int64_t n,

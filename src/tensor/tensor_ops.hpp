@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "src/tensor/tensor.hpp"
 
@@ -58,6 +59,81 @@ void matmul_nt_into(const float* a, const float* b, float* c, std::int64_t m,
 /// out (n×m) = transpose of a (m×n), written into caller memory.
 void transpose_into(const float* a, std::int64_t m, std::int64_t n,
                     float* out);
+
+// ---- Quantised GEMM (u8 activations · s8 weights) --------------------------
+//
+// The int8 inference path: C (m×n float) = dequant(A_u8 (m×k) · B_s8 (k×n)).
+// Unlike the float packed-B path — which re-packs B panels on every call —
+// the s8 B operand (the WEIGHTS of a quantised layer) is packed ONCE at
+// model-load time into a PackedInt8B and reused for the model's lifetime:
+// weight memory traffic drops 4x and the pack cost disappears from the
+// serving loop. A is quantised into workspace scratch per call by the
+// layer (quant.hpp). Accumulation is exact int32, so results are
+// bit-identical for every pool size and every SIMD level by construction;
+// the dequant + bias + LeakyReLU epilogue is fused into the register-tile
+// store (single-rounding fmaf in every path).
+
+/// s8 B matrix packed for gemm_u8s8: k-groups of 4 interleaved per column
+/// so the maddubs microkernel streams one contiguous load per 4 k-steps.
+/// Values must lie within ±quant::kWeightQmax (checked at pack time) —
+/// the saturation-freedom contract of the AVX2 path.
+struct PackedInt8B {
+  std::vector<std::int8_t> data;     ///< (kpad/4, npad, 4) s8, zero-padded
+  std::vector<std::int32_t> colsum;  ///< per-column Σ_k b[k,j] (length npad)
+  std::int64_t k = 0;                ///< logical row count
+  std::int64_t n = 0;                ///< logical column count
+  std::int64_t npad = 0;             ///< n rounded up to 16 columns
+
+  [[nodiscard]] bool empty() const { return data.empty(); }
+  /// k rounded up to 4: the minimum row stride (lda) of the A operand.
+  [[nodiscard]] std::int64_t kpad() const { return (k + 3) / 4 * 4; }
+};
+
+/// Packs a row-major (k × n) s8 matrix. Throws when any value exceeds
+/// ±quant::kWeightQmax.
+[[nodiscard]] PackedInt8B pack_b_s8(const std::int8_t* b, std::int64_t k,
+                                    std::int64_t n);
+
+/// Fused epilogue of gemm_u8s8, applied per output element as
+///   y = fmaf(col_scale[j], float(acc − a_zp·colsum[j]), bias ? bias[j] : 0)
+///   c[i,j] = max(y, lrelu_alpha·y)
+/// col_scale[j] is the combined activation×weight scale of column j;
+/// lrelu_alpha = 1 leaves y unchanged (no activation), alpha < 1 applies
+/// LeakyReLU. Pointers must cover [0, n) of the packed B.
+struct QuantEpilogue {
+  const float* col_scale = nullptr;
+  std::int32_t a_zp = 0;
+  const float* bias = nullptr;  ///< per-column bias, or null
+  float lrelu_alpha = 1.f;
+};
+
+/// C (m × b.n, row-major float, row stride ldc) = epilogue(A_u8 · B).
+/// `lda` is A's row stride in elements and must be >= b.kpad(); bytes past
+/// column k−1 may hold anything (they multiply packed zeros). ldc <= 0
+/// selects b.n. When the caller passes ldc >= b.npad the kernel computes
+/// the full padded column span — the zero-pad columns write epilogue(0)
+/// (= 0 when their col_scale/bias pad entries are 0) and the vector path
+/// never drops to the scalar column tail, which is what makes few-output-
+/// channel convolutions (e.g. a 1-channel output head) run at SIMD speed;
+/// ep.col_scale (and ep.bias when set) must then cover b.npad entries.
+/// Pool-parallel over rows (tall) or 16-column blocks (wide);
+/// bit-identical for every pool size and SIMD level.
+void gemm_u8s8(const std::uint8_t* a, std::int64_t lda, const PackedInt8B& b,
+               std::int64_t m, const QuantEpilogue& ep, float* c,
+               std::int64_t ldc = 0);
+
+/// Serial scalar reference implementation (same contract, same epilogue) —
+/// the bit-exactness oracle for the SIMD kernels.
+void gemm_u8s8_ref(const std::uint8_t* a, std::int64_t lda,
+                   const PackedInt8B& b, std::int64_t m,
+                   const QuantEpilogue& ep, float* c, std::int64_t ldc = 0);
+
+/// Name of the microkernel gemm_u8s8 dispatches to on this host:
+/// "avx512", "avx2", or "scalar". The MTSR_SIMD environment variable
+/// (values "scalar", "avx2", "avx512") caps the choice at process start —
+/// MTSR_SIMD=scalar is the forced-lowest-ISA mode CI uses to keep the
+/// scalar fallback tested on wide hosts.
+[[nodiscard]] const char* gemm_u8s8_kernel_name();
 
 // ---- Conv lowering ---------------------------------------------------------
 
@@ -137,6 +213,37 @@ void col2vol_batched_into(const float* columns, std::int64_t n,
                           int kh, int kw, int stride_d, int stride_h,
                           int stride_w, int pad_d, int pad_h, int pad_w,
                           float* out);
+
+// ---- Quantised (uint8) lowering --------------------------------------------
+//
+// The int8 conv path quantises the layer INPUT image once (N·C·H·W
+// elements) and lowers bytes instead of floats: the k²-fold duplication of
+// im2col then moves 4x less memory, and the subsequent A-operand transpose
+// is a byte transpose. Padding taps are filled with `pad` — the
+// activation zero point, which is exactly where 0.0 quantises (quant.hpp).
+
+/// uint8 im2col_batched (see im2col_batched_into); out-of-bounds taps read
+/// as `pad`.
+void im2col_batched_u8_into(const std::uint8_t* input, std::int64_t n,
+                            std::int64_t c, std::int64_t h, std::int64_t w,
+                            int kh, int kw, int stride_h, int stride_w,
+                            int pad_h, int pad_w, std::uint8_t pad,
+                            std::uint8_t* out);
+
+/// uint8 vol2col_batched (see vol2col_batched_into).
+void vol2col_batched_u8_into(const std::uint8_t* input, std::int64_t n,
+                             std::int64_t c, std::int64_t d, std::int64_t h,
+                             std::int64_t w, int kd, int kh, int kw,
+                             int stride_d, int stride_h, int stride_w,
+                             int pad_d, int pad_h, int pad_w, std::uint8_t pad,
+                             std::uint8_t* out);
+
+/// Byte transpose: out (cols × row_stride) = aᵀ for a (rows × cols), each
+/// output row zero-filled from `rows` to `row_stride` (the GEMM
+/// k-alignment tail). Tiled and pool-parallel.
+void transpose_u8_into(const std::uint8_t* a, std::int64_t rows,
+                       std::int64_t cols, std::uint8_t* out,
+                       std::int64_t row_stride);
 
 // ---- Batch/channel-major reordering ----------------------------------------
 
