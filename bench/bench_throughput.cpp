@@ -32,6 +32,12 @@
 #define MTSR_HAS_QUANT 1
 #endif
 
+#if __has_include("src/serving/scheduler.hpp")
+// Cross-session scheduler (absent in pre-scheduler trees).
+#include "src/serving/scheduler.hpp"
+#define MTSR_HAS_SCHEDULER 1
+#endif
+
 #include "bench/bench_common.hpp"
 #include "src/baselines/bicubic.hpp"
 #include "src/core/pipeline.hpp"
@@ -360,6 +366,143 @@ void BM_ServeEngineInt8(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeEngineInt8)->Arg(100)->Unit(benchmark::kMillisecond);
 #endif  // MTSR_HAS_QUANT
+
+#ifdef MTSR_HAS_SCHEDULER
+// ---- Scheduler: cross-session fusion + fan-out dedup ------------------------
+//
+// The scheduler_fusion acceptance scenario: aggregate throughput of N
+// concurrent streams served through ONE scheduler call per interval
+// against the same N sessions pushed independently.
+//  * Fanout — N consumers subscribed to one city feed (identical frames,
+//    stream-tagged): request-level dedup collapses the N stitched
+//    inferences into one shared computation per interval.
+//  * Distinct — N different cities: batch fusion only. On a single-core
+//    host the win is bounded by per-pass overhead amortisation (the fuse
+//    cap keeps the fused lowering matrices cache-resident); on pooled
+//    hosts the fused GEMMs are what keeps every worker fed.
+// Both scheduler scenarios and their independent controls live in this one
+// binary, so the model inner kernels are identical machine code.
+
+void serve_fanout(benchmark::State& state, bool scheduled) {
+  const std::int64_t n_sessions = state.range(0);
+  const std::int64_t side = 100;
+  const auto datasets = serve_datasets(side);  // feed = city 0's stream
+  const core::PipelineConfig config = serve_config(side);
+  core::MtsrPipeline pipeline(config, datasets.front());
+  serving::Engine engine;
+  engine.register_model(
+      "zipnet", std::make_shared<serving::ZipNetModel>(pipeline.generator()));
+  std::vector<serving::Engine::SessionId> sessions;
+  for (std::int64_t i = 0; i < n_sessions; ++i) {
+    serving::SessionConfig sc = serving::SessionConfig::from_dataset(
+        "zipnet", config.instance, datasets.front(), config.window,
+        config.stitch_stride);
+    if (scheduled) sc.stream = "city0";  // declare the shared feed
+    sessions.push_back(engine.open_session(sc));
+  }
+  const std::int64_t s = config.temporal_length;
+  for (auto _ : state) {
+    for (const auto id : sessions) engine.session(id).reset();
+    std::int64_t produced = 0;
+    for (std::int64_t t = 0; t < s - 1 + kServeFrames; ++t) {
+      if (scheduled) {
+        for (auto& p : engine.push_fused(sessions, datasets.front().frame(t))) {
+          if (p) ++produced;
+          benchmark::DoNotOptimize(p);
+        }
+      } else {
+        for (const auto id : sessions) {
+          auto p = engine.push(id, datasets.front().frame(t));
+          if (p) ++produced;
+          benchmark::DoNotOptimize(p);
+        }
+      }
+    }
+    if (produced != n_sessions * kServeFrames) {
+      state.SkipWithError("serving produced the wrong prediction count");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n_sessions * kServeFrames);
+}
+
+void BM_ServeSchedulerFanout(benchmark::State& state) {
+  serve_fanout(state, /*scheduled=*/true);
+}
+BENCHMARK(BM_ServeSchedulerFanout)
+    ->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServeIndependentFanout(benchmark::State& state) {
+  serve_fanout(state, /*scheduled=*/false);
+}
+BENCHMARK(BM_ServeIndependentFanout)
+    ->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void serve_distinct(benchmark::State& state, bool scheduled) {
+  const std::int64_t n_sessions = state.range(0);
+  const std::int64_t side = 100;
+  std::vector<data::TrafficDataset> datasets;
+  for (std::int64_t i = 0; i < n_sessions; ++i) {
+    bench::BenchData geometry;
+    geometry.side = side;
+    geometry.frames = 16;
+    geometry.seed = 42 + static_cast<std::uint64_t>(i);  // one city each
+    datasets.push_back(bench::make_dataset(geometry));
+  }
+  const core::PipelineConfig config = serve_config(side);
+  core::MtsrPipeline pipeline(config, datasets.front());
+  serving::Engine engine;
+  engine.register_model(
+      "zipnet", std::make_shared<serving::ZipNetModel>(pipeline.generator()));
+  std::vector<serving::Engine::SessionId> sessions;
+  for (const auto& dataset : datasets) {
+    sessions.push_back(engine.open_session(serving::SessionConfig::from_dataset(
+        "zipnet", config.instance, dataset, config.window,
+        config.stitch_stride)));
+  }
+  const std::int64_t s = config.temporal_length;
+  for (auto _ : state) {
+    for (const auto id : sessions) engine.session(id).reset();
+    std::int64_t produced = 0;
+    for (std::int64_t t = 0; t < s - 1 + kServeFrames; ++t) {
+      if (scheduled) {
+        std::vector<Tensor> frames;
+        frames.reserve(datasets.size());
+        for (const auto& dataset : datasets) frames.push_back(dataset.frame(t));
+        for (auto& p : engine.push_all(sessions, frames)) {
+          if (p) ++produced;
+          benchmark::DoNotOptimize(p);
+        }
+      } else {
+        for (std::size_t i = 0; i < sessions.size(); ++i) {
+          auto p = engine.push(sessions[i], datasets[i].frame(t));
+          if (p) ++produced;
+          benchmark::DoNotOptimize(p);
+        }
+      }
+    }
+    if (produced != n_sessions * kServeFrames) {
+      state.SkipWithError("serving produced the wrong prediction count");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n_sessions * kServeFrames);
+}
+
+void BM_ServeSchedulerDistinct(benchmark::State& state) {
+  serve_distinct(state, /*scheduled=*/true);
+}
+BENCHMARK(BM_ServeSchedulerDistinct)
+    ->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServeIndependentDistinct(benchmark::State& state) {
+  serve_distinct(state, /*scheduled=*/false);
+}
+BENCHMARK(BM_ServeIndependentDistinct)
+    ->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+#endif  // MTSR_HAS_SCHEDULER
 #endif  // MTSR_HAS_SERVING
 
 // Probe aggregation (the gateway-side cost of producing model input).

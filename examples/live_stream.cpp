@@ -15,8 +15,18 @@
 // accuracy/throughput comparison a gateway operator would use to pick the
 // serving model.
 //
+// With --sessions N the live feed fans out to N consumer sessions (think N
+// downstream analytics services subscribed to one city): all N are served
+// through one scheduler call per interval, so request-level dedup collapses
+// their inferences into one shared computation, and the example prints the
+// fused-vs-unfused aggregate throughput. With --reload the example
+// hot-swaps the "zipnet" registry slot to the int8-quantised twin halfway
+// through the stream — the open sessions pick the new weights up at their
+// next stitch-block boundary, zero frames dropped.
+//
 // Run:  ./live_stream [--side 32] [--steps 500] [--intervals 12]
 //                     [--model zipnet|zipnet-int8|bicubic]
+//                     [--sessions 1] [--reload]
 #include <algorithm>
 #include <cstdio>
 
@@ -41,6 +51,10 @@ int main(int argc, char** argv) {
   cli.add_string("model", "zipnet",
                  "serving model for the live stream (any registered name: "
                  "zipnet, zipnet-int8, bicubic)");
+  cli.add_int("sessions", 1,
+              "fan-out consumers of the live feed (served fused + dedup'd)");
+  cli.add_flag("reload",
+               "hot-swap \"zipnet\" to the int8 twin mid-stream");
   if (!cli.parse(argc, argv)) return 0;
   const std::int64_t side = cli.get_int("side");
 
@@ -109,45 +123,120 @@ int main(int argc, char** argv) {
   serving::SessionConfig stream_config = serving::SessionConfig::from_dataset(
       chosen, config.instance, dataset, config.window,
       /*stitch_stride=*/config.window / 2);
-  const auto deep = engine.open_session(stream_config);
-  stream_config.model = "bicubic";
-  const auto shallow = engine.open_session(stream_config);
+  const std::int64_t n_sessions =
+      std::max<std::int64_t>(1, cli.get_int("sessions"));
+  // Fan-out consumers declare the shared feed: the scheduler dedups their
+  // block requests, so N subscribers cost ~one inference per interval.
+  if (n_sessions > 1) stream_config.stream = "live";
+  std::vector<serving::Engine::SessionId> consumers;
+  for (std::int64_t i = 0; i < n_sessions; ++i) {
+    consumers.push_back(engine.open_session(stream_config));
+  }
+  serving::SessionConfig baseline_config = stream_config;
+  baseline_config.model = "bicubic";
+  baseline_config.stream.clear();
+  const auto shallow = engine.open_session(baseline_config);
 
-  std::printf("\nstreaming %lld live intervals over %lld sessions "
+  const bool want_reload = cli.get_flag("reload");
+  if (want_reload && chosen != "zipnet") {
+    std::printf("--reload swaps the \"zipnet\" slot; ignored with "
+                "--model %s\n", chosen.c_str());
+  }
+  std::shared_ptr<serving::Model> float_model = engine.model("zipnet");
+  bool reloaded = false;
+
+  const std::int64_t intervals = cli.get_int("intervals");
+  std::printf("\nstreaming %lld live intervals to %lld consumer session(s) "
               "(model %s, S=%lld warm-up):\n",
-              static_cast<long long>(cli.get_int("intervals")),
-              static_cast<long long>(engine.session_count()), chosen.c_str(),
-              static_cast<long long>(engine.session(deep).temporal_length()));
+              static_cast<long long>(intervals),
+              static_cast<long long>(n_sessions), chosen.c_str(),
+              static_cast<long long>(
+                  engine.session(consumers.front()).temporal_length()));
   const std::int64_t t0 = dataset.test_range().begin;
   double worst_latency_ms = 0.0;
-  for (std::int64_t i = 0; i < cli.get_int("intervals"); ++i) {
+  double fused_ms = 0.0;
+  std::int64_t fused_frames = 0;
+  for (std::int64_t i = 0; i < intervals; ++i) {
     const std::int64_t t = t0 + i;
+    if (want_reload && chosen == "zipnet" && !reloaded && i >= intervals / 2) {
+      // Checkpoint hot-reload, instance form: the open sessions pick the
+      // quantised twin up at their next stitch-block boundary — zero
+      // frames dropped, no session reopened.
+      engine.reload_model("zipnet", engine.model("zipnet-int8"));
+      reloaded = true;
+      std::printf("  -- hot-reload: \"zipnet\" now serves the int8 twin\n");
+    }
     Stopwatch sw;
-    auto fine = engine.push(deep, dataset.frame(t));
+    auto outs = engine.push_fused(consumers, dataset.frame(t));
     const double ms = sw.millis();
     worst_latency_ms = std::max(worst_latency_ms, ms);
     auto baseline = engine.push(shallow, dataset.frame(t));
-    if (!fine) {
+    if (!outs.front()) {
       std::printf("  t=%lld  warming up (%lld more frames)\n",
                   static_cast<long long>(t),
                   static_cast<long long>(
-                      engine.session(deep).frames_until_ready()));
+                      engine.session(consumers.front()).frames_until_ready()));
       continue;
     }
+    fused_ms += ms;
+    fused_frames += n_sessions;
     // Note: the engine stitches overlapping windows in normalised (log1p
     // z-score) units for every model, so the served bicubic numbers can
     // differ slightly from the offline full-frame baseline evaluation
     // (bench_fig9), which averages nothing.
+    const Tensor& fine = *outs.front();
     std::printf("  t=%lld  NRMSE %.4f (bicubic %.4f)  SSIM %.4f  "
-                "latency %.0f ms\n",
+                "latency %.0f ms%s\n",
                 static_cast<long long>(t),
-                metrics::nrmse(*fine, dataset.frame(t)),
+                metrics::nrmse(fine, dataset.frame(t)),
                 baseline ? metrics::nrmse(*baseline, dataset.frame(t)) : 0.0,
-                metrics::ssim(*fine, dataset.frame(t)), ms);
+                metrics::ssim(fine, dataset.frame(t)), ms,
+                n_sessions > 1 ? "  (all consumers, dedup'd)" : "");
   }
   std::printf("\nworst per-interval latency %.0f ms against a 10-minute "
               "measurement period — %.0fx headroom for city-scale grids.\n",
               worst_latency_ms, 10.0 * 60.0 * 1000.0 / worst_latency_ms);
+  if (reloaded) {
+    // Swap back so the float-vs-int8 comparison below measures what its
+    // labels say.
+    engine.reload_model("zipnet", float_model);
+    std::printf("hot-reload: float weights restored (2 reloads applied)\n");
+  }
+
+  // --- Fused fan-out vs independent sessions. -------------------------------
+  // The same N-consumer workload without the shared scheduler call: N
+  // untagged sessions pushed one by one each re-run the full inference.
+  if (n_sessions > 1 && fused_frames > 0) {
+    serving::SessionConfig solo = stream_config;
+    solo.stream.clear();
+    std::vector<serving::Engine::SessionId> independent;
+    for (std::int64_t i = 0; i < n_sessions; ++i) {
+      independent.push_back(engine.open_session(solo));
+    }
+    double solo_ms = 0.0;
+    std::int64_t solo_frames = 0;
+    for (std::int64_t t = t0; t < t0 + intervals; ++t) {
+      for (const auto id : independent) {
+        Stopwatch sw;
+        auto out = engine.push(id, dataset.frame(t));
+        if (out) {
+          solo_ms += sw.millis();
+          ++solo_frames;
+        }
+      }
+    }
+    if (solo_frames > 0 && solo_ms > 0.0 && fused_ms > 0.0) {
+      const double fused_rate = 1000.0 * fused_frames / fused_ms;
+      const double solo_rate = 1000.0 * solo_frames / solo_ms;
+      std::printf("\nfan-out x%lld: fused+dedup %.1f frames/s aggregate vs "
+                  "independent %.1f (%.2fx)%s\n",
+                  static_cast<long long>(n_sessions), fused_rate, solo_rate,
+                  fused_rate / solo_rate,
+                  reloaded ? "  (fused half served int8 after the reload)"
+                           : "");
+    }
+    for (const auto id : independent) engine.close_session(id);
+  }
 
   // --- Float vs int8: the quantised-serving decision line. ------------------
   // Same feed through both generator models; accuracy in NRMSE against the

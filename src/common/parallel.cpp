@@ -240,6 +240,15 @@ namespace detail {
 
 void mark_thread_inside_parallel_region() { t_in_parallel_region = true; }
 
+NestedParallelRegion::NestedParallelRegion()
+    : previous_(t_in_parallel_region) {
+  t_in_parallel_region = true;
+}
+
+NestedParallelRegion::~NestedParallelRegion() {
+  t_in_parallel_region = previous_;
+}
+
 }  // namespace detail
 
 }  // namespace mtsr

@@ -69,6 +69,23 @@ namespace detail {
 /// pool's in-flight task. Used by dedicated stage threads (StageExecutor);
 /// pool workers get the same flag from the pool itself.
 void mark_thread_inside_parallel_region();
+
+/// Scoped form of the flag above: while alive, the current thread's
+/// parallel_for calls execute serially, then the previous state is
+/// restored. Lets side-band work (e.g. building a replacement model during
+/// a checkpoint hot-reload) run on any thread without ever scheduling into
+/// the pool — whose single in-flight task may belong to a concurrently
+/// serving thread.
+class NestedParallelRegion {
+ public:
+  NestedParallelRegion();
+  ~NestedParallelRegion();
+  NestedParallelRegion(const NestedParallelRegion&) = delete;
+  NestedParallelRegion& operator=(const NestedParallelRegion&) = delete;
+
+ private:
+  bool previous_;
+};
 }  // namespace detail
 
 /// A dedicated background thread for pipeline-stage tasks that must overlap
@@ -90,6 +107,12 @@ class StageExecutor {
   /// future's get()/wait() blocks until the task finishes and rethrows any
   /// exception it raised.
   std::future<void> submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted so far has finished (queue empty and
+  /// no task executing). Task exceptions stay in their futures — drain()
+  /// never throws them. Exception-unwind paths use this to guarantee no
+  /// in-flight stage task still touches state about to be torn down.
+  void drain();
 
  private:
   struct Impl;

@@ -16,10 +16,12 @@ namespace mtsr {
 struct StageExecutor::Impl {
   std::mutex mutex;
   std::condition_variable cv;
+  std::condition_variable idle_cv;
   std::deque<std::packaged_task<void()>> queue;
   std::thread thread;
   bool started = false;
   bool stopping = false;
+  bool executing = false;
 
   void loop() {
     // Stage tasks must never race the pool's single in-flight task, so the
@@ -35,8 +37,14 @@ struct StageExecutor::Impl {
         if (queue.empty()) return;  // stopping and drained
         task = std::move(queue.front());
         queue.pop_front();
+        executing = true;
       }
       task();  // exceptions land in the task's future
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        executing = false;
+      }
+      idle_cv.notify_all();
     }
   }
 };
@@ -66,6 +74,12 @@ std::future<void> StageExecutor::submit(std::function<void()> fn) {
   }
   impl_->cv.notify_one();
   return result;
+}
+
+void StageExecutor::drain() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->idle_cv.wait(
+      lock, [&] { return impl_->queue.empty() && !impl_->executing; });
 }
 
 }  // namespace mtsr

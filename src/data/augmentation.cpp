@@ -43,13 +43,21 @@ StitchPlan make_stitch_plan(std::int64_t rows, std::int64_t cols,
 
 void stitch_accumulate(const StitchPlan& plan, const Tensor& preds,
                        std::int64_t w0, Tensor& acc, Tensor& weight) {
+  stitch_accumulate(plan, preds, 0, preds.dim(0), w0, acc, weight);
+}
+
+void stitch_accumulate(const StitchPlan& plan, const Tensor& preds,
+                       std::int64_t preds_row, std::int64_t count,
+                       std::int64_t w0, Tensor& acc, Tensor& weight) {
   const std::int64_t window = plan.window;
   check(preds.rank() == 3 && preds.dim(1) == window && preds.dim(2) == window,
         "stitch_accumulate: predictions have the wrong window shape");
-  check(w0 >= 0 && w0 + preds.dim(0) <= plan.window_count(),
+  check(preds_row >= 0 && count >= 0 && preds_row + count <= preds.dim(0),
+        "stitch_accumulate: prediction row range out of batch");
+  check(w0 >= 0 && w0 + count <= plan.window_count(),
         "stitch_accumulate: window range out of plan");
-  const float* pp = preds.data();
-  for (std::int64_t i = w0; i < w0 + preds.dim(0); ++i) {
+  const float* pp = preds.data() + preds_row * window * window;
+  for (std::int64_t i = w0; i < w0 + count; ++i) {
     const std::int64_t r0 = plan.row_origin(i);
     const std::int64_t c0 = plan.col_origin(i);
     const float* pred = pp + (i - w0) * window * window;

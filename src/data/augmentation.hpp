@@ -139,6 +139,15 @@ struct StitchPlan {
 void stitch_accumulate(const StitchPlan& plan, const Tensor& preds,
                        std::int64_t w0, Tensor& acc, Tensor& weight);
 
+/// Row-range form for fused cross-session passes: accumulates `count`
+/// windows starting at row `preds_row` of a (B, w, w) prediction batch that
+/// may hold several sessions' blocks — the scatter half of batch fusion
+/// reads its slice in place instead of copying rows out. Bitwise identical
+/// to slicing the rows into a fresh tensor and calling the overload above.
+void stitch_accumulate(const StitchPlan& plan, const Tensor& preds,
+                       std::int64_t preds_row, std::int64_t count,
+                       std::int64_t w0, Tensor& acc, Tensor& weight);
+
 /// Divides the accumulated predictions by their coverage counts in place —
 /// the final moving-average step shared by all stitchers.
 void stitch_finalize(Tensor& acc, const Tensor& weight);

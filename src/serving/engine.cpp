@@ -1,5 +1,7 @@
 #include "src/serving/engine.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "src/common/check.hpp"
@@ -11,7 +13,62 @@ void Engine::register_model(const std::string& name,
                             std::shared_ptr<Model> model) {
   check(!name.empty(), "Engine::register_model: empty name");
   check(model != nullptr, "Engine::register_model: null model");
-  models_[name] = std::move(model);
+  // A fresh slot per registration preserves the documented semantics:
+  // sessions opened against the old registration keep it; reload_model is
+  // the call that swaps a slot under its open sessions.
+  models_[name] = std::make_shared<ModelSlot>(std::move(model));
+}
+
+void Engine::reload_model(const std::string& name, const std::string& path) {
+  auto it = models_.find(name);
+  check(it != models_.end(), "Engine: unknown model \"" + name + "\"");
+  std::shared_ptr<Model> next;
+  try {
+    // Build the replacement entirely off to the side. The nested-region
+    // guard keeps this thread's parallel_for calls serial, so a reload
+    // running beside a serving thread never contends for the pool's single
+    // in-flight task.
+    detail::NestedParallelRegion nested;
+    next = it->second->acquire().model->load_checkpoint(path);
+  } catch (...) {
+    ++reloads_failed_;
+    throw;
+  }
+  reload_model(name, std::move(next));
+}
+
+void Engine::reload_model(const std::string& name,
+                          std::shared_ptr<Model> next) {
+  auto it = models_.find(name);
+  check(it != models_.end(), "Engine: unknown model \"" + name + "\"");
+  check(next != nullptr, "Engine::reload_model: null model");
+  const std::shared_ptr<ModelSlot>& slot = it->second;
+  try {
+    // A swap must be transparent to every open session on this slot: the
+    // rolling history was sized and gathered for the OLD model's contract.
+    for (const auto& [id, session] : sessions_) {
+      if (session->slot_ != slot) continue;
+      check(next->temporal_length() == session->temporal_length(),
+            "session " + std::to_string(id) + " holds " +
+                std::to_string(session->temporal_length()) +
+                " frames of history but the replacement needs " +
+                std::to_string(next->temporal_length()));
+      const ModelInputs needs = next->inputs();
+      check(needs.coarse_history == session->needs_.coarse_history &&
+                needs.fine_latest == session->needs_.fine_latest,
+            "session " + std::to_string(id) +
+                " gathers different inputs than the replacement consumes");
+      next->validate(session->stream_);
+    }
+  } catch (const std::exception& e) {
+    ++reloads_failed_;
+    throw ContractViolation("Engine::reload_model(\"" + name +
+                            "\"): replacement rejected, old model keeps "
+                            "serving: " +
+                            e.what());
+  }
+  slot->swap(std::move(next));
+  ++reloads_applied_;
 }
 
 bool Engine::has_model(const std::string& name) const {
@@ -21,7 +78,7 @@ bool Engine::has_model(const std::string& name) const {
 std::shared_ptr<Model> Engine::model(const std::string& name) const {
   auto it = models_.find(name);
   check(it != models_.end(), "Engine: unknown model \"" + name + "\"");
-  return it->second;
+  return it->second->acquire().model;
 }
 
 std::vector<std::string> Engine::model_names() const {
@@ -32,10 +89,12 @@ std::vector<std::string> Engine::model_names() const {
 }
 
 Engine::SessionId Engine::open_session(SessionConfig config) {
-  std::shared_ptr<Model> m = model(config.model);  // throws when unknown
+  auto it = models_.find(config.model);
+  check(it != models_.end(),
+        "Engine: unknown model \"" + config.model + "\"");
   const SessionId id = next_id_++;
-  sessions_[id] =
-      std::make_unique<Session>(std::move(m), std::move(config), &stage_);
+  sessions_[id] = std::make_unique<Session>(it->second, std::move(config),
+                                            &scheduler_);
   return id;
 }
 
@@ -62,13 +121,40 @@ std::optional<Tensor> Engine::push(SessionId id, const Tensor& fine_snapshot) {
   return session(id).push(fine_snapshot);
 }
 
+std::vector<std::optional<Tensor>> Engine::push_all(
+    const std::vector<SessionId>& ids, const std::vector<Tensor>& frames) {
+  check(ids.size() == frames.size(), "Engine::push_all: one frame per id");
+  std::vector<Session*> sessions;
+  std::vector<const Tensor*> ptrs;
+  sessions.reserve(ids.size());
+  ptrs.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    sessions.push_back(&session(ids[i]));
+    ptrs.push_back(&frames[i]);
+  }
+  return scheduler_.serve(sessions, ptrs);
+}
+
+std::vector<std::optional<Tensor>> Engine::push_fused(
+    const std::vector<SessionId>& ids, const Tensor& fine_snapshot) {
+  std::vector<Session*> sessions;
+  std::vector<const Tensor*> ptrs;
+  sessions.reserve(ids.size());
+  ptrs.reserve(ids.size());
+  for (const SessionId id : ids) {
+    sessions.push_back(&session(id));
+    ptrs.push_back(&fine_snapshot);
+  }
+  return scheduler_.serve(sessions, ptrs);
+}
+
 Engine::Stats Engine::stats() const {
   Stats stats;
   stats.sessions.reserve(sessions_.size());
   for (const auto& [id, session] : sessions_) {
     SessionStats s;
     s.id = id;
-    s.model = session->model().name();
+    s.model = session->model()->name();
     s.rows = session->config().rows;
     s.cols = session->config().cols;
     s.window = session->config().window;
@@ -78,6 +164,9 @@ Engine::Stats Engine::stats() const {
     s.arena = session->arena_stats();
     stats.sessions.push_back(std::move(s));
   }
+  stats.scheduler = scheduler_.stats();
+  stats.reloads_applied = reloads_applied_.load();
+  stats.reloads_failed = reloads_failed_.load();
   return stats;
 }
 
@@ -94,7 +183,50 @@ std::string render_stats_table(const Engine::Stats& stats) {
                    fmt_bytes(s.arena.peak_bytes),
                    std::to_string(s.arena.growth_events)});
   }
-  return table.render();
+  std::string out = table.render();
+
+  // Scheduler summary: the cross-session dispatch counters a deployment
+  // watches beside the per-session arenas.
+  const SchedulerStats& sch = stats.scheduler;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "scheduler: %lld rounds, %lld passes (%lld fused), "
+                "%lld windows, max queue %lld\n",
+                static_cast<long long>(sch.rounds),
+                static_cast<long long>(sch.passes),
+                static_cast<long long>(sch.fused_passes),
+                static_cast<long long>(sch.windows),
+                static_cast<long long>(sch.max_queue_depth));
+  out += line;
+  out += "fused batch sizes:";
+  bool any = false;
+  for (std::size_t b = 0; b < sch.fused_histogram.size(); ++b) {
+    if (sch.fused_histogram[b] == 0) continue;
+    any = true;
+    std::snprintf(line, sizeof(line), " %zux%lld", b,
+                  static_cast<long long>(sch.fused_histogram[b]));
+    out += line;
+  }
+  if (!any) out += " (none)";
+  out += "\n";
+  const double rate =
+      sch.dedup_lookups > 0
+          ? 100.0 * static_cast<double>(sch.dedup_hits) /
+                static_cast<double>(sch.dedup_lookups)
+          : 0.0;
+  std::snprintf(line, sizeof(line),
+                "dedup: %lld/%lld hits (%.1f%%), %lld memo entries; "
+                "reloads: %lld applied, %lld failed; fused arena: %s cap, "
+                "%lld growth\n",
+                static_cast<long long>(sch.dedup_hits),
+                static_cast<long long>(sch.dedup_lookups), rate,
+                static_cast<long long>(sch.memo_entries),
+                static_cast<long long>(stats.reloads_applied),
+                static_cast<long long>(stats.reloads_failed),
+                fmt_bytes(sch.arena.capacity_bytes).c_str(),
+                static_cast<long long>(sch.arena.growth_events));
+  out += line;
+  return out;
 }
 
 }  // namespace mtsr::serving

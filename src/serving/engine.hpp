@@ -5,8 +5,10 @@
 // registered once by name (a trained ZipNet, any SuperResolver baseline, a
 // checkpoint restored offline), sessions multiplex any number of concurrent
 // streams — different cities, different MTSR instances, different models —
-// and each session runs full-frame prediction as a double-buffered stitch
-// pipeline over its own pair of workspace arenas.
+// and every inference dispatches through the engine's Scheduler, which
+// fuses compatible stitch blocks across concurrently served sessions into
+// shared generator passes, memoises blocks for fan-out consumers of one
+// stream, and gives checkpoint hot-reload its block-boundary atomicity.
 //
 // Ownership rules:
 //  * the engine owns its sessions; close_session() or the engine's
@@ -18,9 +20,13 @@
 //    outlive every engine it is registered with;
 //  * the engine itself is single-threaded: calls into one engine must be
 //    serialised by the caller (the pool + stage threads below it are the
-//    parallelism story).
+//    parallelism story) — with ONE exception: reload_model() may run
+//    concurrently with push()/push_all()/push_fused() and the serving
+//    sessions pick the swap up at their next stitch-block boundary. It may
+//    NOT run concurrently with open/close/register or stats().
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -28,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "src/serving/scheduler.hpp"
 #include "src/serving/session.hpp"
 
 namespace mtsr::serving {
@@ -45,8 +52,27 @@ class Engine {
 
   /// Registers `model` under `name`. Re-registering a name replaces the
   /// model for sessions opened afterwards; open sessions keep the instance
-  /// they were created with.
+  /// they were created with (use reload_model to swap a name under its
+  /// open sessions).
   void register_model(const std::string& name, std::shared_ptr<Model> model);
+
+  /// Checkpoint hot-reload: asks the model currently registered under
+  /// `name` to build a replacement from `path` (Model::load_checkpoint),
+  /// validates the replacement against every open session serving that
+  /// name, then atomically swaps the registry slot. Sessions dereference
+  /// the slot at each stitch-block boundary, so an inference that is
+  /// mid-stitch finishes its in-flight block on the old model and
+  /// continues with the new one — zero blocks dropped or duplicated.
+  /// All-or-nothing: any load or validation error throws (naming the first
+  /// diverging parameter for shape mismatches) and the old model keeps
+  /// serving, bit-identically. Safe to call from another thread while the
+  /// serving thread is inside push()/push_all()/push_fused().
+  void reload_model(const std::string& name, const std::string& path);
+
+  /// Instance form of the hot-reload: swaps `name` to an already built
+  /// model (e.g. "zipnet" -> a quantised twin) under the same validation
+  /// and block-boundary atomicity.
+  void reload_model(const std::string& name, std::shared_ptr<Model> next);
 
   [[nodiscard]] bool has_model(const std::string& name) const;
   [[nodiscard]] std::shared_ptr<Model> model(const std::string& name) const;
@@ -65,8 +91,23 @@ class Engine {
     return static_cast<std::int64_t>(sessions_.size());
   }
 
-  /// Convenience forward of Session::push.
+  /// Convenience forward of Session::push (a one-session scheduler serve).
   std::optional<Tensor> push(SessionId id, const Tensor& fine_snapshot);
+
+  /// Feeds frames[i] into sessions ids[i] and serves all resulting
+  /// inferences in ONE scheduler call: compatible stitch blocks fuse into
+  /// shared generator passes across the sessions, and stream-tagged
+  /// duplicates dedup. Outputs align with `ids`.
+  std::vector<std::optional<Tensor>> push_all(
+      const std::vector<SessionId>& ids, const std::vector<Tensor>& frames);
+
+  /// Fan-out form of push_all: one snapshot delivered to every session in
+  /// `ids` (N consumers of the same coarse feed).
+  std::vector<std::optional<Tensor>> push_fused(
+      const std::vector<SessionId>& ids, const Tensor& fine_snapshot);
+
+  /// Adjusts the scheduler's fused-pass window cap (SchedulerConfig).
+  void set_fuse_cap(std::int64_t cap) { scheduler_.set_fuse_cap(cap); }
 
   // ---- Telemetry -----------------------------------------------------------
 
@@ -84,22 +125,31 @@ class Engine {
   };
   struct Stats {
     std::vector<SessionStats> sessions;  ///< ascending session id
+    SchedulerStats scheduler;            ///< dispatch/fusion/dedup counters
+    std::int64_t reloads_applied = 0;    ///< successful hot-reloads
+    std::int64_t reloads_failed = 0;     ///< rejected hot-reloads
   };
   [[nodiscard]] Stats stats() const;
 
  private:
-  std::map<std::string, std::shared_ptr<Model>> models_;
-  std::map<SessionId, std::unique_ptr<Session>> sessions_;
+  std::map<std::string, std::shared_ptr<ModelSlot>> models_;
   SessionId next_id_ = 1;
-  // One stage thread serves every session: engine calls are serialised, so
-  // only one session can be inside an inference at a time. Declared last:
-  // destroyed first, so it drains in-flight gathers while sessions are
-  // still alive.
+  std::atomic<std::int64_t> reloads_applied_{0};
+  std::atomic<std::int64_t> reloads_failed_{0};
+  // Declaration order is destruction order in reverse: sessions_ is
+  // declared last so closing sessions release their stream memo refs into
+  // a still-live scheduler; the scheduler's serve() never returns with
+  // stage tasks in flight (its drain guard), so the stage executor
+  // outliving only models_ is safe.
   StageExecutor stage_;
+  Scheduler scheduler_{&stage_};
+  std::map<SessionId, std::unique_ptr<Session>> sessions_;
 };
 
 /// Renders engine statistics as the CLI telemetry table (one row per
-/// session: stream geometry, serving counters, arena capacity/peak/growth).
+/// session: stream geometry, serving counters, arena capacity/peak/growth)
+/// followed by the scheduler summary (queue depth, fused-batch-size
+/// histogram, dedup hit rate, hot-reloads).
 [[nodiscard]] std::string render_stats_table(const Engine::Stats& stats);
 
 }  // namespace mtsr::serving

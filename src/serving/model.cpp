@@ -1,25 +1,68 @@
 #include "src/serving/model.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "src/baselines/super_resolver.hpp"
 #include "src/common/check.hpp"
+#include "src/common/rng.hpp"
 #include "src/common/workspace.hpp"
 #include "src/core/zipnet.hpp"
 #include "src/core/zipnet_int8.hpp"
 #include "src/data/augmentation.hpp"
+#include "src/nn/model_io.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::serving {
 
+std::shared_ptr<Model> Model::load_checkpoint(const std::string& path) const {
+  throw ContractViolation("model \"" + name() +
+                          "\" does not support checkpoint reload (" + path +
+                          ")");
+}
+
+namespace {
+// Generations are process-unique, not per-slot: dedup keys embed the slot
+// address + generation, and a per-slot counter restarting at 1 could alias
+// a freed slot's keys if the allocator reuses the address.
+std::atomic<std::uint64_t> g_slot_generation{0};
+}  // namespace
+
+ModelSlot::ModelSlot(std::shared_ptr<Model> model)
+    : current_(std::move(model)), generation_(++g_slot_generation) {
+  check(current_ != nullptr, "ModelSlot: null model");
+}
+
+ModelSlot::Ref ModelSlot::acquire() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Ref{current_, generation_};
+}
+
+void ModelSlot::swap(std::shared_ptr<Model> next) {
+  check(next != nullptr, "ModelSlot::swap: null model");
+  std::lock_guard<std::mutex> lock(mutex_);
+  current_ = std::move(next);
+  generation_ = ++g_slot_generation;
+}
+
 ZipNetModel::ZipNetModel(core::ZipNet& generator, std::string name)
-    : generator_(generator), name_(std::move(name)) {
+    : generator_(&generator), name_(std::move(name)) {
   check(!name_.empty(), "ZipNetModel: empty model name");
 }
 
+ZipNetModel::ZipNetModel(std::unique_ptr<core::ZipNet> generator,
+                         std::string name)
+    : owned_(std::move(generator)), generator_(owned_.get()),
+      name_(std::move(name)) {
+  check(generator_ != nullptr, "ZipNetModel: null generator");
+  check(!name_.empty(), "ZipNetModel: empty model name");
+}
+
+ZipNetModel::~ZipNetModel() = default;
+
 std::int64_t ZipNetModel::temporal_length() const {
-  return generator_.config().temporal_length;
+  return generator_->config().temporal_length;
 }
 
 void ZipNetModel::validate(const StreamContext& stream) const {
@@ -27,7 +70,7 @@ void ZipNetModel::validate(const StreamContext& stream) const {
   check(stream.temporal_length == temporal_length(),
         "ZipNetModel: stream temporal length differs from the generator's S");
   const std::int64_t predicted =
-      stream.layout->input_side() * generator_.total_upscale();
+      stream.layout->input_side() * generator_->total_upscale();
   check(predicted == stream.window,
         "ZipNetModel: generator upscale does not map the layout's input "
         "side onto the stream window");
@@ -37,7 +80,24 @@ Tensor ZipNetModel::predict(const WindowBatch& batch,
                             const StreamContext& stream) {
   (void)stream;
   check(batch.coarse.rank() == 4, "ZipNetModel: expected (B, S, ci, ci)");
-  return generator_.forward(batch.coarse, /*training=*/false);
+  return generator_->forward(batch.coarse, /*training=*/false);
+}
+
+std::shared_ptr<Model> ZipNetModel::load_checkpoint(
+    const std::string& path) const {
+  // The replacement mirrors the serving architecture; the checkpoint then
+  // overwrites every parameter and buffer, so the init seed is irrelevant.
+  core::ZipNetConfig config = generator_->config();
+  Rng rng(0);
+  auto net = std::make_unique<core::ZipNet>(config, rng);
+  try {
+    nn::load_model(path, *net);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error("reload of model \"" + name_ +
+                             "\" rejected checkpoint " + path + ": " +
+                             e.what());
+  }
+  return std::make_shared<ZipNetModel>(std::move(net), name_);
 }
 
 ZipNetInt8Model::ZipNetInt8Model(std::unique_ptr<core::ZipNetInt8> net,

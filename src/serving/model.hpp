@@ -14,7 +14,9 @@
 // every session of an engine.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/data/dataset.hpp"
@@ -78,20 +80,70 @@ class Model {
 
   /// Maps one gathered window batch to (B, w, w) normalised fine windows.
   /// Calls are serialised by the engine; implementations may keep forward
-  /// caches without locking.
+  /// caches without locking. The batch may fuse blocks of several sessions
+  /// (Engine::push_all): implementations must be per-sample pure — row b of
+  /// the output depends only on row b of the inputs.
   [[nodiscard]] virtual Tensor predict(const WindowBatch& batch,
                                        const StreamContext& stream) = 0;
+
+  /// Builds a REPLACEMENT model of the same architecture from a checkpoint
+  /// (Engine::reload_model). Implementations must construct the new
+  /// instance entirely off to the side and throw on any load error — the
+  /// model currently serving is never touched, so a failed reload leaves
+  /// serving bit-identical. Called on the reload thread, possibly while
+  /// the serving thread is inside predict() on this same instance: read
+  /// only state that is immutable after construction (architecture
+  /// config, weights), never lock-free forward caches. The default
+  /// refuses (not every method has checkpoint weights).
+  [[nodiscard]] virtual std::shared_ptr<Model> load_checkpoint(
+      const std::string& path) const;
 
  protected:
   Model() = default;
 };
 
-/// Adapter over the trained ZipNet generator. Non-owning: the generator
-/// (typically owned by a MtsrPipeline or restored from a checkpoint) must
-/// outlive the model.
+/// One mutable registry entry: the model a name currently resolves to plus
+/// a generation counter bumped on every hot-reload. Sessions hold the slot
+/// (not the model) and re-resolve via acquire() at every stitch-block
+/// boundary, which is what makes Engine::reload_model atomic: the swap
+/// lands between blocks, never inside a predict, and in-flight blocks keep
+/// the old model alive through their shared_ptr. swap()/acquire() are the
+/// one cross-thread point of the serving layer (reload may run concurrently
+/// with serving) and are mutex-serialised.
+class ModelSlot {
+ public:
+  /// A resolved model plus the generation it was read at (the generation
+  /// feeds dedup keys, so memoised predictions never outlive the weights
+  /// that produced them).
+  struct Ref {
+    std::shared_ptr<Model> model;
+    std::uint64_t generation = 0;
+  };
+
+  explicit ModelSlot(std::shared_ptr<Model> model);
+  ModelSlot(const ModelSlot&) = delete;
+  ModelSlot& operator=(const ModelSlot&) = delete;
+
+  [[nodiscard]] Ref acquire() const;
+  void swap(std::shared_ptr<Model> next);
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<Model> current_;
+  std::uint64_t generation_;  ///< process-unique (see model.cpp)
+};
+
+/// Adapter over the trained ZipNet generator. Non-owning by default (the
+/// generator, typically owned by a MtsrPipeline, must outlive the model);
+/// the unique_ptr constructor owns — checkpoint hot-reload builds owning
+/// replacements, so a reloaded generator lives exactly as long as the
+/// sessions it serves.
 class ZipNetModel final : public Model {
  public:
   explicit ZipNetModel(core::ZipNet& generator, std::string name = "zipnet");
+  explicit ZipNetModel(std::unique_ptr<core::ZipNet> generator,
+                       std::string name = "zipnet");
+  ~ZipNetModel() override;
 
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] std::int64_t temporal_length() const override;
@@ -101,9 +153,15 @@ class ZipNetModel final : public Model {
   void validate(const StreamContext& stream) const override;
   [[nodiscard]] Tensor predict(const WindowBatch& batch,
                                const StreamContext& stream) override;
+  /// Mirrors the serving generator's architecture into a fresh network and
+  /// restores `path` into it (all-or-nothing; errors name the first
+  /// diverging parameter with expected-vs-checkpoint shapes).
+  [[nodiscard]] std::shared_ptr<Model> load_checkpoint(
+      const std::string& path) const override;
 
  private:
-  core::ZipNet& generator_;
+  std::unique_ptr<core::ZipNet> owned_;
+  core::ZipNet* generator_;
   std::string name_;
 };
 

@@ -1,0 +1,446 @@
+#include "src/serving/scheduler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <unordered_set>
+#include <utility>
+
+#include "src/common/check.hpp"
+
+namespace mtsr::serving {
+
+// One warm session advancing through its stitch plan this serve() call.
+struct Scheduler::Active {
+  std::size_t index = 0;  ///< position in the serve() arguments
+  Session* session = nullptr;
+  std::int64_t blocks = 0;
+  std::uint64_t signature = 0;  ///< history signature at admission
+  Tensor acc, weight;           ///< moving-average stitch accumulators
+  // Staged per round (overlap mode): the dedup key predicted at staging
+  // time and whether a gather was actually submitted — requests the memo
+  // (or a staged sibling) will serve skip their gather entirely.
+  std::string round_key;
+  std::uint64_t round_gen = 0;
+  bool round_staged = false;
+};
+
+// One stitch block enqueued in the current dispatch round.
+struct Scheduler::Request {
+  Active* act = nullptr;
+  std::int64_t b0 = 0, b1 = 0;
+  int slot = 0;
+  ModelSlot::Ref model;  ///< resolved at the block boundary (hot-reload)
+  std::string key;       ///< dedup key; empty = dedup off for this session
+  bool gathered = false;         ///< slot batch valid for this block
+  const Tensor* memo = nullptr;  ///< pre-existing memo entry serving this
+  std::int64_t pass = -1;        ///< index of the pass that computed it
+  std::int64_t row = 0;          ///< first row of this block in its pass
+};
+
+Scheduler::Scheduler(StageExecutor* stage, SchedulerConfig config)
+    : config_(config), stage_(stage) {}
+
+std::string Scheduler::block_key(const Session& session, std::uint64_t
+                                 generation, std::uint64_t signature,
+                                 std::int64_t b0, std::int64_t b1) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "#%p g%llu h%016llx b%lld-%lld",
+                static_cast<const void*>(session.slot_.get()),
+                static_cast<unsigned long long>(generation),
+                static_cast<unsigned long long>(signature),
+                static_cast<long long>(b0), static_cast<long long>(b1));
+  return session.dedup_prefix_ + buf;
+}
+
+Scheduler::~Scheduler() = default;
+
+SchedulerStats Scheduler::stats() const {
+  SchedulerStats out = stats_;
+  out.memo_entries = static_cast<std::int64_t>(memo_.size());
+  out.arena = ws_.stats();
+  return out;
+}
+
+void Scheduler::evict_stale_memo(const Session& session,
+                                 std::uint64_t signature) {
+  StreamMemo& sm = streams_[session.dedup_prefix_];
+  if (sm.signature == signature) return;
+  for (const std::string& key : sm.keys) memo_.erase(key);
+  sm.keys.clear();
+  sm.signature = signature;
+}
+
+void Scheduler::drop_stream_entries(const std::string& prefix) {
+  auto it = streams_.find(prefix);
+  if (it == streams_.end()) return;
+  for (const std::string& key : it->second.keys) memo_.erase(key);
+  streams_.erase(it);
+}
+
+void Scheduler::retain_stream(const std::string& prefix) {
+  ++stream_refs_[prefix];
+}
+
+void Scheduler::release_stream(const std::string& prefix) {
+  auto it = stream_refs_.find(prefix);
+  if (it == stream_refs_.end()) return;
+  if (--it->second > 0) return;
+  stream_refs_.erase(it);
+  drop_stream_entries(prefix);
+}
+
+std::vector<std::optional<Tensor>> Scheduler::serve(
+    std::span<Session* const> sessions,
+    std::span<const Tensor* const> frames) {
+  check(sessions.size() == frames.size(),
+        "Scheduler::serve: one frame per session");
+  std::vector<std::optional<Tensor>> outputs(sessions.size());
+
+  // ---- Admission -----------------------------------------------------------
+  std::vector<Active> acts;
+  acts.reserve(sessions.size());
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    check(sessions[i] != nullptr && frames[i] != nullptr,
+          "Scheduler::serve: null session or frame");
+    for (std::size_t j = 0; j < i; ++j) {
+      check(sessions[i] != sessions[j],
+            "Scheduler::serve: duplicate session in one call");
+    }
+    Session& s = *sessions[i];
+    s.admit(*frames[i]);
+    if (!s.warm()) continue;
+    s.refresh_plan();
+    Active a;
+    a.index = i;
+    a.session = &s;
+    a.blocks = s.plan_.block_count();
+    a.acc = Tensor(Shape{s.config_.rows, s.config_.cols});
+    a.weight = Tensor(Shape{s.config_.rows, s.config_.cols});
+    if (!s.dedup_prefix_.empty()) {
+      a.signature = s.history_signature();
+      evict_stale_memo(s, a.signature);
+    }
+    acts.push_back(std::move(a));
+  }
+  if (acts.empty()) return outputs;
+
+  std::int64_t total_rounds = 0;
+  for (const Active& a : acts) {
+    total_rounds = std::max(total_rounds, a.blocks);
+  }
+
+  // ---- Overlap staging -----------------------------------------------------
+  const int pool = num_threads();
+  bool overlap = false;
+  for (const Active& a : acts) {
+    const SessionConfig::Overlap mode = a.session->config_.overlap;
+    if (mode == SessionConfig::Overlap::kOn ||
+        (mode == SessionConfig::Overlap::kAuto && pool > 1)) {
+      overlap = true;
+      break;
+    }
+  }
+  if (overlap && stage_ == nullptr) {
+    owned_stage_ = std::make_unique<StageExecutor>();
+    stage_ = owned_stage_.get();
+  }
+
+  // If a predict (or a check after it) throws while gathers for the next
+  // round are in flight, those tasks still read session history/slots on
+  // the stage thread; drain them before unwinding so callers may safely
+  // reset() or retry. The primary exception stays the one that propagates.
+  struct DrainStage {
+    StageExecutor* stage;
+    ~DrainStage() {
+      if (stage != nullptr) stage->drain();
+    }
+  } drain_guard{overlap ? stage_ : nullptr};
+
+  auto block_range = [](const Active& a, std::int64_t r) {
+    const std::int64_t b0 = r * a.session->plan_.block;
+    const std::int64_t b1 =
+        std::min(a.session->plan_.window_count(), b0 + a.session->plan_.block);
+    return std::pair<std::int64_t, std::int64_t>(b0, b1);
+  };
+
+  std::vector<std::future<void>> pending;
+  auto prepare_round = [&](std::int64_t r) {
+    // Requests the memo will serve — an entry from an earlier serve, or a
+    // sibling in this round that computes the shared block — never need
+    // their batch, so their gather is skipped here. A hot-reload landing
+    // between staging and dispatch can invalidate the prediction; the
+    // dispatch loop then gathers inline (correctness never depends on the
+    // staging decision).
+    std::unordered_set<std::string> staged_keys;
+    for (Active& a : acts) {
+      a.round_staged = false;
+      a.round_key.clear();
+      a.round_gen = 0;
+      if (r >= a.blocks) continue;
+      const auto [b0, b1] = block_range(a, r);
+      bool need_gather = true;
+      if (!a.session->dedup_prefix_.empty()) {
+        const ModelSlot::Ref ref = a.session->resolve_model();
+        a.round_gen = ref.generation;
+        a.round_key =
+            block_key(*a.session, ref.generation, a.signature, b0, b1);
+        if (memo_.count(a.round_key) > 0 ||
+            !staged_keys.insert(a.round_key).second) {
+          need_gather = false;
+        }
+      }
+      if (!need_gather) continue;
+      Session* s = a.session;
+      const int slot = static_cast<int>(r & 1);
+      // The stage thread gathers into slot r&1 under that slot's arena, so
+      // any scratch the gather path ever takes comes from the arena the
+      // model is NOT currently executing in.
+      pending.push_back(stage_->submit([s, b0 = b0, b1 = b1, slot] {
+        Workspace::Bind bind(s->slots_[slot].ws);
+        s->gather_block(b0, b1, slot);
+      }));
+      a.round_staged = true;
+    }
+  };
+  if (overlap) prepare_round(0);
+
+  // ---- Dispatch rounds -----------------------------------------------------
+  for (std::int64_t r = 0; r < total_rounds; ++r) {
+    if (overlap) {
+      // Round r's staged gathers become ready.
+      for (std::future<void>& f : pending) f.get();
+      pending.clear();
+    }
+
+    std::vector<Request> reqs;
+    reqs.reserve(acts.size());
+    for (Active& a : acts) {
+      if (r >= a.blocks) continue;
+      const auto [b0, b1] = block_range(a, r);
+      Request q;
+      q.act = &a;
+      q.b0 = b0;
+      q.b1 = b1;
+      q.slot = static_cast<int>(r & 1);
+      q.model = a.session->resolve_model();  // the block-boundary resolution
+      q.gathered = overlap && a.round_staged;
+      if (!a.session->dedup_prefix_.empty()) {
+        // Reuse the staged key unless a hot-reload moved the generation
+        // since staging.
+        q.key = (overlap && q.model.generation == a.round_gen)
+                    ? a.round_key
+                    : block_key(*a.session, q.model.generation, a.signature,
+                                b0, b1);
+      }
+      reqs.push_back(std::move(q));
+    }
+    ++stats_.rounds;
+    stats_.max_queue_depth = std::max(
+        stats_.max_queue_depth, static_cast<std::int64_t>(reqs.size()));
+
+    // Immediately stage round r+1 so its gathers run while this round is
+    // inside the model's GEMMs (round r's staging state was consumed into
+    // the requests above).
+    if (overlap && r + 1 < total_rounds) prepare_round(r + 1);
+
+    // -- Dedup: consult the memo, share duplicates within the round. --------
+    std::unordered_map<std::string, std::size_t> first_seen;
+    std::vector<std::size_t> compute;
+    compute.reserve(reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      Request& q = reqs[i];
+      if (q.key.empty()) {
+        compute.push_back(i);
+        continue;
+      }
+      ++stats_.dedup_lookups;
+      if (auto hit = memo_.find(q.key); hit != memo_.end()) {
+        q.memo = &hit->second;  // references stay stable across inserts
+        ++stats_.dedup_hits;
+        continue;
+      }
+      if (first_seen.emplace(q.key, i).second) {
+        compute.push_back(i);  // first consumer of this epoch computes
+      } else {
+        ++stats_.dedup_hits;  // sibling in this round computes; share below
+      }
+    }
+
+    // -- Gather what will actually be predicted. ----------------------------
+    // Covers the non-overlap path, staging mispredictions after a
+    // concurrent reload, and nothing else: memo-served requests never pay
+    // a gather.
+    for (const std::size_t i : compute) {
+      Request& q = reqs[i];
+      if (q.gathered) continue;
+      q.act->session->gather_block(q.b0, q.b1, q.slot);
+      q.gathered = true;
+    }
+
+    // -- Fuse: group compatible blocks, split by the window cap. ------------
+    // Compatibility = same resolved model instance, same temporal/window
+    // geometry and the same normalisation currency — everything a shared
+    // predict() call fixes for all of its rows. The layout only matters to
+    // models that re-derive aggregates from fine crops (fine_latest), so
+    // only those keys pin the layout identity.
+    std::vector<std::vector<std::size_t>> groups;
+    std::unordered_map<std::string, std::size_t> group_index;
+    for (const std::size_t i : compute) {
+      const Request& q = reqs[i];
+      const Session& s = *q.act->session;
+      char buf[192];
+      std::snprintf(buf, sizeof(buf), "%p|%lld|%lld|%lld|%d|%c%c|%a,%a,%c|%p",
+                    static_cast<const void*>(q.model.model.get()),
+                    static_cast<long long>(s.s_),
+                    static_cast<long long>(s.layout_->input_side()),
+                    static_cast<long long>(s.config_.window),
+                    static_cast<int>(s.config_.instance),
+                    s.needs_.coarse_history ? 'c' : '-',
+                    s.needs_.fine_latest ? 'f' : '-',
+                    static_cast<double>(s.config_.stats.mean),
+                    static_cast<double>(s.config_.stats.stddev),
+                    s.config_.log_transform ? 'L' : '-',
+                    s.needs_.fine_latest
+                        ? static_cast<const void*>(s.layout_)
+                        : nullptr);
+      const auto [it, inserted] = group_index.emplace(buf, groups.size());
+      if (inserted) groups.emplace_back();
+      groups[it->second].push_back(i);
+    }
+
+    struct PassPlan {
+      std::vector<std::size_t> members;
+      std::int64_t windows = 0;
+    };
+    std::vector<PassPlan> passes;
+    for (const std::vector<std::size_t>& group : groups) {
+      PassPlan current;
+      for (const std::size_t i : group) {
+        const std::int64_t n = reqs[i].b1 - reqs[i].b0;
+        if (!current.members.empty() && config_.fuse_cap > 0 &&
+            current.windows + n > config_.fuse_cap) {
+          passes.push_back(std::move(current));
+          current = PassPlan{};
+        }
+        reqs[i].row = current.windows;
+        current.members.push_back(i);
+        current.windows += n;
+      }
+      if (!current.members.empty()) passes.push_back(std::move(current));
+    }
+
+    // -- Execute the round's passes. ----------------------------------------
+    std::vector<Tensor> pass_preds(passes.size());
+    for (std::size_t p = 0; p < passes.size(); ++p) {
+      const PassPlan& pass = passes[p];
+      Request& lead = reqs[pass.members.front()];
+      Session& ls = *lead.act->session;
+      Tensor preds;
+      if (pass.members.size() == 1) {
+        // Exactly the pre-scheduler path: the session's own batch under
+        // its own rotating arena — bit-identical to unscheduled serving.
+        Workspace::Bind bind(ls.slots_[lead.slot].ws);
+        Workspace::Scope scope(Workspace::tls());
+        preds =
+            lead.model.model->predict(ls.slots_[lead.slot].batch, ls.stream_);
+      } else {
+        // Concatenate the member blocks into one shared window batch; the
+        // fused pass executes in the scheduler's arena so no session pays
+        // a capacity high-water mark for a batch it did not choose. The
+        // concat buffers persist across passes (resize-on-shape-change,
+        // like gather_block's), keeping steady-state fusion allocation
+        // free.
+        const std::int64_t s_len = ls.s_;
+        const std::int64_t ci = ls.layout_->input_side();
+        const std::int64_t w = ls.config_.window;
+        if (ls.needs_.coarse_history) {
+          const Shape shape{pass.windows, s_len, ci, ci};
+          if (fused_.coarse.shape() != shape) fused_.coarse = Tensor(shape);
+          const std::int64_t stride = s_len * ci * ci;
+          for (const std::size_t i : pass.members) {
+            const Request& q = reqs[i];
+            std::memcpy(
+                fused_.coarse.data() + q.row * stride,
+                q.act->session->slots_[q.slot].batch.coarse.data(),
+                sizeof(float) *
+                    static_cast<std::size_t>((q.b1 - q.b0) * stride));
+          }
+        } else if (!fused_.coarse.empty()) {
+          fused_.coarse = Tensor();
+        }
+        if (ls.needs_.fine_latest) {
+          const Shape shape{pass.windows, w, w};
+          if (fused_.fine_raw.shape() != shape) fused_.fine_raw = Tensor(shape);
+          const std::int64_t stride = w * w;
+          for (const std::size_t i : pass.members) {
+            const Request& q = reqs[i];
+            std::memcpy(
+                fused_.fine_raw.data() + q.row * stride,
+                q.act->session->slots_[q.slot].batch.fine_raw.data(),
+                sizeof(float) *
+                    static_cast<std::size_t>((q.b1 - q.b0) * stride));
+          }
+        } else if (!fused_.fine_raw.empty()) {
+          fused_.fine_raw = Tensor();
+        }
+        Workspace::Bind bind(ws_);
+        Workspace::Scope scope(Workspace::tls());
+        preds = lead.model.model->predict(fused_, ls.stream_);
+        ++stats_.fused_passes;
+      }
+      check(preds.rank() == 3 && preds.dim(0) == pass.windows,
+            "Scheduler: model returned wrong prediction shape");
+      ++stats_.passes;
+      stats_.windows += pass.windows;
+      if (static_cast<std::int64_t>(stats_.fused_histogram.size()) <=
+          pass.windows) {
+        stats_.fused_histogram.resize(
+            static_cast<std::size_t>(pass.windows) + 1, 0);
+      }
+      ++stats_.fused_histogram[static_cast<std::size_t>(pass.windows)];
+
+      // Memoise computed blocks of stream-tagged sessions (row copies, so
+      // fan-out consumers scatter the same bytes).
+      for (const std::size_t i : pass.members) {
+        Request& q = reqs[i];
+        q.pass = static_cast<std::int64_t>(p);
+        if (q.key.empty()) continue;
+        const std::int64_t n = q.b1 - q.b0;
+        const std::int64_t w = q.act->session->config_.window;
+        Tensor rows(Shape{n, w, w});
+        std::memcpy(rows.data(), preds.data() + q.row * w * w,
+                    sizeof(float) * static_cast<std::size_t>(n * w * w));
+        memo_[q.key] = std::move(rows);
+        streams_[q.act->session->dedup_prefix_].keys.push_back(q.key);
+      }
+      pass_preds[p] = std::move(preds);
+    }
+
+    // -- Scatter: accumulate every request into its session's stitch. -------
+    for (Request& q : reqs) {
+      Session& s = *q.act->session;
+      if (q.pass >= 0) {
+        data::stitch_accumulate(s.plan_, pass_preds[static_cast<std::size_t>(
+                                             q.pass)],
+                                q.row, q.b1 - q.b0, q.b0, q.act->acc,
+                                q.act->weight);
+      } else {
+        // Served from the memo: either a hit recorded at lookup time or a
+        // within-round sibling's entry stored just above.
+        const Tensor* rows = q.memo != nullptr ? q.memo : &memo_.at(q.key);
+        data::stitch_accumulate(s.plan_, *rows, 0, q.b1 - q.b0, q.b0,
+                                q.act->acc, q.act->weight);
+      }
+      if (r + 1 == q.act->blocks) {
+        data::stitch_finalize(q.act->acc, q.act->weight);
+        outputs[q.act->index] = s.denormalize(q.act->acc);
+        s.note_inference();
+      }
+    }
+  }
+  return outputs;
+}
+
+}  // namespace mtsr::serving

@@ -1,0 +1,167 @@
+// serving::Scheduler — admission and dispatch between Engine and Session:
+// cross-session batch fusion, request-level dedup, and the block-boundary
+// contract that makes checkpoint hot-reload atomic.
+//
+// The paper's deployment is one central controller inferring fine-grained
+// traffic for a whole city from coarse probe streams; at "millions of
+// users" scale that means many concurrent per-region sessions hammering
+// one generator. Serving each session's stitch alone wastes the batched
+// substrate underneath: N sessions issue N small window-batch GEMMs per
+// block where one shared pass would do. The scheduler closes that gap:
+//
+//  * FUSION — each serve() call advances every warm session through its
+//    stitch plan in lockstep dispatch rounds. Within a round, the block
+//    requests of model-compatible sessions (same resolved model, same
+//    window/temporal geometry, same normalisation) concatenate into shared
+//    generator passes, capped at `fuse_cap` windows per pass so the fused
+//    lowering matrices stay cache-resident, and the results scatter back
+//    into each session's moving-average accumulators in place.
+//  * DEDUP — sessions opened with the same SessionConfig::stream tag are
+//    fan-out consumers of one coarse feed. Block predictions are memoised
+//    under a content key (stream tag + geometry + model generation + a
+//    rolling hash of the frames actually pushed + block range), so only
+//    the first consumer of an epoch computes; the rest scatter the
+//    memoised rows and receive bitwise-equal frames. The key covers the
+//    frame bytes, so a mis-tagged stream degrades to independent serving.
+//  * HOT-RELOAD — sessions re-resolve their ModelSlot at every dispatch
+//    round, i.e. at stitch-block boundaries. Engine::reload_model swaps
+//    the slot under a mutex; in-flight blocks finish on the model they
+//    resolved, subsequent blocks see the replacement, and no block is ever
+//    dropped or duplicated. The slot generation in the dedup key keeps
+//    memoised predictions from outliving the weights that produced them.
+//
+// Numerics contract (the bit-identity boundary):
+//  * a session served alone — every Engine::push — follows exactly the
+//    pre-scheduler block sequence under its own arenas: bit-identical to
+//    the unscheduled path at every pool size, overlap on or off;
+//  * dedup'd consumers scatter the same memoised rows: bitwise-equal
+//    frames by construction;
+//  * int8 models fuse bit-identically (exact s32 accumulation makes the
+//    forward per-sample batch-invariant);
+//  * float models fuse at ≤1e-5 parity: a fused pass widens the lowered
+//    GEMMs, which moves SIMD tile boundaries and with them the float-add
+//    order inside shared reduction tails (measured ~4e-7 on the serving
+//    generator). For a fixed session composition the fused output is
+//    itself deterministic across pool sizes.
+//
+// Threading: serve() runs on the caller's thread (engine calls are
+// serialised) and stages the NEXT round's gathers on the StageExecutor
+// while the current round is inside the model — the double-buffered stitch
+// generalised across sessions. ModelSlot resolution is the only state
+// shared with a concurrent reloader, and it is mutex-serialised.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/parallel.hpp"
+#include "src/common/workspace.hpp"
+#include "src/serving/session.hpp"
+
+namespace mtsr::serving {
+
+struct SchedulerConfig {
+  /// Maximum windows per fused generator pass; <= 0 removes the cap. The
+  /// default keeps a fused pass inside the measured per-window sweet spot
+  /// of gateway-class cores (the lowered column matrices of a window-20
+  /// block stop being cache-resident past ~4 windows); multi-socket hosts
+  /// serving wide pools raise it so one pass can feed every worker.
+  std::int64_t fuse_cap = 4;
+};
+
+/// Dispatch telemetry, cumulative since construction. A production
+/// deployment alarms on queue depth and dedup hit rate the same way it
+/// alarms on arena growth.
+struct SchedulerStats {
+  std::int64_t rounds = 0;        ///< dispatch rounds executed
+  std::int64_t passes = 0;        ///< model predict() calls issued
+  std::int64_t fused_passes = 0;  ///< passes combining > 1 session
+  std::int64_t windows = 0;       ///< windows served through passes
+  std::int64_t max_queue_depth = 0;  ///< peak block requests in one round
+  /// fused_histogram[b] = passes that ran b windows (index 0 unused).
+  std::vector<std::int64_t> fused_histogram;
+  std::int64_t dedup_lookups = 0;  ///< block requests with dedup enabled
+  std::int64_t dedup_hits = 0;     ///< requests served from the memo
+  std::int64_t memo_entries = 0;   ///< live memoised block predictions
+  Workspace::Stats arena;          ///< fused-pass execution arena
+};
+
+/// The admission-and-dispatch layer. One scheduler serves all sessions of
+/// an engine; a standalone Session lazily owns a private one.
+class Scheduler {
+ public:
+  /// Fixed sub-batch for engine-native sessions (SessionConfig::block ==
+  /// kDefaultBlock): two windows per block keeps a window-20 block's
+  /// lowered matrices cache-resident on a gateway-class core and — unlike
+  /// the legacy pool-scaled block — is a pure constant, so session outputs
+  /// never depend on the pool size. GEMM pool scaling comes from column
+  /// chunking inside each (possibly fused) pass, not from the block.
+  static constexpr std::int64_t kFixedBlock = 2;
+
+  /// `stage` runs the overlapped gathers (the engine passes one shared
+  /// executor); a scheduler without one creates its own lazily when
+  /// overlap first engages.
+  explicit Scheduler(StageExecutor* stage = nullptr,
+                     SchedulerConfig config = {});
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Feeds frames[i] into sessions[i] (one snapshot each, distinct
+  /// sessions) and serves every resulting inference, fusing compatible
+  /// blocks across the warm sessions. Returns one entry per session:
+  /// the stitched full-grid inference, or nullopt while warming up.
+  /// Outputs land in input order regardless of fusion.
+  [[nodiscard]] std::vector<std::optional<Tensor>> serve(
+      std::span<Session* const> sessions, std::span<const Tensor* const> frames);
+
+  [[nodiscard]] SchedulerStats stats() const;
+  [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+  /// Adjusts the fused-pass window cap (takes effect next serve()).
+  void set_fuse_cap(std::int64_t cap) { config_.fuse_cap = cap; }
+
+  /// Stream memo lifetime: each dedup-enabled session holds one reference
+  /// on its stream prefix; when the last consumer of a stream closes, the
+  /// stream's memoised predictions are freed instead of lingering until
+  /// the next serve of that tag.
+  void retain_stream(const std::string& prefix);
+  void release_stream(const std::string& prefix);
+
+ private:
+  struct Active;
+  struct Request;
+
+  void evict_stale_memo(const Session& session, std::uint64_t signature);
+  void drop_stream_entries(const std::string& prefix);
+  /// The content-addressed dedup key of one block request.
+  [[nodiscard]] static std::string block_key(const Session& session,
+                                             std::uint64_t generation,
+                                             std::uint64_t signature,
+                                             std::int64_t b0, std::int64_t b1);
+
+  SchedulerConfig config_;
+  StageExecutor* stage_ = nullptr;
+  std::unique_ptr<StageExecutor> owned_stage_;
+  Workspace ws_;  ///< fused passes execute here, not in a session arena
+  WindowBatch fused_;  ///< persistent concat buffers (resized on demand)
+
+  /// Content-addressed block predictions for stream-tagged sessions, plus
+  /// per-stream bookkeeping so entries die as soon as their stream's
+  /// history moves on (bounded by blocks-per-frame per stream).
+  std::unordered_map<std::string, Tensor> memo_;
+  struct StreamMemo {
+    std::uint64_t signature = 0;
+    std::vector<std::string> keys;
+  };
+  std::unordered_map<std::string, StreamMemo> streams_;
+  std::unordered_map<std::string, std::int64_t> stream_refs_;
+
+  SchedulerStats stats_;
+};
+
+}  // namespace mtsr::serving

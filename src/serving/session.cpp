@@ -1,23 +1,31 @@
 #include "src/serving/session.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
 #include "src/common/check.hpp"
+#include "src/serving/scheduler.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::serving {
 namespace {
 
-// Fixed sub-batch for engine-native sessions: two windows per pass keeps a
-// window-20 block's lowered matrices cache-resident on a gateway-class
-// core (measured: ~1.88 ms/sample at batch 2 vs 2.16 at batch 8), and —
-// unlike the legacy pool-scaled block — it is a pure constant, so session
-// outputs never depend on the pool size. GEMM pool scaling comes from
-// column chunking inside each pass, not from the batch, so multi-core
-// hosts lose nothing.
-constexpr std::int64_t kFixedBlock = 2;
+// FNV-1a over raw bytes: the content hash behind request-level dedup. Not
+// cryptographic — it only has to make "same stream tag, different data"
+// collisions vanishingly unlikely, and hashing a frame costs microseconds
+// against the milliseconds its inference costs.
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t seed = 1469598103934665603ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 }  // namespace
 
@@ -38,10 +46,11 @@ SessionConfig SessionConfig::from_dataset(std::string model,
   return config;
 }
 
-Session::Session(std::shared_ptr<Model> model, SessionConfig config,
-                 StageExecutor* stage)
-    : model_(std::move(model)), config_(std::move(config)), stage_(stage) {
-  check(model_ != nullptr, "Session: null model");
+Session::Session(std::shared_ptr<ModelSlot> slot, SessionConfig config,
+                 Scheduler* scheduler)
+    : slot_(std::move(slot)), config_(std::move(config)),
+      scheduler_(scheduler) {
+  check(slot_ != nullptr, "Session: null model slot");
   check(config_.rows > 0 && config_.cols > 0, "Session: empty grid");
   check(config_.window > 0 && config_.window <= config_.rows &&
             config_.window <= config_.cols,
@@ -65,22 +74,67 @@ Session::Session(std::shared_ptr<Model> model, SessionConfig config,
                                       : config_.window / 2;
   check(stride_ > 0, "Session: stride must be positive");
 
-  s_ = model_->temporal_length();
+  const std::shared_ptr<Model> model = slot_->acquire().model;
+  s_ = model->temporal_length();
   check(s_ >= 1, "Session: model temporal length must be >= 1");
-  needs_ = model_->inputs();
+  needs_ = model->inputs();
   stream_ = StreamContext{layout_, config_.window, s_, config_.stats,
                           config_.log_transform};
-  model_->validate(stream_);
+  model->validate(stream_);
 
   const std::int64_t block =
-      config_.block > 0 ? config_.block : kFixedBlock;
+      config_.block > 0 ? config_.block : Scheduler::kFixedBlock;
   plan_ = data::make_stitch_plan(config_.rows, config_.cols, config_.window,
                                  stride_, block);
+
+  if (!config_.stream.empty()) {
+    // Everything that shapes a block's prediction besides the frame bytes
+    // and the model generation: two sessions whose prefixes match and whose
+    // frame-hash chains match gather byte-identical batches under the same
+    // stitch plan, so their block predictions are interchangeable. A
+    // borrowed layout override is pinned by identity — it may aggregate
+    // differently than make_layout(instance, window, window) would, and
+    // the frame hash only sees bytes from BEFORE the aggregation; owned
+    // layouts are derived from (instance, window) already in the prefix.
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "|%lldx%lld|w%lld|t%lld|i%d|S%lld|%c%c|%a,%a%c|L%p",
+                  static_cast<long long>(config_.rows),
+                  static_cast<long long>(config_.cols),
+                  static_cast<long long>(config_.window),
+                  static_cast<long long>(stride_),
+                  static_cast<int>(config_.instance),
+                  static_cast<long long>(s_),
+                  needs_.coarse_history ? 'c' : '-',
+                  needs_.fine_latest ? 'f' : '-',
+                  static_cast<double>(config_.stats.mean),
+                  static_cast<double>(config_.stats.stddev),
+                  config_.log_transform ? 'L' : '-',
+                  static_cast<const void*>(config_.layout));
+    dedup_prefix_ = config_.stream + buf;
+  }
+  if (scheduler_ != nullptr && !dedup_prefix_.empty()) {
+    scheduler_->retain_stream(dedup_prefix_);
+    stream_registered_ = true;
+  }
 }
 
-Session::~Session() = default;
+Session::Session(std::shared_ptr<Model> model, SessionConfig config,
+                 Scheduler* scheduler)
+    : Session(std::make_shared<ModelSlot>(std::move(model)),
+              std::move(config), scheduler) {}
 
-void Session::reset() { history_.clear(); }
+Session::~Session() {
+  // Drop this consumer's claim on its stream memo: when the last session
+  // of a stream tag closes, the scheduler frees that stream's memoised
+  // predictions instead of holding them for the engine's lifetime.
+  if (stream_registered_) scheduler_->release_stream(dedup_prefix_);
+}
+
+void Session::reset() {
+  history_.clear();
+  frame_hashes_.clear();
+}
 
 std::int64_t Session::frames_until_ready() const {
   return std::max<std::int64_t>(
@@ -126,6 +180,41 @@ Tensor Session::coarsen_windows(const Tensor& normalized) const {
   return out;
 }
 
+void Session::admit(const Tensor& fine_snapshot) {
+  check(fine_snapshot.rank() == 2 && fine_snapshot.dim(0) == config_.rows &&
+            fine_snapshot.dim(1) == config_.cols,
+        "Session::push: wrong snapshot shape");
+  FrameEntry entry;
+  Tensor norm = normalize(fine_snapshot);
+  if (needs_.coarse_history) entry.coarse_windows = coarsen_windows(norm);
+  if (needs_.fine_latest) entry.raw = fine_snapshot;
+  history_.push_back(std::move(entry));
+  if (!dedup_prefix_.empty()) {
+    frame_hashes_.push_back(fnv1a(
+        fine_snapshot.data(),
+        sizeof(float) * static_cast<std::size_t>(fine_snapshot.size())));
+  }
+  if (static_cast<std::int64_t>(history_.size()) > s_) {
+    history_.pop_front();
+    if (!frame_hashes_.empty()) frame_hashes_.pop_front();
+  }
+}
+
+std::uint64_t Session::history_signature() const {
+  if (dedup_prefix_.empty()) return 0;
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint64_t fh : frame_hashes_) h = fnv1a(&fh, sizeof(fh), h);
+  return h;
+}
+
+void Session::refresh_plan() {
+  // The legacy block tracks the CURRENT pool size on every inference,
+  // exactly as the pre-redesign entry points did.
+  if (config_.block == SessionConfig::kLegacyBlock) {
+    plan_.block = data::legacy_stitch_block();
+  }
+}
+
 void Session::gather_block(std::int64_t b0, std::int64_t b1, int slot) {
   const std::int64_t n = b1 - b0;
   const std::int64_t ci = layout_->input_side();
@@ -161,95 +250,22 @@ void Session::gather_block(std::int64_t b0, std::int64_t b1, int slot) {
   }
 }
 
-std::optional<Tensor> Session::push(const Tensor& fine_snapshot) {
-  check(fine_snapshot.rank() == 2 && fine_snapshot.dim(0) == config_.rows &&
-            fine_snapshot.dim(1) == config_.cols,
-        "Session::push: wrong snapshot shape");
-  FrameEntry entry;
-  Tensor norm = normalize(fine_snapshot);
-  if (needs_.coarse_history) entry.coarse_windows = coarsen_windows(norm);
-  if (needs_.fine_latest) entry.raw = fine_snapshot;
-  history_.push_back(std::move(entry));
-  if (static_cast<std::int64_t>(history_.size()) > s_) history_.pop_front();
-  if (static_cast<std::int64_t>(history_.size()) < s_) return std::nullopt;
-  Tensor prediction = infer();
-  ++inferences_;  // counted only once actually produced
-  return prediction;
+Scheduler& Session::ensure_scheduler() {
+  if (scheduler_ == nullptr) {
+    owned_scheduler_ = std::make_unique<Scheduler>();
+    scheduler_ = owned_scheduler_.get();
+    if (!dedup_prefix_.empty()) {
+      scheduler_->retain_stream(dedup_prefix_);
+      stream_registered_ = true;
+    }
+  }
+  return *scheduler_;
 }
 
-Tensor Session::infer() {
-  // The legacy block tracks the CURRENT pool size on every inference,
-  // exactly as the pre-redesign entry points did.
-  if (config_.block == SessionConfig::kLegacyBlock) {
-    plan_.block = data::legacy_stitch_block();
-  }
-  const std::int64_t n_windows = plan_.window_count();
-  const std::int64_t blocks = plan_.block_count();
-
-  const bool overlap =
-      config_.overlap == SessionConfig::Overlap::kOn ||
-      (config_.overlap == SessionConfig::Overlap::kAuto && num_threads() > 1);
-  if (overlap && stage_ == nullptr) {
-    owned_stage_ = std::make_unique<StageExecutor>();
-    stage_ = owned_stage_.get();
-  }
-
-  std::future<void> pending;
-  // If predict (or a check after it) throws while a gather for the next
-  // block is in flight, that gather still reads history_/slots_ on the
-  // stage thread; wait it out before unwinding so callers may safely
-  // reset() or retry. The primary exception stays the one that propagates.
-  struct DrainPending {
-    std::future<void>& pending;
-    ~DrainPending() {
-      if (pending.valid()) {
-        try {
-          pending.get();
-        } catch (...) {
-        }
-      }
-    }
-  } drain{pending};
-  auto submit_gather = [&](std::int64_t k) {
-    const std::int64_t b0 = k * plan_.block;
-    const std::int64_t b1 = std::min(n_windows, b0 + plan_.block);
-    const int slot = static_cast<int>(k & 1);
-    pending = stage_->submit([this, b0, b1, slot] {
-      // The stage thread stages its slot under that slot's arena, so any
-      // scratch the gather path ever takes comes from the arena the
-      // generator is NOT currently executing in.
-      Workspace::Bind bind(slots_[slot].ws);
-      gather_block(b0, b1, slot);
-    });
-  };
-
-  Tensor acc(Shape{config_.rows, config_.cols});
-  Tensor weight(Shape{config_.rows, config_.cols});
-  if (overlap) submit_gather(0);
-  for (std::int64_t k = 0; k < blocks; ++k) {
-    const std::int64_t b0 = k * plan_.block;
-    const std::int64_t b1 = std::min(n_windows, b0 + plan_.block);
-    const int slot = static_cast<int>(k & 1);
-    if (overlap) {
-      // Block k's inputs are ready; immediately stage block k+1 so it
-      // gathers while this block is inside the model's GEMMs.
-      pending.get();
-      if (k + 1 < blocks) submit_gather(k + 1);
-    } else {
-      gather_block(b0, b1, slot);
-    }
-    Tensor preds;
-    {
-      Workspace::Bind bind(slots_[slot].ws);
-      Workspace::Scope scope(Workspace::tls());
-      preds = model_->predict(slots_[slot].batch, stream_);
-    }
-    check(preds.rank() == 3 && preds.dim(0) == b1 - b0,
-          "Session: model returned wrong prediction shape");
-    data::stitch_accumulate(plan_, preds, b0, acc, weight);
-  }
-  data::stitch_finalize(acc, weight);
-  return denormalize(acc);
+std::optional<Tensor> Session::push(const Tensor& fine_snapshot) {
+  Session* self = this;
+  const Tensor* frame = &fine_snapshot;
+  return std::move(ensure_scheduler().serve({&self, 1}, {&frame, 1})[0]);
 }
 
 }  // namespace mtsr::serving

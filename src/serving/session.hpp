@@ -1,5 +1,5 @@
 // serving::Session — one live stream's state: rolling history, window
-// cache, and the double-buffered stitched-inference loop.
+// cache, and the per-session half of the scheduled stitched-inference loop.
 //
 // A session owns everything one city/stream needs between requests:
 //  * the last S frames, pre-coarsened per stitch window on arrival, so a
@@ -8,11 +8,17 @@
 //    quadratic waste on city-scale grids);
 //  * a dedicated rotating pair of mtsr::Workspace arenas. Block k of the
 //    stitch executes with ws[k % 2] bound as the thread workspace, while
-//    the gather of block k+1 runs on the engine's stage thread under
+//    the gather of block k+1 runs on the scheduler's stage thread under
 //    ws[(k+1) % 2] — workspace-aware double buffering: the generator's GEMM
 //    scratch and the next block's gather never touch the same arena. After
 //    warm-up both arenas sit at their high-water capacity and steady-state
 //    serving performs zero growth (Engine::stats() exposes the counters).
+//
+// The inference LOOP no longer lives here: the session exposes a stepwise
+// contract (admit → gather block → accumulate → finalize) that the serving
+// Scheduler drives, fusing compatible blocks of concurrently served
+// sessions into shared generator passes. A session served alone follows
+// exactly the block sequence the pre-scheduler Session::infer ran.
 //
 // Determinism: with a fixed `block`, session outputs are bit-identical
 // across pool sizes and across whether double-buffering is enabled — the
@@ -26,6 +32,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "src/common/parallel.hpp"
 #include "src/common/workspace.hpp"
@@ -33,6 +40,8 @@
 #include "src/serving/model.hpp"
 
 namespace mtsr::serving {
+
+class Scheduler;
 
 /// Everything needed to open one stream.
 struct SessionConfig {
@@ -46,6 +55,17 @@ struct SessionConfig {
 
   data::NormStats stats;  ///< training-split normalisation
   bool log_transform = true;
+
+  /// Stream identity for request-level dedup. Sessions opened with the
+  /// same non-empty tag declare themselves fan-out consumers of one coarse
+  /// feed: the scheduler memoises each block's prediction under a key that
+  /// also covers the model generation, the stream geometry and a rolling
+  /// hash of the actual frames pushed, so consumers share a single
+  /// inference exactly when their histories are byte-identical — a
+  /// mis-tagged stream degrades to independent serving, never to serving
+  /// another stream's data. Empty (the default) disables dedup and the
+  /// per-push frame hashing that feeds it.
+  std::string stream;
 
   /// Window-local probe layout override. When null the session builds
   /// make_layout(instance, window, window) and owns it; a non-null layout
@@ -78,13 +98,16 @@ struct SessionConfig {
 /// been observed every push returns the stitched full-grid inference.
 class Session {
  public:
-  /// `stage` is the executor used for the double-buffered gather when
-  /// overlap engages; the engine passes one shared executor to all its
-  /// sessions (calls into one engine are serialised, so one stage thread
-  /// serves any number of streams). A standalone session (null) creates
-  /// its own lazily.
+  /// `scheduler` dispatches this session's stitch blocks (the engine
+  /// passes its shared scheduler, which fuses blocks across every session
+  /// it serves). A standalone session (null) lazily creates a private
+  /// scheduler of its own.
+  explicit Session(std::shared_ptr<ModelSlot> slot, SessionConfig config,
+                   Scheduler* scheduler = nullptr);
+  /// Convenience for standalone use: wraps `model` in a fresh (never
+  /// hot-reloaded) slot.
   explicit Session(std::shared_ptr<Model> model, SessionConfig config,
-                   StageExecutor* stage = nullptr);
+                   Scheduler* scheduler = nullptr);
   ~Session();
 
   Session(const Session&) = delete;
@@ -111,25 +134,52 @@ class Session {
   [[nodiscard]] std::int64_t inference_count() const { return inferences_; }
 
   [[nodiscard]] const SessionConfig& config() const { return config_; }
-  [[nodiscard]] const Model& model() const { return *model_; }
+
+  /// The model currently serving this session — re-resolved from the
+  /// registry slot, so the answer tracks checkpoint hot-reloads.
+  [[nodiscard]] std::shared_ptr<Model> model() const {
+    return slot_->acquire().model;
+  }
 
   /// Combined statistics of the session's rotating arena pair. In steady
   /// state capacity and growth_events stay constant push after push.
   [[nodiscard]] Workspace::Stats arena_stats() const;
 
  private:
+  friend class Scheduler;
+  friend class Engine;  ///< hot-reload validates against slot_/needs_/stream_
+
   struct FrameEntry {
     Tensor coarse_windows;  ///< (W, ci, ci): every stitch window, coarsened
     Tensor raw;             ///< raw frame; kept only for fine_latest models
   };
 
+  // ---- Scheduler-facing stepwise contract ----------------------------------
+  /// Absorbs one snapshot into the rolling history (and the dedup hash
+  /// chain when the session is stream-tagged).
+  void admit(const Tensor& fine_snapshot);
+  [[nodiscard]] bool warm() const {
+    return static_cast<std::int64_t>(history_.size()) >= s_;
+  }
+  /// Re-evaluates the pool-scaled block for kLegacyBlock sessions; called
+  /// once per inference, exactly as the pre-scheduler loop did.
+  void refresh_plan();
+  /// Gathers windows [b0, b1) of the plan into slot `slot`'s batch.
+  void gather_block(std::int64_t b0, std::int64_t b1, int slot);
+  [[nodiscard]] ModelSlot::Ref resolve_model() const {
+    return slot_->acquire();
+  }
+  /// Rolling hash over the raw bytes of the S frames currently in history
+  /// (dedup-enabled sessions only; 0 otherwise).
+  [[nodiscard]] std::uint64_t history_signature() const;
+  void note_inference() { ++inferences_; }
+
   [[nodiscard]] Tensor normalize(const Tensor& raw) const;
   [[nodiscard]] Tensor denormalize(const Tensor& normalized) const;
   [[nodiscard]] Tensor coarsen_windows(const Tensor& normalized) const;
-  void gather_block(std::int64_t b0, std::int64_t b1, int slot);
-  [[nodiscard]] Tensor infer();
+  [[nodiscard]] Scheduler& ensure_scheduler();
 
-  std::shared_ptr<Model> model_;
+  std::shared_ptr<ModelSlot> slot_;
   SessionConfig config_;
   std::unique_ptr<data::ProbeLayout> owned_layout_;
   const data::ProbeLayout* layout_ = nullptr;
@@ -139,8 +189,11 @@ class Session {
   std::int64_t s_ = 1;
   std::int64_t stride_ = 0;
   std::int64_t inferences_ = 0;
+  std::string dedup_prefix_;  ///< stream + geometry key prefix; empty = off
+  bool stream_registered_ = false;  ///< holds a scheduler stream refcount
 
   std::deque<FrameEntry> history_;  ///< last <= S frames
+  std::deque<std::uint64_t> frame_hashes_;  ///< parallel to history_
 
   /// Double-buffer slots: gather state + execution arena, rotated per
   /// stitch block.
@@ -149,8 +202,8 @@ class Session {
     WindowBatch batch;
   };
   Slot slots_[2];
-  StageExecutor* stage_ = nullptr;  ///< shared (engine) or owned_stage_
-  std::unique_ptr<StageExecutor> owned_stage_;  ///< standalone fallback
+  Scheduler* scheduler_ = nullptr;  ///< shared (engine) or owned_scheduler_
+  std::unique_ptr<Scheduler> owned_scheduler_;  ///< standalone fallback
 };
 
 }  // namespace mtsr::serving
