@@ -6,6 +6,9 @@
 // operations and the end-to-end inference paths of every method.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
 #if __has_include("src/common/workspace.hpp")
 // Workspace builds retain conv lowering slices for a backward that never
 // comes in a forward-only bench loop; scope each iteration so the arena
@@ -59,9 +62,38 @@ void BM_Matmul(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(matmul(a, b));
   }
+#ifdef MTSR_TENSOR_OPS_FORCED_KERNELS
+  state.SetLabel(matmul_kernel_name());
+#endif
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+#ifdef MTSR_TENSOR_OPS_FORCED_KERNELS
+// The pre-hand-scheduling target_clones microkernel at the same shapes —
+// the interleaved same-binary baseline the hand-scheduled kernel's speedup
+// is measured against (reached through the forced-kernel seam; the
+// production dispatch never selects it). Mirrors matmul()'s result
+// allocation so the comparison includes identical overheads.
+void BM_MatmulClones(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  for (auto _ : state) {
+    Tensor c(Shape{n, n});
+    if (!matmul_into_forced_kernel("clones", a.data(), b.data(), c.data(),
+                                   n, n, n)) {
+      state.SkipWithError("clones level unavailable");
+      return;
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel("clones");
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulClones)->Arg(64)->Arg(128)->Arg(256);
+#endif  // MTSR_TENSOR_OPS_FORCED_KERNELS
 
 // Wide conv-lowering GEMM geometry: short A (out-channels × taps) against
 // an enormous lowered-columns B (taps × N·oh·ow) — the exact product shape
@@ -74,9 +106,34 @@ void BM_WideLoweringGemm(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(matmul(a, b));
   }
+#ifdef MTSR_TENSOR_OPS_FORCED_KERNELS
+  state.SetLabel(matmul_kernel_name());
+#endif
   state.SetItemsProcessed(state.iterations() * 32 * 288 * n);
 }
 BENCHMARK(BM_WideLoweringGemm)->Arg(8192)->Arg(32768);
+
+#ifdef MTSR_TENSOR_OPS_FORCED_KERNELS
+// target_clones baseline of the wide lowering product (see BM_MatmulClones).
+void BM_WideLoweringGemmClones(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(7);
+  Tensor a = Tensor::randn(Shape{32, 288}, rng);
+  Tensor b = Tensor::randn(Shape{288, n}, rng);
+  for (auto _ : state) {
+    Tensor c(Shape{32, n});
+    if (!matmul_into_forced_kernel("clones", a.data(), b.data(), c.data(),
+                                   32, 288, n)) {
+      state.SkipWithError("clones level unavailable");
+      return;
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel("clones");
+  state.SetItemsProcessed(state.iterations() * 32 * 288 * n);
+}
+BENCHMARK(BM_WideLoweringGemmClones)->Arg(8192)->Arg(32768);
+#endif  // MTSR_TENSOR_OPS_FORCED_KERNELS
 
 #ifdef MTSR_HAS_QUANT
 // The quantised GEMM at the same logical product as BM_WideLoweringGemm
@@ -109,6 +166,57 @@ void BM_GemmU8S8(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * o * k * n);
 }
 BENCHMARK(BM_GemmU8S8)->Arg(8192)->Arg(32768);
+
+#ifdef MTSR_TENSOR_OPS_FORCED_KERNELS
+// Forced-level variants of BM_GemmU8S8 so the VNNI-vs-maddubs comparison
+// is interleaved in one binary regardless of what the production dispatch
+// selects. Skipped (not failed) on hosts without the level.
+void gemm_u8s8_forced_bench(benchmark::State& state, const char* level,
+                            bool full_range) {
+  const auto n = state.range(0);
+  Rng rng(7);
+  const std::int64_t k = 288, o = 32;
+  const std::int64_t kpad = (k + 3) / 4 * 4;
+  std::vector<std::uint8_t> a(static_cast<std::size_t>(n * kpad));
+  for (auto& v : a) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const int qmax =
+      full_range ? quant::kWeightQmaxFull : quant::kWeightQmax;
+  std::vector<std::int8_t> b(static_cast<std::size_t>(k * o));
+  for (auto& v : b) {
+    v = static_cast<std::int8_t>(rng.uniform_int(-qmax, qmax));
+  }
+  const PackedInt8B packed = pack_b_s8(b.data(), k, o, full_range);
+  std::vector<float> col_scale(static_cast<std::size_t>(packed.npad), 0.01f);
+  std::vector<float> bias(static_cast<std::size_t>(packed.npad), 0.5f);
+  std::vector<float> c(static_cast<std::size_t>(n * packed.npad));
+  const QuantEpilogue ep{col_scale.data(), 37, bias.data(), 0.1f};
+  for (auto _ : state) {
+    if (!gemm_u8s8_forced_kernel(level, a.data(), kpad, packed, n, ep,
+                                 c.data(), packed.npad)) {
+      state.SkipWithError("level unavailable on this host");
+      return;
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(level);
+  state.SetItemsProcessed(state.iterations() * o * k * n);
+}
+
+void BM_GemmU8S8ForcedAvx512(benchmark::State& state) {
+  gemm_u8s8_forced_bench(state, "avx512", /*full_range=*/false);
+}
+BENCHMARK(BM_GemmU8S8ForcedAvx512)->Arg(8192)->Arg(32768);
+
+void BM_GemmU8S8ForcedVnni(benchmark::State& state) {
+  gemm_u8s8_forced_bench(state, "vnni", /*full_range=*/false);
+}
+BENCHMARK(BM_GemmU8S8ForcedVnni)->Arg(8192)->Arg(32768);
+
+void BM_GemmU8S8ForcedVnniFullRange(benchmark::State& state) {
+  gemm_u8s8_forced_bench(state, "vnni", /*full_range=*/true);
+}
+BENCHMARK(BM_GemmU8S8ForcedVnniFullRange)->Arg(8192)->Arg(32768);
+#endif  // MTSR_TENSOR_OPS_FORCED_KERNELS
 #endif  // MTSR_HAS_QUANT
 
 // Whole-batch conv forward: the batched im2col + one wide GEMM per step.
@@ -520,6 +628,40 @@ BENCHMARK(BM_ProbeAggregation)
     ->Arg(static_cast<int>(data::MtsrInstance::kUp4))
     ->Arg(static_cast<int>(data::MtsrInstance::kMixture));
 
+// Runtime-detected host CPU feature flags, printed in the binary header
+// (and recorded in BENCH_throughput.json's host block) so every speedup
+// claim is reproducible against the host's actual ISA.
+std::string cpu_feature_flags() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  std::string flags;
+  const auto add = [&](const char* name, bool present) {
+    if (!present) return;
+    if (!flags.empty()) flags += ' ';
+    flags += name;
+  };
+  add("sse2", true);  // x86-64 baseline
+  add("fma", __builtin_cpu_supports("fma"));
+  add("avx2", __builtin_cpu_supports("avx2"));
+  add("avx512f", __builtin_cpu_supports("avx512f"));
+  add("avx512bw", __builtin_cpu_supports("avx512bw"));
+  add("avx512vnni", __builtin_cpu_supports("avx512vnni"));
+  return flags;
+#else
+  return "non-x86";
+#endif
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::printf("CPU features: %s\n", cpu_feature_flags().c_str());
+#ifdef MTSR_TENSOR_OPS_FORCED_KERNELS
+  std::printf("float kernel: %s | int8 kernel: %s\n", matmul_kernel_name(),
+              gemm_u8s8_kernel_name());
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

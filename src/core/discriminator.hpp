@@ -33,6 +33,11 @@ class Discriminator final : public nn::Layer {
   std::vector<std::pair<std::string, Tensor*>> buffers() override;
   [[nodiscard]] std::string name() const override;
 
+  /// Layer stack and hyper-parameters, read by the int8 conversion
+  /// (DiscriminatorInt8), which mirrors the network block by block.
+  [[nodiscard]] const nn::Sequential& network() const { return *network_; }
+  [[nodiscard]] const DiscriminatorConfig& config() const { return config_; }
+
  private:
   DiscriminatorConfig config_;
   std::unique_ptr<nn::Sequential> network_;

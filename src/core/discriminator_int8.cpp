@@ -1,0 +1,99 @@
+#include "src/core/discriminator_int8.hpp"
+
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace mtsr::core {
+namespace {
+
+// Casts Sequential::layer(i) to the expected concrete type; the block
+// structure is fixed by Discriminator's constructor, so a mismatch means
+// the conversion walked out of sync with the architecture.
+template <typename L>
+const L& layer_as(const nn::Sequential& seq, std::size_t i) {
+  const L* typed = dynamic_cast<const L*>(&seq.layer(i));
+  check(typed != nullptr,
+        "DiscriminatorInt8: unexpected layer type in VGG-6 stack");
+  return *typed;
+}
+
+}  // namespace
+
+DiscriminatorInt8::DiscriminatorInt8(const Discriminator& discriminator)
+    : config_(discriminator.config()) {
+  const nn::Sequential& net = discriminator.network();
+  // Six [conv BN lrelu] blocks, then [GlobalAvgPool Dense Sigmoid].
+  check(net.size() == 21, "DiscriminatorInt8: unexpected stack length");
+  for (std::size_t i = 0; i < 6; ++i) {
+    blocks_.push_back(std::make_unique<nn::QuantConv2d>(
+        layer_as<nn::Conv2d>(net, 3 * i),
+        &layer_as<nn::BatchNorm>(net, 3 * i + 1), config_.lrelu_alpha));
+  }
+  head_ = std::make_unique<nn::QuantDense>(layer_as<nn::Dense>(net, 19), 1.f);
+}
+
+Tensor DiscriminatorInt8::forward_calibrate(const Tensor& input) {
+  check(!frozen_, "DiscriminatorInt8::forward_calibrate after freeze()");
+  return run(input, /*quantised=*/false);
+}
+
+Tensor DiscriminatorInt8::forward(const Tensor& input) const {
+  check(frozen_,
+        "DiscriminatorInt8::forward before freeze() — calibrate first");
+  return run(input, /*quantised=*/true);
+}
+
+void DiscriminatorInt8::freeze() {
+  check(!frozen_, "DiscriminatorInt8: already frozen");
+  for (auto& block : blocks_) block->freeze();
+  head_->freeze();
+  frozen_ = true;
+}
+
+std::unique_ptr<DiscriminatorInt8> DiscriminatorInt8::convert(
+    const Discriminator& discriminator,
+    const std::vector<Tensor>& calibration) {
+  check(!calibration.empty(),
+        "DiscriminatorInt8::convert: calibration batches required "
+        "(activation scales are data-dependent)");
+  auto net = std::make_unique<DiscriminatorInt8>(discriminator);
+  for (const Tensor& batch : calibration) {
+    Workspace::Scope scope(Workspace::tls());
+    (void)net->forward_calibrate(batch);
+  }
+  net->freeze();
+  return net;
+}
+
+Tensor DiscriminatorInt8::run(const Tensor& input, bool quantised) const {
+  check(input.rank() == 3, "DiscriminatorInt8 expects (N, H, W) input");
+  const std::int64_t n = input.dim(0);
+  Tensor x = input.reshape(Shape{n, 1, input.dim(1), input.dim(2)});
+  for (auto& block : blocks_) {
+    x = quantised ? block->forward(x) : block->forward_calibrate(x);
+  }
+
+  // Global average pool in float: (N, C, h, w) -> (N, C).
+  check(x.rank() == 4, "DiscriminatorInt8: conv stack output not 4-D");
+  const std::int64_t c = x.dim(1), spatial = x.dim(2) * x.dim(3);
+  Tensor pooled(Shape{n, c});
+  const float* px = x.data();
+  float* pp = pooled.data();
+  for (std::int64_t i = 0; i < n * c; ++i) {
+    double sum = 0.0;
+    const float* cell = px + i * spatial;
+    for (std::int64_t s = 0; s < spatial; ++s) sum += cell[s];
+    pp[i] = static_cast<float>(sum / static_cast<double>(spatial));
+  }
+
+  Tensor logits =
+      quantised ? head_->forward(pooled) : head_->forward_calibrate(pooled);
+  float* pl = logits.data();
+  for (std::int64_t i = 0; i < logits.size(); ++i) {
+    pl[i] = 1.f / (1.f + std::exp(-pl[i]));
+  }
+  return logits;
+}
+
+}  // namespace mtsr::core

@@ -1,0 +1,67 @@
+// DiscriminatorInt8: the int8 inference mirror of the VGG-6 discriminator.
+//
+// Same one-shot conversion as ZipNetInt8: the constructor walks the six
+// [conv → BatchNorm → LeakyReLU] blocks, folding each BatchNorm into its
+// conv's scales and fusing the LeakyReLU into the GEMM epilogue, then
+// mirrors the dense head as a QuantDense. The global average pool and the
+// sigmoid stay float — both are O(activations), not GEMMs.
+//
+// The trained discriminator is inference-useful as a realism scorer
+// (Section 5's fidelity analysis ranks methods by D's probability); the
+// int8 twin serves that score at the same ~4x weight-traffic saving as the
+// quantised generator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/core/discriminator.hpp"
+#include "src/nn/quantized.hpp"
+
+namespace mtsr::core {
+
+/// int8 inference twin of a Discriminator. Input (N, H, W) snapshots;
+/// output (N, 1) realness probabilities — the same contract as
+/// Discriminator::forward(·, training=false).
+class DiscriminatorInt8 {
+ public:
+  /// Mirrors `discriminator`'s architecture with folded float weights. The
+  /// float network is only read during construction.
+  explicit DiscriminatorInt8(const Discriminator& discriminator);
+
+  DiscriminatorInt8(const DiscriminatorInt8&) = delete;
+  DiscriminatorInt8& operator=(const DiscriminatorInt8&) = delete;
+
+  /// Float (folded-BN) forward recording activation ranges. Output matches
+  /// the float discriminator's inference forward to fold-associativity
+  /// error.
+  [[nodiscard]] Tensor forward_calibrate(const Tensor& input);
+
+  /// Quantises + packs every layer. Requires at least one
+  /// forward_calibrate() pass; forward() is int8 from here on.
+  void freeze();
+
+  /// int8 forward (requires freeze()).
+  [[nodiscard]] Tensor forward(const Tensor& input) const;
+
+  [[nodiscard]] bool frozen() const { return frozen_; }
+  [[nodiscard]] const DiscriminatorConfig& config() const { return config_; }
+
+  /// One-shot conversion: mirror, calibrate over every (N, H, W) batch,
+  /// freeze. Throws when `calibration` is empty.
+  [[nodiscard]] static std::unique_ptr<DiscriminatorInt8> convert(
+      const Discriminator& discriminator,
+      const std::vector<Tensor>& calibration);
+
+ private:
+  [[nodiscard]] Tensor run(const Tensor& input, bool quantised) const;
+
+  DiscriminatorConfig config_;
+  // Calibration mutates the range observers under the const-forward
+  // interface, like the other int8 mirrors.
+  mutable std::vector<std::unique_ptr<nn::QuantConv2d>> blocks_;
+  mutable std::unique_ptr<nn::QuantDense> head_;
+  bool frozen_ = false;
+};
+
+}  // namespace mtsr::core

@@ -161,6 +161,7 @@ Engine::Stats Engine::stats() const {
     s.temporal_length = session->temporal_length();
     s.frames_until_ready = session->frames_until_ready();
     s.inference_count = session->inference_count();
+    s.coarsen_skips = session->coarsen_skips();
     s.arena = session->arena_stats();
     stats.sessions.push_back(std::move(s));
   }
@@ -172,13 +173,14 @@ Engine::Stats Engine::stats() const {
 
 std::string render_stats_table(const Engine::Stats& stats) {
   Table table({"session", "model", "grid", "window", "S", "warm-up",
-               "inferences", "arena cap", "arena peak", "growth"});
+               "inferences", "skips", "arena cap", "arena peak", "growth"});
   for (const Engine::SessionStats& s : stats.sessions) {
     table.add_row({std::to_string(s.id), s.model,
                    std::to_string(s.rows) + "x" + std::to_string(s.cols),
                    std::to_string(s.window), std::to_string(s.temporal_length),
                    std::to_string(s.frames_until_ready),
                    std::to_string(s.inference_count),
+                   std::to_string(s.coarsen_skips),
                    fmt_bytes(s.arena.capacity_bytes),
                    fmt_bytes(s.arena.peak_bytes),
                    std::to_string(s.arena.growth_events)});

@@ -121,6 +121,9 @@ class Engine {
     std::int64_t temporal_length = 0;
     std::int64_t frames_until_ready = 0;
     std::int64_t inference_count = 0;
+    /// Admit-time coarsenings skipped because the stream memo served every
+    /// block that would have read them (dedup fan-out consumers only).
+    std::int64_t coarsen_skips = 0;
     Workspace::Stats arena;
   };
   struct Stats {

@@ -194,6 +194,10 @@ std::vector<std::optional<Tensor>> Scheduler::serve(
       if (!need_gather) continue;
       Session* s = a.session;
       const int slot = static_cast<int>(r & 1);
+      // Deferred admit-time coarsenings materialise here, on the main
+      // thread (the coarsening fans out on the pool), before the stage
+      // thread's memcpy-only gather reads them.
+      s->ensure_history_coarsened();
       // The stage thread gathers into slot r&1 under that slot's arena, so
       // any scratch the gather path ever takes comes from the arena the
       // model is NOT currently executing in.
@@ -275,6 +279,7 @@ std::vector<std::optional<Tensor>> Scheduler::serve(
     for (const std::size_t i : compute) {
       Request& q = reqs[i];
       if (q.gathered) continue;
+      q.act->session->ensure_history_coarsened();
       q.act->session->gather_block(q.b0, q.b1, q.slot);
       q.gathered = true;
     }

@@ -132,6 +132,9 @@ Session::~Session() {
 }
 
 void Session::reset() {
+  for (const FrameEntry& entry : history_) {
+    if (!entry.normalized.empty()) ++coarsen_skips_;
+  }
   history_.clear();
   frame_hashes_.clear();
 }
@@ -186,7 +189,18 @@ void Session::admit(const Tensor& fine_snapshot) {
         "Session::push: wrong snapshot shape");
   FrameEntry entry;
   Tensor norm = normalize(fine_snapshot);
-  if (needs_.coarse_history) entry.coarse_windows = coarsen_windows(norm);
+  if (needs_.coarse_history) {
+    if (dedup_prefix_.empty()) {
+      entry.coarse_windows = coarsen_windows(norm);
+    } else {
+      // Dedup-aware short-circuit: a fan-out consumer whose blocks the
+      // stream memo serves never gathers this frame, so its coarsening is
+      // deferred until a gather actually needs it
+      // (ensure_history_coarsened). Values are unchanged either way —
+      // coarsen_windows is a pure function of the normalized frame.
+      entry.normalized = std::move(norm);
+    }
+  }
   if (needs_.fine_latest) entry.raw = fine_snapshot;
   history_.push_back(std::move(entry));
   if (!dedup_prefix_.empty()) {
@@ -195,8 +209,18 @@ void Session::admit(const Tensor& fine_snapshot) {
         sizeof(float) * static_cast<std::size_t>(fine_snapshot.size())));
   }
   if (static_cast<std::int64_t>(history_.size()) > s_) {
+    if (!history_.front().normalized.empty()) ++coarsen_skips_;
     history_.pop_front();
     if (!frame_hashes_.empty()) frame_hashes_.pop_front();
+  }
+}
+
+void Session::ensure_history_coarsened() {
+  if (!needs_.coarse_history) return;
+  for (FrameEntry& entry : history_) {
+    if (entry.normalized.empty()) continue;
+    entry.coarse_windows = coarsen_windows(entry.normalized);
+    entry.normalized = Tensor();
   }
 }
 

@@ -133,6 +133,12 @@ class Session {
   /// Inferences produced so far.
   [[nodiscard]] std::int64_t inference_count() const { return inferences_; }
 
+  /// Admit-time coarsenings that were never needed: frames of a dedup
+  /// fan-out consumer that left the history without any gather touching
+  /// them, because the stream memo served every block. Always 0 for
+  /// sessions without a stream tag (those coarsen eagerly on admit).
+  [[nodiscard]] std::int64_t coarsen_skips() const { return coarsen_skips_; }
+
   [[nodiscard]] const SessionConfig& config() const { return config_; }
 
   /// The model currently serving this session — re-resolved from the
@@ -151,13 +157,22 @@ class Session {
 
   struct FrameEntry {
     Tensor coarse_windows;  ///< (W, ci, ci): every stitch window, coarsened
+    Tensor normalized;      ///< deferred-coarsening staging (dedup streams)
     Tensor raw;             ///< raw frame; kept only for fine_latest models
   };
 
   // ---- Scheduler-facing stepwise contract ----------------------------------
   /// Absorbs one snapshot into the rolling history (and the dedup hash
-  /// chain when the session is stream-tagged).
+  /// chain when the session is stream-tagged). Stream-tagged coarse-history
+  /// sessions defer the per-window coarsening: a fan-out consumer whose
+  /// blocks the stream memo serves never gathers, so coarsening on admit
+  /// would be pure waste (ensure_history_coarsened() runs it on demand).
   void admit(const Tensor& fine_snapshot);
+  /// Coarsens any history frame still holding its normalized staging
+  /// tensor. Must run on the MAIN thread before this session's first
+  /// gather of a round — the coarsening fans out on the pool, which the
+  /// scheduler's stage thread must never do.
+  void ensure_history_coarsened();
   [[nodiscard]] bool warm() const {
     return static_cast<std::int64_t>(history_.size()) >= s_;
   }
@@ -189,6 +204,7 @@ class Session {
   std::int64_t s_ = 1;
   std::int64_t stride_ = 0;
   std::int64_t inferences_ = 0;
+  std::int64_t coarsen_skips_ = 0;  ///< deferred coarsenings never needed
   std::string dedup_prefix_;  ///< stream + geometry key prefix; empty = off
   bool stream_registered_ = false;  ///< holds a scheduler stream refcount
 

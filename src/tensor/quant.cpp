@@ -155,13 +155,14 @@ void quantize_batch_transpose_u8(const float* src, std::int64_t n,
 namespace {
 
 // Quantisation MSE of one channel row at clip threshold `clip`.
-double channel_quant_mse(const float* row, std::int64_t n, float clip) {
-  const float scale = clip / static_cast<float>(kWeightQmax);
+double channel_quant_mse(const float* row, std::int64_t n, float clip,
+                         int qmax) {
+  const float scale = clip / static_cast<float>(qmax);
   const float inv = 1.f / scale;
   double mse = 0.0;
   for (std::int64_t i = 0; i < n; ++i) {
     const int q = std::clamp(static_cast<int>(std::lrintf(row[i] * inv)),
-                             -kWeightQmax, kWeightQmax);
+                             -qmax, qmax);
     const double err = static_cast<double>(row[i]) - scale * q;
     mse += err * err;
   }
@@ -172,9 +173,11 @@ double channel_quant_mse(const float* row, std::int64_t n, float clip) {
 
 void quantize_weights_per_channel(const float* w, std::int64_t channels,
                                   std::int64_t per_channel, std::int8_t* wq,
-                                  float* scales, bool mse_clip) {
+                                  float* scales, bool mse_clip, int qmax) {
   check(channels > 0 && per_channel > 0,
         "quantize_weights_per_channel: empty weight");
+  check(qmax > 0 && qmax <= kWeightQmaxFull,
+        "quantize_weights_per_channel: qmax outside (0, 127]");
   parallel_for(channels, [&](std::int64_t o) {
     const float* row = w + o * per_channel;
     float amax = 0.f;
@@ -186,11 +189,12 @@ void quantize_weights_per_channel(const float* w, std::int64_t channels,
       // Grid-search the clip threshold: a channel whose range is set by a
       // single outlier tap trades a bounded clip error on that tap for a
       // finer step on the bulk.
-      double best = channel_quant_mse(row, per_channel, amax);
+      double best = channel_quant_mse(row, per_channel, amax, qmax);
       for (int step = 1; step <= 10; ++step) {
         const float candidate =
             amax * (1.f - 0.05f * static_cast<float>(step));
-        const double mse = channel_quant_mse(row, per_channel, candidate);
+        const double mse =
+            channel_quant_mse(row, per_channel, candidate, qmax);
         if (mse < best) {
           best = mse;
           clip = candidate;
@@ -198,14 +202,13 @@ void quantize_weights_per_channel(const float* w, std::int64_t channels,
       }
     }
     const float scale =
-        clip > 0.f ? clip / static_cast<float>(kWeightQmax) : 1.f;
+        clip > 0.f ? clip / static_cast<float>(qmax) : 1.f;
     scales[o] = scale;
     const float inv = 1.f / scale;
     std::int8_t* qrow = wq + o * per_channel;
     for (std::int64_t i = 0; i < per_channel; ++i) {
       const int q = static_cast<int>(std::lrintf(row[i] * inv));
-      qrow[i] = static_cast<std::int8_t>(
-          std::clamp(q, -kWeightQmax, kWeightQmax));
+      qrow[i] = static_cast<std::int8_t>(std::clamp(q, -qmax, qmax));
     }
   });
 }

@@ -74,17 +74,20 @@ void pack_b_panel(const float* pb, std::int64_t ldb, std::int64_t kk0,
   }
 }
 
-// Register-tile width of the microkernel: a 4×16 C tile is held in
-// registers across the whole k-tile, so C is loaded/stored once per panel
-// instead of once per k step.
+// Register-tile width of the portable microkernel: a 4×16 C tile is held
+// in registers across the whole k-tile, so C is loaded/stored once per
+// panel instead of once per k step.
 constexpr std::int64_t kMr = 16;
 
-// SIMD dispatch: the hot microkernels are compiled once per ISA level
-// (SSE2 baseline, AVX2, AVX-512) via target_clones and the dynamic linker
-// picks the widest one the host supports at load time. The choice is fixed
-// for the lifetime of the process, so the pool-size bit-identity guarantee
-// is unaffected. Disabled under sanitizers (ifunc resolution order) and on
-// non-x86 targets.
+// SIMD dispatch of the float panel microkernel: the hand-scheduled AVX-512
+// (8×32 register tile) and AVX2 (6×16) kernels below are selected once per
+// process by CPUID, capped by the MTSR_SIMD environment variable; the
+// portable generic kernel is the fallback everywhere else. The previous
+// compiler-scheduled target_clones kernel is kept reachable — only through
+// the forced-kernel seam, under the level name "clones" — so the benchmark
+// can measure old vs new in the same binary. target_clones is disabled
+// under sanitizers (ifunc resolution order) and on non-x86 targets, where
+// "clones" degrades to the generic kernel.
 #if defined(__x86_64__) && defined(__GNUC__) && \
     !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
 #define MTSR_SIMD_CLONES \
@@ -93,18 +96,24 @@ constexpr std::int64_t kMr = 16;
 #define MTSR_SIMD_CLONES
 #endif
 
+#if defined(__GNUC__)
+#define MTSR_ALWAYS_INLINE __attribute__((always_inline)) inline
+#else
+#define MTSR_ALWAYS_INLINE inline
+#endif
+
 // C[i0:i1, j0:j1] += A[i0:i1, kk0:kk1] * panel, where `panel` holds B rows
-// kk0:kk1 for absolute columns [j0, j1) (row stride kNc). Microkernel: a
-// 4×kMr C tile accumulated in registers against packed A quads and panel
-// rows streamed through L1. Per output element the accumulation is the
-// plain ascending-k sequence (the registers only hold what memory held
-// before), so results stay bit-identical across pool sizes AND match the
-// unblocked i-k-j order exactly.
-MTSR_SIMD_CLONES
-void gemm_nn_panel(const float* pa, std::int64_t lda, const float* panel,
-                   float* pc, std::int64_t ldc, std::int64_t i0,
-                   std::int64_t i1, std::int64_t kk0, std::int64_t kk1,
-                   std::int64_t j0, std::int64_t j1) {
+// kk0:kk1 for absolute columns [j0, j1) (row stride kNc). Portable
+// microkernel body: a 4×kMr C tile accumulated in registers against packed
+// A quads and panel rows streamed through L1. Per output element the
+// accumulation is the plain ascending-k sequence (the registers only hold
+// what memory held before), so results stay bit-identical across pool
+// sizes AND match the unblocked i-k-j order exactly. always_inline so the
+// target_clones wrapper below compiles one copy per ISA clone.
+MTSR_ALWAYS_INLINE void gemm_nn_panel_body(
+    const float* pa, std::int64_t lda, const float* panel, float* pc,
+    std::int64_t ldc, std::int64_t i0, std::int64_t i1, std::int64_t kk0,
+    std::int64_t kk1, std::int64_t j0, std::int64_t j1) {
   alignas(64) float apack[4 * kKc];
   const std::int64_t width = j1 - j0;
   std::int64_t i = i0;
@@ -177,6 +186,294 @@ void gemm_nn_panel(const float* pa, std::int64_t lda, const float* panel,
   }
 }
 
+// Portable fallback kernel — also the "scalar"/"sse2" forced levels.
+void gemm_nn_panel_generic(const float* pa, std::int64_t lda,
+                           const float* panel, float* pc, std::int64_t ldc,
+                           std::int64_t i0, std::int64_t i1, std::int64_t kk0,
+                           std::int64_t kk1, std::int64_t j0,
+                           std::int64_t j1) {
+  gemm_nn_panel_body(pa, lda, panel, pc, ldc, i0, i1, kk0, kk1, j0, j1);
+}
+
+// The pre-hand-scheduling kernel, compiler-vectorised per ISA by
+// target_clones: the benchmark baseline the speedup claims are measured
+// against (reachable only through matmul_into_forced_kernel("clones")).
+MTSR_SIMD_CLONES
+void gemm_nn_panel_clones(const float* pa, std::int64_t lda,
+                          const float* panel, float* pc, std::int64_t ldc,
+                          std::int64_t i0, std::int64_t i1, std::int64_t kk0,
+                          std::int64_t kk1, std::int64_t j0,
+                          std::int64_t j1) {
+  gemm_nn_panel_body(pa, lda, panel, pc, ldc, i0, i1, kk0, kk1, j0, j1);
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+// Hand-scheduled AVX-512 panel microkernel: an 8×32 C tile — 16 zmm
+// accumulators, two 16-lane B loads and eight broadcast-FMAs per k step —
+// held in registers across the whole k-tile, with the B panel prefetched
+// four k rows ahead of use. Every output element accumulates as the plain
+// ascending-k fold of single-rounded FMAs (no zero-skip, no
+// reassociation), so the per-element result is independent of row-group
+// phase, column-tile position, and chunk geometry: bit-identity across
+// pool sizes holds by construction. Column tails run the identical FMA
+// sequence through masked loads/stores.
+__attribute__((target("avx512f"))) void gemm_nn_panel_avx512(
+    const float* pa, std::int64_t lda, const float* panel, float* pc,
+    std::int64_t ldc, std::int64_t i0, std::int64_t i1, std::int64_t kk0,
+    std::int64_t kk1, std::int64_t j0, std::int64_t j1) {
+  alignas(64) float apack[8 * kKc];
+  const std::int64_t width = j1 - j0;
+  const std::int64_t kc = kk1 - kk0;
+  std::int64_t i = i0;
+  for (; i + 8 <= i1; i += 8) {
+    // Pack the 8×kc A tile k-major: one 8-float quad read per k step.
+    for (std::int64_t kk = 0; kk < kc; ++kk) {
+      float* q = apack + kk * 8;
+      const float* acol = pa + kk0 + kk;
+      q[0] = acol[(i + 0) * lda];
+      q[1] = acol[(i + 1) * lda];
+      q[2] = acol[(i + 2) * lda];
+      q[3] = acol[(i + 3) * lda];
+      q[4] = acol[(i + 4) * lda];
+      q[5] = acol[(i + 5) * lda];
+      q[6] = acol[(i + 6) * lda];
+      q[7] = acol[(i + 7) * lda];
+    }
+    std::int64_t j = 0;
+    for (; j + 32 <= width; j += 32) {
+      const float* bp = panel + j;
+      float* cp = pc + i * ldc + j0 + j;
+      __m512 acc[8][2];
+      for (int r = 0; r < 8; ++r) {
+        acc[r][0] = _mm512_loadu_ps(cp + r * ldc);
+        acc[r][1] = _mm512_loadu_ps(cp + r * ldc + 16);
+      }
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const float* brow = bp + kk * kNc;
+        _mm_prefetch(reinterpret_cast<const char*>(brow + 4 * kNc),
+                     _MM_HINT_T0);
+        const __m512 b0 = _mm512_loadu_ps(brow);
+        const __m512 b1 = _mm512_loadu_ps(brow + 16);
+        const float* q = apack + kk * 8;
+        for (int r = 0; r < 8; ++r) {
+          const __m512 av = _mm512_set1_ps(q[r]);
+          acc[r][0] = _mm512_fmadd_ps(av, b0, acc[r][0]);
+          acc[r][1] = _mm512_fmadd_ps(av, b1, acc[r][1]);
+        }
+      }
+      for (int r = 0; r < 8; ++r) {
+        _mm512_storeu_ps(cp + r * ldc, acc[r][0]);
+        _mm512_storeu_ps(cp + r * ldc + 16, acc[r][1]);
+      }
+    }
+    for (; j < width; j += 16) {  // 16-wide tail, masked on the last block
+      const std::int64_t rem = width - j;
+      const __mmask16 mask =
+          rem >= 16 ? static_cast<__mmask16>(0xffff)
+                    : static_cast<__mmask16>((1u << rem) - 1u);
+      const float* bp = panel + j;
+      float* cp = pc + i * ldc + j0 + j;
+      __m512 acc[8];
+      for (int r = 0; r < 8; ++r) {
+        acc[r] = _mm512_maskz_loadu_ps(mask, cp + r * ldc);
+      }
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const __m512 b = _mm512_maskz_loadu_ps(mask, bp + kk * kNc);
+        const float* q = apack + kk * 8;
+        for (int r = 0; r < 8; ++r) {
+          acc[r] = _mm512_fmadd_ps(_mm512_set1_ps(q[r]), b, acc[r]);
+        }
+      }
+      for (int r = 0; r < 8; ++r) {
+        _mm512_mask_storeu_ps(cp + r * ldc, mask, acc[r]);
+      }
+    }
+  }
+  for (; i < i1; ++i) {  // remainder rows: same per-element FMA fold
+    const float* arow = pa + i * lda + kk0;
+    float* crow = pc + i * ldc + j0;
+    for (std::int64_t j = 0; j < width; j += 16) {
+      const std::int64_t rem = width - j;
+      const __mmask16 mask =
+          rem >= 16 ? static_cast<__mmask16>(0xffff)
+                    : static_cast<__mmask16>((1u << rem) - 1u);
+      __m512 acc = _mm512_maskz_loadu_ps(mask, crow + j);
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const __m512 b = _mm512_maskz_loadu_ps(mask, panel + kk * kNc + j);
+        acc = _mm512_fmadd_ps(_mm512_set1_ps(arow[kk]), b, acc);
+      }
+      _mm512_mask_storeu_ps(crow + j, mask, acc);
+    }
+  }
+}
+
+// Hand-scheduled AVX2 panel microkernel: a 6×16 C tile (12 ymm
+// accumulators, two B loads + six broadcast-FMAs per k step; 15 of 16 ymm
+// in flight). Tails drop to one 8-lane vector, then scalar std::fmaf —
+// the identical single-rounded ascending-k fold per element, so the same
+// bit-identity argument as the AVX-512 kernel applies.
+__attribute__((target("avx2,fma"))) void gemm_nn_panel_avx2(
+    const float* pa, std::int64_t lda, const float* panel, float* pc,
+    std::int64_t ldc, std::int64_t i0, std::int64_t i1, std::int64_t kk0,
+    std::int64_t kk1, std::int64_t j0, std::int64_t j1) {
+  alignas(64) float apack[6 * kKc];
+  const std::int64_t width = j1 - j0;
+  const std::int64_t kc = kk1 - kk0;
+  std::int64_t i = i0;
+  for (; i + 6 <= i1; i += 6) {
+    for (std::int64_t kk = 0; kk < kc; ++kk) {
+      float* q = apack + kk * 6;
+      const float* acol = pa + kk0 + kk;
+      q[0] = acol[(i + 0) * lda];
+      q[1] = acol[(i + 1) * lda];
+      q[2] = acol[(i + 2) * lda];
+      q[3] = acol[(i + 3) * lda];
+      q[4] = acol[(i + 4) * lda];
+      q[5] = acol[(i + 5) * lda];
+    }
+    std::int64_t j = 0;
+    for (; j + 16 <= width; j += 16) {
+      const float* bp = panel + j;
+      float* cp = pc + i * ldc + j0 + j;
+      __m256 acc[6][2];
+      for (int r = 0; r < 6; ++r) {
+        acc[r][0] = _mm256_loadu_ps(cp + r * ldc);
+        acc[r][1] = _mm256_loadu_ps(cp + r * ldc + 8);
+      }
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const float* brow = bp + kk * kNc;
+        _mm_prefetch(reinterpret_cast<const char*>(brow + 4 * kNc),
+                     _MM_HINT_T0);
+        const __m256 b0 = _mm256_loadu_ps(brow);
+        const __m256 b1 = _mm256_loadu_ps(brow + 8);
+        const float* q = apack + kk * 6;
+        for (int r = 0; r < 6; ++r) {
+          const __m256 av = _mm256_set1_ps(q[r]);
+          acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+          acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+        }
+      }
+      for (int r = 0; r < 6; ++r) {
+        _mm256_storeu_ps(cp + r * ldc, acc[r][0]);
+        _mm256_storeu_ps(cp + r * ldc + 8, acc[r][1]);
+      }
+    }
+    for (; j + 8 <= width; j += 8) {
+      const float* bp = panel + j;
+      float* cp = pc + i * ldc + j0 + j;
+      __m256 acc[6];
+      for (int r = 0; r < 6; ++r) acc[r] = _mm256_loadu_ps(cp + r * ldc);
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const __m256 b = _mm256_loadu_ps(bp + kk * kNc);
+        const float* q = apack + kk * 6;
+        for (int r = 0; r < 6; ++r) {
+          acc[r] = _mm256_fmadd_ps(_mm256_set1_ps(q[r]), b, acc[r]);
+        }
+      }
+      for (int r = 0; r < 6; ++r) _mm256_storeu_ps(cp + r * ldc, acc[r]);
+    }
+    for (; j < width; ++j) {  // scalar columns: fmaf keeps FMA rounding
+      float* cp = pc + i * ldc + j0 + j;
+      float s[6];
+      for (int r = 0; r < 6; ++r) s[r] = cp[r * ldc];
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const float bt = panel[kk * kNc + j];
+        const float* q = apack + kk * 6;
+        for (int r = 0; r < 6; ++r) s[r] = std::fmaf(q[r], bt, s[r]);
+      }
+      for (int r = 0; r < 6; ++r) cp[r * ldc] = s[r];
+    }
+  }
+  for (; i < i1; ++i) {  // remainder rows
+    const float* arow = pa + i * lda + kk0;
+    float* crow = pc + i * ldc + j0;
+    std::int64_t j = 0;
+    for (; j + 8 <= width; j += 8) {
+      __m256 acc = _mm256_loadu_ps(crow + j);
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const __m256 b = _mm256_loadu_ps(panel + kk * kNc + j);
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(arow[kk]), b, acc);
+      }
+      _mm256_storeu_ps(crow + j, acc);
+    }
+    for (; j < width; ++j) {
+      float s = crow[j];
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        s = std::fmaf(arow[kk], panel[kk * kNc + j], s);
+      }
+      crow[j] = s;
+    }
+  }
+}
+
+#endif  // __x86_64__ && __GNUC__
+
+using FloatPanelFn = void (*)(const float*, std::int64_t, const float*,
+                              float*, std::int64_t, std::int64_t,
+                              std::int64_t, std::int64_t, std::int64_t,
+                              std::int64_t, std::int64_t);
+
+struct FloatPanelKernel {
+  FloatPanelFn fn = &gemm_nn_panel_generic;
+  const char* name = "generic";
+};
+
+// Strict level lookup shared by the forced-kernel testing seam: resolves
+// exactly the requested level or reports that this host cannot run it.
+// "vnni" maps to the AVX-512 float kernel — the levels are shared with the
+// int8 dispatch and VNNI only changes the int8 microkernel.
+bool float_kernel_for_level(std::string_view level, FloatPanelKernel* out) {
+  if (level == "scalar" || level == "sse2" || level == "generic") {
+    *out = {&gemm_nn_panel_generic, "generic"};
+    return true;
+  }
+  if (level == "clones") {
+    *out = {&gemm_nn_panel_clones, "clones"};
+    return true;
+  }
+#if defined(__x86_64__) && defined(__GNUC__)
+  if ((level == "avx512" || level == "vnni") &&
+      __builtin_cpu_supports("avx512f")) {
+    *out = {&gemm_nn_panel_avx512, "avx512"};
+    return true;
+  }
+  if (level == "avx2" && __builtin_cpu_supports("avx2") &&
+      __builtin_cpu_supports("fma")) {
+    *out = {&gemm_nn_panel_avx2, "avx2"};
+    return true;
+  }
+#endif
+  return false;
+}
+
+// Picks the widest float kernel the host supports, capped by MTSR_SIMD.
+// Resolved once per process, so the choice cannot vary mid-run.
+FloatPanelKernel resolve_float_kernel() {
+  const char* env = std::getenv("MTSR_SIMD");
+  const std::string_view want = env != nullptr ? env : "";
+  if (want == "scalar" || want == "sse2") return {};
+  if (want == "clones") return {&gemm_nn_panel_clones, "clones"};
+#if defined(__x86_64__) && defined(__GNUC__)
+  const bool allow_avx512 =
+      want.empty() || want == "avx512" || want == "vnni";
+  const bool allow_avx2 = allow_avx512 || want == "avx2";
+  if (allow_avx512 && __builtin_cpu_supports("avx512f")) {
+    return {&gemm_nn_panel_avx512, "avx512"};
+  }
+  if (allow_avx2 && __builtin_cpu_supports("avx2") &&
+      __builtin_cpu_supports("fma")) {
+    return {&gemm_nn_panel_avx2, "avx2"};
+  }
+#endif
+  return {};
+}
+
+const FloatPanelKernel& float_panel_kernel() {
+  static const FloatPanelKernel kernel = resolve_float_kernel();
+  return kernel;
+}
+
 // Minimum rows per chunk in the tall dispatch: amortises the A-tile packing.
 constexpr std::int64_t kRowGrain = 16;
 // Minimum columns per chunk in the small-k column dispatch.
@@ -244,9 +541,12 @@ void gemm_nn_small_k_block(const float* pa, const float* pb, float* pc,
 
 // Parallel packed-B driver for C = A * B (all row-major). Splits over rows
 // when C is tall, over B panels when C is wide (conv lowering produces
-// short-and-wide products), so the pool stays busy either way.
+// short-and-wide products), so the pool stays busy either way. `kernel` is
+// the panel microkernel resolved by the caller (production dispatch or the
+// forced-kernel seam); the small-k path is kernel-independent.
 void gemm_nn(const float* pa, const float* pb, float* pc, std::int64_t m,
-             std::int64_t k, std::int64_t n, bool accumulate) {
+             std::int64_t k, std::int64_t n, bool accumulate,
+             FloatPanelFn kernel) {
   if (k <= kSmallK) {  // degenerate k: no packing, no workspace
     if (m >= n) {
       parallel_for_grain(m, kRowGrain,
@@ -289,8 +589,8 @@ void gemm_nn(const float* pa, const float* pb, float* pc, std::int64_t m,
       for (std::int64_t jt = 0; jt < njt; ++jt) {
         const std::int64_t j0 = jt * kNc, j1 = std::min(n, j0 + kNc);
         for (std::int64_t kk0 = 0; kk0 < k; kk0 += kKc) {
-          gemm_nn_panel(pa, k, panel_at(kk0, jt), pc, n, i0, i1, kk0,
-                        std::min(k, kk0 + kKc), j0, j1);
+          kernel(pa, k, panel_at(kk0, jt), pc, n, i0, i1, kk0,
+                 std::min(k, kk0 + kKc), j0, j1);
         }
       }
     });
@@ -311,7 +611,7 @@ void gemm_nn(const float* pa, const float* pb, float* pc, std::int64_t m,
           float* panel = panel_at(kk0, jt);
           const std::int64_t kk1 = std::min(k, kk0 + kKc);
           pack_b_panel(pb, n, kk0, kk1, j0, j1, panel);
-          gemm_nn_panel(pa, k, panel, pc, n, 0, m, kk0, kk1, j0, j1);
+          kernel(pa, k, panel, pc, n, 0, m, kk0, kk1, j0, j1);
         }
       }
     });
@@ -532,6 +832,88 @@ __attribute__((target("avx512f,avx512bw"))) void u8s8_block_avx512(
     }
   }
 }
+
+// VNNI kernel: vpdpbusd folds each 4-byte u8·s8 group straight into the
+// s32 accumulator — no intermediate i16 stage, so it is exact for the full
+// ±127 weight range, not just the maddubs-safe ±63. A 4-row × 32-column
+// register tile (eight zmm accumulators; two 64-byte packed-B loads + four
+// broadcasts + eight vpdpbusd per k-group), a 16-column secondary loop,
+// and the scalar kernel for the column tail — identical s32 accumulators
+// and the identical fused epilogue in every path.
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) void u8s8_block_vnni(
+    const std::uint8_t* a, std::int64_t lda, const std::int8_t* packed,
+    std::int64_t npad, std::int64_t kgroups, const std::int32_t* colsum,
+    float* c, std::int64_t ldc, std::int64_t i0, std::int64_t i1,
+    std::int64_t j0, std::int64_t j1, const QuantEpilogue& ep) {
+  const __m512i zp = _mm512_set1_epi32(ep.a_zp);
+  const __m512 alpha = _mm512_set1_ps(ep.lrelu_alpha);
+  for (std::int64_t i = i0; i < i1; i += 4) {
+    const std::int64_t rg = std::min<std::int64_t>(4, i1 - i);
+    std::int64_t j = j0;
+    for (; j + 32 <= j1; j += 32) {
+      __m512i acc[4][2];
+      for (std::int64_t r = 0; r < rg; ++r) {
+        acc[r][0] = _mm512_setzero_si512();
+        acc[r][1] = _mm512_setzero_si512();
+      }
+      for (std::int64_t kg = 0; kg < kgroups; ++kg) {
+        const std::int8_t* bq = packed + (kg * npad + j) * 4;
+        const __m512i b0 = _mm512_loadu_si512(bq);
+        const __m512i b1 = _mm512_loadu_si512(bq + 64);
+        for (std::int64_t r = 0; r < rg; ++r) {
+          std::int32_t aw;
+          std::memcpy(&aw, a + (i + r) * lda + kg * 4, 4);
+          const __m512i av = _mm512_set1_epi32(aw);
+          acc[r][0] = _mm512_dpbusd_epi32(acc[r][0], av, b0);
+          acc[r][1] = _mm512_dpbusd_epi32(acc[r][1], av, b1);
+        }
+      }
+      for (int half = 0; half < 2; ++half) {
+        const std::int64_t jj = j + half * 16;
+        const __m512i comp = _mm512_mullo_epi32(
+            zp, _mm512_loadu_si512(colsum + jj));
+        const __m512 sc = _mm512_loadu_ps(ep.col_scale + jj);
+        const __m512 bi = ep.bias != nullptr
+                              ? _mm512_loadu_ps(ep.bias + jj)
+                              : _mm512_setzero_ps();
+        for (std::int64_t r = 0; r < rg; ++r) {
+          const __m512 t =
+              _mm512_cvtepi32_ps(_mm512_sub_epi32(acc[r][half], comp));
+          __m512 y = _mm512_fmadd_ps(sc, t, bi);
+          y = _mm512_max_ps(y, _mm512_mul_ps(y, alpha));
+          _mm512_storeu_ps(c + (i + r) * ldc + jj, y);
+        }
+      }
+    }
+    for (; j + 16 <= j1; j += 16) {
+      __m512i acc[4];
+      for (std::int64_t r = 0; r < rg; ++r) acc[r] = _mm512_setzero_si512();
+      for (std::int64_t kg = 0; kg < kgroups; ++kg) {
+        const __m512i b = _mm512_loadu_si512(packed + (kg * npad + j) * 4);
+        for (std::int64_t r = 0; r < rg; ++r) {
+          std::int32_t aw;
+          std::memcpy(&aw, a + (i + r) * lda + kg * 4, 4);
+          acc[r] = _mm512_dpbusd_epi32(acc[r], _mm512_set1_epi32(aw), b);
+        }
+      }
+      const __m512i comp = _mm512_mullo_epi32(
+          zp, _mm512_loadu_si512(colsum + j));
+      const __m512 sc = _mm512_loadu_ps(ep.col_scale + j);
+      const __m512 bi = ep.bias != nullptr ? _mm512_loadu_ps(ep.bias + j)
+                                           : _mm512_setzero_ps();
+      for (std::int64_t r = 0; r < rg; ++r) {
+        const __m512 t = _mm512_cvtepi32_ps(_mm512_sub_epi32(acc[r], comp));
+        __m512 y = _mm512_fmadd_ps(sc, t, bi);
+        y = _mm512_max_ps(y, _mm512_mul_ps(y, alpha));
+        _mm512_storeu_ps(c + (i + r) * ldc + j, y);
+      }
+    }
+    if (j < j1) {
+      u8s8_block_scalar(a, lda, packed, npad, kgroups, colsum, c, ldc, i,
+                        i + rg, j, j1, ep);
+    }
+  }
+}
 #pragma GCC diagnostic pop
 
 #endif  // __x86_64__ && __GNUC__
@@ -539,24 +921,60 @@ __attribute__((target("avx512f,avx512bw"))) void u8s8_block_avx512(
 struct U8S8Kernel {
   U8S8BlockFn fn = &u8s8_block_scalar;
   const char* name = "scalar";
+  // Exact for ±127 ("full range") packs: true for the kernels that fold
+  // u8·s8 groups straight into s32 (scalar, VNNI); false for the maddubs
+  // kernels, whose i16 pair stage is only saturation-free within ±63.
+  bool full_range_safe = true;
 };
 
+// Strict level lookup for the forced-kernel testing seam: resolves exactly
+// the requested level or reports that this host cannot run it.
+bool u8s8_kernel_for_level(std::string_view level, U8S8Kernel* out) {
+  if (level == "scalar" || level == "sse2") {
+    *out = {};
+    return true;
+  }
+#if defined(__x86_64__) && defined(__GNUC__)
+  if (level == "avx2" && __builtin_cpu_supports("avx2") &&
+      __builtin_cpu_supports("fma")) {
+    *out = {&u8s8_block_avx2, "avx2", false};
+    return true;
+  }
+  if (level == "avx512" && __builtin_cpu_supports("avx512bw")) {
+    *out = {&u8s8_block_avx512, "avx512", false};
+    return true;
+  }
+  if (level == "vnni" && __builtin_cpu_supports("avx512vnni")) {
+    *out = {&u8s8_block_vnni, "vnni", true};
+    return true;
+  }
+#endif
+  return false;
+}
+
 // Picks the widest kernel the host supports, capped by MTSR_SIMD
-// ("scalar" | "avx2" | "avx512"). Resolved once per process, so — like the
-// float target_clones dispatch — the choice cannot vary mid-run.
+// ("scalar" | "avx2" | "avx512" | "vnni"; "avx512" deliberately caps BELOW
+// VNNI so the maddubs AVX-512 kernel stays forceable on VNNI hosts).
+// Resolved once per process, so the choice cannot vary mid-run. Safe to
+// default to VNNI where present: every kernel produces exact s32
+// accumulators, so the cross-ISA bit-exactness contract is unchanged.
 U8S8Kernel resolve_u8s8_kernel() {
 #if defined(__x86_64__) && defined(__GNUC__)
   const char* env = std::getenv("MTSR_SIMD");
   const std::string_view want = env != nullptr ? env : "";
-  if (want == "scalar") return {};
-  const bool allow_avx512 = want.empty() || want == "avx512";
+  if (want == "scalar" || want == "sse2") return {};
+  const bool allow_vnni = want.empty() || want == "vnni";
+  const bool allow_avx512 = allow_vnni || want == "avx512";
   const bool allow_avx2 = allow_avx512 || want == "avx2";
+  if (allow_vnni && __builtin_cpu_supports("avx512vnni")) {
+    return {&u8s8_block_vnni, "vnni", true};
+  }
   if (allow_avx512 && __builtin_cpu_supports("avx512bw")) {
-    return {&u8s8_block_avx512, "avx512"};
+    return {&u8s8_block_avx512, "avx512", false};
   }
   if (allow_avx2 && __builtin_cpu_supports("avx2") &&
       __builtin_cpu_supports("fma")) {
-    return {&u8s8_block_avx2, "avx2"};
+    return {&u8s8_block_avx2, "avx2", false};
   }
 #endif
   return {};
@@ -567,36 +985,14 @@ const U8S8Kernel& u8s8_kernel() {
   return kernel;
 }
 
-}  // namespace
-
-PackedInt8B pack_b_s8(const std::int8_t* b, std::int64_t k, std::int64_t n) {
-  check(k > 0 && n > 0, "pack_b_s8: empty matrix");
-  PackedInt8B packed;
-  packed.k = k;
-  packed.n = n;
-  packed.npad = (n + 15) / 16 * 16;
-  const std::int64_t kgroups = packed.kpad() / 4;
-  packed.data.assign(
-      static_cast<std::size_t>(kgroups * packed.npad * 4), 0);
-  packed.colsum.assign(static_cast<std::size_t>(packed.npad), 0);
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const std::int8_t* brow = b + kk * n;
-    const std::int64_t kg = kk / 4, kr = kk % 4;
-    std::int8_t* prow = packed.data.data() + kg * packed.npad * 4 + kr;
-    for (std::int64_t j = 0; j < n; ++j) {
-      check(brow[j] >= -quant::kWeightQmax && brow[j] <= quant::kWeightQmax,
-            "pack_b_s8: value outside the ±kWeightQmax saturation-free "
-            "weight range");
-      prow[j * 4] = brow[j];
-      packed.colsum[static_cast<std::size_t>(j)] += brow[j];
-    }
-  }
-  return packed;
-}
-
-void gemm_u8s8(const std::uint8_t* a, std::int64_t lda, const PackedInt8B& b,
-               std::int64_t m, const QuantEpilogue& ep, float* c,
-               std::int64_t ldc) {
+// Shared driver behind gemm_u8s8 and the forced-kernel seam. A full-range
+// (±127) pack demotes maddubs kernels to the scalar kernel — their i16
+// pair stage could saturate — while scalar/VNNI run as chosen; both are
+// exact in s32, so results stay bit-identical either way.
+void gemm_u8s8_dispatch(const std::uint8_t* a, std::int64_t lda,
+                        const PackedInt8B& b, std::int64_t m,
+                        const QuantEpilogue& ep, float* c, std::int64_t ldc,
+                        const U8S8Kernel& kernel) {
   check(!b.empty(), "gemm_u8s8: empty packed B");
   check(m > 0, "gemm_u8s8: empty A");
   check(lda >= b.kpad(), "gemm_u8s8: lda must cover the padded k extent");
@@ -606,7 +1002,9 @@ void gemm_u8s8(const std::uint8_t* a, std::int64_t lda, const PackedInt8B& b,
   // Padded destination: compute the zero-pad columns too, so the vector
   // path never falls back to the scalar column tail.
   const std::int64_t jspan = ldc >= b.npad ? b.npad : b.n;
-  const U8S8BlockFn fn = u8s8_kernel().fn;
+  const U8S8BlockFn fn = (b.full_range && !kernel.full_range_safe)
+                             ? &u8s8_block_scalar
+                             : kernel.fn;
   const std::int64_t kgroups = b.kpad() / 4;
   const std::int8_t* packed = b.data.data();
   const std::int32_t* colsum = b.colsum.data();
@@ -628,6 +1026,57 @@ void gemm_u8s8(const std::uint8_t* a, std::int64_t lda, const PackedInt8B& b,
   }
 }
 
+}  // namespace
+
+PackedInt8B pack_b_s8(const std::int8_t* b, std::int64_t k, std::int64_t n,
+                      bool full_range) {
+  check(k > 0 && n > 0, "pack_b_s8: empty matrix");
+  PackedInt8B packed;
+  packed.k = k;
+  packed.n = n;
+  packed.npad = (n + 15) / 16 * 16;
+  packed.full_range = full_range;
+  const int qmax =
+      full_range ? quant::kWeightQmaxFull : quant::kWeightQmax;
+  const std::int64_t kgroups = packed.kpad() / 4;
+  packed.data.assign(
+      static_cast<std::size_t>(kgroups * packed.npad * 4), 0);
+  packed.colsum.assign(static_cast<std::size_t>(packed.npad), 0);
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const std::int8_t* brow = b + kk * n;
+    const std::int64_t kg = kk / 4, kr = kk % 4;
+    std::int8_t* prow = packed.data.data() + kg * packed.npad * 4 + kr;
+    for (std::int64_t j = 0; j < n; ++j) {
+      check(brow[j] >= -qmax && brow[j] <= qmax,
+            full_range
+                ? "pack_b_s8: value outside the ±kWeightQmaxFull range"
+                : "pack_b_s8: value outside the ±kWeightQmax "
+                  "saturation-free weight range");
+      prow[j * 4] = brow[j];
+      packed.colsum[static_cast<std::size_t>(j)] += brow[j];
+    }
+  }
+  return packed;
+}
+
+void gemm_u8s8(const std::uint8_t* a, std::int64_t lda, const PackedInt8B& b,
+               std::int64_t m, const QuantEpilogue& ep, float* c,
+               std::int64_t ldc) {
+  gemm_u8s8_dispatch(a, lda, b, m, ep, c, ldc, u8s8_kernel());
+}
+
+bool gemm_u8s8_forced_kernel(const char* level, const std::uint8_t* a,
+                             std::int64_t lda, const PackedInt8B& b,
+                             std::int64_t m, const QuantEpilogue& ep,
+                             float* c, std::int64_t ldc) {
+  U8S8Kernel kernel;
+  if (!u8s8_kernel_for_level(level != nullptr ? level : "", &kernel)) {
+    return false;
+  }
+  gemm_u8s8_dispatch(a, lda, b, m, ep, c, ldc, kernel);
+  return true;
+}
+
 void gemm_u8s8_ref(const std::uint8_t* a, std::int64_t lda,
                    const PackedInt8B& b, std::int64_t m,
                    const QuantEpilogue& ep, float* c, std::int64_t ldc) {
@@ -643,9 +1092,23 @@ void gemm_u8s8_ref(const std::uint8_t* a, std::int64_t lda,
 
 const char* gemm_u8s8_kernel_name() { return u8s8_kernel().name; }
 
+const char* matmul_kernel_name() { return float_panel_kernel().name; }
+
 void matmul_into(const float* a, const float* b, float* c, std::int64_t m,
                  std::int64_t k, std::int64_t n, bool accumulate) {
-  gemm_nn(a, b, c, m, k, n, accumulate);
+  gemm_nn(a, b, c, m, k, n, accumulate, float_panel_kernel().fn);
+}
+
+bool matmul_into_forced_kernel(const char* level, const float* a,
+                               const float* b, float* c, std::int64_t m,
+                               std::int64_t k, std::int64_t n,
+                               bool accumulate) {
+  FloatPanelKernel kernel;
+  if (!float_kernel_for_level(level != nullptr ? level : "", &kernel)) {
+    return false;
+  }
+  gemm_nn(a, b, c, m, k, n, accumulate, kernel.fn);
+  return true;
 }
 
 void matmul_tn_into(const float* a, const float* b, float* c, std::int64_t k,
@@ -656,7 +1119,7 @@ void matmul_tn_into(const float* a, const float* b, float* c, std::int64_t k,
   Workspace::Scope scratch(ws);
   float* at = ws.alloc(m * k);
   transpose_into(a, k, m, at);
-  gemm_nn(at, b, c, m, k, n, accumulate);
+  gemm_nn(at, b, c, m, k, n, accumulate, float_panel_kernel().fn);
 }
 
 void matmul_nt_into(const float* a, const float* b, float* c, std::int64_t m,

@@ -60,6 +60,30 @@ void matmul_nt_into(const float* a, const float* b, float* c, std::int64_t m,
 void transpose_into(const float* a, std::int64_t m, std::int64_t n,
                     float* out);
 
+/// Feature-test macro for the forced-kernel seams below — lets the bench
+/// binary compile against trees that predate the hand-scheduled kernels.
+#define MTSR_TENSOR_OPS_FORCED_KERNELS 1
+
+/// Name of the hand-scheduled panel microkernel the float matmul family
+/// dispatches to on this host: "avx512" (8×32 FMA register tile), "avx2"
+/// (6×16), or "generic" (the portable fallback). The MTSR_SIMD environment
+/// variable caps the choice at process start, exactly like the int8
+/// dispatch (gemm_u8s8_kernel_name).
+[[nodiscard]] const char* matmul_kernel_name();
+
+/// Testing/benchmark seam: runs matmul_into with the microkernel of an
+/// explicit dispatch level — "scalar"/"sse2"/"generic" (portable kernel),
+/// "avx2", "avx512", "vnni" (same float kernel as "avx512"), or "clones"
+/// (the pre-hand-scheduling target_clones kernel, kept for interleaved
+/// old-vs-new benchmarking) — regardless of MTSR_SIMD. Returns false
+/// without touching `c` when this host cannot execute the requested level.
+/// The production dispatch, resolved once per process, is unaffected.
+[[nodiscard]] bool matmul_into_forced_kernel(const char* level,
+                                             const float* a, const float* b,
+                                             float* c, std::int64_t m,
+                                             std::int64_t k, std::int64_t n,
+                                             bool accumulate = false);
+
 // ---- Quantised GEMM (u8 activations · s8 weights) --------------------------
 //
 // The int8 inference path: C (m×n float) = dequant(A_u8 (m×k) · B_s8 (k×n)).
@@ -74,25 +98,33 @@ void transpose_into(const float* a, std::int64_t m, std::int64_t n,
 // store (single-rounding fmaf in every path).
 
 /// s8 B matrix packed for gemm_u8s8: k-groups of 4 interleaved per column
-/// so the maddubs microkernel streams one contiguous load per 4 k-steps.
-/// Values must lie within ±quant::kWeightQmax (checked at pack time) —
-/// the saturation-freedom contract of the AVX2 path.
+/// so the maddubs/vpdpbusd microkernels stream one contiguous load per 4
+/// k-steps. Values must lie within ±quant::kWeightQmax (checked at pack
+/// time) — the saturation-freedom contract of the maddubs paths — unless
+/// the pack was made with full_range set, which admits the full ±127 clip
+/// and restricts dispatch to the kernels that accumulate u8·s8 groups
+/// straight into s32 (scalar and VNNI).
 struct PackedInt8B {
   std::vector<std::int8_t> data;     ///< (kpad/4, npad, 4) s8, zero-padded
   std::vector<std::int32_t> colsum;  ///< per-column Σ_k b[k,j] (length npad)
   std::int64_t k = 0;                ///< logical row count
   std::int64_t n = 0;                ///< logical column count
   std::int64_t npad = 0;             ///< n rounded up to 16 columns
+  bool full_range = false;           ///< ±127 pack (scalar/VNNI only)
 
   [[nodiscard]] bool empty() const { return data.empty(); }
   /// k rounded up to 4: the minimum row stride (lda) of the A operand.
   [[nodiscard]] std::int64_t kpad() const { return (k + 3) / 4 * 4; }
 };
 
-/// Packs a row-major (k × n) s8 matrix. Throws when any value exceeds
-/// ±quant::kWeightQmax.
+/// Packs a row-major (k × n) s8 matrix. Throws when any value exceeds the
+/// admitted clip: ±quant::kWeightQmax by default, ±quant::kWeightQmaxFull
+/// with `full_range` set. Full-range packs are an opt-in for VNNI hosts —
+/// gemm_u8s8 demotes them to the scalar kernel when the process kernel is
+/// a maddubs path, so correctness never depends on the host ISA; the
+/// default ±63 mode keeps the cross-ISA bit-exactness contract unchanged.
 [[nodiscard]] PackedInt8B pack_b_s8(const std::int8_t* b, std::int64_t k,
-                                    std::int64_t n);
+                                    std::int64_t n, bool full_range = false);
 
 /// Fused epilogue of gemm_u8s8, applied per output element as
 ///   y = fmaf(col_scale[j], float(acc − a_zp·colsum[j]), bias ? bias[j] : 0)
@@ -129,11 +161,26 @@ void gemm_u8s8_ref(const std::uint8_t* a, std::int64_t lda,
                    const QuantEpilogue& ep, float* c, std::int64_t ldc = 0);
 
 /// Name of the microkernel gemm_u8s8 dispatches to on this host:
-/// "avx512", "avx2", or "scalar". The MTSR_SIMD environment variable
-/// (values "scalar", "avx2", "avx512") caps the choice at process start —
-/// MTSR_SIMD=scalar is the forced-lowest-ISA mode CI uses to keep the
-/// scalar fallback tested on wide hosts.
+/// "vnni", "avx512", "avx2", or "scalar". The MTSR_SIMD environment
+/// variable (values "scalar", "sse2", "avx2", "avx512", "vnni") caps the
+/// choice at process start — MTSR_SIMD=scalar is the forced-lowest-ISA
+/// mode CI uses to keep the scalar fallback tested on wide hosts, and
+/// "avx512" deliberately caps below VNNI so the maddubs AVX-512 kernel
+/// stays reachable on VNNI hosts.
 [[nodiscard]] const char* gemm_u8s8_kernel_name();
+
+/// Testing seam: runs gemm_u8s8 with the microkernel of an explicit
+/// dispatch level ("scalar"/"sse2", "avx2", "avx512", "vnni") regardless
+/// of MTSR_SIMD. Returns false without touching `c` when this host cannot
+/// execute the requested level. Full-range packs demote maddubs levels to
+/// the scalar kernel exactly as the production dispatch does.
+[[nodiscard]] bool gemm_u8s8_forced_kernel(const char* level,
+                                           const std::uint8_t* a,
+                                           std::int64_t lda,
+                                           const PackedInt8B& b,
+                                           std::int64_t m,
+                                           const QuantEpilogue& ep, float* c,
+                                           std::int64_t ldc = 0);
 
 // ---- Conv lowering ---------------------------------------------------------
 

@@ -11,9 +11,12 @@
 #include <string>
 #include <vector>
 
+#include "src/baselines/srcnn.hpp"
+#include "src/baselines/srcnn_int8.hpp"
 #include "src/common/check.hpp"
 #include "src/common/parallel.hpp"
 #include "src/common/workspace.hpp"
+#include "src/core/discriminator_int8.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/zipnet_int8.hpp"
 #include "src/data/milan.hpp"
@@ -288,14 +291,74 @@ TEST(GemmU8S8, PackRejectsSaturationUnsafeWeights) {
   EXPECT_THROW((void)pack_b_s8(b.data(), 4, 4), ContractViolation);
 }
 
+TEST(GemmU8S8, FullRangePackAdmitsWiderWeights) {
+  std::vector<std::int8_t> b(16, 0);
+  b[3] = 127;
+  b[7] = -127;
+  const PackedInt8B packed = pack_b_s8(b.data(), 4, 4, /*full_range=*/true);
+  EXPECT_TRUE(packed.full_range);
+  EXPECT_EQ(packed.colsum[3], 127 - 127);
+}
+
 TEST(GemmU8S8, KernelNameIsKnown) {
   const std::string name = gemm_u8s8_kernel_name();
-  EXPECT_TRUE(name == "scalar" || name == "avx2" || name == "avx512")
+  EXPECT_TRUE(name == "scalar" || name == "avx2" || name == "avx512" ||
+              name == "vnni")
       << name;
   const char* forced = std::getenv("MTSR_SIMD");
   if (forced != nullptr && std::string(forced) == "scalar") {
     EXPECT_EQ(name, "scalar");
   }
+}
+
+// Every SIMD level this host can run must reproduce the scalar s32
+// reference bit-for-bit in the default ±63 mode; the levels that accept
+// full-range (±127) packs — scalar and VNNI — must agree bit-for-bit there
+// too, and a full-range pack pushed through a maddubs level must demote to
+// the scalar kernel (same bits) rather than saturate.
+TEST(GemmU8S8, ForcedKernelSweepBitExactInBothRanges) {
+  Rng rng(41);
+  const GemmCase cases[] = {{5, 288, 96}, {64, 48, 16}, {7, 40, 33}};
+  const char* levels[] = {"scalar", "sse2", "avx2", "avx512", "vnni"};
+  for (const auto& [m, k, n] : cases) {
+    const std::int64_t kpad = (k + 3) / 4 * 4;
+    std::vector<std::uint8_t> a(static_cast<std::size_t>(m * kpad));
+    for (auto& v : a) v = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    for (const bool full_range : {false, true}) {
+      const int qmax =
+          full_range ? quant::kWeightQmaxFull : quant::kWeightQmax;
+      std::vector<std::int8_t> b(static_cast<std::size_t>(k * n));
+      for (auto& v : b) {
+        v = static_cast<std::int8_t>(rng.uniform_int(-qmax, qmax));
+      }
+      const PackedInt8B packed = pack_b_s8(b.data(), k, n, full_range);
+      std::vector<float> col_scale(static_cast<std::size_t>(n));
+      std::vector<float> bias(static_cast<std::size_t>(n));
+      for (auto& v : col_scale) v = 0.001f + 0.01f * rng.uniform();
+      for (auto& v : bias) v = rng.uniform() - 0.5f;
+      const QuantEpilogue ep{col_scale.data(), 19, bias.data(), 0.1f};
+      std::vector<float> ref(static_cast<std::size_t>(m * n));
+      gemm_u8s8_ref(a.data(), kpad, packed, m, ep, ref.data());
+      int levels_run = 0;
+      for (const char* level : levels) {
+        std::vector<float> got(static_cast<std::size_t>(m * n), -1e30f);
+        if (!gemm_u8s8_forced_kernel(level, a.data(), kpad, packed, m, ep,
+                                     got.data())) {
+          continue;  // host cannot execute this level
+        }
+        ++levels_run;
+        ASSERT_EQ(std::memcmp(ref.data(), got.data(),
+                              ref.size() * sizeof(float)),
+                  0)
+            << "level " << level << " full_range=" << full_range << " m="
+            << m << " k=" << k << " n=" << n;
+      }
+      EXPECT_GE(levels_run, 2);  // scalar + sse2 run everywhere
+    }
+  }
+  EXPECT_FALSE(gemm_u8s8_forced_kernel("no-such-level", nullptr, 4,
+                                       PackedInt8B{}, 1, QuantEpilogue{},
+                                       nullptr));
 }
 
 // ---- quantised layers: BatchNorm-fold parity -------------------------------
@@ -604,6 +667,156 @@ TEST(ServingInt8, SteadyStateZeroArenaGrowth) {
   const serving::Engine::Stats stats = engine.stats();
   ASSERT_EQ(stats.sessions.size(), 1u);
   EXPECT_EQ(stats.sessions[0].model, "zipnet-int8");
+}
+
+// ---- SrcnnInt8 -------------------------------------------------------------
+
+// A small SRCNN fitted on the dataset's training split.
+std::unique_ptr<baselines::Srcnn> fitted_srcnn(
+    const data::TrafficDataset& dataset, const data::ProbeLayout& layout) {
+  baselines::SrcnnConfig config;
+  config.channels1 = 8;
+  config.channels2 = 4;
+  config.window = 16;
+  config.epochs = 40;
+  config.crops_per_epoch = 32;
+  config.learning_rate = 1e-3f;
+  auto srcnn = std::make_unique<baselines::Srcnn>(config);
+  const data::SplitRange train = dataset.train_range();
+  std::vector<Tensor> frames;
+  for (std::int64_t t = train.begin; t < train.end; ++t) {
+    frames.push_back(dataset.frame(t));
+  }
+  srcnn->fit(frames, layout);
+  return srcnn;
+}
+
+TEST(SrcnnInt8, ConversionGuardsAndCalibrationParity) {
+  // Conversion requires a fitted float network.
+  baselines::Srcnn unfitted;
+  EXPECT_THROW(baselines::SrcnnInt8 bad(unfitted), ContractViolation);
+
+  data::TrafficDataset dataset = quant_dataset(434);
+  data::UniformProbeLayout layout(16, 16, 4);
+  auto srcnn = fitted_srcnn(dataset, layout);
+
+  baselines::SrcnnInt8 net(*srcnn);
+  EXPECT_EQ(net.name(), "srcnn-int8");
+  const Tensor frame = dataset.frame(dataset.test_range().begin);
+  // Inference-only: the float fit is the only fit.
+  EXPECT_THROW(net.fit({frame}, layout), ContractViolation);
+  // Not frozen yet.
+  EXPECT_THROW((void)net.super_resolve(frame, layout), ContractViolation);
+  EXPECT_THROW((void)baselines::SrcnnInt8::convert(*srcnn, {}, layout),
+               ContractViolation);
+
+  // The calibration resolve reproduces the float resolver (no BN to fold:
+  // only conv order-of-operations noise).
+  Tensor want = srcnn->super_resolve(frame, layout);
+  Tensor got = net.super_resolve_calibrate(frame, layout);
+  ASSERT_EQ(want.shape(), got.shape());
+  for (std::int64_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(want.flat(i), got.flat(i), 1e-3) << "at " << i;
+  }
+}
+
+TEST(SrcnnInt8, ServingNrmseWithinTwoPercentOfFloat) {
+  data::TrafficDataset dataset = quant_dataset(435);
+  data::UniformProbeLayout layout(16, 16, 4);
+  auto srcnn = fitted_srcnn(dataset, layout);
+
+  // Calibrate on window-geometry crops — exactly what serving sessions
+  // feed the resolver.
+  data::UniformProbeLayout window_layout(8, 8, 4);
+  const data::SplitRange train = dataset.train_range();
+  std::vector<Tensor> calibration;
+  for (std::int64_t t = train.begin;
+       t < std::min(train.begin + 6, train.end); ++t) {
+    calibration.push_back(crop2d(dataset.frame(t), 0, 0, 8, 8));
+    calibration.push_back(crop2d(dataset.frame(t), 8, 8, 8, 8));
+  }
+
+  serving::Engine engine;
+  engine.register_model("SRCNN",
+                        std::make_shared<serving::BaselineModel>(*srcnn));
+  engine.register_model(
+      "srcnn-int8",
+      serving::quantize_srcnn(*srcnn, calibration, window_layout));
+
+  serving::SessionConfig stream = serving::SessionConfig::from_dataset(
+      "SRCNN", data::MtsrInstance::kUp4, dataset, 8, 4);
+  const auto float_id = engine.open_session(stream);
+  stream.model = "srcnn-int8";
+  const auto int8_id = engine.open_session(stream);
+
+  const data::SplitRange test = dataset.test_range();
+  double nrmse_float = 0.0, nrmse_int8 = 0.0;
+  int frames = 0;
+  for (std::int64_t t = test.begin; t < std::min(test.begin + 4, test.end);
+       ++t) {
+    auto f = engine.push(float_id, dataset.frame(t));
+    auto q = engine.push(int8_id, dataset.frame(t));
+    ASSERT_EQ(f.has_value(), q.has_value());
+    if (!f) continue;
+    ASSERT_EQ(f->shape(), q->shape());
+    nrmse_float += metrics::nrmse(*f, dataset.frame(t));
+    nrmse_int8 += metrics::nrmse(*q, dataset.frame(t));
+    ++frames;
+  }
+  ASSERT_GT(frames, 0);
+  nrmse_float /= frames;
+  nrmse_int8 /= frames;
+  // Acceptance criterion: the registered "srcnn-int8" model serves within
+  // 2% relative of the float SRCNN baseline.
+  EXPECT_LE(std::fabs(nrmse_int8 - nrmse_float), 0.02 * nrmse_float)
+      << "float NRMSE " << nrmse_float << " vs int8 " << nrmse_int8;
+}
+
+// ---- DiscriminatorInt8 -----------------------------------------------------
+
+TEST(DiscriminatorInt8, MirrorsFloatWithinQuantisationNoise) {
+  Rng rng(24);
+  core::DiscriminatorConfig config;
+  config.base_channels = 4;
+  core::Discriminator disc(config, rng);
+
+  // A few training forwards move the BatchNorm running statistics off
+  // their init values, so the fold is exercised for real.
+  std::vector<Tensor> batches;
+  for (int i = 0; i < 3; ++i) {
+    batches.push_back(Tensor::randn(Shape{2, 16, 16}, rng));
+    Workspace::Scope scope(Workspace::tls());
+    (void)disc.forward(batches.back(), true);
+  }
+
+  EXPECT_THROW((void)core::DiscriminatorInt8::convert(disc, {}),
+               ContractViolation);
+
+  core::DiscriminatorInt8 net(disc);
+  Tensor want;
+  {
+    Workspace::Scope scope(Workspace::tls());
+    want = disc.forward(batches[0], false);
+    Tensor got = net.forward_calibrate(batches[0]);
+    ASSERT_EQ(want.shape(), got.shape());
+    for (std::int64_t i = 0; i < want.size(); ++i) {
+      ASSERT_NEAR(want.flat(i), got.flat(i), 1e-4) << "at " << i;
+    }
+  }
+  EXPECT_THROW((void)net.forward(batches[0]), ContractViolation);
+
+  auto frozen = core::DiscriminatorInt8::convert(disc, batches);
+  ASSERT_TRUE(frozen->frozen());
+  Workspace::Scope scope(Workspace::tls());
+  Tensor got = frozen->forward(batches[0]);
+  ASSERT_EQ(got.shape(), want.shape());
+  for (std::int64_t i = 0; i < got.size(); ++i) {
+    // Probabilities stay in (0, 1) and track the float head within the
+    // accumulated quantisation noise of seven int8 layers.
+    EXPECT_GT(got.flat(i), 0.f);
+    EXPECT_LT(got.flat(i), 1.f);
+    EXPECT_NEAR(got.flat(i), want.flat(i), 0.1f) << "at " << i;
+  }
 }
 
 }  // namespace

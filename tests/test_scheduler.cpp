@@ -620,10 +620,58 @@ TEST(Scheduler, TelemetryRendersInStatsTable) {
   }
   const std::string table = render_stats_table(engine.stats());
   EXPECT_NE(table.find("scheduler:"), std::string::npos) << table;
+  EXPECT_NE(table.find("skips"), std::string::npos) << table;
   EXPECT_NE(table.find("fused batch sizes:"), std::string::npos) << table;
   EXPECT_NE(table.find("dedup:"), std::string::npos) << table;
   EXPECT_NE(table.find("reloads:"), std::string::npos) << table;
   EXPECT_NE(table.find("max queue"), std::string::npos) << table;
+}
+
+TEST(Scheduler, DedupSkipsAdmitCoarseningForMemoServedConsumers) {
+  // Fan-out consumers defer their admit-time per-window coarsening; a
+  // consumer whose blocks the stream memo serves end to end never pays it
+  // at all. Outputs stay bitwise-equal to the untagged control — deferral
+  // only moves WHEN coarsening runs, never its values.
+  data::TrafficDataset dataset = small_dataset(524);
+  core::MtsrPipeline pipeline(small_pipeline_config(), dataset);
+  auto model = std::make_shared<ZipNetModel>(pipeline.generator());
+
+  Engine engine;
+  engine.register_model("zipnet", model);
+  std::vector<Engine::SessionId> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(engine.open_session(stream_config(dataset, "zipnet", "milan")));
+  }
+  const auto solo = engine.open_session(stream_config(dataset));  // untagged
+
+  Engine control;
+  control.register_model("zipnet", model);
+  const auto control_id = control.open_session(stream_config(dataset));
+
+  for (std::int64_t t = 0; t < 8; ++t) {
+    auto outs = engine.push_fused(ids, dataset.frame(t));
+    auto own = engine.push(solo, dataset.frame(t));
+    auto expected = control.push(control_id, dataset.frame(t));
+    for (const auto& o : outs) {
+      ASSERT_EQ(o.has_value(), expected.has_value());
+      if (o) expect_bitwise(*o, *expected, "deferred-coarsening consumer");
+    }
+    ASSERT_EQ(own.has_value(), expected.has_value());
+    if (own) expect_bitwise(*own, *expected, "untagged session");
+  }
+
+  const Engine::Stats stats = engine.stats();
+  for (const Engine::SessionStats& s : stats.sessions) {
+    if (s.id == ids[0] || s.id == solo) {
+      // The first consumer computes every block (its gathers force the
+      // coarsening); untagged sessions coarsen eagerly on admit.
+      EXPECT_EQ(s.coarsen_skips, 0) << "session " << s.id;
+    } else {
+      // Memo-served consumers: every post-warm-up eviction (t = 3..7)
+      // drops a frame whose coarsening was never needed.
+      EXPECT_EQ(s.coarsen_skips, 5) << "session " << s.id;
+    }
+  }
 }
 
 TEST(Scheduler, StandaloneSessionServesWithoutAnEngine) {
