@@ -1,0 +1,212 @@
+// bench_scaling — the multi-core scaling story behind the serving
+// scheduler: fused (Engine::push_all, one scheduler round per frame) versus
+// independent (Engine::push per session) throughput across a worker-count x
+// session-count grid.
+//
+// Both paths run in the SAME binary, interleaved fused/independent per
+// repeat with the best-of-`repeats` wall-clock kept, so the comparison
+// cannot be skewed by build flags, frequency drift, or page-cache state.
+// Sessions are distinct cities (one synthetic dataset per session), so
+// nothing dedups: every fused win is batching + shard locality, not
+// memoisation. The JSON block at the end is the `multicore_scaling`
+// section recorded in BENCH_throughput.json.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/common/cli.hpp"
+#include "src/common/parallel.hpp"
+#include "src/common/stopwatch.hpp"
+#include "src/common/table.hpp"
+#include "src/common/topology.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/serving/engine.hpp"
+#include "src/serving/model.hpp"
+
+using namespace mtsr;
+
+namespace {
+
+struct Cell {
+  int workers = 0;
+  int sessions = 0;
+  double fused_ips = 0;        ///< stitched inferences per wall-second
+  double independent_ips = 0;  ///< same work served one push at a time
+  double speedup = 0;          ///< fused_ips / independent_ips
+  double utilization = 0;      ///< pool busy fraction during the fused run
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_scaling",
+                "Fused vs independent serving throughput across a "
+                "worker-count x session-count grid");
+  cli.add_int("side", 40, "fine grid side length (city is side x side)");
+  cli.add_int("frames", 6, "timed predictions per session");
+  cli.add_int("max-sessions", 8, "sweep sessions 1,2,4,... up to this");
+  cli.add_int("threads", 0,
+              "fix the pool worker count (0: sweep 1,2,4,... up to the "
+              "hardware concurrency)");
+  cli.add_int("shards", 0,
+              "pool shards for every run (0: default — MTSR_SHARDS or one "
+              "per NUMA node)");
+  cli.add_int("repeats", 3,
+              "best-of repeats, fused/independent interleaved per repeat");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::int64_t side = cli.get_int("side");
+  const std::int64_t frames = cli.get_int("frames");
+  const int repeats = static_cast<int>(cli.get_int("repeats"));
+  const int shards = static_cast<int>(cli.get_int("shards"));
+
+  const Topology& topo = Topology::instance();
+  const int hw = topo.cpu_count();
+  std::printf("host: %s | affinity: %s\n", topo.summary().c_str(),
+              affinity_policy_name(affinity_policy()));
+
+  // Worker and session sweeps: powers of two, capped by the host / flag.
+  std::vector<int> worker_counts;
+  if (cli.get_int("threads") > 0) {
+    worker_counts.push_back(static_cast<int>(cli.get_int("threads")));
+  } else {
+    for (int w = 1; w < hw; w *= 2) worker_counts.push_back(w);
+    worker_counts.push_back(hw);
+  }
+  std::vector<int> session_counts;
+  for (int n = 1; n <= cli.get_int("max-sessions"); n *= 2) {
+    session_counts.push_back(n);
+  }
+
+  const int max_sessions = session_counts.back();
+  core::PipelineConfig config =
+      bench::bench_pipeline_config(data::MtsrInstance::kUp4, side);
+  config.stitch_stride = config.window / 2;
+  const std::int64_t s = config.temporal_length;
+
+  // One synthetic city per session: distinct streams, nothing dedups.
+  std::vector<data::TrafficDataset> datasets;
+  for (int i = 0; i < max_sessions; ++i) {
+    bench::BenchData geometry;
+    geometry.side = side;
+    geometry.frames = s + frames + 2;
+    geometry.seed = 42 + static_cast<std::uint64_t>(i);
+    datasets.push_back(bench::make_dataset(geometry));
+  }
+  core::MtsrPipeline pipeline(config, datasets.front());
+  auto model = std::make_shared<serving::ZipNetModel>(pipeline.generator());
+
+  // One timed run: open `sessions` streams, feed S-1 warm-up frames
+  // untimed, then time `frames` rounds. Returns wall seconds for the timed
+  // rounds; `fused` selects push_all (one scheduler round per frame) vs a
+  // push per session. `util_out`, when non-null, receives the engine's
+  // pool-utilisation figure for the run.
+  auto run = [&](int sessions, bool fused, double* util_out) {
+    serving::Engine engine;
+    engine.register_model("zipnet", model);
+    std::vector<serving::Engine::SessionId> ids;
+    std::vector<Tensor> round(static_cast<std::size_t>(sessions));
+    for (int i = 0; i < sessions; ++i) {
+      ids.push_back(engine.open_session(serving::SessionConfig::from_dataset(
+          "zipnet", config.instance, datasets[static_cast<std::size_t>(i)],
+          config.window, config.stitch_stride)));
+    }
+    auto feed = [&](std::int64_t t) {
+      for (int i = 0; i < sessions; ++i) {
+        round[static_cast<std::size_t>(i)] =
+            datasets[static_cast<std::size_t>(i)].frame(t);
+      }
+      if (fused) {
+        (void)engine.push_all(ids, round);
+      } else {
+        for (int i = 0; i < sessions; ++i) {
+          (void)engine.push(ids[static_cast<std::size_t>(i)],
+                            round[static_cast<std::size_t>(i)]);
+        }
+      }
+    };
+    for (std::int64_t t = 0; t < s - 1; ++t) feed(t);  // warm-up
+    Stopwatch sw;
+    for (std::int64_t t = s - 1; t < s - 1 + frames; ++t) feed(t);
+    const double seconds = sw.seconds();
+    if (util_out != nullptr) *util_out = engine.stats().utilization;
+    return seconds;
+  };
+
+  std::vector<Cell> grid;
+  for (const int workers : worker_counts) {
+    set_num_shards(shards > 0 ? shards : 0);
+    set_num_threads(workers);
+    for (const int sessions : session_counts) {
+      Cell cell;
+      cell.workers = workers;
+      cell.sessions = sessions;
+      double best_fused = 0, best_indep = 0;
+      for (int rep = 0; rep < repeats; ++rep) {
+        const double f = run(sessions, /*fused=*/true,
+                             rep == 0 ? &cell.utilization : nullptr);
+        const double i = run(sessions, /*fused=*/false, nullptr);
+        best_fused = rep == 0 ? f : std::min(best_fused, f);
+        best_indep = rep == 0 ? i : std::min(best_indep, i);
+      }
+      const double work = static_cast<double>(sessions) *
+                          static_cast<double>(frames);
+      cell.fused_ips = work / best_fused;
+      cell.independent_ips = work / best_indep;
+      cell.speedup = cell.fused_ips / cell.independent_ips;
+      grid.push_back(cell);
+      std::printf("workers %d sessions %d: fused %.2f inf/s vs independent "
+                  "%.2f inf/s (%.2fx), pool %.0f%% busy\n",
+                  cell.workers, cell.sessions, cell.fused_ips,
+                  cell.independent_ips, cell.speedup,
+                  100.0 * cell.utilization);
+      std::fflush(stdout);
+    }
+  }
+  set_num_threads(0);
+  set_num_shards(0);
+
+  Table table({"workers", "sessions", "fused inf/s", "indep inf/s",
+               "speedup", "pool busy"});
+  char buf[64];
+  for (const Cell& c : grid) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(c.workers));
+    row.push_back(std::to_string(c.sessions));
+    std::snprintf(buf, sizeof(buf), "%.2f", c.fused_ips);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f", c.independent_ips);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2fx", c.speedup);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.0f%%", 100.0 * c.utilization);
+    row.push_back(buf);
+    table.add_row(row);
+  }
+  std::printf("\n%s", table.render().c_str());
+
+  // The multicore_scaling section for BENCH_throughput.json.
+  std::printf("\n\"multicore_scaling\": {\n");
+  std::printf("  \"host\": {\"cpus\": %d, \"numa_nodes\": %d, "
+              "\"detected_from_sysfs\": %s},\n",
+              topo.cpu_count(), topo.node_count(),
+              topo.detected_from_sysfs() ? "true" : "false");
+  std::printf("  \"grid_side\": %lld, \"frames_per_session\": %lld, "
+              "\"repeats\": %d,\n",
+              static_cast<long long>(side), static_cast<long long>(frames),
+              repeats);
+  std::printf("  \"grid\": [\n");
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const Cell& c = grid[i];
+    std::printf("    {\"workers\": %d, \"sessions\": %d, "
+                "\"fused_inf_per_s\": %.3f, \"independent_inf_per_s\": %.3f, "
+                "\"fused_speedup\": %.3f, \"pool_utilization\": %.3f}%s\n",
+                c.workers, c.sessions, c.fused_ips, c.independent_ips,
+                c.speedup, c.utilization, i + 1 < grid.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

@@ -7,7 +7,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+
+#include "src/common/parallel.hpp"
+#include "src/common/topology.hpp"
 
 #if __has_include("src/common/workspace.hpp")
 // Workspace builds retain conv lowering slices for a backward that never
@@ -370,7 +375,11 @@ void BM_ServeStatelessStitch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * kServeSessions * kServeFrames);
 }
-BENCHMARK(BM_ServeStatelessStitch)->Arg(100)->Unit(benchmark::kMillisecond);
+// Serving benches report wall-clock as the primary time (UseRealTime):
+// once the pool spans multiple workers, cpu_time of the driving thread
+// stops measuring delivered throughput. cpu_time stays in the report
+// beside it, so single-core runs remain comparable with older recordings.
+BENCHMARK(BM_ServeStatelessStitch)->Arg(100)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 void BM_ServePredictFrameSerial(benchmark::State& state) {
   const std::int64_t side = state.range(0);
@@ -392,7 +401,7 @@ void BM_ServePredictFrameSerial(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * kServeSessions * kServeFrames);
 }
-BENCHMARK(BM_ServePredictFrameSerial)->Arg(100)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServePredictFrameSerial)->Arg(100)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 #ifdef MTSR_HAS_SERVING
 void BM_ServeEngine(benchmark::State& state) {
@@ -427,7 +436,7 @@ void BM_ServeEngine(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * kServeSessions * kServeFrames);
 }
-BENCHMARK(BM_ServeEngine)->Arg(100)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServeEngine)->Arg(100)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 #ifdef MTSR_HAS_QUANT
 // The same multi-session workload served by the int8-quantised generator:
@@ -472,7 +481,7 @@ void BM_ServeEngineInt8(benchmark::State& state) {
   state.SetLabel(gemm_u8s8_kernel_name());
   state.SetItemsProcessed(state.iterations() * kServeSessions * kServeFrames);
 }
-BENCHMARK(BM_ServeEngineInt8)->Arg(100)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServeEngineInt8)->Arg(100)->UseRealTime()->Unit(benchmark::kMillisecond);
 #endif  // MTSR_HAS_QUANT
 
 #ifdef MTSR_HAS_SCHEDULER
@@ -538,6 +547,7 @@ void BM_ServeSchedulerFanout(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeSchedulerFanout)
     ->Arg(1)->Arg(4)->Arg(8)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 void BM_ServeIndependentFanout(benchmark::State& state) {
@@ -545,6 +555,7 @@ void BM_ServeIndependentFanout(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeIndependentFanout)
     ->Arg(1)->Arg(4)->Arg(8)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 void serve_distinct(benchmark::State& state, bool scheduled) {
@@ -602,6 +613,7 @@ void BM_ServeSchedulerDistinct(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeSchedulerDistinct)
     ->Arg(1)->Arg(4)->Arg(8)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 void BM_ServeIndependentDistinct(benchmark::State& state) {
@@ -609,6 +621,7 @@ void BM_ServeIndependentDistinct(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeIndependentDistinct)
     ->Arg(1)->Arg(4)->Arg(8)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 #endif  // MTSR_HAS_SCHEDULER
 #endif  // MTSR_HAS_SERVING
@@ -654,7 +667,39 @@ std::string cpu_feature_flags() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Pool flags, consumed before google-benchmark sees argv:
+  //   --threads N  total pool workers (default MTSR_THREADS or the hardware
+  //                concurrency)
+  //   --shards N   worker groups (default MTSR_SHARDS or one per NUMA node)
+  // Listed here because --help is handled by google-benchmark.
+  {
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      long long value = 0;
+      if (std::sscanf(argv[i], "--threads=%lld", &value) == 1) {
+        mtsr::set_num_threads(static_cast<int>(value));
+      } else if (std::sscanf(argv[i], "--shards=%lld", &value) == 1) {
+        mtsr::set_num_shards(static_cast<int>(value));
+      } else if ((std::strcmp(argv[i], "--threads") == 0 ||
+                  std::strcmp(argv[i], "--shards") == 0) &&
+                 i + 1 < argc) {
+        value = std::atoll(argv[i + 1]);
+        if (std::strcmp(argv[i], "--threads") == 0) {
+          mtsr::set_num_threads(static_cast<int>(value));
+        } else {
+          mtsr::set_num_shards(static_cast<int>(value));
+        }
+        ++i;
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    argc = kept;
+  }
   std::printf("CPU features: %s\n", cpu_feature_flags().c_str());
+  std::printf("pool: %d workers in %d shard%s on %s\n", mtsr::num_threads(),
+              mtsr::num_shards(), mtsr::num_shards() == 1 ? "" : "s",
+              mtsr::Topology::instance().summary().c_str());
 #ifdef MTSR_TENSOR_OPS_FORCED_KERNELS
   std::printf("float kernel: %s | int8 kernel: %s\n", matmul_kernel_name(),
               gemm_u8s8_kernel_name());

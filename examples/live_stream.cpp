@@ -27,12 +27,15 @@
 // Run:  ./live_stream [--side 32] [--steps 500] [--intervals 12]
 //                     [--model zipnet|zipnet-int8|bicubic]
 //                     [--sessions 1] [--reload]
+//                     [--threads N] [--shards N]
 #include <algorithm>
 #include <cstdio>
 
 #include "src/baselines/super_resolver.hpp"
 #include "src/common/cli.hpp"
+#include "src/common/parallel.hpp"
 #include "src/common/stopwatch.hpp"
+#include "src/common/topology.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/data/milan.hpp"
 #include "src/metrics/metrics.hpp"
@@ -55,7 +58,25 @@ int main(int argc, char** argv) {
               "fan-out consumers of the live feed (served fused + dedup'd)");
   cli.add_flag("reload",
                "hot-swap \"zipnet\" to the int8 twin mid-stream");
+  cli.add_int("threads", 0,
+              "total pool workers (0: MTSR_THREADS or the hardware "
+              "concurrency)");
+  cli.add_int("shards", 0,
+              "pool worker groups (0: MTSR_SHARDS or one per NUMA node); "
+              "sessions spread across shards at open time");
   if (!cli.parse(argc, argv)) return 0;
+  // Pool topology first: it must be settled before any session opens
+  // (open sessions pin the topology for their whole life).
+  if (cli.get_int("shards") > 0) {
+    set_num_shards(static_cast<int>(cli.get_int("shards")));
+  }
+  if (cli.get_int("threads") > 0) {
+    set_num_threads(static_cast<int>(cli.get_int("threads")));
+  }
+  std::printf("pool: %d workers in %d shard%s on %s (affinity %s)\n",
+              num_threads(), num_shards(), num_shards() == 1 ? "" : "s",
+              Topology::instance().summary().c_str(),
+              affinity_policy_name(affinity_policy()));
   const std::int64_t side = cli.get_int("side");
 
   data::MilanConfig city;

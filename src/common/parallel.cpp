@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -11,6 +13,7 @@
 #include <vector>
 
 #include "src/common/check.hpp"
+#include "src/common/topology.hpp"
 
 namespace mtsr {
 namespace {
@@ -26,11 +29,18 @@ constexpr int kMaxChunks = 32;
 // (e.g. a layer parallelising over samples whose body calls a GEMM).
 thread_local bool t_in_parallel_region = false;
 
+// The shard group this thread's parallel_for dispatches into. Ordinary
+// threads belong to shard 0; shard runner threads and pool workers carry
+// their own shard id.
+thread_local int t_shard = 0;
+
 std::int64_t chunk_begin(std::int64_t n, int chunks, int c) {
   const std::int64_t base = n / chunks;
   const std::int64_t rem = n % chunks;
   return c * base + std::min<std::int64_t>(c, rem);
 }
+
+using Clock = std::chrono::steady_clock;
 
 // One parallel_for invocation. Heap-allocated and shared with the workers so
 // a straggler that wakes late only ever touches its own task's state, never
@@ -60,29 +70,43 @@ struct Task {
   }
 };
 
-class ThreadPool {
+// One worker group: the unit parallel_for dispatches into. Chunk geometry
+// is a pure function of the trip count, so outputs stay bit-identical
+// however many workers the group happens to have.
+class ShardGroup {
  public:
-  static ThreadPool& instance() {
-    static ThreadPool pool;
-    return pool;
+  ShardGroup(int shard, int shard_count, int worker_target,
+             AffinityPolicy policy)
+      : shard_(shard), worker_target_(worker_target) {
+    workers_.reserve(static_cast<std::size_t>(worker_target_));
+    for (int i = 0; i < worker_target_; ++i) {
+      // Worker i occupies slot i; the participating caller (or the shard's
+      // runner thread) is the last slot and pins itself on creation.
+      const int cpu = detail::cpu_for_worker(policy, shard_, shard_count, i);
+      workers_.emplace_back([this, cpu] { worker_loop(cpu); });
+    }
   }
 
-  int size() {
+  ~ShardGroup() { stop(); }
+
+  int slots() const { return worker_target_ + 1; }
+  int shard() const { return shard_; }
+
+  // True when no pooled task is in flight (safe to tear the group down).
+  bool idle() {
     std::lock_guard<std::mutex> lock(mutex_);
-    return worker_target_ + 1;  // workers plus the participating caller
+    return current_ == nullptr;
   }
 
-  void resize(int n) {
-    if (n < 1) n = default_size();
-    // The thread-local flag catches the serial/nested paths (which never
-    // publish current_); the current_ check catches another thread's
-    // in-flight pooled task.
-    check(!t_in_parallel_region, "set_num_threads called from a parallel region");
-    std::unique_lock<std::mutex> lock(mutex_);
-    check(current_ == nullptr, "set_num_threads called from a parallel region");
-    stop_workers(lock);
-    worker_target_ = n - 1;  // the caller thread is worker number n
-    start_workers();
+  void stop() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (stopping_) return;
+      stopping_ = true;
+      work_cv_.notify_all();
+    }
+    for (std::thread& w : workers_) w.join();
+    workers_.clear();
   }
 
   void run(std::int64_t n, int chunks, const ChunkBody& body) {
@@ -94,14 +118,18 @@ class ThreadPool {
       std::unique_lock<std::mutex> lock(mutex_);
       if (worker_target_ == 0 || chunks <= 1) {
         lock.unlock();
+        tasks_.fetch_add(1, std::memory_order_relaxed);
+        const Clock::time_point t0 = Clock::now();
         t_in_parallel_region = true;
         try {
           task->work();
         } catch (...) {
           t_in_parallel_region = false;
+          add_busy(t0);
           throw;
         }
         t_in_parallel_region = false;
+        add_busy(t0);
         if (task->error) std::rethrow_exception(task->error);
         return;
       }
@@ -111,9 +139,12 @@ class ThreadPool {
     }
 
     // The caller participates as a worker on its own task.
+    tasks_.fetch_add(1, std::memory_order_relaxed);
+    const Clock::time_point t0 = Clock::now();
     t_in_parallel_region = true;
     task->work();
     t_in_parallel_region = false;
+    add_busy(t0);
 
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [&] {
@@ -124,33 +155,26 @@ class ThreadPool {
     if (task->error) std::rethrow_exception(task->error);
   }
 
-  void notify_done() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    done_cv_.notify_all();
+  std::int64_t tasks() const {
+    return tasks_.load(std::memory_order_relaxed);
   }
-
-  static int default_size() {
-    if (const char* env = std::getenv("MTSR_THREADS")) {
-      const int n = std::atoi(env);
-      if (n >= 1) return n;
-    }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw >= 1 ? static_cast<int>(hw) : 1;
+  double busy_seconds() const {
+    return static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
   }
 
  private:
-  ThreadPool() {
-    worker_target_ = default_size() - 1;
-    start_workers();
+  void add_busy(Clock::time_point t0) {
+    busy_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+            .count(),
+        std::memory_order_relaxed);
   }
 
-  ~ThreadPool() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    stop_workers(lock);
-  }
-
-  void worker_loop() {
+  void worker_loop(int cpu) {
     t_in_parallel_region = true;
+    t_shard = shard_;
+    if (cpu >= 0) detail::pin_current_thread_to_cpu(cpu);
     std::uint64_t seen_generation = 0;
     for (;;) {
       std::shared_ptr<Task> task;
@@ -163,43 +187,321 @@ class ThreadPool {
         seen_generation = generation_;
         task = current_;
       }
+      const Clock::time_point t0 = Clock::now();
       task->work();
-      notify_done();
+      add_busy(t0);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_cv_.notify_all();
+      }
     }
   }
 
-  void start_workers() {
-    stopping_ = false;
-    workers_.reserve(static_cast<std::size_t>(worker_target_));
-    for (int i = 0; i < worker_target_; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
-    }
-  }
-
-  void stop_workers(std::unique_lock<std::mutex>& lock) {
-    stopping_ = true;
-    work_cv_.notify_all();
-    lock.unlock();
-    for (std::thread& w : workers_) w.join();
-    workers_.clear();
-    lock.lock();
-  }
-
+  const int shard_;
+  const int worker_target_;
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   std::vector<std::thread> workers_;
-  int worker_target_ = 0;
   bool stopping_ = false;
   std::uint64_t generation_ = 0;
   std::shared_ptr<Task> current_;
+  std::atomic<std::int64_t> tasks_{0};
+  std::atomic<std::int64_t> busy_ns_{0};
+};
+
+// Dedicated dispatch thread of one shard: executes run_on_shard tasks with
+// t_shard set to its shard (and NOT inside a parallel region), so the tasks'
+// parallel_for calls fan out over the shard's own workers.
+class ShardRunner {
+ public:
+  explicit ShardRunner(int shard) : shard_(shard) {}
+
+  ~ShardRunner() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stopping_ = true;
+      cv_.notify_all();
+    }
+    if (thread_.joinable()) thread_.join();
+  }
+
+  std::future<void> submit(std::function<void()> fn) {
+    Job job;
+    job.fn = std::move(fn);
+    std::future<void> future = job.promise.get_future();
+    std::unique_lock<std::mutex> lock(mutex_);
+    check(!stopping_, "run_on_shard during pool shutdown");
+    queue_.push_back(std::move(job));
+    if (!thread_.joinable()) {
+      thread_ = std::thread([this] { loop(); });
+    }
+    cv_.notify_all();
+    return future;
+  }
+
+  // True when the queue is drained and no task is executing.
+  bool idle() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.empty() && !executing_;
+  }
+
+ private:
+  struct Job {
+    std::function<void()> fn;
+    std::promise<void> promise;
+  };
+
+  void loop() {
+    t_shard = shard_;
+    if (affinity_policy() != AffinityPolicy::kNone) {
+      detail::pin_current_thread_to_node(shard_ %
+                                         Topology::instance().node_count());
+    }
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+          if (stopping_) return;
+          continue;
+        }
+        job = std::move(queue_.front());
+        queue_.pop_front();
+        executing_ = true;
+      }
+      std::exception_ptr error;
+      try {
+        job.fn();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        // Cleared BEFORE the promise is fulfilled: a caller that joins the
+        // future and immediately reconfigures the pool must observe an
+        // idle runner.
+        std::lock_guard<std::mutex> lock(mutex_);
+        executing_ = false;
+      }
+      if (error) {
+        job.promise.set_exception(error);
+      } else {
+        job.promise.set_value();
+      }
+    }
+  }
+
+  const int shard_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  bool executing_ = false;
+  std::thread thread_;
+};
+
+using GroupList = std::vector<std::unique_ptr<ShardGroup>>;
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  int total_threads() {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    return total_;
+  }
+
+  int shard_count() {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    return shards_;
+  }
+
+  int group_slots(int shard) {
+    const std::shared_ptr<const GroupList> groups = load_groups();
+    check(shard >= 0 && shard < static_cast<int>(groups->size()),
+          "shard_size: shard out of range");
+    return (*groups)[static_cast<std::size_t>(shard)]->slots();
+  }
+
+  void resize_threads(int n) {
+    if (n < 1) n = default_total();
+    std::unique_lock<std::mutex> lock(config_mutex_);
+    guard_reconfigure("set_num_threads");
+    rebuild(n, shards_);
+  }
+
+  void resize_shards(int n) {
+    if (n < 1) n = default_shards();
+    std::unique_lock<std::mutex> lock(config_mutex_);
+    guard_reconfigure("set_num_shards");
+    rebuild(total_, n);
+  }
+
+  void set_policy(AffinityPolicy policy) {
+    std::unique_lock<std::mutex> lock(config_mutex_);
+    guard_reconfigure("set_affinity_policy");
+    detail::store_affinity_policy(policy);
+    rebuild(total_, shards_);
+  }
+
+  void dispatch(std::int64_t n, int chunks, const ChunkBody& body) {
+    const std::shared_ptr<const GroupList> groups = load_groups();
+    const std::size_t shard =
+        static_cast<std::size_t>(t_shard) % groups->size();
+    (*groups)[shard]->run(n, chunks, body);
+  }
+
+  std::future<void> submit_to_shard(int shard, std::function<void()> fn) {
+    std::unique_lock<std::mutex> lock(config_mutex_);
+    check(shard >= 0 && shard < shards_, "run_on_shard: shard out of range");
+    std::unique_ptr<ShardRunner>& runner =
+        runners_[static_cast<std::size_t>(shard)];
+    if (!runner) runner = std::make_unique<ShardRunner>(shard);
+    return runner->submit(std::move(fn));
+  }
+
+  std::vector<PoolShardStats> stats() {
+    const std::shared_ptr<const GroupList> groups = load_groups();
+    std::vector<PoolShardStats> out;
+    out.reserve(groups->size());
+    for (const auto& group : *groups) {
+      PoolShardStats s;
+      s.shard = group->shard();
+      s.workers = group->slots();
+      s.tasks = group->tasks();
+      s.busy_seconds = group->busy_seconds();
+      out.push_back(s);
+    }
+    return out;
+  }
+
+  void pin_topology() {
+    topology_pins_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void unpin_topology() {
+    topology_pins_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  static int default_total() {
+    if (const char* env = std::getenv("MTSR_THREADS")) {
+      const int n = std::atoi(env);
+      if (n >= 1) return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+  }
+
+  static int default_shards() {
+    if (const char* env = std::getenv("MTSR_SHARDS")) {
+      const int n = std::atoi(env);
+      if (n >= 1) return n;
+    }
+    return Topology::instance().node_count();
+  }
+
+ private:
+  Pool() {
+    std::unique_lock<std::mutex> lock(config_mutex_);
+    rebuild(default_total(), default_shards());
+  }
+
+  ~Pool() {
+    // Group/runner destructors join their threads; config_mutex_ must not
+    // be held (runner tasks may still be finishing a submit).
+    std::shared_ptr<const GroupList> groups;
+    {
+      std::lock_guard<std::mutex> lock(config_mutex_);
+      groups = groups_;
+      groups_.reset();
+      runners_.clear();
+    }
+    // Last reference dies here, stopping the groups.
+  }
+
+  std::shared_ptr<const GroupList> load_groups() {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    return groups_;
+  }
+
+  // Caller holds config_mutex_.
+  void guard_reconfigure(const char* what) {
+    // The thread-local flag catches the serial/nested paths (which never
+    // publish a task); the idle checks catch another thread's in-flight
+    // pooled task or a shard runner mid-task.
+    check(!t_in_parallel_region,
+          std::string(what) + " called from a parallel region");
+    check(topology_pins_.load(std::memory_order_relaxed) == 0,
+          std::string(what) + " while serving sessions are open");
+    if (groups_) {
+      for (const auto& group : *groups_) {
+        check(group->idle(), std::string(what) + " called from a parallel region");
+      }
+    }
+    for (const auto& runner : runners_) {
+      check(!runner || runner->idle(),
+            std::string(what) + " while a shard runner task is in flight");
+    }
+  }
+
+  // Caller holds config_mutex_ and has passed guard_reconfigure.
+  void rebuild(int total, int shards) {
+    // Runners cache the affinity policy on thread start; rebuild them too.
+    runners_.clear();
+    groups_.reset();  // joins the old workers
+    const AffinityPolicy policy = affinity_policy();
+    auto groups = std::make_shared<GroupList>();
+    groups->reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      // total is divided as evenly as possible; every shard keeps at least
+      // its participating caller slot even when total < shards.
+      const int slots =
+          std::max(1, total / shards + (s < total % shards ? 1 : 0));
+      groups->push_back(
+          std::make_unique<ShardGroup>(s, shards, slots - 1, policy));
+    }
+    groups_ = std::move(groups);
+    runners_.resize(static_cast<std::size_t>(shards));
+    total_ = total;
+    shards_ = shards;
+  }
+
+  std::mutex config_mutex_;
+  std::shared_ptr<const GroupList> groups_;
+  std::vector<std::unique_ptr<ShardRunner>> runners_;
+  int total_ = 0;
+  int shards_ = 0;
+  std::atomic<int> topology_pins_{0};
 };
 
 }  // namespace
 
-int num_threads() { return ThreadPool::instance().size(); }
+int num_threads() { return Pool::instance().total_threads(); }
 
-void set_num_threads(int n) { ThreadPool::instance().resize(n); }
+void set_num_threads(int n) { Pool::instance().resize_threads(n); }
+
+int num_shards() { return Pool::instance().shard_count(); }
+
+void set_num_shards(int n) { Pool::instance().resize_shards(n); }
+
+int shard_size(int shard) { return Pool::instance().group_slots(shard); }
+
+int current_shard() { return t_shard; }
+
+std::future<void> run_on_shard(int shard, std::function<void()> fn) {
+  return Pool::instance().submit_to_shard(shard, std::move(fn));
+}
+
+std::vector<PoolShardStats> pool_shard_stats() {
+  return Pool::instance().stats();
+}
+
+void set_affinity_policy(AffinityPolicy policy) {
+  Pool::instance().set_policy(policy);
+}
 
 int parallel_chunk_count(std::int64_t n) {
   if (n <= 0) return 0;
@@ -217,7 +519,7 @@ void dispatch_chunks(std::int64_t n, int chunks, const ChunkBody& body) {
     }
     return;
   }
-  ThreadPool::instance().run(n, chunks, body);
+  Pool::instance().dispatch(n, chunks, body);
 }
 
 }  // namespace
@@ -248,6 +550,10 @@ NestedParallelRegion::NestedParallelRegion()
 NestedParallelRegion::~NestedParallelRegion() {
   t_in_parallel_region = previous_;
 }
+
+PoolTopologyPin::PoolTopologyPin() { Pool::instance().pin_topology(); }
+
+PoolTopologyPin::~PoolTopologyPin() { Pool::instance().unpin_topology(); }
 
 }  // namespace detail
 

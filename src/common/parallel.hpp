@@ -26,14 +26,59 @@ namespace mtsr {
 using ChunkBody =
     std::function<void(std::int64_t begin, std::int64_t end, int slot)>;
 
-/// Current worker count (>= 1). Defaults to hardware_concurrency, clamped
-/// to >= 1; the MTSR_THREADS environment variable overrides the default.
+/// Current total worker count across all shards (>= 1). Defaults to
+/// hardware_concurrency, clamped to >= 1; the MTSR_THREADS environment
+/// variable overrides the default.
 [[nodiscard]] int num_threads();
 
-/// Resizes the pool to `n` workers (n >= 1); n < 1 restores the default
-/// (MTSR_THREADS or hardware_concurrency). Must not be called from inside a
-/// parallel region.
+/// Resizes the pool to `n` workers total (n >= 1); n < 1 restores the
+/// default (MTSR_THREADS or hardware_concurrency). Must not be called from
+/// inside a parallel region, and throws while serving sessions are open
+/// (they pin the pool topology for their lifetime).
 void set_num_threads(int n);
+
+/// Number of worker shards the pool is split into (>= 1). Each shard is an
+/// independent worker group with its own in-flight task; a thread's
+/// parallel_for dispatches into the shard it belongs to (current_shard()),
+/// so shards execute concurrently without contending. Defaults to one shard
+/// per detected NUMA node; the MTSR_SHARDS environment variable overrides
+/// the default.
+[[nodiscard]] int num_shards();
+
+/// Reshards the pool into `n` worker groups; n < 1 restores the default
+/// (MTSR_SHARDS or the NUMA node count). The total worker count is divided
+/// as evenly as possible across shards (every shard keeps at least its
+/// participating caller slot). Same restrictions as set_num_threads.
+void set_num_shards(int n);
+
+/// Worker slots of shard `s` (dedicated workers plus the participating
+/// caller), >= 1.
+[[nodiscard]] int shard_size(int shard);
+
+/// The shard this thread's parallel_for calls dispatch into. 0 for ordinary
+/// threads; shard runner threads (run_on_shard) and pool workers report
+/// their own shard.
+[[nodiscard]] int current_shard();
+
+/// Runs `fn` on shard `shard`'s dedicated runner thread, where
+/// current_shard() == shard, so every parallel_for inside `fn` fans out over
+/// that shard's workers (and allocations first-touch that shard's memory
+/// under compact affinity). Tasks of one shard run serially in submission
+/// order; distinct shards run concurrently. The returned future rethrows
+/// `fn`'s exception.
+std::future<void> run_on_shard(int shard, std::function<void()> fn);
+
+/// Cumulative per-shard pool telemetry since process start. busy_seconds is
+/// the summed wall time worker slots (including participating callers)
+/// spent executing chunk bodies — divide a delta by wall time x workers for
+/// a utilisation ratio.
+struct PoolShardStats {
+  int shard = 0;
+  int workers = 0;  ///< slots of this shard (dedicated + caller)
+  std::int64_t tasks = 0;
+  double busy_seconds = 0.0;
+};
+[[nodiscard]] std::vector<PoolShardStats> pool_shard_stats();
 
 /// Number of chunks (== accumulator slots) parallel_for_chunks will use for
 /// a trip count of n. Depends only on n, never on the pool size.
@@ -86,6 +131,18 @@ class NestedParallelRegion {
  private:
   bool previous_;
 };
+
+/// While any instance is alive, set_num_threads / set_num_shards /
+/// set_affinity_policy throw: serving sessions hold one for their lifetime
+/// because their shard assignment, gather slots and fused-pass arenas are
+/// sized against the pool topology at open time.
+class PoolTopologyPin {
+ public:
+  PoolTopologyPin();
+  ~PoolTopologyPin();
+  PoolTopologyPin(const PoolTopologyPin&) = delete;
+  PoolTopologyPin& operator=(const PoolTopologyPin&) = delete;
+};
 }  // namespace detail
 
 /// A dedicated background thread for pipeline-stage tasks that must overlap
@@ -96,8 +153,11 @@ class NestedParallelRegion {
 /// stage thread and never contend with the pool's in-flight task.
 class StageExecutor {
  public:
-  /// The stage thread starts lazily on the first submit().
-  StageExecutor();
+  /// The stage thread starts lazily on the first submit(). When `shard` is
+  /// >= 0 the thread is pinned to that shard's NUMA node (under the active
+  /// affinity policy) so staged gathers/scatters first-touch shard-local
+  /// memory; -1 leaves it unpinned.
+  explicit StageExecutor(int shard = -1);
   /// Drains pending tasks, then joins the stage thread.
   ~StageExecutor();
   StageExecutor(const StageExecutor&) = delete;

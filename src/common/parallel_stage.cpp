@@ -10,6 +10,7 @@
 
 #include "src/common/check.hpp"
 #include "src/common/parallel.hpp"
+#include "src/common/topology.hpp"
 
 namespace mtsr {
 
@@ -19,16 +20,23 @@ struct StageExecutor::Impl {
   std::condition_variable idle_cv;
   std::deque<std::packaged_task<void()>> queue;
   std::thread thread;
+  int shard = -1;
   bool started = false;
   bool stopping = false;
   bool executing = false;
 
   void loop() {
-    // Stage tasks must never race the pool's single in-flight task, so the
+    // Stage tasks must never race the pool's in-flight tasks, so the
     // stage thread runs with nested-region semantics: its parallel_for
     // calls execute serially right here while the submitting thread keeps
     // the pool busy with GEMMs.
     detail::mark_thread_inside_parallel_region();
+    if (shard >= 0 && affinity_policy() != AffinityPolicy::kNone) {
+      // Keep staged gathers/scatters on their shard's node so the slices
+      // they first-touch stay local to the shard's GEMM workers.
+      detail::pin_current_thread_to_node(shard %
+                                         Topology::instance().node_count());
+    }
     for (;;) {
       std::packaged_task<void()> task;
       {
@@ -49,7 +57,9 @@ struct StageExecutor::Impl {
   }
 };
 
-StageExecutor::StageExecutor() : impl_(std::make_unique<Impl>()) {}
+StageExecutor::StageExecutor(int shard) : impl_(std::make_unique<Impl>()) {
+  impl_->shard = shard;
+}
 
 StageExecutor::~StageExecutor() {
   {

@@ -1,0 +1,272 @@
+#include "src/common/topology.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace mtsr {
+namespace {
+
+std::atomic<std::int64_t> g_pin_failures{0};
+std::atomic<bool> g_simulate_pin_failure{false};
+std::atomic<bool> g_pin_warned{false};
+
+void note_pin_failure(const char* what) {
+  g_pin_failures.fetch_add(1, std::memory_order_relaxed);
+  if (!g_pin_warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "mtsr: warning: %s failed; affinity pinning unavailable on "
+                 "this host, serving unpinned\n",
+                 what);
+  }
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int fallback_cpu_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+std::vector<int> Topology::parse_cpu_list(const std::string& text) {
+  // sysfs cpulist format: comma-separated decimal ranges, e.g. "0-3,8,10-11".
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() &&
+           (text[pos] == ',' || text[pos] == ' ' || text[pos] == '\n')) {
+      ++pos;
+    }
+    if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos]))) break;
+    char* end = nullptr;
+    const long lo = std::strtol(text.c_str() + pos, &end, 10);
+    pos = static_cast<std::size_t>(end - text.c_str());
+    long hi = lo;
+    if (pos < text.size() && text[pos] == '-') {
+      ++pos;
+      hi = std::strtol(text.c_str() + pos, &end, 10);
+      pos = static_cast<std::size_t>(end - text.c_str());
+    }
+    for (long c = lo; c <= hi; ++c) cpus.push_back(static_cast<int>(c));
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Topology::Topology() {
+#if defined(__linux__)
+  std::string online;
+  if (read_file("/sys/devices/system/cpu/online", &online)) {
+    const std::vector<int> online_cpus = parse_cpu_list(online);
+    std::string node_list;
+    std::vector<Node> nodes;
+    if (!online_cpus.empty() &&
+        read_file("/sys/devices/system/node/online", &node_list)) {
+      for (int id : parse_cpu_list(node_list)) {
+        std::string cpulist;
+        if (!read_file("/sys/devices/system/node/node" + std::to_string(id) +
+                           "/cpulist",
+                       &cpulist)) {
+          continue;
+        }
+        Node node;
+        node.id = id;
+        // A node's cpulist can include offline cpus; keep online ones only.
+        for (int c : parse_cpu_list(cpulist)) {
+          if (std::binary_search(online_cpus.begin(), online_cpus.end(), c)) {
+            node.cpus.push_back(c);
+          }
+        }
+        if (!node.cpus.empty()) nodes.push_back(std::move(node));
+      }
+    }
+    if (!nodes.empty()) {
+      nodes_ = std::move(nodes);
+      from_sysfs_ = true;
+    } else if (!online_cpus.empty()) {
+      Node node;
+      node.id = 0;
+      node.cpus = online_cpus;
+      nodes_.push_back(std::move(node));
+      from_sysfs_ = true;
+    }
+  }
+#endif
+  if (nodes_.empty()) {
+    Node node;
+    node.id = 0;
+    const int hw = fallback_cpu_count();
+    node.cpus.reserve(static_cast<std::size_t>(hw));
+    for (int c = 0; c < hw; ++c) node.cpus.push_back(c);
+    nodes_.push_back(std::move(node));
+    from_sysfs_ = false;
+  }
+  cpu_count_ = 0;
+  for (const Node& node : nodes_) {
+    cpu_count_ += static_cast<int>(node.cpus.size());
+  }
+  if (cpu_count_ < 1) cpu_count_ = 1;
+}
+
+const Topology& Topology::instance() {
+  static Topology topology;
+  return topology;
+}
+
+std::string Topology::summary() const {
+  std::ostringstream ss;
+  ss << nodes_.size() << (nodes_.size() == 1 ? " node x " : " nodes x ")
+     << cpu_count_ << (cpu_count_ == 1 ? " cpu" : " cpus") << " ("
+     << (from_sysfs_ ? "sysfs" : "fallback") << ")";
+  return ss.str();
+}
+
+AffinityPolicy parse_affinity_policy(const char* text) {
+  if (text == nullptr) return AffinityPolicy::kNone;
+  if (std::strcmp(text, "compact") == 0) return AffinityPolicy::kCompact;
+  if (std::strcmp(text, "scatter") == 0) return AffinityPolicy::kScatter;
+  return AffinityPolicy::kNone;
+}
+
+const char* affinity_policy_name(AffinityPolicy policy) {
+  switch (policy) {
+    case AffinityPolicy::kCompact:
+      return "compact";
+    case AffinityPolicy::kScatter:
+      return "scatter";
+    case AffinityPolicy::kNone:
+      break;
+  }
+  return "none";
+}
+
+namespace {
+
+// -1 = not yet initialised; first read resolves MTSR_AFFINITY.
+std::atomic<int> g_policy{-1};
+
+}  // namespace
+
+AffinityPolicy affinity_policy() {
+  int v = g_policy.load(std::memory_order_relaxed);
+  if (v < 0) {
+    int expected = -1;
+    g_policy.compare_exchange_strong(
+        expected,
+        static_cast<int>(parse_affinity_policy(std::getenv("MTSR_AFFINITY"))),
+        std::memory_order_relaxed);
+    v = g_policy.load(std::memory_order_relaxed);
+  }
+  return static_cast<AffinityPolicy>(v);
+}
+
+namespace detail {
+
+void store_affinity_policy(AffinityPolicy policy) {
+  g_policy.store(static_cast<int>(policy), std::memory_order_relaxed);
+}
+
+namespace {
+
+bool apply_cpu_set(const std::vector<int>& cpus, const char* what) {
+  if (g_simulate_pin_failure.load(std::memory_order_relaxed)) {
+    note_pin_failure(what);
+    return false;
+  }
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int c : cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+  }
+  if (CPU_COUNT(&set) == 0) {
+    note_pin_failure(what);
+    return false;
+  }
+  if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) != 0) {
+    note_pin_failure(what);
+    return false;
+  }
+  return true;
+#else
+  note_pin_failure(what);
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool pin_current_thread_to_cpu(int cpu) {
+  return apply_cpu_set({cpu}, "pthread_setaffinity_np(cpu)");
+}
+
+bool pin_current_thread_to_node(int node_index) {
+  const auto& nodes = Topology::instance().nodes();
+  if (nodes.empty()) return false;
+  const std::size_t i =
+      static_cast<std::size_t>(node_index) % nodes.size();
+  return apply_cpu_set(nodes[i].cpus, "pthread_setaffinity_np(node)");
+}
+
+std::int64_t pin_failure_count() {
+  return g_pin_failures.load(std::memory_order_relaxed);
+}
+
+void simulate_pin_failure(bool enabled) {
+  g_simulate_pin_failure.store(enabled, std::memory_order_relaxed);
+}
+
+int cpu_for_worker(AffinityPolicy policy, int shard, int shard_count,
+                   int worker_index) {
+  if (policy == AffinityPolicy::kNone) return -1;
+  if (shard < 0 || worker_index < 0) return -1;
+  const auto& nodes = Topology::instance().nodes();
+  if (nodes.empty()) return -1;
+  if (shard_count < 1) shard_count = 1;
+  if (policy == AffinityPolicy::kCompact) {
+    // One shard per node: shard s claims node (s % nodes) and packs its
+    // workers onto that node's cpus in order. When several shards share a
+    // node (more shards than nodes) they interleave by shard index so two
+    // shards do not stack onto the same first core.
+    const Topology::Node& node =
+        nodes[static_cast<std::size_t>(shard) % nodes.size()];
+    const int stacked = shard / static_cast<int>(nodes.size());
+    const std::size_t slot =
+        static_cast<std::size_t>(worker_index + stacked) % node.cpus.size();
+    return node.cpus[slot];
+  }
+  // kScatter: spread one shard's workers across every node round-robin,
+  // starting at the shard's own node so distinct shards lead differently.
+  const std::size_t node_idx =
+      static_cast<std::size_t>(shard + worker_index) % nodes.size();
+  const Topology::Node& node = nodes[node_idx];
+  const std::size_t slot =
+      static_cast<std::size_t>(worker_index / static_cast<int>(nodes.size())) %
+      node.cpus.size();
+  return node.cpus[slot];
+}
+
+}  // namespace detail
+
+}  // namespace mtsr

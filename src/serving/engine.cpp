@@ -9,6 +9,10 @@
 
 namespace mtsr::serving {
 
+Engine::Engine() : pool_baseline_(pool_shard_stats()) {}
+
+void Engine::set_shards(int n) { set_num_shards(n); }
+
 void Engine::register_model(const std::string& name,
                             std::shared_ptr<Model> model) {
   check(!name.empty(), "Engine::register_model: empty name");
@@ -168,6 +172,44 @@ Engine::Stats Engine::stats() const {
   stats.scheduler = scheduler_.stats();
   stats.reloads_applied = reloads_applied_.load();
   stats.reloads_failed = reloads_failed_.load();
+
+  // Per-shard breakdown: scheduler dispatch counters joined with the
+  // pool's busy-time telemetry, both relative to this engine's lifetime.
+  stats.wall_seconds = created_.seconds();
+  const std::vector<PoolShardStats> pool = pool_shard_stats();
+  const std::vector<SchedulerShardStats> sched = scheduler_.shard_stats();
+  int total_workers = 0;
+  double total_busy = 0.0;
+  stats.shards.reserve(pool.size());
+  for (const PoolShardStats& p : pool) {
+    ShardStats s;
+    s.shard = p.shard;
+    s.workers = p.workers;
+    s.busy_seconds = p.busy_seconds;
+    for (const PoolShardStats& b : pool_baseline_) {
+      if (b.shard == p.shard) {
+        s.busy_seconds -= b.busy_seconds;
+        break;
+      }
+    }
+    for (const SchedulerShardStats& ss : sched) {
+      if (ss.shard != p.shard) continue;
+      s.rounds = ss.stats.rounds;
+      s.passes = ss.stats.passes;
+      s.fused_passes = ss.stats.fused_passes;
+      s.windows = ss.stats.windows;
+      s.memo_entries = ss.stats.memo_entries;
+      s.arena = ss.stats.arena;
+      break;
+    }
+    total_workers += s.workers;
+    total_busy += s.busy_seconds;
+    stats.shards.push_back(std::move(s));
+  }
+  if (stats.wall_seconds > 0 && total_workers > 0) {
+    stats.utilization =
+        total_busy / (stats.wall_seconds * static_cast<double>(total_workers));
+  }
   return stats;
 }
 
@@ -186,6 +228,30 @@ std::string render_stats_table(const Engine::Stats& stats) {
                    std::to_string(s.arena.growth_events)});
   }
   std::string out = table.render();
+
+  // Per-shard breakdown: which worker groups carried the serving load, and
+  // how busy their workers actually were.
+  if (!stats.shards.empty()) {
+    Table shard_table({"shard", "workers", "rounds", "passes", "fused",
+                       "windows", "arena cap", "busy s"});
+    char cell[64];
+    for (const Engine::ShardStats& s : stats.shards) {
+      std::snprintf(cell, sizeof(cell), "%.2f", s.busy_seconds);
+      shard_table.add_row(
+          {std::to_string(s.shard), std::to_string(s.workers),
+           std::to_string(s.rounds), std::to_string(s.passes),
+           std::to_string(s.fused_passes), std::to_string(s.windows),
+           fmt_bytes(s.arena.capacity_bytes), cell});
+    }
+    out += shard_table.render();
+    char util_line[160];
+    std::snprintf(util_line, sizeof(util_line),
+                  "pool: %zu shard%s, utilisation %.1f%% "
+                  "(busy-worker-seconds / wall-seconds over %.1fs)\n",
+                  stats.shards.size(), stats.shards.size() == 1 ? "" : "s",
+                  100.0 * stats.utilization, stats.wall_seconds);
+    out += util_line;
+  }
 
   // Scheduler summary: the cross-session dispatch counters a deployment
   // watches beside the per-session arenas.

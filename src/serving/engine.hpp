@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/stopwatch.hpp"
 #include "src/serving/scheduler.hpp"
 #include "src/serving/session.hpp"
 
@@ -44,7 +45,7 @@ class Engine {
  public:
   using SessionId = std::int64_t;
 
-  Engine() = default;
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -109,6 +110,14 @@ class Engine {
   /// Adjusts the scheduler's fused-pass window cap (SchedulerConfig).
   void set_fuse_cap(std::int64_t cap) { scheduler_.set_fuse_cap(cap); }
 
+  /// Reshards the pool (forwarding mtsr::set_num_shards): sessions opened
+  /// afterwards spread across `n` worker groups, each serving its sessions
+  /// on its own runner thread against shard-local memory. Throws while any
+  /// session is open (shard assignment is fixed at open time) or from a
+  /// parallel region; n < 1 restores the default (MTSR_SHARDS or the NUMA
+  /// node count).
+  void set_shards(int n);
+
   // ---- Telemetry -----------------------------------------------------------
 
   /// One session's serving counters plus its arena telemetry (the rotating
@@ -126,11 +135,31 @@ class Engine {
     std::int64_t coarsen_skips = 0;
     Workspace::Stats arena;
   };
+  /// One pool shard as this engine sees it: the scheduler's dispatch
+  /// counters for sessions assigned there, joined with the pool's worker
+  /// busy-time since the engine was constructed.
+  struct ShardStats {
+    int shard = 0;
+    int workers = 0;  ///< pool worker slots (dedicated + dispatching caller)
+    std::int64_t rounds = 0;
+    std::int64_t passes = 0;
+    std::int64_t fused_passes = 0;
+    std::int64_t windows = 0;
+    std::int64_t memo_entries = 0;
+    Workspace::Stats arena;   ///< the shard's fused-pass arena
+    double busy_seconds = 0;  ///< worker-seconds spent in chunk bodies
+  };
   struct Stats {
     std::vector<SessionStats> sessions;  ///< ascending session id
-    SchedulerStats scheduler;            ///< dispatch/fusion/dedup counters
+    SchedulerStats scheduler;            ///< aggregate dispatch counters
+    std::vector<ShardStats> shards;      ///< per-shard breakdown
     std::int64_t reloads_applied = 0;    ///< successful hot-reloads
     std::int64_t reloads_failed = 0;     ///< rejected hot-reloads
+    double wall_seconds = 0;  ///< since engine construction
+    /// Pool utilisation since engine construction: busy-worker-seconds /
+    /// (wall-seconds x total workers), in [0, 1]. Low values under load
+    /// mean the scheduler is not keeping the shards fed.
+    double utilization = 0;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -139,13 +168,13 @@ class Engine {
   SessionId next_id_ = 1;
   std::atomic<std::int64_t> reloads_applied_{0};
   std::atomic<std::int64_t> reloads_failed_{0};
+  Stopwatch created_;  ///< utilisation baseline (wall side)
+  std::vector<PoolShardStats> pool_baseline_;  ///< busy-time at construction
   // Declaration order is destruction order in reverse: sessions_ is
   // declared last so closing sessions release their stream memo refs into
-  // a still-live scheduler; the scheduler's serve() never returns with
-  // stage tasks in flight (its drain guard), so the stage executor
-  // outliving only models_ is safe.
-  StageExecutor stage_;
-  Scheduler scheduler_{&stage_};
+  // a still-live scheduler (which owns the per-shard stage executors and
+  // never returns from serve() with stage tasks in flight).
+  Scheduler scheduler_;
   std::map<SessionId, std::unique_ptr<Session>> sessions_;
 };
 

@@ -80,12 +80,21 @@ class Model {
   virtual void validate(const StreamContext& stream) const { (void)stream; }
 
   /// Maps one gathered window batch to (B, w, w) normalised fine windows.
-  /// Calls are serialised by the engine; implementations may keep forward
-  /// caches without locking. The batch may fuse blocks of several sessions
-  /// (Engine::push_all): implementations must be per-sample pure — row b of
-  /// the output depends only on row b of the inputs.
+  /// Calls on one instance are serialised by the engine (the scheduler's
+  /// shards hold predict_mutex() across the call), so implementations may
+  /// keep forward caches without locking. The batch may fuse blocks of
+  /// several sessions (Engine::push_all): implementations must be
+  /// per-sample pure — row b of the output depends only on row b of the
+  /// inputs.
   [[nodiscard]] virtual Tensor predict(const WindowBatch& batch,
                                        const StreamContext& stream) = 0;
+
+  /// Serialises predict() across scheduler shards that share this
+  /// instance. The scheduler locks it around every predict call; sessions
+  /// of ONE shard never contend (serve_shard is single-threaded per
+  /// shard), so the lock is uncontended unless two shards really do serve
+  /// the same weights concurrently.
+  [[nodiscard]] std::mutex& predict_mutex() const { return predict_mutex_; }
 
   /// Builds a REPLACEMENT model of the same architecture from a checkpoint
   /// (Engine::reload_model). Implementations must construct the new
@@ -101,6 +110,9 @@ class Model {
 
  protected:
   Model() = default;
+
+ private:
+  mutable std::mutex predict_mutex_;  ///< cross-shard predict serialisation
 };
 
 /// One mutable registry entry: the model a name currently resolves to plus

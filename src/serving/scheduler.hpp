@@ -44,11 +44,21 @@
 //    generator). For a fixed session composition the fused output is
 //    itself deterministic across pool sizes.
 //
-// Threading: serve() runs on the caller's thread (engine calls are
-// serialised) and stages the NEXT round's gathers on the StageExecutor
-// while the current round is inside the model — the double-buffered stitch
-// generalised across sessions. ModelSlot resolution is the only state
-// shared with a concurrent reloader, and it is mutex-serialised.
+// Threading: the scheduler is topology-aware. Sessions are assigned to
+// pool shards at open time (stable stream hash for fan-out consumers, so
+// one stream's dedup memo lives on one shard; round-robin otherwise), and
+// serve() partitions its sessions by shard: each shard's dispatch loop runs
+// on that shard's runner thread (run_on_shard) against per-shard state —
+// its own fused-concat buffers, execution arena, dedup memo and stage
+// thread — so shards never share mutable state and their GEMM panels
+// first-touch shard-local memory. The caller serves its own shard inline.
+// Within a shard the per-round overlap generalises the double-buffered
+// stitch two ways: the NEXT round's gathers are staged on the shard's
+// StageExecutor while the current round is inside the model, and the
+// CURRENT round's scatter (accumulate + final-round denormalise) is
+// offloaded to the same stage thread so it overlaps the next round's
+// GEMMs. ModelSlot resolution is the only state shared with a concurrent
+// reloader, and it is mutex-serialised.
 #pragma once
 
 #include <cstdint>
@@ -91,6 +101,15 @@ struct SchedulerStats {
   Workspace::Stats arena;          ///< fused-pass execution arena
 };
 
+/// One pool shard's slice of the scheduler: its dispatch counters plus the
+/// worker slots backing it. stats() aggregates these; Engine::stats() joins
+/// them with the pool's busy-time telemetry.
+struct SchedulerShardStats {
+  int shard = 0;
+  int workers = 0;  ///< pool worker slots of this shard
+  SchedulerStats stats;
+};
+
 /// The admission-and-dispatch layer. One scheduler serves all sessions of
 /// an engine; a standalone Session lazily owns a private one.
 class Scheduler {
@@ -103,11 +122,9 @@ class Scheduler {
   /// chunking inside each (possibly fused) pass, not from the block.
   static constexpr std::int64_t kFixedBlock = 2;
 
-  /// `stage` runs the overlapped gathers (the engine passes one shared
-  /// executor); a scheduler without one creates its own lazily when
-  /// overlap first engages.
-  explicit Scheduler(StageExecutor* stage = nullptr,
-                     SchedulerConfig config = {});
+  /// Per-shard state (stage threads included) is created lazily as shards
+  /// first serve.
+  explicit Scheduler(SchedulerConfig config = {});
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -120,24 +137,60 @@ class Scheduler {
   [[nodiscard]] std::vector<std::optional<Tensor>> serve(
       std::span<Session* const> sessions, std::span<const Tensor* const> frames);
 
+  /// Aggregate counters across every shard.
   [[nodiscard]] SchedulerStats stats() const;
+  /// Per-shard counters (index == shard id), for shards that have served.
+  [[nodiscard]] std::vector<SchedulerShardStats> shard_stats() const;
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
   /// Adjusts the fused-pass window cap (takes effect next serve()).
   void set_fuse_cap(std::int64_t cap) { config_.fuse_cap = cap; }
 
   /// Stream memo lifetime: each dedup-enabled session holds one reference
-  /// on its stream prefix; when the last consumer of a stream closes, the
-  /// stream's memoised predictions are freed instead of lingering until
-  /// the next serve of that tag.
-  void retain_stream(const std::string& prefix);
-  void release_stream(const std::string& prefix);
+  /// on its stream prefix (in its assigned shard's memo); when the last
+  /// consumer of a stream closes, the stream's memoised predictions are
+  /// freed instead of lingering until the next serve of that tag.
+  void retain_stream(const std::string& prefix, int shard);
+  void release_stream(const std::string& prefix, int shard);
 
  private:
   struct Active;
   struct Request;
 
-  void evict_stale_memo(const Session& session, std::uint64_t signature);
-  void drop_stream_entries(const std::string& prefix);
+  /// Everything one pool shard serves with. No two shards ever touch the
+  /// same Shard, so concurrent serve_shard calls need no locking.
+  struct Shard {
+    std::unique_ptr<StageExecutor> stage;  ///< lazily created per shard
+    Workspace ws;  ///< fused passes execute here, not in a session arena
+    WindowBatch fused;  ///< persistent concat buffers (resized on demand)
+
+    /// Content-addressed block predictions for stream-tagged sessions,
+    /// plus per-stream bookkeeping so entries die as soon as their
+    /// stream's history moves on (bounded by blocks-per-frame per stream).
+    std::unordered_map<std::string, Tensor> memo;
+    struct StreamMemo {
+      std::uint64_t signature = 0;
+      std::vector<std::string> keys;
+    };
+    std::unordered_map<std::string, StreamMemo> streams;
+    std::unordered_map<std::string, std::int64_t> stream_refs;
+
+    SchedulerStats stats;
+  };
+
+  /// The shard for index `s`, growing the table to the pool's shard count
+  /// on demand (shards are never destroyed while the scheduler lives, so
+  /// per-shard counters survive topology-legal reconfigurations).
+  [[nodiscard]] Shard& shard(int s);
+
+  /// One shard's dispatch loop: every round of `acts`, run on the shard's
+  /// runner thread (or inline when the caller already is that shard).
+  void serve_shard(int shard_index, Shard& sh,
+                   std::span<Active* const> acts,
+                   std::vector<std::optional<Tensor>>& outputs);
+
+  void evict_stale_memo(Shard& sh, const Session& session,
+                        std::uint64_t signature);
+  void drop_stream_entries(Shard& sh, const std::string& prefix);
   /// The content-addressed dedup key of one block request.
   [[nodiscard]] static std::string block_key(const Session& session,
                                              std::uint64_t generation,
@@ -145,23 +198,7 @@ class Scheduler {
                                              std::int64_t b0, std::int64_t b1);
 
   SchedulerConfig config_;
-  StageExecutor* stage_ = nullptr;
-  std::unique_ptr<StageExecutor> owned_stage_;
-  Workspace ws_;  ///< fused passes execute here, not in a session arena
-  WindowBatch fused_;  ///< persistent concat buffers (resized on demand)
-
-  /// Content-addressed block predictions for stream-tagged sessions, plus
-  /// per-stream bookkeeping so entries die as soon as their stream's
-  /// history moves on (bounded by blocks-per-frame per stream).
-  std::unordered_map<std::string, Tensor> memo_;
-  struct StreamMemo {
-    std::uint64_t signature = 0;
-    std::vector<std::string> keys;
-  };
-  std::unordered_map<std::string, StreamMemo> streams_;
-  std::unordered_map<std::string, std::int64_t> stream_refs_;
-
-  SchedulerStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace mtsr::serving

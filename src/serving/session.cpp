@@ -1,6 +1,7 @@
 #include "src/serving/session.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <utility>
@@ -113,8 +114,25 @@ Session::Session(std::shared_ptr<ModelSlot> slot, SessionConfig config,
                   static_cast<const void*>(config_.layout));
     dedup_prefix_ = config_.stream + buf;
   }
+
+  // Shard assignment, fixed for the session's lifetime (the topology pin
+  // member keeps num_shards() from changing underneath it). Stream-tagged
+  // sessions hash their dedup prefix so every fan-out consumer of one feed
+  // lands on the shard holding that stream's memo; untagged sessions
+  // round-robin so concurrent streams spread across the shards.
+  const int shards = num_shards();
+  if (!dedup_prefix_.empty()) {
+    shard_ = static_cast<int>(
+        fnv1a(dedup_prefix_.data(), dedup_prefix_.size()) %
+        static_cast<std::uint64_t>(shards));
+  } else if (shards > 1) {
+    static std::atomic<std::uint64_t> next_shard{0};
+    shard_ = static_cast<int>(next_shard.fetch_add(1) %
+                              static_cast<std::uint64_t>(shards));
+  }
+
   if (scheduler_ != nullptr && !dedup_prefix_.empty()) {
-    scheduler_->retain_stream(dedup_prefix_);
+    scheduler_->retain_stream(dedup_prefix_, shard_);
     stream_registered_ = true;
   }
 }
@@ -128,7 +146,7 @@ Session::~Session() {
   // Drop this consumer's claim on its stream memo: when the last session
   // of a stream tag closes, the scheduler frees that stream's memoised
   // predictions instead of holding them for the engine's lifetime.
-  if (stream_registered_) scheduler_->release_stream(dedup_prefix_);
+  if (stream_registered_) scheduler_->release_stream(dedup_prefix_, shard_);
 }
 
 void Session::reset() {
@@ -279,7 +297,7 @@ Scheduler& Session::ensure_scheduler() {
     owned_scheduler_ = std::make_unique<Scheduler>();
     scheduler_ = owned_scheduler_.get();
     if (!dedup_prefix_.empty()) {
-      scheduler_->retain_stream(dedup_prefix_);
+      scheduler_->retain_stream(dedup_prefix_, shard_);
       stream_registered_ = true;
     }
   }

@@ -151,6 +151,12 @@ class Session {
   /// state capacity and growth_events stay constant push after push.
   [[nodiscard]] Workspace::Stats arena_stats() const;
 
+  /// The pool shard this session is served on, fixed at open time: a
+  /// stable hash of the stream tag (all fan-out consumers of one feed land
+  /// on one shard, where their dedup memo lives), round-robin for untagged
+  /// sessions. Fusion only combines sessions of one shard.
+  [[nodiscard]] int shard() const { return shard_; }
+
  private:
   friend class Scheduler;
   friend class Engine;  ///< hot-reload validates against slot_/needs_/stream_
@@ -207,6 +213,11 @@ class Session {
   std::int64_t coarsen_skips_ = 0;  ///< deferred coarsenings never needed
   std::string dedup_prefix_;  ///< stream + geometry key prefix; empty = off
   bool stream_registered_ = false;  ///< holds a scheduler stream refcount
+  int shard_ = 0;  ///< pool shard assignment (stable for the session's life)
+  /// While the session is open, set_num_threads / set_num_shards /
+  /// set_affinity_policy throw — the shard assignment above and the arenas
+  /// below are sized against the pool topology at open time.
+  detail::PoolTopologyPin topology_pin_;
 
   std::deque<FrameEntry> history_;  ///< last <= S frames
   std::deque<std::uint64_t> frame_hashes_;  ///< parallel to history_

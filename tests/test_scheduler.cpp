@@ -27,7 +27,10 @@ namespace mtsr::serving {
 namespace {
 
 struct PoolGuard {
-  ~PoolGuard() { set_num_threads(0); }
+  ~PoolGuard() {
+    set_num_threads(0);
+    set_num_shards(0);
+  }
 };
 
 data::TrafficDataset small_dataset(std::uint64_t seed = 510,
@@ -87,6 +90,9 @@ void expect_fusion_parity(const Tensor& fused, const Tensor& ref,
 
 TEST(Scheduler, FusedServingMatchesIndependentSessions) {
   PoolGuard guard;
+  // Queue-depth and fusion expectations below count ALL sessions in one
+  // round, which holds exactly when they share a shard.
+  set_num_shards(1);
   data::TrafficDataset dataset = small_dataset(511);
   core::MtsrPipeline pipeline(small_pipeline_config(), dataset);
   auto model = std::make_shared<ZipNetModel>(pipeline.generator());
@@ -558,6 +564,10 @@ TEST(Scheduler, ConcurrentReloadDropsNoBlocks) {
 }
 
 TEST(Scheduler, FuseCapShapesThePasses) {
+  PoolGuard guard;
+  // The cap-0 whole-round histogram counts every session in one pass,
+  // which holds exactly when they share a shard.
+  set_num_shards(1);
   data::TrafficDataset dataset = small_dataset(519);
   core::MtsrPipeline pipeline(small_pipeline_config(), dataset);
   auto model = std::make_shared<ZipNetModel>(pipeline.generator());

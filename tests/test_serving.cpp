@@ -12,6 +12,7 @@
 #include "src/baselines/super_resolver.hpp"
 #include "src/common/check.hpp"
 #include "src/common/parallel.hpp"
+#include "src/common/topology.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/streaming.hpp"
 #include "src/data/milan.hpp"
@@ -22,7 +23,10 @@ namespace mtsr::serving {
 namespace {
 
 struct PoolGuard {
-  ~PoolGuard() { set_num_threads(0); }
+  ~PoolGuard() {
+    set_num_threads(0);
+    set_num_shards(0);
+  }
 };
 
 data::TrafficDataset small_dataset(std::uint64_t seed = 410,
@@ -254,6 +258,79 @@ TEST(Session, DeterministicAcrossPoolSizesInterleavingsAndOverlap) {
       }
     }
   }
+}
+
+TEST(Session, BitIdenticalAcrossShardCountsAndPoolSizes) {
+  PoolGuard guard;
+  data::TrafficDataset dataset = small_dataset(418);
+  core::MtsrPipeline pipeline(small_pipeline_config(), dataset);
+  auto model = std::make_shared<ZipNetModel>(pipeline.generator());
+
+  // Single-request serving (engine.push) must be bit-identical however the
+  // pool is sharded: sharding changes WHERE a session's passes run, never
+  // their chunk geometry or float-add order.
+  auto run = [&](int shards, int threads) {
+    set_num_shards(shards);
+    set_num_threads(threads);
+    Engine engine;
+    engine.register_model("zipnet", model);
+    SessionConfig config = SessionConfig::from_dataset(
+        "zipnet", data::MtsrInstance::kUp4, dataset, 8, 4);
+    const auto a = engine.open_session(config);
+    const auto b = engine.open_session(config);
+    std::vector<Tensor> outputs;
+    for (std::int64_t t = 0; t < 5; ++t) {
+      for (auto id : {a, b}) {
+        auto out = engine.push(id, dataset.frame(t));
+        if (out) outputs.push_back(std::move(*out));
+      }
+    }
+    return outputs;
+  };
+
+  const auto reference = run(1, 1);
+  ASSERT_EQ(reference.size(), 6u);
+  const int hw = []() {
+    set_num_threads(0);
+    return num_threads();
+  }();
+  for (int shards : {1, 2}) {
+    for (int threads : {1, 2, hw}) {
+      const auto outputs = run(shards, threads);
+      ASSERT_EQ(outputs.size(), reference.size());
+      for (std::size_t i = 0; i < outputs.size(); ++i) {
+        expect_bitwise(outputs[i], reference[i],
+                       "single-request output across shard/pool topology");
+      }
+    }
+  }
+}
+
+TEST(Session, OpenSessionsHoldThePoolTopology) {
+  PoolGuard guard;
+  data::TrafficDataset dataset = small_dataset(419);
+  core::MtsrPipeline pipeline(small_pipeline_config(), dataset);
+
+  set_num_threads(2);
+  Engine engine;
+  engine.register_model(
+      "zipnet", std::make_shared<ZipNetModel>(pipeline.generator()));
+  const auto id = engine.open_session(SessionConfig::from_dataset(
+      "zipnet", data::MtsrInstance::kUp4, dataset, 8, 4));
+
+  // A session's shard assignment and arenas are sized against the pool at
+  // open time, so reconfiguration must be rejected while any is open...
+  EXPECT_THROW(set_num_threads(4), ContractViolation);
+  EXPECT_THROW(engine.set_shards(2), ContractViolation);
+  EXPECT_THROW(set_affinity_policy(AffinityPolicy::kCompact),
+               ContractViolation);
+  EXPECT_EQ(num_threads(), 2);
+
+  // ...and becomes legal as soon as the last one closes.
+  engine.close_session(id);
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  engine.set_shards(1);
 }
 
 TEST(Session, SteadyStateServingHasZeroArenaGrowth) {

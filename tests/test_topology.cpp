@@ -1,0 +1,129 @@
+// Tests for the topology layer: sysfs cpulist parsing, detection fallback
+// invariants, affinity policy selection, the worker->cpu placement function,
+// and the two degradation contracts the serving pool depends on — pin
+// failures warn and count but never abort, and pool reconfiguration is
+// rejected while serving sessions hold the topology open.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
+#include "src/common/topology.hpp"
+
+namespace mtsr {
+namespace {
+
+struct PoolGuard {
+  ~PoolGuard() {
+    detail::simulate_pin_failure(false);
+    set_affinity_policy(AffinityPolicy::kNone);
+    set_num_threads(0);
+    set_num_shards(0);
+  }
+};
+
+TEST(Topology, ParseCpuListHandlesRangesAndSingles) {
+  EXPECT_EQ(Topology::parse_cpu_list("0-3,8,10-11"),
+            (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(Topology::parse_cpu_list("5"), (std::vector<int>{5}));
+  EXPECT_EQ(Topology::parse_cpu_list("0-1"), (std::vector<int>{0, 1}));
+  // Sysfs files end with a newline; stray whitespace must not add cpus.
+  EXPECT_EQ(Topology::parse_cpu_list("2-3\n"), (std::vector<int>{2, 3}));
+  EXPECT_TRUE(Topology::parse_cpu_list("").empty());
+  // Out-of-order and duplicated entries normalise to an ascending set.
+  EXPECT_EQ(Topology::parse_cpu_list("3,1,2,1-2"),
+            (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Topology, DetectionAlwaysYieldsAServableLayout) {
+  const Topology& topo = Topology::instance();
+  ASSERT_GE(topo.node_count(), 1);
+  EXPECT_GE(topo.cpu_count(), 1);
+  int total = 0;
+  for (const Topology::Node& node : topo.nodes()) {
+    EXPECT_FALSE(node.cpus.empty()) << "node " << node.id << " has no cpus";
+    total += static_cast<int>(node.cpus.size());
+  }
+  EXPECT_EQ(total, topo.cpu_count());
+  EXPECT_FALSE(topo.summary().empty());
+}
+
+TEST(Topology, AffinityPolicyNamesRoundTrip) {
+  for (AffinityPolicy policy :
+       {AffinityPolicy::kNone, AffinityPolicy::kCompact,
+        AffinityPolicy::kScatter}) {
+    EXPECT_EQ(parse_affinity_policy(affinity_policy_name(policy)), policy);
+  }
+  // Unknown / absent values select the safe default.
+  EXPECT_EQ(parse_affinity_policy("bogus"), AffinityPolicy::kNone);
+  EXPECT_EQ(parse_affinity_policy(nullptr), AffinityPolicy::kNone);
+}
+
+TEST(Topology, CpuForWorkerStaysInsideTheMachine) {
+  const int cpus = Topology::instance().cpu_count();
+  for (int shard = 0; shard < 3; ++shard) {
+    for (int worker = 0; worker < 4; ++worker) {
+      EXPECT_EQ(detail::cpu_for_worker(AffinityPolicy::kNone, shard, 3,
+                                       worker),
+                -1);
+      for (AffinityPolicy policy :
+           {AffinityPolicy::kCompact, AffinityPolicy::kScatter}) {
+        const int cpu = detail::cpu_for_worker(policy, shard, 3, worker);
+        EXPECT_GE(cpu, 0) << affinity_policy_name(policy);
+        EXPECT_LT(cpu, cpus) << affinity_policy_name(policy);
+        // Placement is a pure function: the pool may rebuild at any time
+        // and workers must land where they did before.
+        EXPECT_EQ(cpu, detail::cpu_for_worker(policy, shard, 3, worker));
+      }
+    }
+  }
+}
+
+TEST(Topology, PinFailuresDegradeToUnpinnedServing) {
+  PoolGuard guard;
+  const std::int64_t before = detail::pin_failure_count();
+  detail::simulate_pin_failure(true);
+  // Rebuild the pool with pinning requested: every worker's pin attempt
+  // fails. The contract is warn-once + count, never abort — the pool must
+  // come up and serve correctly anyway.
+  set_affinity_policy(AffinityPolicy::kCompact);
+  set_num_threads(3);
+
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(100, [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950);
+
+  // Workers pin at startup on their own threads; give stragglers a
+  // moment before asserting the failures were counted.
+  for (int spins = 0; spins < 2000 && detail::pin_failure_count() == before;
+       ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(detail::pin_failure_count(), before);
+}
+
+TEST(Topology, ReconfigureRejectedWhileTopologyPinsHeld) {
+  PoolGuard guard;
+  set_num_threads(2);
+  {
+    // Sessions hold one of these for their whole life (shard assignment
+    // and arenas are sized against the open-time topology).
+    detail::PoolTopologyPin pin;
+    EXPECT_THROW(set_num_threads(4), ContractViolation);
+    EXPECT_THROW(set_num_shards(2), ContractViolation);
+    EXPECT_THROW(set_affinity_policy(AffinityPolicy::kCompact),
+                 ContractViolation);
+    EXPECT_EQ(num_threads(), 2);  // the rejected calls changed nothing
+  }
+  // Pin released: reconfiguration works again.
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+}
+
+}  // namespace
+}  // namespace mtsr
