@@ -1,0 +1,490 @@
+// bench_replay — trace replayer against the network front door.
+//
+// Synthesises the arrival processes a serving gateway actually sees —
+// the Milan diurnal cycle (business-district temporal profile compressed
+// into the run), a flash crowd (rate step to ~6x with exponential decay),
+// and bursty load (two-state MMPP) — and replays them open-loop over
+// loopback TCP against a net::Server wrapping a serving::Engine. Requests
+// are real wire PUSHes of full fine-grained frames; responses are the
+// stitched inferences.
+//
+// Measured per pattern, via the wire STATS verb (the server's own
+// front-door histogram: parse-complete -> response enqueued, so admission
+// queueing is inside the measurement): p50/p99/p999 latency, SLO
+// violations, backpressure rejections, and the peak admission-queue depth.
+// The base request rate is calibrated against the measured per-push cost
+// so --load expresses offered load as a fraction of single-stream
+// capacity; the flash and bursty peaks deliberately exceed it.
+//
+// The JSON block at the end is the `trace_replay` section recorded in
+// BENCH_throughput.json. Weights stay untrained: serving latency depends
+// on the architecture and geometry, not on the weight values.
+//
+// --smoke is the CI leg: a small grid, 200 requests at idle load, then a
+// hard assertion of zero SLO violations, zero rejections, and bitwise
+// parity between wire-served and in-process outputs.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/common/cli.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/stopwatch.hpp"
+#include "src/common/topology.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/data/milan.hpp"
+#include "src/net/client.hpp"
+#include "src/net/server.hpp"
+#include "src/serving/engine.hpp"
+#include "src/serving/model.hpp"
+
+using namespace mtsr;
+
+namespace {
+
+/// One arrival: offset from the replay start, plus its round-robin slot.
+struct Arrival {
+  double at_s = 0;
+  int slot = 0;
+};
+
+/// Piecewise rate functions, all normalised to mean ~= base_rate.
+class RateFn {
+ public:
+  RateFn(const std::string& pattern, double base_rate, double duration_s,
+         std::uint64_t seed)
+      : pattern_(pattern), base_(base_rate), duration_(duration_s) {
+    if (pattern_ == "diurnal") {
+      // The Milan generator's business-district profile over one day
+      // (144 ten-minute bins), compressed into the replay window.
+      data::MilanConfig config;
+      const data::MilanTrafficGenerator generator(config);
+      double sum = 0;
+      profile_.resize(144);
+      for (int t = 0; t < 144; ++t) {
+        profile_[static_cast<std::size_t>(t)] =
+            generator.temporal_profile(data::LandUse::kBusiness, t);
+        sum += profile_[static_cast<std::size_t>(t)];
+      }
+      const double mean = sum / 144.0;
+      for (auto& p : profile_) p /= mean;
+    } else if (pattern_ == "bursty") {
+      // Two-state MMPP: short 2.5x bursts (20% duty) over a 0.625x floor,
+      // exponential holding times, mean rate = base.
+      Rng rng(seed);
+      bool on = false;
+      double t = 0;
+      while (t < duration_) {
+        const double mean_hold = (on ? 0.05 : 0.20) * duration_;
+        t += -std::log(1.0 - rng.uniform()) * mean_hold;
+        // The interval that just elapsed ran at the CURRENT state's rate.
+        switches_.push_back({t, on ? 2.5 : 0.625});
+        on = !on;
+      }
+    }
+  }
+
+  [[nodiscard]] double rate(double t) const {
+    if (pattern_ == "diurnal") {
+      const auto bin = static_cast<std::size_t>(std::fmin(
+          143.0, std::floor(t / duration_ * 144.0)));
+      return base_ * profile_[bin];
+    }
+    if (pattern_ == "flash") {
+      // Steady until 60% of the run, then a 6x spike decaying back.
+      const double t0 = 0.6 * duration_;
+      if (t < t0) return base_;
+      return base_ * (1.0 + 5.0 * std::exp(-(t - t0) / (0.08 * duration_)));
+    }
+    if (pattern_ == "bursty") {
+      double factor = 0.625;
+      for (const auto& s : switches_) {
+        if (t < s.until) {
+          factor = s.factor;
+          break;
+        }
+      }
+      return base_ * factor;
+    }
+    return base_;  // "uniform"
+  }
+
+  [[nodiscard]] double max_rate() const {
+    if (pattern_ == "diurnal") {
+      double peak = 0;
+      for (const auto p : profile_) peak = std::fmax(peak, p);
+      return base_ * peak;
+    }
+    if (pattern_ == "flash") return base_ * 6.0;
+    if (pattern_ == "bursty") return base_ * 2.5;
+    return base_;
+  }
+
+ private:
+  struct Switch {
+    double until = 0;
+    double factor = 1;
+  };
+  std::string pattern_;
+  double base_;
+  double duration_;
+  std::vector<double> profile_;   // diurnal
+  std::vector<Switch> switches_;  // bursty
+};
+
+/// Non-homogeneous Poisson arrivals by thinning, slots round-robin.
+std::vector<Arrival> synthesize_arrivals(const RateFn& fn,
+                                         double duration_s, int slots,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Arrival> arrivals;
+  const double cap = fn.max_rate();
+  double t = 0;
+  int next_slot = 0;
+  for (;;) {
+    t += -std::log(1.0 - rng.uniform()) / cap;
+    if (t >= duration_s) break;
+    if (rng.uniform() * cap <= fn.rate(t)) {
+      arrivals.push_back({t, next_slot});
+      next_slot = (next_slot + 1) % slots;
+    }
+  }
+  return arrivals;
+}
+
+struct PatternResult {
+  std::string pattern;
+  std::int64_t sent = 0;
+  std::int64_t served = 0, warmups = 0, rejected = 0, errors = 0;
+  std::int64_t slo_violations = 0, max_queue_depth = 0;
+  double offered_rps = 0, wall_s = 0;
+  double p50_ms = 0, p99_ms = 0, p999_ms = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_replay",
+                "Diurnal / flash-crowd / bursty trace replay over the "
+                "loopback network front door");
+  cli.add_int("side", 32, "fine grid side length (city is side x side)");
+  cli.add_int("sessions", 4, "concurrent wire sessions (round-robin)");
+  cli.add_int("requests", 300,
+              "target PUSH count per pattern (duration = requests / rate)");
+  cli.add_double("load", 0.6,
+                 "mean offered load as a fraction of the measured "
+                 "single-stream serving capacity");
+  cli.add_double("slo-ms", 1000, "per-push latency SLO for the telemetry");
+  cli.add_int("queue-cap", 256, "admission queue depth before rejection");
+  cli.add_string("pattern", "all", "diurnal | flash | bursty | all");
+  cli.add_int("seed", 42, "arrival-process seed");
+  cli.add_flag("smoke",
+               "CI mode: small grid, 200 requests at idle load, assert "
+               "zero SLO violations / rejections and wire parity");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool smoke = cli.get_flag("smoke");
+  const std::int64_t side = smoke ? 16 : cli.get_int("side");
+  const int sessions = static_cast<int>(cli.get_int("sessions"));
+  const std::int64_t requests = smoke ? 200 : cli.get_int("requests");
+  const double load = smoke ? 0.2 : cli.get_double("load");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::vector<std::string> patterns;
+  if (cli.get_string("pattern") == "all") {
+    patterns = {"diurnal", "flash", "bursty"};
+  } else {
+    patterns = {cli.get_string("pattern")};
+  }
+  if (smoke) patterns = {"diurnal"};
+
+  const Topology& topo = Topology::instance();
+  std::printf("bench_replay | host: %s\n", topo.summary().c_str());
+  std::printf(
+      "grid %lldx%lld | %d sessions | ~%lld pushes/pattern | load %.2f\n",
+      static_cast<long long>(side), static_cast<long long>(side), sessions,
+      static_cast<long long>(requests), load);
+
+  // Architecture + geometry only; weights untrained (latency is
+  // weight-independent) so the bench starts in seconds.
+  core::PipelineConfig config =
+      bench::bench_pipeline_config(data::MtsrInstance::kUp4, side);
+  config.stitch_stride = config.window / 2;
+  bench::BenchData geometry;
+  geometry.side = side;
+  geometry.frames = 60;
+  const data::TrafficDataset dataset = bench::make_dataset(geometry);
+  core::MtsrPipeline pipeline(config, dataset);
+  auto model = std::make_shared<serving::ZipNetModel>(pipeline.generator());
+
+  net::OpenRequest open_template;
+  open_template.model = "zipnet";
+  open_template.instance = static_cast<std::uint8_t>(config.instance);
+  open_template.rows = dataset.rows();
+  open_template.cols = dataset.cols();
+  open_template.window = config.window;
+  open_template.stitch_stride = config.stitch_stride;
+  open_template.mean = dataset.stats().mean;
+  open_template.stddev = dataset.stats().stddev;
+  open_template.log_transform = dataset.log_transform();
+
+  // ---- Capacity calibration: closed-loop pushes through the wire ----------
+  double per_push_s = 0;
+  {
+    serving::Engine engine;
+    engine.register_model("zipnet", model);
+    net::ServerConfig scfg;
+    net::Server server(engine, scfg);
+    std::thread loop([&] { server.run(); });
+    {
+      net::Client client("127.0.0.1", server.port());
+      const auto open = client.open(open_template);
+      if (open.status != net::Status::kOk) {
+        std::fprintf(stderr, "calibration open failed: %s\n",
+                     open.error.c_str());
+        server.stop();
+        loop.join();
+        return 1;
+      }
+      std::int64_t t = 0;
+      while (client.push(open.session, dataset.frame(t)).status ==
+             net::Status::kWarmup) {
+        ++t;
+      }
+      const int reps = 4;
+      Stopwatch sw;
+      for (int i = 0; i < reps; ++i) {
+        (void)client.push(open.session, dataset.frame(++t));
+      }
+      per_push_s = sw.seconds() / reps;
+    }
+    server.stop();
+    loop.join();
+  }
+  const double base_rate = load / per_push_s;
+  const double duration_s = static_cast<double>(requests) / base_rate;
+  std::printf(
+      "calibration: %.1f ms/push served -> base rate %.1f req/s, "
+      "%.1f s per pattern\n\n",
+      per_push_s * 1e3, base_rate, duration_s);
+
+  // ---- Pattern replays -----------------------------------------------------
+  std::vector<PatternResult> results;
+  for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
+    const std::string& pattern = patterns[pi];
+    const RateFn fn(pattern, base_rate, duration_s, seed + 100 + pi);
+    const auto arrivals =
+        synthesize_arrivals(fn, duration_s, sessions, seed + pi);
+
+    // A fresh engine + server per pattern: counters and the latency
+    // histogram start clean.
+    serving::Engine engine;
+    engine.register_model("zipnet", model);
+    net::ServerConfig scfg;
+    scfg.max_queue_depth = cli.get_int("queue-cap");
+    scfg.slo_ms = cli.get_double("slo-ms");
+    net::Server server(engine, scfg);
+    std::thread loop([&] { server.run(); });
+
+    PatternResult r;
+    r.pattern = pattern;
+    {
+      net::Client client("127.0.0.1", server.port());
+      std::vector<std::int64_t> ids;
+      std::vector<std::int64_t> next_frame;
+      std::int64_t temporal = 0;
+      for (int sidx = 0; sidx < sessions; ++sidx) {
+        const auto open = client.open(open_template);
+        if (open.status != net::Status::kOk) {
+          std::fprintf(stderr, "open failed: %s\n", open.error.c_str());
+          server.stop();
+          loop.join();
+          return 1;
+        }
+        temporal = open.temporal_length;
+        ids.push_back(open.session);
+        next_frame.push_back(0);
+      }
+      // Warm every stream closed-loop so the replay itself measures
+      // steady-state serving, not ramp-up.
+      for (int sidx = 0; sidx < sessions; ++sidx) {
+        for (std::int64_t t = 0; t + 1 < temporal; ++t) {
+          (void)client.push(ids[static_cast<std::size_t>(sidx)],
+                            dataset.frame(next_frame[static_cast<
+                                std::size_t>(sidx)]++));
+        }
+      }
+
+      // Open-loop replay: the writer holds the arrival schedule; a reader
+      // thread consumes responses so a slow round never stalls sending.
+      std::atomic<std::int64_t> sent{0};
+      std::atomic<bool> done_sending{false};
+      std::atomic<std::int64_t> received{0};
+      std::thread reader([&] {
+        for (;;) {
+          const auto resp = client.poll_push(50);
+          if (resp) {
+            received.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (done_sending.load(std::memory_order_acquire) &&
+              received.load(std::memory_order_relaxed) >=
+                  sent.load(std::memory_order_relaxed)) {
+            return;
+          }
+        }
+      });
+
+      const auto start = std::chrono::steady_clock::now();
+      Stopwatch wall;
+      for (const auto& arrival : arrivals) {
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(arrival.at_s)));
+        const auto slot = static_cast<std::size_t>(arrival.slot);
+        client.send_push(ids[slot],
+                         dataset.frame(next_frame[slot]++ %
+                                       dataset.frame_count()));
+        sent.fetch_add(1, std::memory_order_relaxed);
+      }
+      done_sending.store(true, std::memory_order_release);
+      reader.join();
+      r.wall_s = wall.seconds();
+      r.sent = sent.load();
+      r.offered_rps = static_cast<double>(r.sent) / duration_s;
+
+      const auto stats = client.stats();
+      const auto fd = server.front_door_stats();
+      r.served = fd.served;
+      r.warmups = fd.warmups;
+      r.rejected = stats.rejected;
+      r.errors = fd.errors;
+      r.slo_violations = stats.slo_violations;
+      r.max_queue_depth = stats.max_queue_depth;
+      r.p50_ms = stats.p50_ms;
+      r.p99_ms = stats.p99_ms;
+      r.p999_ms = stats.p999_ms;
+    }
+    server.stop();
+    loop.join();
+
+    std::printf(
+        "%-8s | sent %5lld | served %5lld | rejected %4lld | "
+        "slo-viol %4lld | queue-peak %3lld | p50 %7.1f ms | p99 %7.1f ms "
+        "| p999 %7.1f ms\n",
+        r.pattern.c_str(), static_cast<long long>(r.sent),
+        static_cast<long long>(r.served),
+        static_cast<long long>(r.rejected),
+        static_cast<long long>(r.slo_violations),
+        static_cast<long long>(r.max_queue_depth), r.p50_ms, r.p99_ms,
+        r.p999_ms);
+    results.push_back(r);
+  }
+
+  // ---- Wire-vs-in-process parity ------------------------------------------
+  // Single-session rounds are bit-identical to the unscheduled path by the
+  // scheduler's contract, so wire serving must reproduce in-process
+  // serving exactly. Runs strictly sequentially: the server thread exits
+  // before the control engine runs (the serving stack is single-threaded).
+  bool parity_ok = true;
+  {
+    std::vector<Tensor> wire_outputs;
+    serving::Engine engine;
+    engine.register_model("zipnet", model);
+    net::Server server(engine, net::ServerConfig{});
+    std::thread loop([&] { server.run(); });
+    {
+      net::Client client("127.0.0.1", server.port());
+      const auto open = client.open(open_template);
+      for (std::int64_t t = 0; t < 6; ++t) {
+        const auto resp = client.push(open.session, dataset.frame(t));
+        if (resp.status == net::Status::kOk) {
+          wire_outputs.push_back(resp.frame);
+        }
+      }
+    }
+    server.stop();
+    loop.join();
+
+    serving::Engine control;
+    control.register_model("zipnet", model);
+    serving::SessionConfig cfg = serving::SessionConfig::from_dataset(
+        "zipnet", config.instance, dataset, config.window,
+        config.stitch_stride);
+    const auto id = control.open_session(cfg);
+    std::size_t ix = 0;
+    for (std::int64_t t = 0; t < 6; ++t) {
+      const auto out = control.push(id, dataset.frame(t));
+      if (!out.has_value()) continue;
+      if (ix >= wire_outputs.size() ||
+          out->size() != wire_outputs[ix].size()) {
+        parity_ok = false;
+        break;
+      }
+      for (std::int64_t i = 0; i < out->size(); ++i) {
+        if (out->flat(i) != wire_outputs[ix].flat(i)) {
+          parity_ok = false;
+          break;
+        }
+      }
+      if (!parity_ok) break;
+      ++ix;
+    }
+    parity_ok = parity_ok && ix == wire_outputs.size() && ix > 0;
+  }
+  std::printf("\nwire vs in-process parity: %s\n",
+              parity_ok ? "bitwise identical" : "MISMATCH");
+
+  // ---- The trace_replay section for BENCH_throughput.json ------------------
+  std::printf("\n\"trace_replay\": {\n");
+  std::printf(
+      "  \"host\": {\"cpus\": %d, \"numa_nodes\": %d},\n  \"grid_side\": "
+      "%lld, \"sessions\": %d, \"slo_ms\": %.0f, \"queue_cap\": %lld,\n"
+      "  \"calibrated_push_ms\": %.1f, \"offered_load\": %.2f,\n",
+      topo.cpu_count(), topo.node_count(), static_cast<long long>(side),
+      sessions, cli.get_double("slo-ms"),
+      static_cast<long long>(cli.get_int("queue-cap")), per_push_s * 1e3,
+      load);
+  std::printf("  \"patterns\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PatternResult& r = results[i];
+    std::printf(
+        "    {\"pattern\": \"%s\", \"requests\": %lld, \"offered_rps\": "
+        "%.1f, \"served\": %lld, \"rejected\": %lld, \"slo_violations\": "
+        "%lld, \"max_queue_depth\": %lld, \"p50_ms\": %.1f, \"p99_ms\": "
+        "%.1f, \"p999_ms\": %.1f}%s\n",
+        r.pattern.c_str(), static_cast<long long>(r.sent), r.offered_rps,
+        static_cast<long long>(r.served),
+        static_cast<long long>(r.rejected),
+        static_cast<long long>(r.slo_violations),
+        static_cast<long long>(r.max_queue_depth), r.p50_ms, r.p99_ms,
+        r.p999_ms, i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ],\n  \"parity\": \"%s\"\n}\n",
+              parity_ok ? "bitwise" : "MISMATCH");
+
+  if (smoke) {
+    std::int64_t rejected = 0, slo = 0, served = 0;
+    for (const auto& r : results) {
+      rejected += r.rejected;
+      slo += r.slo_violations;
+      served += r.served;
+    }
+    const bool ok = parity_ok && rejected == 0 && slo == 0 && served > 0;
+    std::printf("\nsmoke: %s (served %lld, rejected %lld, slo_violations "
+                "%lld, parity %s)\n",
+                ok ? "PASS" : "FAIL", static_cast<long long>(served),
+                static_cast<long long>(rejected),
+                static_cast<long long>(slo),
+                parity_ok ? "ok" : "mismatch");
+    return ok ? 0 : 1;
+  }
+  return 0;
+}

@@ -24,12 +24,27 @@
 // through the stream — the open sessions pick the new weights up at their
 // next stitch-block boundary, zero frames dropped.
 //
+// With --connect the gateway becomes a front-door CLIENT: the same live
+// loop runs over the TCP wire protocol (src/net) instead of direct engine
+// calls. "--connect auto" spawns an in-process net::Server on a loopback
+// ephemeral port (train locally, serve through the socket stack — the
+// one-binary demo of the deployment split); "--connect host:port" attaches
+// to an already running server and skips training entirely. Wire mode
+// streams and reports per-interval accuracy/latency exactly like the
+// in-process path, then prints the server's telemetry table (front-door
+// block included) fetched via the STATS verb; the fan-out-vs-independent
+// and float-vs-int8 comparison sections need direct engine access and are
+// skipped.
+//
 // Run:  ./live_stream [--side 32] [--steps 500] [--intervals 12]
 //                     [--model zipnet|zipnet-int8|bicubic]
 //                     [--sessions 1] [--reload]
 //                     [--threads N] [--shards N]
+//                     [--connect auto|host:port]
 #include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <thread>
 
 #include "src/baselines/super_resolver.hpp"
 #include "src/common/cli.hpp"
@@ -39,6 +54,8 @@
 #include "src/core/pipeline.hpp"
 #include "src/data/milan.hpp"
 #include "src/metrics/metrics.hpp"
+#include "src/net/client.hpp"
+#include "src/net/server.hpp"
 #include "src/serving/engine.hpp"
 #include "src/serving/model.hpp"
 #include "src/tensor/tensor_ops.hpp"
@@ -64,7 +81,15 @@ int main(int argc, char** argv) {
   cli.add_int("shards", 0,
               "pool worker groups (0: MTSR_SHARDS or one per NUMA node); "
               "sessions spread across shards at open time");
+  cli.add_string("connect", "",
+                 "serve through the network front door: \"auto\" spawns a "
+                 "loopback server in-process, host:port attaches to an "
+                 "external one (skips training); empty = direct engine "
+                 "calls");
   if (!cli.parse(argc, argv)) return 0;
+  const std::string connect = cli.get_string("connect");
+  const bool wire_mode = !connect.empty();
+  const bool external = wire_mode && connect != "auto";
   // Pool topology first: it must be settled before any session opens
   // (open sessions pin the topology for their whole life).
   if (cli.get_int("shards") > 0) {
@@ -101,8 +126,10 @@ int main(int argc, char** argv) {
   config.gan_rounds = 40;
 
   // --- Offline: train and checkpoint. --------------------------------------
+  // Attaching to an external front door (--connect host:port) skips all of
+  // this: the remote server owns the trained models.
   const std::string checkpoint = "zipnet_gan_checkpoint.bin";
-  {
+  if (!external) {
     core::MtsrPipeline trainer_pipeline(config, dataset);
     std::printf("offline training...\n");
     trainer_pipeline.train();
@@ -112,27 +139,30 @@ int main(int argc, char** argv) {
 
   // --- Gateway: restore into a serving engine and stream. -------------------
   core::MtsrPipeline gateway(config, dataset);
-  gateway.load_generator(checkpoint);
-
   serving::Engine engine;
-  engine.register_model(
-      "zipnet", std::make_shared<serving::ZipNetModel>(gateway.generator()));
-  // One-shot int8 conversion of the restored generator: BatchNorms fold
-  // into the conv scales, weights pack to s8 panels once, activation
-  // scales calibrate from a handful of training-split frames.
-  engine.register_model(
-      "zipnet-int8",
-      serving::quantize_generator(
-          gateway.generator(),
-          serving::calibration_batches(dataset, gateway.window_layout(),
-                                       config.temporal_length, config.window,
-                                       /*frames=*/6)));
-  engine.register_model("bicubic",
-                        std::make_shared<serving::BaselineModel>(
-                            baselines::make_super_resolver("bicubic")));
+  if (!external) {
+    gateway.load_generator(checkpoint);
+    engine.register_model(
+        "zipnet",
+        std::make_shared<serving::ZipNetModel>(gateway.generator()));
+    // One-shot int8 conversion of the restored generator: BatchNorms fold
+    // into the conv scales, weights pack to s8 panels once, activation
+    // scales calibrate from a handful of training-split frames.
+    engine.register_model(
+        "zipnet-int8",
+        serving::quantize_generator(
+            gateway.generator(),
+            serving::calibration_batches(dataset, gateway.window_layout(),
+                                         config.temporal_length,
+                                         config.window,
+                                         /*frames=*/6)));
+    engine.register_model("bicubic",
+                          std::make_shared<serving::BaselineModel>(
+                              baselines::make_super_resolver("bicubic")));
+  }
 
   const std::string chosen = cli.get_string("model");
-  if (!engine.has_model(chosen)) {
+  if (!external && !engine.has_model(chosen)) {
     std::printf("unknown --model \"%s\" (registered:", chosen.c_str());
     for (const auto& name : engine.model_names()) {
       std::printf(" %s", name.c_str());
@@ -149,6 +179,156 @@ int main(int argc, char** argv) {
   // Fan-out consumers declare the shared feed: the scheduler dedups their
   // block requests, so N subscribers cost ~one inference per interval.
   if (n_sessions > 1) stream_config.stream = "live";
+
+  // --- Wire mode: the same live loop through the network front door. --------
+  if (wire_mode) {
+    std::unique_ptr<net::Server> server;
+    std::thread loop;
+    std::string host = "127.0.0.1";
+    int port = 0;
+    if (!external) {
+      server = std::make_unique<net::Server>(engine, net::ServerConfig{});
+      port = server->port();
+      loop = std::thread([&] { server->run(); });
+      std::printf("front door: listening on 127.0.0.1:%d (in-process)\n",
+                  port);
+    } else {
+      const auto colon = connect.rfind(':');
+      if (colon == std::string::npos || colon + 1 >= connect.size()) {
+        std::printf("--connect expects \"auto\" or host:port, got \"%s\"\n",
+                    connect.c_str());
+        return 1;
+      }
+      host = connect.substr(0, colon);
+      port = std::stoi(connect.substr(colon + 1));
+      std::printf("front door: connecting to %s:%d\n", host.c_str(), port);
+    }
+    if (cli.get_flag("reload")) {
+      std::printf("--reload needs direct engine access; ignored in "
+                  "--connect mode\n");
+    }
+
+    int exit_code = 0;
+    {
+      net::Client client(host, port);
+      net::OpenRequest open_req;
+      open_req.model = chosen;
+      open_req.stream = stream_config.stream;
+      open_req.instance = static_cast<std::uint8_t>(config.instance);
+      open_req.rows = dataset.rows();
+      open_req.cols = dataset.cols();
+      open_req.window = config.window;
+      open_req.stitch_stride = config.window / 2;
+      open_req.mean = dataset.stats().mean;
+      open_req.stddev = dataset.stats().stddev;
+      open_req.log_transform = dataset.log_transform();
+
+      std::vector<std::int64_t> wire_consumers;
+      std::int64_t temporal = 0;
+      for (std::int64_t i = 0; i < n_sessions; ++i) {
+        const auto open = client.open(open_req);
+        if (open.status != net::Status::kOk) {
+          std::printf("OPEN rejected: %s\n", open.error.c_str());
+          if (server) {
+            server->stop();
+            loop.join();
+          }
+          return 1;
+        }
+        wire_consumers.push_back(open.session);
+        temporal = open.temporal_length;
+      }
+      // Baseline stream, best-effort: an external server may simply not
+      // have a "bicubic" registration.
+      std::int64_t baseline_id = -1;
+      {
+        net::OpenRequest baseline_req = open_req;
+        baseline_req.model = "bicubic";
+        baseline_req.stream.clear();
+        const auto open = client.open(baseline_req);
+        if (open.status == net::Status::kOk) baseline_id = open.session;
+      }
+
+      const std::int64_t intervals = cli.get_int("intervals");
+      std::printf("\nstreaming %lld live intervals to %lld consumer "
+                  "session(s) over the wire (model %s, S=%lld warm-up):\n",
+                  static_cast<long long>(intervals),
+                  static_cast<long long>(n_sessions), chosen.c_str(),
+                  static_cast<long long>(temporal));
+      const std::int64_t t0 = dataset.test_range().begin;
+      double worst_latency_ms = 0.0;
+      for (std::int64_t i = 0; i < intervals; ++i) {
+        const std::int64_t t = t0 + i;
+        // All consumers' pushes go out back to back, so the server's
+        // admission queue lands them in ONE dispatch round: fused across
+        // sessions and dedup'd within the tagged stream, same as the
+        // in-process push_fused call.
+        Stopwatch sw;
+        for (const auto id : wire_consumers) {
+          client.send_push(id, dataset.frame(t));
+        }
+        bool warming = false;
+        std::int64_t remaining = 0;
+        Tensor fine;
+        for (std::size_t n = 0; n < wire_consumers.size(); ++n) {
+          const auto resp = client.poll_push(-1);
+          if (!resp || resp->status == net::Status::kError) {
+            std::printf("PUSH failed: %s\n",
+                        resp ? resp->error.c_str() : "timeout");
+            exit_code = 1;
+            break;
+          }
+          if (resp->status == net::Status::kWarmup) {
+            warming = true;
+            remaining = resp->frames_until_ready;
+          } else if (resp->status == net::Status::kOk && fine.empty()) {
+            fine = resp->frame;
+          }
+        }
+        const double ms = sw.millis();
+        if (exit_code != 0) break;
+        worst_latency_ms = std::max(worst_latency_ms, ms);
+        if (warming || fine.empty()) {
+          std::printf("  t=%lld  warming up (%lld more frames)\n",
+                      static_cast<long long>(t),
+                      static_cast<long long>(remaining));
+          continue;
+        }
+        double baseline_nrmse = 0.0;
+        if (baseline_id >= 0) {
+          const auto resp = client.push(baseline_id, dataset.frame(t));
+          if (resp.status == net::Status::kOk) {
+            baseline_nrmse = metrics::nrmse(resp.frame, dataset.frame(t));
+          }
+        }
+        std::printf("  t=%lld  NRMSE %.4f (bicubic %.4f)  SSIM %.4f  "
+                    "latency %.0f ms%s\n",
+                    static_cast<long long>(t),
+                    metrics::nrmse(fine, dataset.frame(t)), baseline_nrmse,
+                    metrics::ssim(fine, dataset.frame(t)), ms,
+                    n_sessions > 1 ? "  (all consumers, dedup'd)" : "");
+      }
+      if (worst_latency_ms > 0.0) {
+        std::printf("\nworst per-interval wire latency %.0f ms against a "
+                    "10-minute measurement period — %.0fx headroom.\n",
+                    worst_latency_ms,
+                    10.0 * 60.0 * 1000.0 / worst_latency_ms);
+      }
+
+      for (const auto id : wire_consumers) (void)client.close_session(id);
+      if (baseline_id >= 0) (void)client.close_session(baseline_id);
+      const auto stats = client.stats();
+      std::printf("\nserving telemetry (wire STATS):\n%s",
+                  stats.table.c_str());
+    }
+    if (server) {
+      server->stop();
+      loop.join();
+    }
+    if (!external) std::remove(checkpoint.c_str());
+    return exit_code;
+  }
+
   std::vector<serving::Engine::SessionId> consumers;
   for (std::int64_t i = 0; i < n_sessions; ++i) {
     consumers.push_back(engine.open_session(stream_config));

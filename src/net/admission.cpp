@@ -1,0 +1,55 @@
+#include "src/net/admission.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mtsr::net {
+
+bool AdmissionQueue::enqueue(PendingPush push) {
+  if (static_cast<std::int64_t>(queue_.size()) >= capacity_) {
+    ++rejected_;
+    return false;
+  }
+  queue_.push_back(std::move(push));
+  max_depth_ = std::max(max_depth_,
+                        static_cast<std::int64_t>(queue_.size()));
+  return true;
+}
+
+std::vector<PendingPush> AdmissionQueue::next_round() {
+  std::vector<PendingPush> round;
+  if (queue_.empty()) return round;
+  std::unordered_set<std::int64_t> taken;
+  std::deque<PendingPush> rest;
+  for (auto& pending : queue_) {
+    if (taken.insert(pending.session).second) {
+      round.push_back(std::move(pending));
+    } else {
+      rest.push_back(std::move(pending));
+    }
+  }
+  queue_ = std::move(rest);
+  return round;
+}
+
+std::int64_t AdmissionQueue::drop_connection(std::uint64_t connection) {
+  const auto before = queue_.size();
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [&](const PendingPush& p) {
+                                return p.connection == connection;
+                              }),
+               queue_.end());
+  return static_cast<std::int64_t>(before - queue_.size());
+}
+
+std::int64_t AdmissionQueue::drop_session(std::int64_t session) {
+  const auto before = queue_.size();
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [&](const PendingPush& p) {
+                                return p.session == session;
+                              }),
+               queue_.end());
+  return static_cast<std::int64_t>(before - queue_.size());
+}
+
+}  // namespace mtsr::net

@@ -1,0 +1,72 @@
+// net::AdmissionQueue — the bounded buffer between socket ingress and the
+// scheduler's lockstep dispatch rounds.
+//
+// The engine's throughput lever is Engine::push_all: serving N DISTINCT
+// sessions in one scheduler call fuses their compatible stitch blocks into
+// shared generator passes and dedups stream-tagged duplicates. Sockets
+// deliver requests one at a time, so the front door buffers pushes here and
+// drains them in rounds: next_round() pops the oldest pending push of every
+// distinct session (never two for one session — a session's pushes are a
+// time series and must be admitted in order, one interval per round).
+//
+// The bound is the backpressure contract: enqueue() refuses beyond
+// `capacity`, and the server answers kRejected with a retry-after instead
+// of queueing unboundedly — under overload the client sees latency honestly
+// as rejection, not as a queue that silently grows until the SLO is a lie.
+//
+// Single-threaded like the engine it feeds; the server serialises access.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace mtsr::net {
+
+/// One buffered PUSH awaiting a dispatch round.
+struct PendingPush {
+  std::uint64_t connection = 0;  ///< owning connection (for reply routing)
+  std::int64_t session = 0;
+  Tensor frame;
+  std::chrono::steady_clock::time_point arrival{};
+};
+
+/// Bounded FIFO with one-push-per-session round extraction.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::int64_t capacity) : capacity_(capacity) {}
+
+  /// Buffers one push; false when the queue is at capacity (the caller
+  /// rejects with retry-after).
+  [[nodiscard]] bool enqueue(PendingPush push);
+
+  /// Pops the oldest pending push of every distinct session, preserving
+  /// arrival order. Empty result = nothing pending.
+  [[nodiscard]] std::vector<PendingPush> next_round();
+
+  /// Drops every pending push of `connection` (client disconnected before
+  /// its round); returns how many were dropped.
+  std::int64_t drop_connection(std::uint64_t connection);
+
+  /// Drops every pending push of `session` (session closed mid-queue);
+  /// returns how many were dropped.
+  std::int64_t drop_session(std::int64_t session);
+
+  [[nodiscard]] std::int64_t depth() const {
+    return static_cast<std::int64_t>(queue_.size());
+  }
+  [[nodiscard]] std::int64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::int64_t max_depth() const { return max_depth_; }
+  [[nodiscard]] std::int64_t rejected() const { return rejected_; }
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t max_depth_ = 0;
+  std::int64_t rejected_ = 0;
+  std::deque<PendingPush> queue_;
+};
+
+}  // namespace mtsr::net

@@ -1,0 +1,147 @@
+#include "src/net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace mtsr::net {
+
+Client::Client(const std::string& host, int port, ClientConfig config)
+    : max_frame_bytes_(config.max_frame_bytes) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  if (config.recv_buffer_bytes > 0) {
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &config.recv_buffer_bytes,
+                 sizeof(config.recv_buffer_bytes));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw std::runtime_error("bad host: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    throw std::runtime_error("connect(" + host + "): " + err);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_all(const std::vector<std::uint8_t>& bytes) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<Response> Client::wait_for(Verb verb, int timeout_ms) {
+  std::lock_guard<std::mutex> lock(recv_mu_);
+  for (;;) {
+    for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+      if (it->verb == verb) {
+        Response resp = std::move(*it);
+        stash_.erase(it);
+        return resp;
+      }
+    }
+    // Parse anything already buffered before touching the socket.
+    std::size_t offset = 0;
+    bool parsed = false;
+    for (;;) {
+      std::size_t consumed = 0;
+      auto frame = try_extract_frame(read_buf_.data() + offset,
+                                     read_buf_.size() - offset, &consumed,
+                                     max_frame_bytes_);
+      if (!frame) break;
+      offset += consumed;
+      stash_.push_back(decode_response(*frame));
+      parsed = true;
+    }
+    if (offset > 0) {
+      read_buf_.erase(read_buf_.begin(),
+                      read_buf_.begin() + static_cast<std::ptrdiff_t>(offset));
+    }
+    if (parsed) continue;
+
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) return std::nullopt;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("poll: ") + std::strerror(errno));
+    }
+    std::uint8_t chunk[64 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) throw std::runtime_error("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      throw std::runtime_error(std::string("recv: ") + std::strerror(errno));
+    }
+    read_buf_.insert(read_buf_.end(), chunk, chunk + n);
+  }
+}
+
+OpenResponse Client::open(const OpenRequest& request) {
+  send_all(encode_open(request));
+  auto resp = wait_for(Verb::kOpen, -1);
+  return std::move(resp->open);
+}
+
+void Client::send_push(std::int64_t session, const Tensor& frame) {
+  PushRequest req;
+  req.session = session;
+  req.frame = frame;
+  send_all(encode_push(req));
+}
+
+std::optional<PushResponse> Client::poll_push(int timeout_ms) {
+  auto resp = wait_for(Verb::kPush, timeout_ms);
+  if (!resp) return std::nullopt;
+  return std::move(resp->push);
+}
+
+PushResponse Client::push(std::int64_t session, const Tensor& frame) {
+  send_push(session, frame);
+  auto resp = wait_for(Verb::kPush, -1);
+  return std::move(resp->push);
+}
+
+CloseResponse Client::close_session(std::int64_t session) {
+  CloseRequest req;
+  req.session = session;
+  send_all(encode_close(req));
+  auto resp = wait_for(Verb::kClose, -1);
+  return std::move(resp->close);
+}
+
+StatsResponse Client::stats() {
+  send_all(encode_stats_request());
+  auto resp = wait_for(Verb::kStats, -1);
+  return std::move(resp->stats);
+}
+
+}  // namespace mtsr::net

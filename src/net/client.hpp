@@ -1,0 +1,78 @@
+// net::Client — blocking convenience client for the front-door protocol.
+//
+// Wraps one TCP connection and the frame codec behind a call-per-verb API:
+// open() / push() / close_session() / stats() each send a request and block
+// for its response. For open-loop load generation (the trace replayer) the
+// split pair send_push() / poll_push() decouples sending from receiving so
+// the caller can keep an arrival process on schedule while responses are
+// consumed by a reader thread.
+//
+// Response routing: the server answers every verb in its own order (PUSH
+// responses arrive when their dispatch round drains, possibly after a
+// later OPEN's reply), so the client stashes out-of-verb responses and each
+// wait_for(verb) call returns the first response of the wanted verb while
+// queueing the rest. One thread may own the whole client, or one writer
+// thread may call send_push while one reader thread calls poll_push —
+// the two directions lock separately.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/protocol.hpp"
+
+namespace mtsr::net {
+
+struct ClientConfig {
+  /// When > 0, sets SO_RCVBUF before connecting. Tests shrink it so the
+  /// server's slow-client eviction triggers without megabytes in flight.
+  int recv_buffer_bytes = 0;
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// One front-door connection. Methods throw std::runtime_error on socket
+/// failure and ProtocolError on malformed responses.
+class Client {
+ public:
+  Client(const std::string& host, int port, ClientConfig config = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// OPEN: binds a session; blocks for the response.
+  OpenResponse open(const OpenRequest& request);
+
+  /// PUSH + wait for this session's response (closed-loop use).
+  PushResponse push(std::int64_t session, const Tensor& frame);
+
+  /// PUSH without waiting (open-loop use; pair with poll_push).
+  void send_push(std::int64_t session, const Tensor& frame);
+
+  /// Blocks up to `timeout_ms` for the next PUSH response from any session
+  /// on this connection; nullopt on timeout. -1 waits indefinitely.
+  std::optional<PushResponse> poll_push(int timeout_ms);
+
+  CloseResponse close_session(std::int64_t session);
+
+  StatsResponse stats();
+
+ private:
+  void send_all(const std::vector<std::uint8_t>& bytes);
+  /// Reads until a response of `verb` arrives (stashing others); nullopt
+  /// on timeout. Throws on EOF or protocol violation.
+  std::optional<Response> wait_for(Verb verb, int timeout_ms);
+
+  int fd_ = -1;
+  std::mutex send_mu_;
+  std::mutex recv_mu_;
+  std::vector<std::uint8_t> read_buf_;  // guarded by recv_mu_
+  std::deque<Response> stash_;          // guarded by recv_mu_
+  std::uint32_t max_frame_bytes_;
+};
+
+}  // namespace mtsr::net

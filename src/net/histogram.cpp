@@ -1,0 +1,68 @@
+#include "src/net/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mtsr::net {
+
+int LatencyHistogram::bucket_index(double micros) {
+  if (!(micros > 0)) return 0;
+  const double clamped =
+      std::min(micros, std::ldexp(1.0, kExponents) - 1.0);
+  const std::uint64_t v = static_cast<std::uint64_t>(clamped);
+  if (v < kSubBuckets) return static_cast<int>(v);
+  // Row = position of the highest set bit above the sub-bucket resolution;
+  // column = the next log2(kSubBuckets) bits below it.
+  int exponent = 63;
+  while ((v >> exponent) == 0) --exponent;
+  const int shift = exponent - 5;  // log2(kSubBuckets) == 5
+  const int sub = static_cast<int>((v >> shift) & (kSubBuckets - 1));
+  const int row = exponent - 4;  // rows 0..4 are the linear [0, 32) range
+  const int index = row * kSubBuckets + sub;
+  return std::min(index, kExponents * kSubBuckets - 1);
+}
+
+void LatencyHistogram::record(double micros) {
+  ++buckets_[static_cast<std::size_t>(bucket_index(micros))];
+  ++count_;
+  max_ = std::max(max_, std::max(micros, 0.0));
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q >= 1.0) return max_;
+  // Rank of the requested quantile, 1-based; walk buckets until reached.
+  const std::int64_t rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count_))));
+  std::int64_t seen = 0;
+  for (int i = 0; i < kExponents * kSubBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen < rank) continue;
+    // Upper edge of bucket i, the inverse of bucket_index.
+    if (i < kSubBuckets) return static_cast<double>(i + 1);
+    const int row = i / kSubBuckets;
+    const int sub = i % kSubBuckets;
+    const int exponent = row + 4;
+    const double scale = std::ldexp(1.0, exponent - 5);
+    const double upper = (std::ldexp(1.0, 5) + sub + 1) * scale;
+    return std::min(upper, max_ > 0 ? max_ : upper);
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  max_ = 0;
+}
+
+}  // namespace mtsr::net

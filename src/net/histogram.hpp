@@ -1,0 +1,50 @@
+// net::LatencyHistogram — fixed-footprint log-bucketed latency histogram.
+//
+// The front door's telemetry contract is tail latency (p50/p99/p999), and a
+// histogram that records every request must cost nanoseconds and never
+// allocate on the serving path. This is the HDR-style layout: one
+// power-of-two exponent range per row, kSubBuckets linear sub-buckets per
+// row, so relative bucket error is bounded at 1/kSubBuckets (~3%) at every
+// magnitude from sub-microsecond to hours. Everything is plain counters —
+// recording is two index computations and an increment, quantile extraction
+// walks the (small, fixed) table, and merge() is elementwise addition so
+// per-pattern replay histograms can fold into a run total.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mtsr::net {
+
+/// Log-bucketed histogram of non-negative latencies in microseconds.
+class LatencyHistogram {
+ public:
+  static constexpr int kExponents = 40;   ///< covers up to ~2^40 us (~12 days)
+  static constexpr int kSubBuckets = 32;  ///< ~3% relative bucket width
+
+  /// Records one latency (clamped to the histogram range; negatives count
+  /// as zero).
+  void record(double micros);
+
+  /// The q-quantile (q in [0, 1]) in microseconds: the upper edge of the
+  /// bucket holding the q-th recorded value, 0 when empty. quantile(1)
+  /// returns the exact maximum seen (tracked beside the buckets).
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double max_micros() const { return max_; }
+
+  /// Elementwise accumulation of another histogram into this one.
+  void merge(const LatencyHistogram& other);
+
+  void reset();
+
+ private:
+  [[nodiscard]] static int bucket_index(double micros);
+
+  std::array<std::int64_t, kExponents * kSubBuckets> buckets_{};
+  std::int64_t count_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace mtsr::net

@@ -1,0 +1,351 @@
+#include "src/net/protocol.hpp"
+
+#include <cstring>
+#include <limits>
+
+namespace mtsr::net {
+namespace {
+
+/// Appends little-endian scalars to a byte vector. The container targets
+/// x86, but serialisation is still done byte-by-byte so the wire bytes are
+/// the protocol's, not the host's.
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back((v >> (8 * i)) & 0xff);
+  }
+
+  void i64(std::int64_t v) {
+    const auto u = static_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i) out_.push_back((u >> (8 * i)) & 0xff);
+  }
+
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) out_.push_back((bits >> (8 * i)) & 0xff);
+  }
+
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  /// rows, cols, then rows*cols float32 values.
+  void tensor2d(const Tensor& t) {
+    u32(static_cast<std::uint32_t>(t.rank() == 2 ? t.dim(0) : 0));
+    u32(static_cast<std::uint32_t>(t.rank() == 2 ? t.dim(1) : 0));
+    const std::size_t n = static_cast<std::size_t>(t.size());
+    const std::size_t at = out_.size();
+    out_.resize(at + n * sizeof(float));
+    if (n > 0) std::memcpy(out_.data() + at, t.data(), n * sizeof(float));
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Bounds-checked little-endian reads; any overrun is a ProtocolError.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::int64_t i64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return static_cast<std::int64_t>(v);
+  }
+
+  double f64() {
+    const std::uint64_t bits = static_cast<std::uint64_t>(i64());
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (n > size_ - pos_) throw ProtocolError("string runs past payload");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  Tensor tensor2d() {
+    const std::uint32_t rows = u32();
+    const std::uint32_t cols = u32();
+    // 2^26 cells (256 MB of float32) comfortably covers any city grid and
+    // keeps a corrupt header from driving a giant allocation.
+    if (static_cast<std::uint64_t>(rows) * cols > (1u << 26)) {
+      throw ProtocolError("tensor dims exceed wire limit");
+    }
+    const std::size_t n = static_cast<std::size_t>(rows) * cols;
+    if (n * sizeof(float) > size_ - pos_) {
+      throw ProtocolError("tensor data runs past payload");
+    }
+    Tensor t(Shape{static_cast<std::int64_t>(rows),
+                   static_cast<std::int64_t>(cols)});
+    if (n > 0) std::memcpy(t.data(), data_ + pos_, n * sizeof(float));
+    pos_ += n * sizeof(float);
+    return t;
+  }
+
+  void finish() const {
+    if (pos_ != size_) throw ProtocolError("trailing bytes after payload");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (n > size_ - pos_) throw ProtocolError("payload truncated");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Wraps `payload` (already holding the verb-specific bytes) in the frame
+/// header: [u32 length][u8 verb][payload].
+std::vector<std::uint8_t> frame(Verb verb,
+                                const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(5 + payload.size());
+  WireWriter w(out);
+  w.u32(static_cast<std::uint32_t>(payload.size() + 1));
+  w.u8(static_cast<std::uint8_t>(verb));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Status read_status(WireReader& r) {
+  const std::uint8_t raw = r.u8();
+  if (raw > static_cast<std::uint8_t>(Status::kError)) {
+    throw ProtocolError("unknown status byte");
+  }
+  return static_cast<Status>(raw);
+}
+
+}  // namespace
+
+std::optional<Frame> try_extract_frame(const std::uint8_t* buffer,
+                                       std::size_t size,
+                                       std::size_t* consumed,
+                                       std::uint32_t max_frame_bytes) {
+  *consumed = 0;
+  if (size < 4) return std::nullopt;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(buffer[i]) << (8 * i);
+  }
+  if (length < 1) throw ProtocolError("frame length below verb byte");
+  if (length > max_frame_bytes) throw ProtocolError("frame exceeds size cap");
+  if (size - 4 < length) return std::nullopt;
+  const std::uint8_t verb_raw = buffer[4];
+  if (verb_raw < static_cast<std::uint8_t>(Verb::kOpen) ||
+      verb_raw > static_cast<std::uint8_t>(Verb::kStats)) {
+    throw ProtocolError("unknown verb byte");
+  }
+  Frame f;
+  f.verb = static_cast<Verb>(verb_raw);
+  f.payload.assign(buffer + 5, buffer + 4 + length);
+  *consumed = 4 + static_cast<std::size_t>(length);
+  return f;
+}
+
+// ---- Requests --------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_open(const OpenRequest& req) {
+  std::vector<std::uint8_t> body;
+  WireWriter w(body);
+  w.str(req.model);
+  w.str(req.stream);
+  w.u8(req.instance);
+  w.u8(req.log_transform ? 1 : 0);
+  w.i64(req.rows);
+  w.i64(req.cols);
+  w.i64(req.window);
+  w.i64(req.stitch_stride);
+  w.f64(req.mean);
+  w.f64(req.stddev);
+  return frame(Verb::kOpen, body);
+}
+
+std::vector<std::uint8_t> encode_push(const PushRequest& req) {
+  std::vector<std::uint8_t> body;
+  body.reserve(24 + static_cast<std::size_t>(req.frame.size()) * 4);
+  WireWriter w(body);
+  w.i64(req.session);
+  w.tensor2d(req.frame);
+  return frame(Verb::kPush, body);
+}
+
+std::vector<std::uint8_t> encode_close(const CloseRequest& req) {
+  std::vector<std::uint8_t> body;
+  WireWriter w(body);
+  w.i64(req.session);
+  return frame(Verb::kClose, body);
+}
+
+std::vector<std::uint8_t> encode_stats_request() {
+  return frame(Verb::kStats, {});
+}
+
+Request decode_request(const Frame& f) {
+  WireReader r(f.payload.data(), f.payload.size());
+  Request req;
+  req.verb = f.verb;
+  switch (f.verb) {
+    case Verb::kOpen: {
+      req.open.model = r.str();
+      req.open.stream = r.str();
+      req.open.instance = r.u8();
+      req.open.log_transform = r.u8() != 0;
+      req.open.rows = r.i64();
+      req.open.cols = r.i64();
+      req.open.window = r.i64();
+      req.open.stitch_stride = r.i64();
+      req.open.mean = r.f64();
+      req.open.stddev = r.f64();
+      break;
+    }
+    case Verb::kPush: {
+      req.push.session = r.i64();
+      req.push.frame = r.tensor2d();
+      break;
+    }
+    case Verb::kClose: {
+      req.close.session = r.i64();
+      break;
+    }
+    case Verb::kStats:
+      break;
+  }
+  r.finish();
+  return req;
+}
+
+// ---- Responses -------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_response(const OpenResponse& resp) {
+  std::vector<std::uint8_t> body;
+  WireWriter w(body);
+  w.u8(static_cast<std::uint8_t>(resp.status));
+  w.i64(resp.session);
+  w.i64(resp.temporal_length);
+  w.i64(resp.frames_until_ready);
+  w.str(resp.error);
+  return frame(Verb::kOpen, body);
+}
+
+std::vector<std::uint8_t> encode_response(const PushResponse& resp) {
+  std::vector<std::uint8_t> body;
+  body.reserve(40 + static_cast<std::size_t>(resp.frame.size()) * 4);
+  WireWriter w(body);
+  w.u8(static_cast<std::uint8_t>(resp.status));
+  w.i64(resp.session);
+  w.i64(resp.frames_until_ready);
+  w.f64(resp.retry_after_ms);
+  w.tensor2d(resp.frame);
+  w.str(resp.error);
+  return frame(Verb::kPush, body);
+}
+
+std::vector<std::uint8_t> encode_response(const CloseResponse& resp) {
+  std::vector<std::uint8_t> body;
+  WireWriter w(body);
+  w.u8(static_cast<std::uint8_t>(resp.status));
+  w.i64(resp.session);
+  w.str(resp.error);
+  return frame(Verb::kClose, body);
+}
+
+std::vector<std::uint8_t> encode_response(const StatsResponse& resp) {
+  std::vector<std::uint8_t> body;
+  WireWriter w(body);
+  w.u8(static_cast<std::uint8_t>(resp.status));
+  w.i64(resp.requests);
+  w.i64(resp.served);
+  w.i64(resp.rejected);
+  w.i64(resp.slo_violations);
+  w.i64(resp.max_queue_depth);
+  w.f64(resp.p50_ms);
+  w.f64(resp.p99_ms);
+  w.f64(resp.p999_ms);
+  w.str(resp.table);
+  w.str(resp.error);
+  return frame(Verb::kStats, body);
+}
+
+Response decode_response(const Frame& f) {
+  WireReader r(f.payload.data(), f.payload.size());
+  Response resp;
+  resp.verb = f.verb;
+  switch (f.verb) {
+    case Verb::kOpen: {
+      resp.open.status = read_status(r);
+      resp.open.session = r.i64();
+      resp.open.temporal_length = r.i64();
+      resp.open.frames_until_ready = r.i64();
+      resp.open.error = r.str();
+      break;
+    }
+    case Verb::kPush: {
+      resp.push.status = read_status(r);
+      resp.push.session = r.i64();
+      resp.push.frames_until_ready = r.i64();
+      resp.push.retry_after_ms = r.f64();
+      resp.push.frame = r.tensor2d();
+      resp.push.error = r.str();
+      break;
+    }
+    case Verb::kClose: {
+      resp.close.status = read_status(r);
+      resp.close.session = r.i64();
+      resp.close.error = r.str();
+      break;
+    }
+    case Verb::kStats: {
+      resp.stats.status = read_status(r);
+      resp.stats.requests = r.i64();
+      resp.stats.served = r.i64();
+      resp.stats.rejected = r.i64();
+      resp.stats.slo_violations = r.i64();
+      resp.stats.max_queue_depth = r.i64();
+      resp.stats.p50_ms = r.f64();
+      resp.stats.p99_ms = r.f64();
+      resp.stats.p999_ms = r.f64();
+      resp.stats.table = r.str();
+      resp.stats.error = r.str();
+      break;
+    }
+  }
+  r.finish();
+  return resp;
+}
+
+}  // namespace mtsr::net

@@ -1,0 +1,156 @@
+// net::Server — the network front door over serving::Engine.
+//
+// A poll()-driven, single-threaded, non-blocking TCP server speaking the
+// length-prefixed binary protocol of src/net/protocol.hpp. One server
+// thread owns the sockets AND every engine call — the engine is
+// single-threaded by contract, and funnelling all verbs through one event
+// loop satisfies it without a lock around inference.
+//
+// The serving path is asymmetric by design:
+//  * OPEN / CLOSE / STATS execute inline when their frame parses — they are
+//    cheap metadata operations;
+//  * PUSH lands in the bounded AdmissionQueue. After each poll wake the
+//    server drains the queue in dispatch rounds: one pending push per
+//    distinct session, all served through ONE Engine::push_all call, so
+//    concurrent remote streams get the scheduler's cross-session batch
+//    fusion and stream-dedup exactly like in-process callers. When the
+//    queue is at capacity the push is answered kRejected with a
+//    retry-after — backpressure is explicit, never a silently growing
+//    buffer.
+//
+// Slow clients: responses buffer per connection and flush as POLLOUT
+// allows; a connection whose unread backlog exceeds max_write_buffer is
+// evicted (connection cut, its sessions closed) so one stalled reader
+// cannot hold frame memory for everyone else.
+//
+// Telemetry: per-request latency (parse-complete -> response enqueued) in a
+// log-bucketed histogram, SLO-violation and queue-depth counters, all
+// merged into Engine::Stats as FrontDoorStats (render_stats_table shows
+// them; the wire STATS verb returns them to remote clients).
+//
+// Threading: run() drives the loop on the calling thread until stop() —
+// which is safe from any thread, as are front_door_stats() and port().
+// Everything else (poll_once, drain, stats) must stay on the thread that
+// drives the loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/net/admission.hpp"
+#include "src/net/histogram.hpp"
+#include "src/net/protocol.hpp"
+#include "src/serving/engine.hpp"
+
+namespace mtsr::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; the bound port is Server::port()
+
+  std::int64_t max_queue_depth = 256;  ///< admission cap -> kRejected beyond
+  double retry_after_ms = 50;          ///< hint attached to rejections
+  double slo_ms = 1000;                ///< PUSH latency SLO for telemetry
+
+  std::int64_t max_write_buffer = 8ll << 20;  ///< slow-client eviction bound
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// When > 0, sets SO_SNDBUF on accepted sockets. Tests shrink it so a
+  /// non-reading client stalls the kernel buffer quickly and exercises the
+  /// eviction path without megabytes of traffic.
+  int send_buffer_bytes = 0;
+};
+
+/// The TCP front door. Binds + listens in the constructor (throws on
+/// failure); serves when the owner drives poll_once()/run().
+class Server {
+ public:
+  Server(serving::Engine& engine, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound TCP port (resolves ephemeral binds).
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Runs the event loop on the calling thread until stop().
+  void run();
+
+  /// Wakes and stops a concurrent run(). Safe from any thread/handler.
+  void stop();
+
+  /// One event-loop step: waits up to `timeout_ms` for socket activity,
+  /// services it, then (unless auto-drain is off) drains the admission
+  /// queue through the engine. The unit-test seam — tests single-step the
+  /// loop instead of racing a thread.
+  void poll_once(int timeout_ms);
+
+  /// Test seam: suspend the automatic post-poll drain so a test can pile
+  /// pushes into the admission queue and observe backpressure.
+  void set_auto_drain(bool on) { auto_drain_ = on; }
+
+  /// Serves buffered pushes in dispatch rounds until the queue is empty.
+  void drain();
+
+  /// Snapshot of the request-level counters. Safe from any thread.
+  [[nodiscard]] serving::FrontDoorStats front_door_stats() const;
+
+  /// Engine stats with front_door filled in. Event-loop thread only (the
+  /// engine's stats() is not thread-safe).
+  [[nodiscard]] serving::Engine::Stats stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::vector<std::uint8_t> read_buf;
+    std::vector<std::uint8_t> write_buf;
+    std::size_t write_pos = 0;  ///< flushed prefix of write_buf
+    std::vector<std::int64_t> sessions;  ///< engine sessions owned here
+    bool dead = false;
+  };
+
+  void accept_ready();
+  void read_ready(Connection& conn);
+  void write_ready(Connection& conn);
+  void handle_frame(Connection& conn, const Frame& frame);
+  void handle_open(Connection& conn, const OpenRequest& req);
+  void handle_push(Connection& conn, PushRequest req);
+  void handle_close(Connection& conn, const CloseRequest& req);
+  void handle_stats(Connection& conn);
+  void send_bytes(Connection& conn, std::vector<std::uint8_t> bytes);
+  void flush(Connection& conn);
+  /// Cuts the connection: closes its engine sessions, drops its queued
+  /// pushes, schedules fd teardown.
+  void destroy(Connection& conn, bool evicted);
+  void reap_dead();
+  [[nodiscard]] serving::FrontDoorStats snapshot_locked() const;
+
+  serving::Engine& engine_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int wake_fd_[2] = {-1, -1};  ///< self-pipe: stop() wakes a blocked poll
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool auto_drain_ = true;
+
+  std::uint64_t next_conn_id_ = 1;
+  std::map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+  std::map<std::int64_t, std::uint64_t> session_owner_;
+  AdmissionQueue queue_;
+
+  /// Counter block, guarded so front_door_stats() is clean from other
+  /// threads while the event loop runs. The event loop takes the lock once
+  /// per mutation batch; the engine is never called under it.
+  mutable std::mutex stats_mu_;
+  serving::FrontDoorStats counters_;
+  LatencyHistogram latency_;
+};
+
+}  // namespace mtsr::net

@@ -198,6 +198,7 @@ Engine::Stats Engine::stats() const {
       s.passes = ss.stats.passes;
       s.fused_passes = ss.stats.fused_passes;
       s.windows = ss.stats.windows;
+      s.max_queue_depth = ss.stats.max_queue_depth;
       s.memo_entries = ss.stats.memo_entries;
       s.arena = ss.stats.arena;
       break;
@@ -233,7 +234,7 @@ std::string render_stats_table(const Engine::Stats& stats) {
   // how busy their workers actually were.
   if (!stats.shards.empty()) {
     Table shard_table({"shard", "workers", "rounds", "passes", "fused",
-                       "windows", "arena cap", "busy s"});
+                       "windows", "queue", "arena cap", "busy s"});
     char cell[64];
     for (const Engine::ShardStats& s : stats.shards) {
       std::snprintf(cell, sizeof(cell), "%.2f", s.busy_seconds);
@@ -241,6 +242,7 @@ std::string render_stats_table(const Engine::Stats& stats) {
           {std::to_string(s.shard), std::to_string(s.workers),
            std::to_string(s.rounds), std::to_string(s.passes),
            std::to_string(s.fused_passes), std::to_string(s.windows),
+           std::to_string(s.max_queue_depth),
            fmt_bytes(s.arena.capacity_bytes), cell});
     }
     out += shard_table.render();
@@ -294,6 +296,47 @@ std::string render_stats_table(const Engine::Stats& stats) {
                 fmt_bytes(sch.arena.capacity_bytes).c_str(),
                 static_cast<long long>(sch.arena.growth_events));
   out += line;
+
+  // Front-door summary: the request-level counters a deployment pages on —
+  // tail latency against the SLO, admission-queue depth against its cap,
+  // and the reject/evict counts that say the door is shedding load.
+  if (stats.front_door.has_value()) {
+    const FrontDoorStats& fd = *stats.front_door;
+    std::snprintf(line, sizeof(line),
+                  "front door: %lld requests (%lld open / %lld push / "
+                  "%lld close / %lld stats) over %lld conns (%lld open), "
+                  "%lld served, %lld warm-up\n",
+                  static_cast<long long>(fd.requests),
+                  static_cast<long long>(fd.opens),
+                  static_cast<long long>(fd.pushes),
+                  static_cast<long long>(fd.closes),
+                  static_cast<long long>(fd.stats_calls),
+                  static_cast<long long>(fd.connections_accepted),
+                  static_cast<long long>(fd.connections_open),
+                  static_cast<long long>(fd.served),
+                  static_cast<long long>(fd.warmups));
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "  latency p50 %.2f ms, p99 %.2f ms, p999 %.2f ms, max "
+                  "%.2f ms; SLO %.0f ms: %lld violations\n",
+                  fd.p50_ms, fd.p99_ms, fd.p999_ms, fd.max_ms, fd.slo_ms,
+                  static_cast<long long>(fd.slo_violations));
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "  queue depth %lld now / %lld peak (cap %lld), %lld "
+                  "rejected (backpressure), %lld errors, %lld evicted "
+                  "slow clients, %lld protocol errors; %s in, %s out\n",
+                  static_cast<long long>(fd.queue_depth),
+                  static_cast<long long>(fd.max_queue_depth),
+                  static_cast<long long>(fd.queue_cap),
+                  static_cast<long long>(fd.rejected),
+                  static_cast<long long>(fd.errors),
+                  static_cast<long long>(fd.evicted),
+                  static_cast<long long>(fd.protocol_errors),
+                  fmt_bytes(fd.bytes_in).c_str(),
+                  fmt_bytes(fd.bytes_out).c_str());
+    out += line;
+  }
   return out;
 }
 

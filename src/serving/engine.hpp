@@ -40,6 +40,33 @@
 
 namespace mtsr::serving {
 
+/// Request-level telemetry of the network front door (net::Server). Lives
+/// here rather than in src/net so Engine::Stats and render_stats_table can
+/// carry it without the serving layer depending on the socket layer; the
+/// server fills it from its admission queue and latency histogram.
+/// Latency percentiles cover PUSH (serve) requests, measured from the
+/// moment the request frame is fully parsed to the moment its response is
+/// handed to the socket layer.
+struct FrontDoorStats {
+  std::int64_t connections_accepted = 0;
+  std::int64_t connections_open = 0;
+  std::int64_t requests = 0;  ///< complete request frames parsed, all verbs
+  std::int64_t opens = 0, pushes = 0, closes = 0, stats_calls = 0;
+  std::int64_t served = 0;   ///< push responses carrying a fine frame
+  std::int64_t warmups = 0;  ///< push responses during session warm-up
+  std::int64_t rejected = 0;     ///< backpressure rejections (retry-after)
+  std::int64_t errors = 0;       ///< error responses sent
+  std::int64_t evicted = 0;      ///< slow-client connections dropped
+  std::int64_t protocol_errors = 0;  ///< malformed frames (connection cut)
+  std::int64_t queue_depth = 0;      ///< admission queue, current
+  std::int64_t max_queue_depth = 0;  ///< admission queue, peak
+  std::int64_t queue_cap = 0;        ///< depth beyond which pushes reject
+  std::int64_t slo_violations = 0;   ///< served pushes slower than slo_ms
+  double slo_ms = 0;
+  double p50_ms = 0, p99_ms = 0, p999_ms = 0, max_ms = 0;
+  std::int64_t bytes_in = 0, bytes_out = 0;
+};
+
 /// Multi-model, multi-session inference server.
 class Engine {
  public:
@@ -145,6 +172,7 @@ class Engine {
     std::int64_t passes = 0;
     std::int64_t fused_passes = 0;
     std::int64_t windows = 0;
+    std::int64_t max_queue_depth = 0;  ///< peak block requests in one round
     std::int64_t memo_entries = 0;
     Workspace::Stats arena;   ///< the shard's fused-pass arena
     double busy_seconds = 0;  ///< worker-seconds spent in chunk bodies
@@ -160,6 +188,9 @@ class Engine {
     /// (wall-seconds x total workers), in [0, 1]. Low values under load
     /// mean the scheduler is not keeping the shards fed.
     double utilization = 0;
+    /// Socket-ingress telemetry, filled by the network front door
+    /// (net::Server::stats()); absent when the engine has no front door.
+    std::optional<FrontDoorStats> front_door;
   };
   [[nodiscard]] Stats stats() const;
 

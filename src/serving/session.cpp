@@ -151,7 +151,7 @@ Session::~Session() {
 
 void Session::reset() {
   for (const FrameEntry& entry : history_) {
-    if (!entry.normalized.empty()) ++coarsen_skips_;
+    if (!entry.staged_raw.empty()) ++coarsen_skips_;
   }
   history_.clear();
   frame_hashes_.clear();
@@ -206,17 +206,19 @@ void Session::admit(const Tensor& fine_snapshot) {
             fine_snapshot.dim(1) == config_.cols,
         "Session::push: wrong snapshot shape");
   FrameEntry entry;
-  Tensor norm = normalize(fine_snapshot);
   if (needs_.coarse_history) {
     if (dedup_prefix_.empty()) {
-      entry.coarse_windows = coarsen_windows(norm);
+      entry.coarse_windows = coarsen_windows(normalize(fine_snapshot));
     } else {
       // Dedup-aware short-circuit: a fan-out consumer whose blocks the
-      // stream memo serves never gathers this frame, so its coarsening is
-      // deferred until a gather actually needs it
-      // (ensure_history_coarsened). Values are unchanged either way —
-      // coarsen_windows is a pure function of the normalized frame.
-      entry.normalized = std::move(norm);
+      // stream memo serves never gathers this frame, so BOTH
+      // pre-aggregation steps — the full-frame normalisation and the
+      // per-window coarsening — are deferred until a gather actually needs
+      // them (ensure_history_coarsened). A memo-served consumer's admit
+      // cost collapses to the dedup hash plus one frame copy. Values are
+      // unchanged either way — normalize and coarsen_windows are pure
+      // functions of the raw frame.
+      entry.staged_raw = fine_snapshot;
     }
   }
   if (needs_.fine_latest) entry.raw = fine_snapshot;
@@ -227,7 +229,7 @@ void Session::admit(const Tensor& fine_snapshot) {
         sizeof(float) * static_cast<std::size_t>(fine_snapshot.size())));
   }
   if (static_cast<std::int64_t>(history_.size()) > s_) {
-    if (!history_.front().normalized.empty()) ++coarsen_skips_;
+    if (!history_.front().staged_raw.empty()) ++coarsen_skips_;
     history_.pop_front();
     if (!frame_hashes_.empty()) frame_hashes_.pop_front();
   }
@@ -236,9 +238,9 @@ void Session::admit(const Tensor& fine_snapshot) {
 void Session::ensure_history_coarsened() {
   if (!needs_.coarse_history) return;
   for (FrameEntry& entry : history_) {
-    if (entry.normalized.empty()) continue;
-    entry.coarse_windows = coarsen_windows(entry.normalized);
-    entry.normalized = Tensor();
+    if (entry.staged_raw.empty()) continue;
+    entry.coarse_windows = coarsen_windows(normalize(entry.staged_raw));
+    entry.staged_raw = Tensor();
   }
 }
 

@@ -163,18 +163,20 @@ class Session {
 
   struct FrameEntry {
     Tensor coarse_windows;  ///< (W, ci, ci): every stitch window, coarsened
-    Tensor normalized;      ///< deferred-coarsening staging (dedup streams)
+    Tensor staged_raw;      ///< deferred normalise+coarsen staging (dedup)
     Tensor raw;             ///< raw frame; kept only for fine_latest models
   };
 
   // ---- Scheduler-facing stepwise contract ----------------------------------
   /// Absorbs one snapshot into the rolling history (and the dedup hash
   /// chain when the session is stream-tagged). Stream-tagged coarse-history
-  /// sessions defer the per-window coarsening: a fan-out consumer whose
-  /// blocks the stream memo serves never gathers, so coarsening on admit
-  /// would be pure waste (ensure_history_coarsened() runs it on demand).
+  /// sessions short-circuit ALL per-frame pre-aggregation — normalisation
+  /// included, not just the per-window coarsening: a fan-out consumer whose
+  /// blocks the stream memo serves never gathers, so any admit-time work
+  /// beyond the dedup hash would be pure waste
+  /// (ensure_history_coarsened() runs both steps on demand).
   void admit(const Tensor& fine_snapshot);
-  /// Coarsens any history frame still holding its normalized staging
+  /// Normalises + coarsens any history frame still holding its raw staging
   /// tensor. Must run on the MAIN thread before this session's first
   /// gather of a round — the coarsening fans out on the pool, which the
   /// scheduler's stage thread must never do.
