@@ -46,6 +46,14 @@
 #define MTSR_HAS_SCHEDULER 1
 #endif
 
+#if __has_include("src/nn/replica.hpp")
+// Data-parallel train-step machinery (absent in pre-replica trees).
+#include "src/core/gan_trainer.hpp"
+#include "src/data/milan.hpp"
+#include "src/nn/replica.hpp"
+#define MTSR_HAS_TRAIN_REPLICAS 1
+#endif
+
 #include "bench/bench_common.hpp"
 #include "src/baselines/bicubic.hpp"
 #include "src/core/pipeline.hpp"
@@ -625,6 +633,106 @@ BENCHMARK(BM_ServeIndependentDistinct)
     ->Unit(benchmark::kMillisecond);
 #endif  // MTSR_HAS_SCHEDULER
 #endif  // MTSR_HAS_SERVING
+
+#ifdef MTSR_HAS_TRAIN_REPLICAS
+// ---- Data-parallel training --------------------------------------------
+//
+// One GAN train step, serial vs replica-sharded, in the same binary so the
+// layer kernels are identical machine code. Arg is the replica worker
+// count: -1 is the retained legacy whole-batch serial step, >= 1 is the
+// sliced replicated step (1 replica isolates the slicing overhead; more
+// replicas add concurrency). Results are bit-identical across all >= 1
+// settings, so the curve is purely a scheduling comparison. Each iteration
+// runs several steps so the double-buffered input staging can overlap
+// batch assembly with step compute.
+
+constexpr int kTrainStepsPerIter = 4;
+
+struct TrainBenchFixture {
+  TrainBenchFixture()
+      : dataset(make_frames(), 10),
+        layout(8, 8, 2),
+        source([this](Rng& rng) {
+          data::SampleSpec spec;
+          spec.t = rng.uniform_int(1, dataset.frame_count() - 1);
+          spec.r0 = rng.uniform_int(0, dataset.rows() - 8);
+          spec.c0 = rng.uniform_int(0, dataset.cols() - 8);
+          return data::make_sample(dataset, layout, spec, 2, 8);
+        }) {}
+
+  static std::vector<Tensor> make_frames() {
+    data::MilanConfig config;
+    config.rows = 32;
+    config.cols = 32;
+    config.num_hotspots = 10;
+    config.seed = 55;
+    return data::MilanTrafficGenerator(config).generate(60, 30);
+  }
+
+  core::ZipNetConfig generator_config() const {
+    core::ZipNetConfig config;
+    config.temporal_length = 2;
+    config.upscale_factors = {2};
+    config.base_channels = 4;
+    config.zipper_modules = 3;
+    config.zipper_channels = 8;
+    config.final_channels = 8;
+    return config;
+  }
+
+  data::TrafficDataset dataset;
+  data::UniformProbeLayout layout;
+  core::SampleSource source;
+};
+
+void BM_PretrainStep(benchmark::State& state) {
+  const int replicas = static_cast<int>(state.range(0));
+  TrainBenchFixture f;
+  Rng rng(901);
+  core::ZipNet g(f.generator_config(), rng);
+  core::Discriminator d({}, rng);
+  core::GanTrainerConfig config;
+  config.batch_size = 8;
+  config.replicas = replicas;
+  core::GanTrainer trainer(g, d, config);
+  (void)trainer.pretrain(f.source, 2);  // warm arenas + caches
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.pretrain(f.source, kTrainStepsPerIter));
+  }
+  state.SetItemsProcessed(state.iterations() * kTrainStepsPerIter);
+  state.SetLabel(replicas < 0 ? "legacy-serial"
+                              : "replicas=" + std::to_string(replicas));
+}
+BENCHMARK(BM_PretrainStep)
+    ->Arg(-1)->Arg(1)->Arg(2)->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TrainStep(benchmark::State& state) {
+  const int replicas = static_cast<int>(state.range(0));
+  TrainBenchFixture f;
+  Rng rng(902);
+  core::ZipNet g(f.generator_config(), rng);
+  core::Discriminator d({}, rng);
+  core::GanTrainerConfig config;
+  config.batch_size = 8;
+  config.replicas = replicas;
+  core::GanTrainer trainer(g, d, config);
+  (void)trainer.pretrain(f.source, 2);
+  (void)trainer.train(f.source, 1);  // warm both sub-epoch step shapes
+  for (auto _ : state) {
+    // One round = one D sub-epoch + one G sub-epoch (two train steps).
+    benchmark::DoNotOptimize(trainer.train(f.source, kTrainStepsPerIter / 2));
+  }
+  state.SetItemsProcessed(state.iterations() * kTrainStepsPerIter);
+  state.SetLabel(replicas < 0 ? "legacy-serial"
+                              : "replicas=" + std::to_string(replicas));
+}
+BENCHMARK(BM_TrainStep)
+    ->Arg(-1)->Arg(1)->Arg(2)->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+#endif  // MTSR_HAS_TRAIN_REPLICAS
 
 // Probe aggregation (the gateway-side cost of producing model input).
 void BM_ProbeAggregation(benchmark::State& state) {

@@ -61,4 +61,15 @@ void Rng::shuffle(std::vector<std::size_t>& indices) {
 
 Rng Rng::fork() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ULL); }
 
+std::uint64_t Rng::derive_stream_seed(std::uint64_t seed, std::uint64_t key) {
+  // SplitMix64 finaliser applied to seed advanced by (key + 1) gammas: a
+  // well-mixed, stateless (seed, key) -> seed map. key and key + 1 yield
+  // uncorrelated engines, and the +1 keeps stream(0) distinct from the
+  // parent seed itself.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (key + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace mtsr

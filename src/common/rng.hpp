@@ -20,7 +20,8 @@ namespace mtsr {
 class Rng {
  public:
   /// Creates a generator from an explicit seed.
-  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL)
+      : engine_(seed), seed_(seed) {}
 
   /// Uniform real in [lo, hi).
   double uniform(double lo = 0.0, double hi = 1.0);
@@ -53,11 +54,29 @@ class Rng {
   /// generator's current state.
   Rng fork();
 
+  /// Counter-based stream split: derives an independent child generator
+  /// from this generator's ORIGINAL seed and `key` alone. Unlike fork(),
+  /// the result does not depend on how many draws have been made from this
+  /// generator, so stream(k) is the same generator no matter which thread
+  /// requests it, in which order, or how work is partitioned — the basis of
+  /// the data-parallel trainer's replica-count-independent sampling.
+  [[nodiscard]] Rng stream(std::uint64_t key) const {
+    return Rng(derive_stream_seed(seed_, key));
+  }
+
+  /// The seed this generator was constructed with (streams derive from it).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// SplitMix64-style mix of (seed, key) -> child seed; pure function.
+  [[nodiscard]] static std::uint64_t derive_stream_seed(std::uint64_t seed,
+                                                        std::uint64_t key);
+
   /// Raw 64-bit draw (used by shuffle and fork).
   std::uint64_t next_u64() { return engine_(); }
 
  private:
   std::mt19937_64 engine_;
+  std::uint64_t seed_ = 0;
 };
 
 }  // namespace mtsr

@@ -4,6 +4,7 @@
 
 #include "src/common/check.hpp"
 #include "src/nn/activations.hpp"
+#include "src/nn/replica.hpp"
 #include "src/nn/batchnorm.hpp"
 #include "src/nn/conv2d.hpp"
 #include "src/nn/dense.hpp"
@@ -36,16 +37,34 @@ Discriminator::Discriminator(DiscriminatorConfig config, Rng& rng)
 
 Tensor Discriminator::forward(const Tensor& input, bool training) {
   check(input.rank() == 3, "Discriminator expects (N, H, W) input");
-  input_shape_ = input.shape();
+  const auto slot = static_cast<std::size_t>(nn::replica::cache_index());
+  check(slot < input_shape_.size(),
+        "Discriminator: replica slot not prepared");
+  input_shape_[slot] = input.shape();
   Tensor x = input.reshape(
       Shape{input.dim(0), 1, input.dim(1), input.dim(2)});
   return network_->forward(x, training);
 }
 
 Tensor Discriminator::backward(const Tensor& grad_output) {
-  check(input_shape_.rank() == 3, "Discriminator::backward before forward");
+  const auto slot = static_cast<std::size_t>(nn::replica::cache_index());
+  check(slot < input_shape_.size(),
+        "Discriminator: replica slot not prepared");
+  check(input_shape_[slot].rank() == 3,
+        "Discriminator::backward before forward");
   Tensor g = network_->backward(grad_output);
-  return g.reshape(input_shape_);
+  return g.reshape(input_shape_[slot]);
+}
+
+void Discriminator::prepare_replica_slots(int count) {
+  if (input_shape_.size() < static_cast<std::size_t>(count)) {
+    input_shape_.resize(static_cast<std::size_t>(count));
+  }
+  network_->prepare_replica_slots(count);
+}
+
+void Discriminator::reduce_replica_slots(int count) {
+  network_->reduce_replica_slots(count);
 }
 
 std::vector<nn::Parameter*> Discriminator::parameters() {

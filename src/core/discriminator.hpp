@@ -31,6 +31,8 @@ class Discriminator final : public nn::Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<nn::Parameter*> parameters() override;
   std::vector<std::pair<std::string, Tensor*>> buffers() override;
+  void prepare_replica_slots(int count) override;
+  void reduce_replica_slots(int count) override;
   [[nodiscard]] std::string name() const override;
 
   /// Layer stack and hyper-parameters, read by the int8 conversion
@@ -41,7 +43,8 @@ class Discriminator final : public nn::Layer {
  private:
   DiscriminatorConfig config_;
   std::unique_ptr<nn::Sequential> network_;
-  Shape input_shape_;
+  // Cached input shape, one slot per replica slice (slot 0 = direct mode).
+  std::vector<Shape> input_shape_ = std::vector<Shape>(1);
 };
 
 }  // namespace mtsr::core

@@ -13,16 +13,29 @@
 //        L(Θ_G) = mean_t (1 − 2·log D(G(F))) · ‖D^H − G(F)‖²,
 //    which replaces the fixed σ² trade-off of Eq. 8. Eq. 8 is also
 //    implemented (LossMode::kFixedSigma) for the stability ablation bench.
+//
+// Execution: the trainer runs data-parallel by default on sharded pools.
+// Each step splits the batch into micro-slices (geometry pure in the batch
+// size — see nn/replica.hpp), runs slice forwards/backwards concurrently on
+// replica workers under slice-private gradient slots, and reduces in fixed
+// ascending-slice order, so trained parameters are bit-identical for every
+// replica count and pool size. Batch sampling + augmentation are staged on
+// a dedicated input-pipeline thread, overlapping the next batch's assembly
+// with the current step's compute. Sampling draws from counter-derived RNG
+// streams (one per sample), never from a shared engine, so the sample
+// sequence is independent of staging and replica scheduling.
 #pragma once
 
 #include <functional>
 #include <vector>
 
+#include "src/common/parallel.hpp"
 #include "src/common/rng.hpp"
 #include "src/core/discriminator.hpp"
 #include "src/core/zipnet.hpp"
 #include "src/data/augmentation.hpp"
 #include "src/nn/optimizer.hpp"
+#include "src/nn/replica.hpp"
 
 namespace mtsr::core {
 
@@ -51,6 +64,12 @@ struct GanTrainerConfig {
   float sigma2 = 0.1f;         ///< σ² for LossMode::kFixedSigma
   float prob_clamp = 1e-4f;    ///< clamp D outputs to [c, 1-c] in logs
   std::uint64_t seed = 23;
+  /// Data-parallel replica workers per train step: -1 forces the legacy
+  /// whole-batch serial step, 0 resolves automatically (MTSR_TRAIN_REPLICAS,
+  /// else one replica per pool shard, minimum 1 — auto never picks legacy,
+  /// keeping results independent of pool geometry), >= 1 forces that many
+  /// workers. See nn::resolve_train_replicas.
+  int replicas = 0;
 };
 
 /// Per-round training telemetry.
@@ -82,22 +101,65 @@ class GanTrainer {
 
   [[nodiscard]] const GanTrainerConfig& config() const { return config_; }
 
- private:
-  struct Batch {
-    Tensor inputs;   ///< (m, S, ci, ci)
-    Tensor targets;  ///< (m, h, w)
-  };
-  [[nodiscard]] Batch sample_batch(const SampleSource& source);
+  /// Resolved replica worker count: 0 = legacy whole-batch serial step.
+  [[nodiscard]] int replica_workers() const { return replicas_; }
 
-  double train_discriminator_step(const Batch& batch, GanRoundStats& stats);
-  double train_generator_step(const Batch& batch, GanRoundStats& stats);
+  /// Per-worker thread-local arena telemetry from the most recent
+  /// replicated step (empty in legacy mode). Steady-state training must
+  /// show zero growth_events across steps once warmed up.
+  [[nodiscard]] const std::vector<nn::ReplicaArenaStats>&
+  replica_arena_stats() const {
+    return last_arena_stats_;
+  }
+
+ private:
+  /// A sampled batch, pre-split into the step's micro-slices (a single
+  /// slice in legacy mode).
+  struct Batch {
+    std::vector<Tensor> inputs;   ///< per slice: (m_s, S, ci, ci)
+    std::vector<Tensor> targets;  ///< per slice: (m_s, h, w)
+    std::int64_t rows = 0;        ///< m, summed over slices
+    std::int64_t target_elements = 0;  ///< m*h*w, summed over slices
+  };
+
+  [[nodiscard]] int slice_count() const;
+  [[nodiscard]] Batch build_batch(const SampleSource& source,
+                                  std::uint64_t base_counter);
+  void stage_batch(const SampleSource& source);
+  [[nodiscard]] Batch take_staged();
+
+  // Legacy whole-batch serial steps (config replicas == -1 only):
+  // bit-identical to the original single-threaded trainer.
+  double pretrain_step_legacy(const Tensor& inputs, const Tensor& targets);
+  double train_discriminator_step_legacy(const Tensor& inputs,
+                                         const Tensor& targets,
+                                         GanRoundStats& stats);
+  double train_generator_step_legacy(const Tensor& inputs,
+                                     const Tensor& targets,
+                                     GanRoundStats& stats);
+
+  // Replica-sharded steps: slice fan-out + fixed-order reduction.
+  double pretrain_step_replicated(const Batch& batch);
+  double train_discriminator_step_replicated(const Batch& batch,
+                                             GanRoundStats& stats);
+  double train_generator_step_replicated(const Batch& batch,
+                                         GanRoundStats& stats);
 
   ZipNet& generator_;
   Discriminator& discriminator_;
   GanTrainerConfig config_;
+  /// Stream base only — no draws; sample k uses rng_.stream(k).
   Rng rng_;
+  std::uint64_t sample_counter_ = 0;
+  int replicas_;
   nn::Adam opt_g_;
   nn::Adam opt_d_;
+
+  // Input pipeline: one staged batch in flight on a dedicated thread.
+  StageExecutor stager_;
+  Batch staged_;
+  std::future<void> staged_future_;
+  std::vector<nn::ReplicaArenaStats> last_arena_stats_;
 };
 
 }  // namespace mtsr::core

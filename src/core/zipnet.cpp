@@ -5,6 +5,7 @@
 #include "src/baselines/bicubic.hpp"
 #include "src/common/check.hpp"
 #include "src/common/workspace.hpp"
+#include "src/nn/replica.hpp"
 #include "src/tensor/tensor_ops.hpp"
 #include "src/nn/activations.hpp"
 #include "src/nn/batchnorm.hpp"
@@ -110,7 +111,8 @@ Tensor ZipNet::forward(const Tensor& input, bool training) {
   check(input.rank() == 4, "ZipNet expects (N, S, ci, ci) input");
   check(input.dim(1) == config_.temporal_length,
         "ZipNet input temporal length mismatch");
-  input_shape_ = input.shape();
+  Cache& cache = cache_slot();
+  cache.input_shape = input.shape();
   const std::int64_t n = input.dim(0), s = input.dim(1);
 
   // (N, S, ci, ci) -> (N, 1, S, ci, ci): one 3-D channel, depth = time.
@@ -122,8 +124,8 @@ Tensor ZipNet::forward(const Tensor& input, bool training) {
 
   // Collapse channels × depth into 2-D feature maps.
   const std::int64_t ch = u.dim(1), h = u.dim(3), w = u.dim(4);
-  collapsed_shape_ = Shape{n, ch * s, h, w};
-  Tensor x0 = entry_->forward(u.reshape(collapsed_shape_), training);
+  cache.collapsed_shape = Shape{n, ch * s, h, w};
+  Tensor x0 = entry_->forward(u.reshape(cache.collapsed_shape), training);
 
   // Zipper chain: x_i = B_i(x_{i-1}) [+ x_{i-2}]. The activations are only
   // needed while wiring the skips, so the chain is local to forward;
@@ -146,7 +148,7 @@ Tensor ZipNet::forward(const Tensor& input, bool training) {
     }
     chain.push_back(std::move(xi));
   }
-  forward_ran_ = true;
+  cache.forward_ran = true;
 
   Tensor z = chain.back();
   if (config_.skip_mode != SkipMode::kNone) {
@@ -206,8 +208,9 @@ void add_residual_base(Tensor& result, const Tensor& latest,
 }
 
 Tensor ZipNet::backward(const Tensor& grad_output) {
-  check(forward_ran_, "ZipNet::backward called before forward");
-  const std::int64_t n = input_shape_.dim(0);
+  Cache& cache = cache_slot();
+  check(cache.forward_ran, "ZipNet::backward called before forward");
+  const std::int64_t n = cache.input_shape.dim(0);
   check(grad_output.rank() == 3 && grad_output.dim(0) == n,
         "ZipNet::backward grad shape mismatch");
 
@@ -250,21 +253,23 @@ Tensor ZipNet::backward(const Tensor& grad_output) {
 
   // Un-collapse to (N, C, S, h, w) and run the 3-D stages in reverse.
   const std::int64_t s = config_.temporal_length;
-  const std::int64_t ch = collapsed_shape_.dim(1) / s;
-  Tensor g5 = gu.reshape(Shape{n, ch, s, collapsed_shape_.dim(2),
-                               collapsed_shape_.dim(3)});
+  const std::int64_t ch = cache.collapsed_shape.dim(1) / s;
+  Tensor g5 = gu.reshape(Shape{n, ch, s, cache.collapsed_shape.dim(2),
+                               cache.collapsed_shape.dim(3)});
   for (auto it = upscale_blocks_.rbegin(); it != upscale_blocks_.rend();
        ++it) {
     g5 = (*it)->backward(g5);
   }
-  Tensor grad_input = g5.reshape(input_shape_);
+  Tensor grad_input = g5.reshape(cache.input_shape);
 
   if (config_.residual_base != ZipNetConfig::ResidualBase::kNone) {
     // Route the residual path's gradient back to the latest coarse frame:
     // nearest upsampling pools the factor² fine cells it spread over;
     // bicubic uses its exact adjoint.
-    const std::int64_t n = input_shape_.dim(0), s = input_shape_.dim(1);
-    const std::int64_t frame = input_shape_.dim(2) * input_shape_.dim(3);
+    const std::int64_t n = cache.input_shape.dim(0),
+                       s = cache.input_shape.dim(1);
+    const std::int64_t frame =
+        cache.input_shape.dim(2) * cache.input_shape.dim(3);
     Tensor pooled =
         config_.residual_base == ZipNetConfig::ResidualBase::kNearest
             ? sum_pool2d(grad_output, total_upscale())
@@ -283,6 +288,30 @@ Tensor ZipNet::backward(const Tensor& grad_output) {
     }
   }
   return grad_input;
+}
+
+ZipNet::Cache& ZipNet::cache_slot() {
+  const auto i = static_cast<std::size_t>(nn::replica::cache_index());
+  check(i < cache_.size(),
+        "ZipNet: replica slot not prepared (call prepare_replica_slots)");
+  return cache_[i];
+}
+
+void ZipNet::prepare_replica_slots(int count) {
+  if (cache_.size() < static_cast<std::size_t>(count)) {
+    cache_.resize(static_cast<std::size_t>(count));
+  }
+  for (auto& block : upscale_blocks_) block->prepare_replica_slots(count);
+  entry_->prepare_replica_slots(count);
+  for (auto& module : zipper_modules_) module->prepare_replica_slots(count);
+  final_->prepare_replica_slots(count);
+}
+
+void ZipNet::reduce_replica_slots(int count) {
+  for (auto& block : upscale_blocks_) block->reduce_replica_slots(count);
+  entry_->reduce_replica_slots(count);
+  for (auto& module : zipper_modules_) module->reduce_replica_slots(count);
+  final_->reduce_replica_slots(count);
 }
 
 std::vector<nn::Parameter*> ZipNet::parameters() {

@@ -73,6 +73,8 @@ class ZipNet final : public nn::Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<nn::Parameter*> parameters() override;
   std::vector<std::pair<std::string, Tensor*>> buffers() override;
+  void prepare_replica_slots(int count) override;
+  void reduce_replica_slots(int count) override;
   [[nodiscard]] std::string name() const override;
 
   /// Total spatial upscaling factor (product of stage factors).
@@ -104,12 +106,17 @@ class ZipNet final : public nn::Layer {
   std::vector<std::unique_ptr<nn::Sequential>> zipper_modules_;
   std::unique_ptr<nn::Sequential> final_;
 
-  // Forward caches. The zipper activations themselves are local to
-  // forward — backward only routes gradients along the (linear) skips, so
-  // nothing batch-sized is pinned between passes.
-  Shape input_shape_;
-  Shape collapsed_shape_;  ///< (N, C·S, h, w) between 3-D and 2-D stages
-  bool forward_ran_ = false;
+  // Forward caches, one slot per replica slice (slot 0 in direct mode).
+  // The zipper activations themselves are local to forward — backward only
+  // routes gradients along the (linear) skips, so nothing batch-sized is
+  // pinned between passes.
+  struct Cache {
+    Shape input_shape;
+    Shape collapsed_shape;  ///< (N, C·S, h, w) between 3-D and 2-D stages
+    bool forward_ran = false;
+  };
+  std::vector<Cache> cache_ = std::vector<Cache>(1);
+  Cache& cache_slot();
 };
 
 /// Stage-factor decomposition for a total upscale factor, following the

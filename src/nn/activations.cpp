@@ -4,15 +4,33 @@
 #include <sstream>
 
 #include "src/common/check.hpp"
+#include "src/nn/replica.hpp"
 
 namespace mtsr::nn {
+namespace {
+
+// Per-slot cache access shared by the four activations: slot 0 in direct
+// mode, the slice's private slot inside a replicated step.
+Tensor& cache_slot(std::vector<Tensor>& slots, const char* what) {
+  const auto i = static_cast<std::size_t>(replica::cache_index());
+  check(i < slots.size(), what);
+  return slots[i];
+}
+
+void grow_slots(std::vector<Tensor>& slots, int count) {
+  if (slots.size() < static_cast<std::size_t>(count)) {
+    slots.resize(static_cast<std::size_t>(count));
+  }
+}
+
+}  // namespace
 
 LeakyReLU::LeakyReLU(float alpha) : alpha_(alpha) {
   check(alpha >= 0.f && alpha < 1.f, "LeakyReLU alpha must be in [0,1)");
 }
 
 Tensor LeakyReLU::forward(const Tensor& input, bool /*training*/) {
-  input_ = input;
+  cache_slot(input_, "LeakyReLU: replica slot not prepared") = input;
   Tensor out = input;
   float* p = out.data();
   const std::int64_t n = out.size();
@@ -23,17 +41,24 @@ Tensor LeakyReLU::forward(const Tensor& input, bool /*training*/) {
 }
 
 Tensor LeakyReLU::backward(const Tensor& grad_output) {
-  check(!input_.empty(), "LeakyReLU::backward called before forward");
-  check(grad_output.shape() == input_.shape(),
+  const Tensor& cached =
+      cache_slot(input_, "LeakyReLU: replica slot not prepared");
+  check(!cached.empty(), "LeakyReLU::backward called before forward");
+  check(grad_output.shape() == cached.shape(),
         "LeakyReLU::backward grad shape mismatch");
   Tensor grad = grad_output;
   float* g = grad.data();
-  const float* x = input_.data();
+  const float* x = cached.data();
   const std::int64_t n = grad.size();
   for (std::int64_t i = 0; i < n; ++i) {
     if (x[i] < 0.f) g[i] *= alpha_;
   }
   return grad;
+}
+
+void LeakyReLU::prepare_replica_slots(int count) {
+  Layer::prepare_replica_slots(count);
+  grow_slots(input_, count);
 }
 
 std::string LeakyReLU::name() const {
@@ -43,7 +68,7 @@ std::string LeakyReLU::name() const {
 }
 
 Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
-  input_ = input;
+  cache_slot(input_, "ReLU: replica slot not prepared") = input;
   Tensor out = input;
   for (float* p = out.data(); p != out.data() + out.size(); ++p) {
     if (*p < 0.f) *p = 0.f;
@@ -52,16 +77,22 @@ Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
 }
 
 Tensor ReLU::backward(const Tensor& grad_output) {
-  check(!input_.empty(), "ReLU::backward called before forward");
-  check(grad_output.shape() == input_.shape(),
+  const Tensor& cached = cache_slot(input_, "ReLU: replica slot not prepared");
+  check(!cached.empty(), "ReLU::backward called before forward");
+  check(grad_output.shape() == cached.shape(),
         "ReLU::backward grad shape mismatch");
   Tensor grad = grad_output;
   float* g = grad.data();
-  const float* x = input_.data();
+  const float* x = cached.data();
   for (std::int64_t i = 0; i < grad.size(); ++i) {
     if (x[i] <= 0.f) g[i] = 0.f;
   }
   return grad;
+}
+
+void ReLU::prepare_replica_slots(int count) {
+  Layer::prepare_replica_slots(count);
+  grow_slots(input_, count);
 }
 
 std::string ReLU::name() const { return "ReLU"; }
@@ -71,21 +102,28 @@ Tensor Sigmoid::forward(const Tensor& input, bool /*training*/) {
   for (float* p = out.data(); p != out.data() + out.size(); ++p) {
     *p = 1.f / (1.f + std::exp(-*p));
   }
-  output_ = out;
+  cache_slot(output_, "Sigmoid: replica slot not prepared") = out;
   return out;
 }
 
 Tensor Sigmoid::backward(const Tensor& grad_output) {
-  check(!output_.empty(), "Sigmoid::backward called before forward");
-  check(grad_output.shape() == output_.shape(),
+  const Tensor& cached =
+      cache_slot(output_, "Sigmoid: replica slot not prepared");
+  check(!cached.empty(), "Sigmoid::backward called before forward");
+  check(grad_output.shape() == cached.shape(),
         "Sigmoid::backward grad shape mismatch");
   Tensor grad = grad_output;
   float* g = grad.data();
-  const float* y = output_.data();
+  const float* y = cached.data();
   for (std::int64_t i = 0; i < grad.size(); ++i) {
     g[i] *= y[i] * (1.f - y[i]);
   }
   return grad;
+}
+
+void Sigmoid::prepare_replica_slots(int count) {
+  Layer::prepare_replica_slots(count);
+  grow_slots(output_, count);
 }
 
 std::string Sigmoid::name() const { return "Sigmoid"; }
@@ -95,21 +133,27 @@ Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
   for (float* p = out.data(); p != out.data() + out.size(); ++p) {
     *p = std::tanh(*p);
   }
-  output_ = out;
+  cache_slot(output_, "Tanh: replica slot not prepared") = out;
   return out;
 }
 
 Tensor Tanh::backward(const Tensor& grad_output) {
-  check(!output_.empty(), "Tanh::backward called before forward");
-  check(grad_output.shape() == output_.shape(),
+  const Tensor& cached = cache_slot(output_, "Tanh: replica slot not prepared");
+  check(!cached.empty(), "Tanh::backward called before forward");
+  check(grad_output.shape() == cached.shape(),
         "Tanh::backward grad shape mismatch");
   Tensor grad = grad_output;
   float* g = grad.data();
-  const float* y = output_.data();
+  const float* y = cached.data();
   for (std::int64_t i = 0; i < grad.size(); ++i) {
     g[i] *= 1.f - y[i] * y[i];
   }
   return grad;
+}
+
+void Tanh::prepare_replica_slots(int count) {
+  Layer::prepare_replica_slots(count);
+  grow_slots(output_, count);
 }
 
 std::string Tanh::name() const { return "Tanh"; }

@@ -3,6 +3,9 @@
 // The paper uses LeakyReLU (Eq. 3, alpha ~= 0.1) throughout both networks
 // and a sigmoid on the discriminator output to constrain it to (0, 1).
 // ReLU and Tanh are provided for the SRCNN baseline and experimentation.
+//
+// Forward caches are per-replica-slot (slot 0 in direct mode) so concurrent
+// data-parallel train slices never share cached activations.
 #pragma once
 
 #include "src/nn/layer.hpp"
@@ -16,11 +19,12 @@ class LeakyReLU final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void prepare_replica_slots(int count) override;
   [[nodiscard]] std::string name() const override;
 
  private:
   float alpha_;
-  Tensor input_;
+  std::vector<Tensor> input_ = std::vector<Tensor>(1);
 };
 
 /// Standard ReLU.
@@ -30,10 +34,11 @@ class ReLU final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void prepare_replica_slots(int count) override;
   [[nodiscard]] std::string name() const override;
 
  private:
-  Tensor input_;
+  std::vector<Tensor> input_ = std::vector<Tensor>(1);
 };
 
 /// Logistic sigmoid; saturates to (0, 1).
@@ -43,10 +48,11 @@ class Sigmoid final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void prepare_replica_slots(int count) override;
   [[nodiscard]] std::string name() const override;
 
  private:
-  Tensor output_;
+  std::vector<Tensor> output_ = std::vector<Tensor>(1);
 };
 
 /// Hyperbolic tangent.
@@ -56,10 +62,11 @@ class Tanh final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void prepare_replica_slots(int count) override;
   [[nodiscard]] std::string name() const override;
 
  private:
-  Tensor output_;
+  std::vector<Tensor> output_ = std::vector<Tensor>(1);
 };
 
 }  // namespace mtsr::nn

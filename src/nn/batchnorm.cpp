@@ -1,10 +1,12 @@
 #include "src/nn/batchnorm.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 #include "src/common/check.hpp"
 #include "src/common/parallel.hpp"
+#include "src/nn/replica.hpp"
 
 namespace mtsr::nn {
 namespace {
@@ -34,8 +36,7 @@ BatchNorm::BatchNorm(std::int64_t channels, float momentum, float epsilon)
       gamma_("gamma", Tensor::ones(Shape{channels})),
       beta_("beta", Tensor::zeros(Shape{channels})),
       running_mean_(Tensor::zeros(Shape{channels})),
-      running_var_(Tensor::ones(Shape{channels})),
-      inv_std_(Tensor::zeros(Shape{channels})) {
+      running_var_(Tensor::ones(Shape{channels})) {
   check(channels > 0, "BatchNorm requires positive channel count");
   check(momentum > 0.f && momentum <= 1.f, "BatchNorm momentum in (0,1]");
   check(epsilon > 0.f, "BatchNorm epsilon must be positive");
@@ -46,15 +47,29 @@ Tensor BatchNorm::forward(const Tensor& input, bool training) {
   const std::int64_t m = g.n * g.inner;  // reduction count per channel
   check(m > 0, "BatchNorm forward on empty batch");
 
-  input_shape_ = input.shape();
-  forward_was_training_ = training;
+  Cache& slot = cache_slot();
+  slot.input_shape = input.shape();
+  slot.training = training;
+  slot.inv_std.resize(static_cast<std::size_t>(channels_));
+  // In a replicated step training statistics are recorded as a pending
+  // update and merged (in fixed slot order) by reduce_replica_slots; in
+  // direct mode the running buffers are updated inline as before.
+  const bool deferred = training && replica::slot() >= 0;
+  Cache::Pending* pending = nullptr;
+  if (deferred) {
+    slot.pending.emplace_back();
+    pending = &slot.pending.back();
+    pending->mean.resize(static_cast<std::size_t>(channels_));
+    pending->var.resize(static_cast<std::size_t>(channels_));
+    pending->count = m;
+  }
   Tensor output(input.shape());
   // The normalised input lives in the arena until backward rewinds it.
-  x_hat_ = ws_matrix(Workspace::tls(), g.n * channels_, g.inner);
+  slot.x_hat = ws_matrix(Workspace::tls(), g.n * channels_, g.inner);
 
   const float* px = input.data();
   float* py = output.data();
-  float* pxh = x_hat_.data;
+  float* pxh = slot.x_hat.data;
 
   // Channels are fully independent (statistics, normalisation and running
   // buffers), so the parallel engine splits the channel axis.
@@ -72,16 +87,21 @@ Tensor BatchNorm::forward(const Tensor& input, bool training) {
       mean = sum / static_cast<double>(m);
       var = sq / static_cast<double>(m) - mean * mean;
       var = std::max(var, 0.0);
-      running_mean_.flat(c) = (1.f - momentum_) * running_mean_.flat(c) +
-                              momentum_ * static_cast<float>(mean);
-      running_var_.flat(c) = (1.f - momentum_) * running_var_.flat(c) +
-                             momentum_ * static_cast<float>(var);
+      if (deferred) {
+        pending->mean[static_cast<std::size_t>(c)] = mean;
+        pending->var[static_cast<std::size_t>(c)] = var;
+      } else {
+        running_mean_.flat(c) = (1.f - momentum_) * running_mean_.flat(c) +
+                                momentum_ * static_cast<float>(mean);
+        running_var_.flat(c) = (1.f - momentum_) * running_var_.flat(c) +
+                               momentum_ * static_cast<float>(var);
+      }
     } else {
       mean = running_mean_.flat(c);
       var = running_var_.flat(c);
     }
     const float inv = 1.f / std::sqrt(static_cast<float>(var) + epsilon_);
-    inv_std_.flat(c) = inv;
+    slot.inv_std[static_cast<std::size_t>(c)] = inv;
     const float gam = gamma_.value.flat(c);
     const float bet = beta_.value.flat(c);
     for (std::int64_t in = 0; in < g.n; ++in) {
@@ -99,18 +119,21 @@ Tensor BatchNorm::forward(const Tensor& input, bool training) {
 }
 
 Tensor BatchNorm::backward(const Tensor& grad_output) {
-  check(!x_hat_.empty() && Workspace::tls().alive(x_hat_.end),
+  Cache& slot = cache_slot();
+  check(!slot.x_hat.empty() && Workspace::tls().alive(slot.x_hat.end),
         "BatchNorm::backward called before forward (or forward's workspace "
         "scope was rewound)");
-  check(grad_output.shape() == input_shape_,
+  check(grad_output.shape() == slot.input_shape,
         "BatchNorm::backward grad shape mismatch");
-  const Geometry g = geometry(input_shape_, channels_);
+  const Geometry g = geometry(slot.input_shape, channels_);
   const double m = static_cast<double>(g.n * g.inner);
 
-  Tensor grad_input(input_shape_);
+  Tensor grad_input(slot.input_shape);
   const float* pdy = grad_output.data();
-  const float* pxh = x_hat_.data;
+  const float* pxh = slot.x_hat.data;
   float* pdx = grad_input.data();
+  Tensor& dbeta = beta_.active_grad();
+  Tensor& dgamma = gamma_.active_grad();
 
   parallel_for(channels_, [&](std::int64_t c) {
     // Channel-wise sums of dy and dy*x_hat.
@@ -123,18 +146,18 @@ Tensor BatchNorm::backward(const Tensor& grad_output) {
         sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
       }
     }
-    beta_.grad.flat(c) += static_cast<float>(sum_dy);
-    gamma_.grad.flat(c) += static_cast<float>(sum_dy_xhat);
+    dbeta.flat(c) += static_cast<float>(sum_dy);
+    dgamma.flat(c) += static_cast<float>(sum_dy_xhat);
 
     const float gam = gamma_.value.flat(c);
-    const float inv = inv_std_.flat(c);
+    const float inv = slot.inv_std[static_cast<std::size_t>(c)];
     // In training mode the batch statistics depend on the input, which adds
     // the mean-subtraction terms; in inference mode the running statistics
     // are constants and the layer is a fixed affine map.
     const float mean_dy =
-        forward_was_training_ ? static_cast<float>(sum_dy / m) : 0.f;
+        slot.training ? static_cast<float>(sum_dy / m) : 0.f;
     const float mean_dy_xhat =
-        forward_was_training_ ? static_cast<float>(sum_dy_xhat / m) : 0.f;
+        slot.training ? static_cast<float>(sum_dy_xhat / m) : 0.f;
     for (std::int64_t in = 0; in < g.n; ++in) {
       const float* dy = pdy + (in * channels_ + c) * g.inner;
       const float* xh = pxh + (in * channels_ + c) * g.inner;
@@ -145,12 +168,84 @@ Tensor BatchNorm::backward(const Tensor& grad_output) {
     }
   });
 
-  Workspace::tls().rewind(x_hat_.mark);  // x̂ dead — LIFO release
-  x_hat_ = WsMatrix{};
+  Workspace::tls().rewind(slot.x_hat.mark);  // x̂ dead — LIFO release
+  slot.x_hat = WsMatrix{};
   return grad_input;
 }
 
 std::vector<Parameter*> BatchNorm::parameters() { return {&gamma_, &beta_}; }
+
+BatchNorm::Cache& BatchNorm::cache_slot() {
+  const auto i = static_cast<std::size_t>(replica::cache_index());
+  check(i < cache_.size(),
+        "BatchNorm: replica slot not prepared (call prepare_replica_slots)");
+  return cache_[i];
+}
+
+void BatchNorm::prepare_replica_slots(int count) {
+  Layer::prepare_replica_slots(count);
+  if (cache_.size() < static_cast<std::size_t>(count)) {
+    cache_.resize(static_cast<std::size_t>(count));
+  }
+}
+
+void BatchNorm::reduce_replica_slots(int count) {
+  Layer::reduce_replica_slots(count);
+  // Merge deferred running-statistics updates. Every slot that ran k
+  // training forwards holds k pending entries in forward order; update k is
+  // merged across slots in ascending slot order and applied as ONE momentum
+  // update — the data-parallel analogue of the whole-batch update the
+  // direct path performs inline.
+  std::size_t updates = 0;
+  for (int sl = 0; sl < count; ++sl) {
+    updates =
+        std::max(updates, cache_[static_cast<std::size_t>(sl)].pending.size());
+  }
+  for (std::size_t k = 0; k < updates; ++k) {
+    // Collect the slots that recorded update k (ascending order).
+    std::vector<const Cache::Pending*> parts;
+    for (int sl = 0; sl < count; ++sl) {
+      const Cache& c = cache_[static_cast<std::size_t>(sl)];
+      if (k < c.pending.size()) parts.push_back(&c.pending[k]);
+    }
+    if (parts.empty()) continue;
+    if (parts.size() == 1) {
+      // Single slice: identical to the whole-batch update, bit for bit.
+      const Cache::Pending& p = *parts[0];
+      parallel_for(channels_, [&](std::int64_t c) {
+        const auto ci = static_cast<std::size_t>(c);
+        running_mean_.flat(c) = (1.f - momentum_) * running_mean_.flat(c) +
+                                momentum_ * static_cast<float>(p.mean[ci]);
+        running_var_.flat(c) = (1.f - momentum_) * running_var_.flat(c) +
+                               momentum_ * static_cast<float>(p.var[ci]);
+      });
+      continue;
+    }
+    double total = 0.0;
+    for (const Cache::Pending* p : parts) {
+      total += static_cast<double>(p->count);
+    }
+    parallel_for(channels_, [&](std::int64_t c) {
+      const auto ci = static_cast<std::size_t>(c);
+      // Weighted mean + law of total variance over the slices, folded in
+      // ascending slot order.
+      double mean = 0.0, second = 0.0;
+      for (const Cache::Pending* p : parts) {
+        const double w = static_cast<double>(p->count) / total;
+        mean += w * p->mean[ci];
+        second += w * (p->var[ci] + p->mean[ci] * p->mean[ci]);
+      }
+      const double var = std::max(second - mean * mean, 0.0);
+      running_mean_.flat(c) = (1.f - momentum_) * running_mean_.flat(c) +
+                              momentum_ * static_cast<float>(mean);
+      running_var_.flat(c) = (1.f - momentum_) * running_var_.flat(c) +
+                             momentum_ * static_cast<float>(var);
+    });
+  }
+  for (int sl = 0; sl < count; ++sl) {
+    cache_[static_cast<std::size_t>(sl)].pending.clear();
+  }
+}
 
 std::vector<std::pair<std::string, Tensor*>> BatchNorm::buffers() {
   return {{"running_mean", &running_mean_}, {"running_var", &running_var_}};

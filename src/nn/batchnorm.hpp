@@ -25,6 +25,8 @@ class BatchNorm final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
   std::vector<std::pair<std::string, Tensor*>> buffers() override;
+  void prepare_replica_slots(int count) override;
+  void reduce_replica_slots(int count) override;
   [[nodiscard]] std::string name() const override;
 
   /// Running mean/variance (used at inference); exposed for tests.
@@ -48,11 +50,28 @@ class BatchNorm final : public Layer {
   Tensor running_mean_;
   Tensor running_var_;
 
-  // Forward caches.
-  WsMatrix x_hat_;      // arena-resident normalised input, freed by backward
-  Tensor inv_std_;      // per-channel 1/sqrt(var+eps) (allocated once)
-  Shape input_shape_;
-  bool forward_was_training_ = true;
+  // Forward caches, one slot per replica slice (slot 0 in direct mode).
+  //
+  // In slot (replicated) mode a training forward normalises with the
+  // SLICE's batch statistics (standard data-parallel batch-norm semantics)
+  // and records them as a pending update instead of touching the running
+  // buffers; reduce_replica_slots merges pending updates across slots in
+  // ascending slot order (weighted mean + law of total variance) and
+  // applies one momentum update per recorded forward. Direct mode keeps
+  // the original inline running-statistics update, bit-for-bit.
+  struct Cache {
+    WsMatrix x_hat;  // arena-resident normalised input, freed by backward
+    std::vector<float> inv_std;  // per-channel 1/sqrt(var+eps)
+    Shape input_shape;
+    bool training = true;
+    struct Pending {
+      std::vector<double> mean, var;  // per-channel slice statistics
+      std::int64_t count = 0;         // reduction count (n * inner)
+    };
+    std::vector<Pending> pending;  // one per deferred training forward
+  };
+  std::vector<Cache> cache_{1};
+  Cache& cache_slot();
 };
 
 }  // namespace mtsr::nn

@@ -4,6 +4,7 @@
 
 #include "src/common/check.hpp"
 #include "src/nn/init.hpp"
+#include "src/nn/replica.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::nn {
@@ -35,20 +36,21 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
   const std::int64_t oh = out_extent(h), ow = out_extent(w);
   check(oh > 0 && ow > 0, "Conv2d output would be empty");
 
-  input_shape_ = input.shape();
+  Cache& c = cache_slot();
+  c.input_shape = input.shape();
   // Whole-batch lowering into the arena: one (C·k·k, N·oh·ow) matrix, one
   // GEMM per step. The matrix is retained until backward rewinds it.
   Workspace& ws = Workspace::tls();
-  cols_ = ws_matrix(ws, in_channels_ * kernel_ * kernel_, n * oh * ow);
+  c.cols = ws_matrix(ws, in_channels_ * kernel_ * kernel_, n * oh * ow);
   im2col_batched_into(input.data(), n, in_channels_, h, w, kernel_, kernel_,
-                      stride_, stride_, padding_, padding_, cols_.data);
+                      stride_, stride_, padding_, padding_, c.cols.data);
 
   Tensor output(Shape{n, out_channels_, oh, ow});
   {
     Workspace::Scope scratch(ws);
-    float* y = ws.alloc(out_channels_ * cols_.cols);  // (O, N*oh*ow)
-    matmul_into(weight_.value.data(), cols_.data, y, out_channels_,
-                cols_.rows, cols_.cols);
+    float* y = ws.alloc(out_channels_ * c.cols.cols);  // (O, N*oh*ow)
+    matmul_into(weight_.value.data(), c.cols.data, y, out_channels_,
+                c.cols.rows, c.cols.cols);
     channel_major_to_batch_into(y, n, out_channels_, oh * ow, output.data());
   }
   if (has_bias_) add_channel_bias(output, bias_.value);
@@ -57,48 +59,65 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
   Workspace& ws = Workspace::tls();
-  check(!cols_.empty() && ws.alive(cols_.end),
+  Cache& c = cache_slot();
+  check(!c.cols.empty() && ws.alive(c.cols.end),
         "Conv2d::backward called before forward (or forward's workspace "
         "scope was rewound)");
   check(grad_output.rank() == 4 && grad_output.dim(1) == out_channels_,
         "Conv2d::backward grad shape mismatch");
-  const std::int64_t n = input_shape_.dim(0);
-  const std::int64_t h = input_shape_.dim(2), w = input_shape_.dim(3);
+  const std::int64_t n = c.input_shape.dim(0);
+  const std::int64_t h = c.input_shape.dim(2), w = c.input_shape.dim(3);
   const std::int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
-  check(grad_output.dim(0) == n && n * oh * ow == cols_.cols,
+  check(grad_output.dim(0) == n && n * oh * ow == c.cols.cols,
         "Conv2d::backward grad geometry does not match forward");
-  Tensor grad_input(input_shape_);
+  Tensor grad_input(c.input_shape);
   {
     Workspace::Scope scratch(ws);
     // Channel-major view of the output gradient: (O, N*oh*ow).
-    float* dy = ws.alloc(out_channels_ * cols_.cols);
+    float* dy = ws.alloc(out_channels_ * c.cols.cols);
     batch_to_channel_major_into(grad_output.data(), n, out_channels_,
                                 oh * ow, dy);
 
-    // Parameter gradients: dW accumulates straight into the grad buffer
-    // (one GEMM), db is the per-channel sum reduction.
-    matmul_nt_into(dy, cols_.data, weight_.grad.data(), out_channels_,
-                   cols_.cols, cols_.rows, /*accumulate=*/true);
-    if (has_bias_) accumulate_channel_sums(grad_output, bias_.grad);
+    // Parameter gradients: dW accumulates straight into the active grad
+    // buffer (one GEMM) — this slice's private slot inside a replicated
+    // step — db is the per-channel sum reduction.
+    matmul_nt_into(dy, c.cols.data, weight_.active_grad().data(),
+                   out_channels_, c.cols.cols, c.cols.rows,
+                   /*accumulate=*/true);
+    if (has_bias_) accumulate_channel_sums(grad_output, bias_.active_grad());
 
     // Input gradient: one GEMM, then the batched col2im scatter.
-    float* dcols = ws.alloc(cols_.rows * cols_.cols);  // (C*k*k, N*oh*ow)
-    matmul_tn_into(weight_.value.data(), dy, dcols, out_channels_, cols_.rows,
-                   cols_.cols);
+    float* dcols = ws.alloc(c.cols.rows * c.cols.cols);  // (C*k*k, N*oh*ow)
+    matmul_tn_into(weight_.value.data(), dy, dcols, out_channels_,
+                   c.cols.rows, c.cols.cols);
     col2im_batched_into(dcols, n, in_channels_, h, w, kernel_, kernel_,
                         stride_, stride_, padding_, padding_,
                         grad_input.data());
   }
   // The lowering matrix is dead: rewind its arena slice (LIFO — everything
   // allocated after it in this layer's forward is already gone).
-  ws.rewind(cols_.mark);
-  cols_ = WsMatrix{};
+  ws.rewind(c.cols.mark);
+  c.cols = WsMatrix{};
   return grad_input;
 }
 
 std::vector<Parameter*> Conv2d::parameters() {
   if (has_bias_) return {&weight_, &bias_};
   return {&weight_};
+}
+
+Conv2d::Cache& Conv2d::cache_slot() {
+  const auto i = static_cast<std::size_t>(replica::cache_index());
+  check(i < cache_.size(),
+        "Conv2d: replica slot not prepared (call prepare_replica_slots)");
+  return cache_[i];
+}
+
+void Conv2d::prepare_replica_slots(int count) {
+  Layer::prepare_replica_slots(count);
+  if (cache_.size() < static_cast<std::size_t>(count)) {
+    cache_.resize(static_cast<std::size_t>(count));
+  }
 }
 
 std::string Conv2d::name() const {

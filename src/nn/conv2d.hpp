@@ -29,6 +29,7 @@ class Conv2d final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
+  void prepare_replica_slots(int count) override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] std::int64_t in_channels() const { return in_channels_; }
@@ -55,9 +56,14 @@ class Conv2d final : public Layer {
   Parameter weight_;
   Parameter bias_;
 
-  // Forward caches.
-  Shape input_shape_;
-  WsMatrix cols_;  // arena-resident im2col matrix (C·k·k, N·oh·ow)
+  // Forward caches, one slot per replica slice (slot 0 in direct mode):
+  // each concurrent slice retains its own arena-resident lowering matrix.
+  struct Cache {
+    Shape input_shape;
+    WsMatrix cols;  // arena-resident im2col matrix (C·k·k, N·oh·ow)
+  };
+  std::vector<Cache> cache_{1};
+  Cache& cache_slot();
 };
 
 }  // namespace mtsr::nn

@@ -4,6 +4,7 @@
 
 #include "src/common/check.hpp"
 #include "src/nn/init.hpp"
+#include "src/nn/replica.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::nn {
@@ -46,24 +47,25 @@ Tensor Conv3d::forward(const Tensor& input, bool /*training*/) {
                      ow = out_extent(2, w);
   check(od > 0 && oh > 0 && ow > 0, "Conv3d output would be empty");
 
-  input_shape_ = input.shape();
+  Cache& c = cache_slot();
+  c.input_shape = input.shape();
   // Whole-batch lowering into the arena: one (C·kd·kh·kw, N·od·oh·ow)
   // matrix, one GEMM. Retained until backward rewinds it.
   Workspace& ws = Workspace::tls();
   const std::int64_t taps =
       in_channels_ * kernel_[0] * kernel_[1] * kernel_[2];
-  cols_ = ws_matrix(ws, taps, n * od * oh * ow);
+  c.cols = ws_matrix(ws, taps, n * od * oh * ow);
   vol2col_batched_into(input.data(), n, in_channels_, d, h, w, kernel_[0],
                        kernel_[1], kernel_[2], stride_[0], stride_[1],
                        stride_[2], padding_[0], padding_[1], padding_[2],
-                       cols_.data);
+                       c.cols.data);
 
   Tensor output(Shape{n, out_channels_, od, oh, ow});
   {
     Workspace::Scope scratch(ws);
-    float* y = ws.alloc(out_channels_ * cols_.cols);  // (O, N*od*oh*ow)
-    matmul_into(weight_.value.data(), cols_.data, y, out_channels_, taps,
-                cols_.cols);
+    float* y = ws.alloc(out_channels_ * c.cols.cols);  // (O, N*od*oh*ow)
+    matmul_into(weight_.value.data(), c.cols.data, y, out_channels_, taps,
+                c.cols.cols);
     channel_major_to_batch_into(y, n, out_channels_, od * oh * ow,
                                 output.data());
   }
@@ -73,44 +75,60 @@ Tensor Conv3d::forward(const Tensor& input, bool /*training*/) {
 
 Tensor Conv3d::backward(const Tensor& grad_output) {
   Workspace& ws = Workspace::tls();
-  check(!cols_.empty() && ws.alive(cols_.end),
+  Cache& c = cache_slot();
+  check(!c.cols.empty() && ws.alive(c.cols.end),
         "Conv3d::backward called before forward (or forward's workspace "
         "scope was rewound)");
   check(grad_output.rank() == 5 && grad_output.dim(1) == out_channels_,
         "Conv3d::backward grad shape mismatch");
-  const std::int64_t n = input_shape_.dim(0), d = input_shape_.dim(2),
-                     h = input_shape_.dim(3), w = input_shape_.dim(4);
+  const std::int64_t n = c.input_shape.dim(0), d = c.input_shape.dim(2),
+                     h = c.input_shape.dim(3), w = c.input_shape.dim(4);
   const std::int64_t inner =
       grad_output.dim(2) * grad_output.dim(3) * grad_output.dim(4);
-  check(grad_output.dim(0) == n && n * inner == cols_.cols,
+  check(grad_output.dim(0) == n && n * inner == c.cols.cols,
         "Conv3d::backward grad geometry does not match forward");
-  Tensor grad_input(input_shape_);
+  Tensor grad_input(c.input_shape);
   {
     Workspace::Scope scratch(ws);
-    float* dy = ws.alloc(out_channels_ * cols_.cols);  // (O, N*od*oh*ow)
+    float* dy = ws.alloc(out_channels_ * c.cols.cols);  // (O, N*od*oh*ow)
     batch_to_channel_major_into(grad_output.data(), n, out_channels_, inner,
                                 dy);
 
-    matmul_nt_into(dy, cols_.data, weight_.grad.data(), out_channels_,
-                   cols_.cols, cols_.rows, /*accumulate=*/true);
-    if (has_bias_) accumulate_channel_sums(grad_output, bias_.grad);
+    matmul_nt_into(dy, c.cols.data, weight_.active_grad().data(),
+                   out_channels_, c.cols.cols, c.cols.rows,
+                   /*accumulate=*/true);
+    if (has_bias_) accumulate_channel_sums(grad_output, bias_.active_grad());
 
-    float* dcols = ws.alloc(cols_.rows * cols_.cols);
-    matmul_tn_into(weight_.value.data(), dy, dcols, out_channels_, cols_.rows,
-                   cols_.cols);
+    float* dcols = ws.alloc(c.cols.rows * c.cols.cols);
+    matmul_tn_into(weight_.value.data(), dy, dcols, out_channels_,
+                   c.cols.rows, c.cols.cols);
     col2vol_batched_into(dcols, n, in_channels_, d, h, w, kernel_[0],
                          kernel_[1], kernel_[2], stride_[0], stride_[1],
                          stride_[2], padding_[0], padding_[1], padding_[2],
                          grad_input.data());
   }
-  ws.rewind(cols_.mark);  // lowering matrix dead after dW/dX — LIFO release
-  cols_ = WsMatrix{};
+  ws.rewind(c.cols.mark);  // lowering matrix dead after dW/dX — LIFO release
+  c.cols = WsMatrix{};
   return grad_input;
 }
 
 std::vector<Parameter*> Conv3d::parameters() {
   if (has_bias_) return {&weight_, &bias_};
   return {&weight_};
+}
+
+Conv3d::Cache& Conv3d::cache_slot() {
+  const auto i = static_cast<std::size_t>(replica::cache_index());
+  check(i < cache_.size(),
+        "Conv3d: replica slot not prepared (call prepare_replica_slots)");
+  return cache_[i];
+}
+
+void Conv3d::prepare_replica_slots(int count) {
+  Layer::prepare_replica_slots(count);
+  if (cache_.size() < static_cast<std::size_t>(count)) {
+    cache_.resize(static_cast<std::size_t>(count));
+  }
 }
 
 std::string Conv3d::name() const {

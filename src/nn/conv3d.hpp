@@ -29,6 +29,7 @@ class Conv3d final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
+  void prepare_replica_slots(int count) override;
   [[nodiscard]] std::string name() const override;
 
   /// Output extent along axis i (0=d, 1=h, 2=w) for a given input extent.
@@ -55,9 +56,13 @@ class Conv3d final : public Layer {
   Parameter weight_;
   Parameter bias_;
 
-  // Forward caches.
-  Shape input_shape_;
-  WsMatrix cols_;  // arena-resident vol2col matrix (C·kd·kh·kw, N·od·oh·ow)
+  // Forward caches, one slot per replica slice (slot 0 in direct mode).
+  struct Cache {
+    Shape input_shape;
+    WsMatrix cols;  // arena-resident vol2col matrix (C·kd·kh·kw, N·od·oh·ow)
+  };
+  std::vector<Cache> cache_{1};
+  Cache& cache_slot();
 };
 
 }  // namespace mtsr::nn

@@ -4,6 +4,7 @@
 
 #include "src/common/check.hpp"
 #include "src/nn/init.hpp"
+#include "src/nn/replica.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::nn {
@@ -40,22 +41,23 @@ Tensor ConvTranspose2d::forward(const Tensor& input, bool /*training*/) {
   const std::int64_t oh = out_extent(h), ow = out_extent(w);
   check(oh > 0 && ow > 0, "ConvTranspose2d output would be empty");
 
-  input_shape_ = input.shape();
+  Cache& c = cache_slot();
+  c.input_shape = input.shape();
   // The matching forward convolution maps (O, oh, ow) -> (C, h, w); our
   // forward pass is that convolution's data gradient. The channel-major
   // input view is retained in the arena for dW; backward rewinds it.
   Workspace& ws = Workspace::tls();
   const std::int64_t taps = out_channels_ * kernel_ * kernel_;
-  x_cm_ = ws_matrix(ws, in_channels_, n * h * w);
+  c.x_cm = ws_matrix(ws, in_channels_, n * h * w);
   batch_to_channel_major_into(input.data(), n, in_channels_, h * w,
-                              x_cm_.data);
+                              c.x_cm.data);
 
   Tensor output(Shape{n, out_channels_, oh, ow});
   {
     Workspace::Scope scratch(ws);
-    float* cols = ws.alloc(taps * x_cm_.cols);  // (O*k*k, N*h*w)
-    matmul_tn_into(weight_.value.data(), x_cm_.data, cols, in_channels_, taps,
-                   x_cm_.cols);
+    float* cols = ws.alloc(taps * c.x_cm.cols);  // (O*k*k, N*h*w)
+    matmul_tn_into(weight_.value.data(), c.x_cm.data, cols, in_channels_,
+                   taps, c.x_cm.cols);
     col2im_batched_into(cols, n, out_channels_, oh, ow, kernel_, kernel_,
                         stride_, stride_, padding_, padding_, output.data());
   }
@@ -65,47 +67,63 @@ Tensor ConvTranspose2d::forward(const Tensor& input, bool /*training*/) {
 
 Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
   Workspace& ws = Workspace::tls();
-  check(!x_cm_.empty() && ws.alive(x_cm_.end),
+  Cache& c = cache_slot();
+  check(!c.x_cm.empty() && ws.alive(c.x_cm.end),
         "ConvTranspose2d::backward called before forward (or forward's "
         "workspace scope was rewound)");
   check(grad_output.rank() == 4 && grad_output.dim(1) == out_channels_,
         "ConvTranspose2d::backward grad shape mismatch");
-  const std::int64_t n = input_shape_.dim(0);
+  const std::int64_t n = c.input_shape.dim(0);
   const std::int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
   const std::int64_t taps = out_channels_ * kernel_ * kernel_;
-  check(grad_output.dim(0) == n && oh == out_extent(input_shape_.dim(2)) &&
-            ow == out_extent(input_shape_.dim(3)),
+  check(grad_output.dim(0) == n && oh == out_extent(c.input_shape.dim(2)) &&
+            ow == out_extent(c.input_shape.dim(3)),
         "ConvTranspose2d::backward grad geometry does not match forward");
 
   // Bias gradient: per-channel sums over every sample and position.
-  if (has_bias_) accumulate_channel_sums(grad_output, bias_.grad);
-  Tensor grad_input(input_shape_);
+  if (has_bias_) accumulate_channel_sums(grad_output, bias_.active_grad());
+  Tensor grad_input(c.input_shape);
   {
     Workspace::Scope scratch(ws);
     // Forward-convolve dy with W: one batched im2col, one GEMM.
-    float* cols = ws.alloc(taps * x_cm_.cols);  // (O*k*k, N*h*w)
+    float* cols = ws.alloc(taps * c.x_cm.cols);  // (O*k*k, N*h*w)
     im2col_batched_into(grad_output.data(), n, out_channels_, oh, ow, kernel_,
                         kernel_, stride_, stride_, padding_, padding_, cols);
-    float* dx_cm = ws.alloc(in_channels_ * x_cm_.cols);  // (C, N*h*w)
+    float* dx_cm = ws.alloc(in_channels_ * c.x_cm.cols);  // (C, N*h*w)
     matmul_into(weight_.value.data(), cols, dx_cm, in_channels_, taps,
-                x_cm_.cols);
+                c.x_cm.cols);
     channel_major_to_batch_into(dx_cm, n, in_channels_,
-                                input_shape_.dim(2) * input_shape_.dim(3),
+                                c.input_shape.dim(2) * c.input_shape.dim(3),
                                 grad_input.data());
 
     // dW += x ⊗ im2col(dy): (C, N*h*w) * (N*h*w, O*k*k) as one GEMM,
     // accumulated straight into the grad buffer.
-    matmul_nt_into(x_cm_.data, cols, weight_.grad.data(), in_channels_,
-                   x_cm_.cols, taps, /*accumulate=*/true);
+    matmul_nt_into(c.x_cm.data, cols, weight_.active_grad().data(),
+                   in_channels_, c.x_cm.cols, taps, /*accumulate=*/true);
   }
-  ws.rewind(x_cm_.mark);  // channel-major view dead after dW — LIFO release
-  x_cm_ = WsMatrix{};
+  ws.rewind(c.x_cm.mark);  // channel-major view dead after dW — LIFO release
+  c.x_cm = WsMatrix{};
   return grad_input;
 }
 
 std::vector<Parameter*> ConvTranspose2d::parameters() {
   if (has_bias_) return {&weight_, &bias_};
   return {&weight_};
+}
+
+ConvTranspose2d::Cache& ConvTranspose2d::cache_slot() {
+  const auto i = static_cast<std::size_t>(replica::cache_index());
+  check(i < cache_.size(),
+        "ConvTranspose2d: replica slot not prepared (call "
+        "prepare_replica_slots)");
+  return cache_[i];
+}
+
+void ConvTranspose2d::prepare_replica_slots(int count) {
+  Layer::prepare_replica_slots(count);
+  if (cache_.size() < static_cast<std::size_t>(count)) {
+    cache_.resize(static_cast<std::size_t>(count));
+  }
 }
 
 std::string ConvTranspose2d::name() const {

@@ -24,6 +24,7 @@ class ConvTranspose2d final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
+  void prepare_replica_slots(int count) override;
   [[nodiscard]] std::string name() const override;
 
   /// Output spatial extent for a given input extent.
@@ -50,9 +51,13 @@ class ConvTranspose2d final : public Layer {
   Parameter weight_;
   Parameter bias_;
 
-  // Forward caches.
-  Shape input_shape_;
-  WsMatrix x_cm_;  // arena-resident channel-major input (C, N·h·w) for dW
+  // Forward caches, one slot per replica slice (slot 0 in direct mode).
+  struct Cache {
+    Shape input_shape;
+    WsMatrix x_cm;  // arena-resident channel-major input (C, N·h·w) for dW
+  };
+  std::vector<Cache> cache_{1};
+  Cache& cache_slot();
 };
 
 }  // namespace mtsr::nn

@@ -4,6 +4,7 @@
 
 #include "src/common/check.hpp"
 #include "src/nn/init.hpp"
+#include "src/nn/replica.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::nn {
@@ -48,7 +49,8 @@ Tensor ConvTranspose3d::forward(const Tensor& input, bool /*training*/) {
                      ow = out_extent(2, w);
   check(od > 0 && oh > 0 && ow > 0, "ConvTranspose3d output would be empty");
 
-  input_shape_ = input.shape();
+  Cache& c = cache_slot();
+  c.input_shape = input.shape();
   // The matching forward convolution maps (O, od, oh, ow) -> (C, d, h, w);
   // our forward pass is its data gradient: Wᵀ X lowered, then the batched
   // col2vol scatter. The channel-major input view stays in the arena for
@@ -56,16 +58,16 @@ Tensor ConvTranspose3d::forward(const Tensor& input, bool /*training*/) {
   Workspace& ws = Workspace::tls();
   const std::int64_t taps =
       out_channels_ * kernel_[0] * kernel_[1] * kernel_[2];
-  x_cm_ = ws_matrix(ws, in_channels_, n * d * h * w);
+  c.x_cm = ws_matrix(ws, in_channels_, n * d * h * w);
   batch_to_channel_major_into(input.data(), n, in_channels_, d * h * w,
-                              x_cm_.data);
+                              c.x_cm.data);
 
   Tensor output(Shape{n, out_channels_, od, oh, ow});
   {
     Workspace::Scope scratch(ws);
-    float* cols = ws.alloc(taps * x_cm_.cols);  // (O*kd*kh*kw, N*d*h*w)
-    matmul_tn_into(weight_.value.data(), x_cm_.data, cols, in_channels_, taps,
-                   x_cm_.cols);
+    float* cols = ws.alloc(taps * c.x_cm.cols);  // (O*kd*kh*kw, N*d*h*w)
+    matmul_tn_into(weight_.value.data(), c.x_cm.data, cols, in_channels_,
+                   taps, c.x_cm.cols);
     col2vol_batched_into(cols, n, out_channels_, od, oh, ow, kernel_[0],
                          kernel_[1], kernel_[2], stride_[0], stride_[1],
                          stride_[2], padding_[0], padding_[1], padding_[2],
@@ -77,51 +79,67 @@ Tensor ConvTranspose3d::forward(const Tensor& input, bool /*training*/) {
 
 Tensor ConvTranspose3d::backward(const Tensor& grad_output) {
   Workspace& ws = Workspace::tls();
-  check(!x_cm_.empty() && ws.alive(x_cm_.end),
+  Cache& c = cache_slot();
+  check(!c.x_cm.empty() && ws.alive(c.x_cm.end),
         "ConvTranspose3d::backward called before forward (or forward's "
         "workspace scope was rewound)");
   check(grad_output.rank() == 5 && grad_output.dim(1) == out_channels_,
         "ConvTranspose3d::backward grad shape mismatch");
-  const std::int64_t n = input_shape_.dim(0);
+  const std::int64_t n = c.input_shape.dim(0);
   const std::int64_t taps =
       out_channels_ * kernel_[0] * kernel_[1] * kernel_[2];
   check(grad_output.dim(0) == n &&
-            grad_output.dim(2) == out_extent(0, input_shape_.dim(2)) &&
-            grad_output.dim(3) == out_extent(1, input_shape_.dim(3)) &&
-            grad_output.dim(4) == out_extent(2, input_shape_.dim(4)),
+            grad_output.dim(2) == out_extent(0, c.input_shape.dim(2)) &&
+            grad_output.dim(3) == out_extent(1, c.input_shape.dim(3)) &&
+            grad_output.dim(4) == out_extent(2, c.input_shape.dim(4)),
         "ConvTranspose3d::backward grad geometry does not match forward");
 
-  if (has_bias_) accumulate_channel_sums(grad_output, bias_.grad);
-  Tensor grad_input(input_shape_);
+  if (has_bias_) accumulate_channel_sums(grad_output, bias_.active_grad());
+  Tensor grad_input(c.input_shape);
   {
     Workspace::Scope scratch(ws);
     // dX = forward-convolve dy with W: one batched vol2col, one GEMM.
-    float* cols = ws.alloc(taps * x_cm_.cols);  // (O*kd*kh*kw, N*d*h*w)
+    float* cols = ws.alloc(taps * c.x_cm.cols);  // (O*kd*kh*kw, N*d*h*w)
     vol2col_batched_into(grad_output.data(), n, out_channels_,
                          grad_output.dim(2), grad_output.dim(3),
                          grad_output.dim(4), kernel_[0], kernel_[1],
                          kernel_[2], stride_[0], stride_[1], stride_[2],
                          padding_[0], padding_[1], padding_[2], cols);
-    float* dx_cm = ws.alloc(in_channels_ * x_cm_.cols);  // (C, N*d*h*w)
+    float* dx_cm = ws.alloc(in_channels_ * c.x_cm.cols);  // (C, N*d*h*w)
     matmul_into(weight_.value.data(), cols, dx_cm, in_channels_, taps,
-                x_cm_.cols);
+                c.x_cm.cols);
     channel_major_to_batch_into(
         dx_cm, n, in_channels_,
-        input_shape_.dim(2) * input_shape_.dim(3) * input_shape_.dim(4),
+        c.input_shape.dim(2) * c.input_shape.dim(3) * c.input_shape.dim(4),
         grad_input.data());
 
     // dW += x ⊗ vol2col(dy) as one GEMM, accumulated in place.
-    matmul_nt_into(x_cm_.data, cols, weight_.grad.data(), in_channels_,
-                   x_cm_.cols, taps, /*accumulate=*/true);
+    matmul_nt_into(c.x_cm.data, cols, weight_.active_grad().data(),
+                   in_channels_, c.x_cm.cols, taps, /*accumulate=*/true);
   }
-  ws.rewind(x_cm_.mark);  // channel-major view dead after dW — LIFO release
-  x_cm_ = WsMatrix{};
+  ws.rewind(c.x_cm.mark);  // channel-major view dead after dW — LIFO release
+  c.x_cm = WsMatrix{};
   return grad_input;
 }
 
 std::vector<Parameter*> ConvTranspose3d::parameters() {
   if (has_bias_) return {&weight_, &bias_};
   return {&weight_};
+}
+
+ConvTranspose3d::Cache& ConvTranspose3d::cache_slot() {
+  const auto i = static_cast<std::size_t>(replica::cache_index());
+  check(i < cache_.size(),
+        "ConvTranspose3d: replica slot not prepared (call "
+        "prepare_replica_slots)");
+  return cache_[i];
+}
+
+void ConvTranspose3d::prepare_replica_slots(int count) {
+  Layer::prepare_replica_slots(count);
+  if (cache_.size() < static_cast<std::size_t>(count)) {
+    cache_.resize(static_cast<std::size_t>(count));
+  }
 }
 
 std::string ConvTranspose3d::name() const {

@@ -27,6 +27,7 @@ class ConvTranspose3d final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
+  void prepare_replica_slots(int count) override;
   [[nodiscard]] std::string name() const override;
 
   /// Output extent along axis i (0=d, 1=h, 2=w) for a given input extent.
@@ -53,9 +54,13 @@ class ConvTranspose3d final : public Layer {
   Parameter weight_;
   Parameter bias_;
 
-  // Forward caches.
-  Shape input_shape_;
-  WsMatrix x_cm_;  // arena-resident channel-major input (C, N·d·h·w) for dW
+  // Forward caches, one slot per replica slice (slot 0 in direct mode).
+  struct Cache {
+    Shape input_shape;
+    WsMatrix x_cm;  // arena-resident channel-major input (C, N·d·h·w) for dW
+  };
+  std::vector<Cache> cache_{1};
+  Cache& cache_slot();
 };
 
 }  // namespace mtsr::nn

@@ -6,6 +6,7 @@
 #include "src/common/check.hpp"
 #include "src/common/parallel.hpp"
 #include "src/nn/init.hpp"
+#include "src/nn/replica.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::nn {
@@ -29,12 +30,13 @@ Tensor Dense::forward(const Tensor& input, bool /*training*/) {
 
   // Cache the input in the arena for dW; backward rewinds it.
   Workspace& ws = Workspace::tls();
-  x_ = ws_matrix(ws, n, in_features_);
-  std::memcpy(x_.data, input.data(),
+  Cache& c = cache_slot();
+  c.x = ws_matrix(ws, n, in_features_);
+  std::memcpy(c.x.data, input.data(),
               static_cast<std::size_t>(input.size()) * sizeof(float));
 
   Tensor out(Shape{n, out_features_});
-  matmul_nt_into(x_.data, weight_.value.data(), out.data(), n, in_features_,
+  matmul_nt_into(c.x.data, weight_.value.data(), out.data(), n, in_features_,
                  out_features_);
   if (has_bias_) {
     float* po = out.data();
@@ -48,20 +50,21 @@ Tensor Dense::forward(const Tensor& input, bool /*training*/) {
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {
-  check(!x_.empty() && Workspace::tls().alive(x_.end),
+  Cache& c = cache_slot();
+  check(!c.x.empty() && Workspace::tls().alive(c.x.end),
         "Dense::backward called before forward (or forward's workspace "
         "scope was rewound)");
   check(grad_output.rank() == 2 && grad_output.dim(1) == out_features_,
         "Dense::backward grad shape mismatch");
   const std::int64_t n = grad_output.dim(0);
-  check(n == x_.rows, "Dense::backward grad batch does not match forward");
+  check(n == c.x.rows, "Dense::backward grad batch does not match forward");
 
   // dW += dyᵀ x (accumulated in place); dx = dy W ; db = column sums of dy.
-  matmul_tn_into(grad_output.data(), x_.data, weight_.grad.data(), n,
-                 out_features_, in_features_, /*accumulate=*/true);
+  matmul_tn_into(grad_output.data(), c.x.data, weight_.active_grad().data(),
+                 n, out_features_, in_features_, /*accumulate=*/true);
   if (has_bias_) {
     const float* pdy = grad_output.data();
-    float* pdb = bias_.grad.data();
+    float* pdb = bias_.active_grad().data();
     parallel_for(out_features_, [&](std::int64_t o) {
       double acc = 0.0;
       for (std::int64_t i = 0; i < n; ++i) acc += pdy[i * out_features_ + o];
@@ -72,14 +75,28 @@ Tensor Dense::backward(const Tensor& grad_output) {
   matmul_into(grad_output.data(), weight_.value.data(), grad_input.data(), n,
               out_features_, in_features_);
 
-  Workspace::tls().rewind(x_.mark);  // input cache dead — LIFO release
-  x_ = WsMatrix{};
+  Workspace::tls().rewind(c.x.mark);  // input cache dead — LIFO release
+  c.x = WsMatrix{};
   return grad_input;
 }
 
 std::vector<Parameter*> Dense::parameters() {
   if (has_bias_) return {&weight_, &bias_};
   return {&weight_};
+}
+
+Dense::Cache& Dense::cache_slot() {
+  const auto i = static_cast<std::size_t>(replica::cache_index());
+  check(i < cache_.size(),
+        "Dense: replica slot not prepared (call prepare_replica_slots)");
+  return cache_[i];
+}
+
+void Dense::prepare_replica_slots(int count) {
+  Layer::prepare_replica_slots(count);
+  if (cache_.size() < static_cast<std::size_t>(count)) {
+    cache_.resize(static_cast<std::size_t>(count));
+  }
 }
 
 std::string Dense::name() const {

@@ -16,6 +16,7 @@ class Dense final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
+  void prepare_replica_slots(int count) override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] std::int64_t in_features() const { return in_features_; }
@@ -33,7 +34,12 @@ class Dense final : public Layer {
   Parameter weight_;  // (out, in)
   Parameter bias_;    // (out)
 
-  WsMatrix x_;  // arena-resident input copy (N, in), cached for backward
+  // Forward caches, one slot per replica slice (slot 0 in direct mode).
+  struct Cache {
+    WsMatrix x;  // arena-resident input copy (N, in), cached for backward
+  };
+  std::vector<Cache> cache_{1};
+  Cache& cache_slot();
 };
 
 }  // namespace mtsr::nn

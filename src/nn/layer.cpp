@@ -1,6 +1,64 @@
 #include "src/nn/layer.hpp"
 
+#include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
+#include "src/nn/replica.hpp"
+
 namespace mtsr::nn {
+
+Tensor& Parameter::active_grad() {
+  const int s = replica::slot();
+  if (s < 0) return grad;
+  check(static_cast<std::size_t>(s) < grad_slots.size(),
+        "Parameter::active_grad: replica slot not prepared (call "
+        "prepare_replica_slots before the replicated step)");
+  return grad_slots[static_cast<std::size_t>(s)];
+}
+
+void Parameter::ensure_grad_slots(int count) {
+  check(count >= 1, "Parameter::ensure_grad_slots: count must be >= 1");
+  while (grad_slots.size() < static_cast<std::size_t>(count)) {
+    grad_slots.emplace_back(Tensor::zeros(value.shape()));
+  }
+}
+
+void Parameter::reduce_grad_slots(int count) {
+  check(count >= 1 && static_cast<std::size_t>(count) <= grad_slots.size(),
+        "Parameter::reduce_grad_slots: slots not prepared");
+  const std::int64_t n = value.size();
+  // Stride-doubling tree over ascending slice indices; geometry depends
+  // only on `count`. The elementwise adds are parallelised — trivially
+  // deterministic because every element is an independent fold.
+  for (int stride = 1; stride < count; stride *= 2) {
+    for (int i = 0; i + stride < count; i += 2 * stride) {
+      float* dst = grad_slots[static_cast<std::size_t>(i)].data();
+      const float* src =
+          grad_slots[static_cast<std::size_t>(i + stride)].data();
+      parallel_for_grain(n, 4096,
+                         [dst, src](std::int64_t b, std::int64_t e, int) {
+                           for (std::int64_t k = b; k < e; ++k) {
+                             dst[k] += src[k];
+                           }
+                         });
+    }
+  }
+  float* g = grad.data();
+  const float* s0 = grad_slots[0].data();
+  parallel_for_grain(n, 4096, [g, s0](std::int64_t b, std::int64_t e, int) {
+    for (std::int64_t k = b; k < e; ++k) g[k] += s0[k];
+  });
+  for (int i = 0; i < count; ++i) {
+    grad_slots[static_cast<std::size_t>(i)].fill(0.f);
+  }
+}
+
+void Layer::prepare_replica_slots(int count) {
+  for (Parameter* p : parameters()) p->ensure_grad_slots(count);
+}
+
+void Layer::reduce_replica_slots(int count) {
+  for (Parameter* p : parameters()) p->reduce_grad_slots(count);
+}
 
 void Layer::zero_grad() {
   for (Parameter* p : parameters()) p->grad.fill(0.f);

@@ -26,13 +26,36 @@
 namespace mtsr::nn {
 
 /// A learnable tensor together with its gradient accumulator.
+///
+/// For replicated (data-parallel) train steps the parameter additionally
+/// carries per-slice gradient slots, mirroring the per-chunk accumulator
+/// design of parallel_for_chunks: each replica slice accumulates into its
+/// private slot, and reduce_grad_slots folds the slots into `grad` in a
+/// fixed ascending-slice tree order so the result is bit-identical for any
+/// replica count and pool size.
 struct Parameter {
   std::string name;  ///< Unique within one layer; qualified by containers.
   Tensor value;
   Tensor grad;
+  std::vector<Tensor> grad_slots;  ///< replica-slice accumulators (lazy)
 
   Parameter(std::string n, Tensor v)
       : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  /// The accumulator backward passes should write into: `grad` in direct
+  /// mode, this slice's private slot inside a replica task.
+  [[nodiscard]] Tensor& active_grad();
+
+  /// Sizes (and zero-fills new) gradient slots for `count` replica slices.
+  /// Must be called single-threaded, before replica tasks are in flight.
+  void ensure_grad_slots(int count);
+
+  /// Folds slots [0, count) into `grad` (grad += reduced slots) with a
+  /// fixed stride-doubling tree over ascending slice indices, then
+  /// re-zeroes the slots. The fold order depends only on `count` — never on
+  /// worker, pool or shard counts — so replicated gradients are
+  /// bit-identical however slices were scheduled.
+  void reduce_grad_slots(int count);
 };
 
 /// Base class for all layers. See file comment for the calling contract.
@@ -64,6 +87,18 @@ class Layer {
 
   /// Human-readable layer name, e.g. "Conv2d(8->16, 3x3, s1, p1)".
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Prepares the layer to run `count` concurrent replica slices: sizes
+  /// every parameter's gradient slots and any per-slot forward caches.
+  /// Containers forward to their children. Must be called single-threaded
+  /// (no replica tasks in flight); idempotent and cheap once sized.
+  virtual void prepare_replica_slots(int count);
+
+  /// Reduces replica-sharded state after a replicated step: folds every
+  /// parameter's gradient slots into `grad` (fixed ascending-slice tree
+  /// order) and merges deferred per-slot buffer updates (batch-norm running
+  /// statistics). Containers forward to their children. Single-threaded.
+  virtual void reduce_replica_slots(int count);
 
   /// Zeroes all parameter gradient accumulators.
   void zero_grad();

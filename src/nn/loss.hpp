@@ -8,6 +8,12 @@
 // Each function returns the scalar loss and writes the gradient with
 // respect to the prediction, averaged over the batch, so callers feed it
 // straight into Layer::backward().
+//
+// The _slice variants support data-parallel training: a micro-slice of a
+// batch contributes an UNNORMALISED loss sum plus a gradient already scaled
+// by the FULL batch denominator, so per-slice backward passes accumulate
+// exactly the whole-batch gradient and the caller finishes the scalar loss
+// as sum-of-slice-sums (in ascending slice order) / full denominator.
 #pragma once
 
 #include <utility>
@@ -22,15 +28,38 @@ struct LossResult {
   Tensor grad;
 };
 
+/// Slice contribution to a batch loss: `sum` is the unnormalised loss sum
+/// over the slice; `grad` is d(full-batch loss)/d(slice prediction), i.e.
+/// already divided by the full-batch denominator passed by the caller.
+struct SliceLossResult {
+  double sum;
+  Tensor grad;
+};
+
 /// Mean squared error over all elements: L = mean((pred - target)²).
 [[nodiscard]] LossResult mse_loss(const Tensor& prediction,
                                   const Tensor& target);
+
+/// MSE slice term: sum((pred - target)²) over this slice, with the gradient
+/// scaled by 2 / total_elements (the FULL batch element count). Passing
+/// total_elements == prediction.size() reproduces mse_loss bit-for-bit.
+[[nodiscard]] SliceLossResult mse_loss_slice(const Tensor& prediction,
+                                             const Tensor& target,
+                                             std::int64_t total_elements);
 
 /// Binary cross-entropy for (N, 1) probability outputs against scalar
 /// labels in {0, 1}: L = -mean(y·log p + (1-y)·log(1-p)). Probabilities are
 /// clamped to [eps, 1-eps] for numerical stability.
 [[nodiscard]] LossResult bce_loss(const Tensor& probability, float label,
                                   float eps = 1e-6f);
+
+/// BCE slice term: unnormalised -log-likelihood sum over this slice's rows,
+/// gradient scaled by 1 / total_rows (the FULL batch row count). Passing
+/// total_rows == probability.dim(0) reproduces bce_loss bit-for-bit.
+[[nodiscard]] SliceLossResult bce_loss_slice(const Tensor& probability,
+                                             float label,
+                                             std::int64_t total_rows,
+                                             float eps = 1e-6f);
 
 /// Per-sample squared error ‖pred_i - target_i‖² over an (N, ...) batch,
 /// returned as an (N) tensor. Used by the Eq. 9 generator loss, which

@@ -3,8 +3,16 @@
 #include <cmath>
 
 #include "src/common/check.hpp"
+#include "src/common/parallel.hpp"
 
 namespace mtsr::nn {
+namespace {
+
+// Elementwise optimizer updates have no cross-element dependency, so any
+// chunking yields bit-identical results; the grain only amortises dispatch.
+constexpr std::int64_t kStepGrain = 4096;
+
+}  // namespace
 
 Optimizer::Optimizer(std::vector<Parameter*> params, float lr)
     : params_(std::move(params)), lr_(lr) {
@@ -15,7 +23,15 @@ Optimizer::Optimizer(std::vector<Parameter*> params, float lr)
 }
 
 void Optimizer::zero_grad() {
-  for (Parameter* p : params_) p->grad.fill(0.f);
+  for (Parameter* p : params_) {
+    float* g = p->grad.data();
+    parallel_for_grain(p->grad.size(), kStepGrain,
+                       [g](std::int64_t begin, std::int64_t end, int) {
+                         for (std::int64_t j = begin; j < end; ++j) {
+                           g[j] = 0.f;
+                         }
+                       });
+  }
 }
 
 void Optimizer::set_learning_rate(float lr) {
@@ -35,11 +51,33 @@ Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum)
 void Sgd::step() {
   for (std::size_t i = 0; i < params_.size(); ++i) {
     Parameter& p = *params_[i];
+    const float* g = p.grad.data();
+    float* w = p.value.data();
+    const std::int64_t n = p.value.size();
     if (momentum_ > 0.f) {
-      velocity_[i].mul_scalar_(momentum_).add_(p.grad);
-      p.value.axpy_(-lr_, velocity_[i]);
+      float* vel = velocity_[i].data();
+      const float momentum = momentum_;
+      const float lr = lr_;
+      parallel_for_grain(
+          n, kStepGrain,
+          [g, w, vel, momentum, lr](std::int64_t begin, std::int64_t end,
+                                    int) {
+            // Two separate statements (scale, then add) keep the rounding
+            // of the historic mul_scalar_ + add_ tensor-op sequence.
+            for (std::int64_t j = begin; j < end; ++j) {
+              vel[j] *= momentum;
+              vel[j] += g[j];
+              w[j] += -lr * vel[j];
+            }
+          });
     } else {
-      p.value.axpy_(-lr_, p.grad);
+      const float lr = lr_;
+      parallel_for_grain(n, kStepGrain,
+                         [g, w, lr](std::int64_t begin, std::int64_t end, int) {
+                           for (std::int64_t j = begin; j < end; ++j) {
+                             w[j] += -lr * g[j];
+                           }
+                         });
     }
   }
 }
@@ -65,20 +103,28 @@ void Adam::step() {
   ++t_;
   const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(t_));
+  const float beta1 = beta1_;
+  const float beta2 = beta2_;
+  const float epsilon = epsilon_;
+  const float lr = lr_;
   for (std::size_t i = 0; i < params_.size(); ++i) {
     Parameter& p = *params_[i];
     float* m = m_[i].data();
     float* v = v_[i].data();
     const float* g = p.grad.data();
     float* w = p.value.data();
-    const std::int64_t n = p.value.size();
-    for (std::int64_t j = 0; j < n; ++j) {
-      m[j] = beta1_ * m[j] + (1.f - beta1_) * g[j];
-      v[j] = beta2_ * v[j] + (1.f - beta2_) * g[j] * g[j];
-      const float m_hat = m[j] / bc1;
-      const float v_hat = v[j] / bc2;
-      w[j] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
-    }
+    parallel_for_grain(
+        p.value.size(), kStepGrain,
+        [m, v, g, w, bc1, bc2, beta1, beta2, epsilon, lr](
+            std::int64_t begin, std::int64_t end, int) {
+          for (std::int64_t j = begin; j < end; ++j) {
+            m[j] = beta1 * m[j] + (1.f - beta1) * g[j];
+            v[j] = beta2 * v[j] + (1.f - beta2) * g[j] * g[j];
+            const float m_hat = m[j] / bc1;
+            const float v_hat = v[j] / bc2;
+            w[j] -= lr * m_hat / (std::sqrt(v_hat) + epsilon);
+          }
+        });
   }
 }
 

@@ -4,13 +4,26 @@
 
 #include "src/common/check.hpp"
 #include "src/common/parallel.hpp"
+#include "src/nn/replica.hpp"
 #include "src/tensor/tensor_ops.hpp"
 
 namespace mtsr::nn {
+namespace {
+
+// Per-slot cached input shape: slot 0 in direct mode, the slice's private
+// slot inside a replicated step.
+Shape& shape_slot(std::vector<Shape>& slots, const char* what) {
+  const auto i = static_cast<std::size_t>(replica::cache_index());
+  check(i < slots.size(), what);
+  return slots[i];
+}
+
+}  // namespace
 
 Tensor GlobalAvgPool::forward(const Tensor& input, bool /*training*/) {
   check(input.rank() >= 3, "GlobalAvgPool expects (N, C, ...) input");
-  input_shape_ = input.shape();
+  shape_slot(input_shape_, "GlobalAvgPool: replica slot not prepared") =
+      input.shape();
   const std::int64_t n = input.dim(0), c = input.dim(1);
   std::int64_t inner = 1;
   for (int i = 2; i < input.rank(); ++i) inner *= input.dim(i);
@@ -29,15 +42,17 @@ Tensor GlobalAvgPool::forward(const Tensor& input, bool /*training*/) {
 }
 
 Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
-  check(input_shape_.rank() >= 3, "GlobalAvgPool::backward before forward");
-  const std::int64_t n = input_shape_.dim(0), c = input_shape_.dim(1);
+  const Shape& shape =
+      shape_slot(input_shape_, "GlobalAvgPool: replica slot not prepared");
+  check(shape.rank() >= 3, "GlobalAvgPool::backward before forward");
+  const std::int64_t n = shape.dim(0), c = shape.dim(1);
   check(grad_output.rank() == 2 && grad_output.dim(0) == n &&
             grad_output.dim(1) == c,
         "GlobalAvgPool::backward grad shape mismatch");
   std::int64_t inner = 1;
-  for (int i = 2; i < input_shape_.rank(); ++i) inner *= input_shape_.dim(i);
+  for (int i = 2; i < shape.rank(); ++i) inner *= shape.dim(i);
 
-  Tensor grad(input_shape_);
+  Tensor grad(shape);
   float* pg = grad.data();
   const float* pdy = grad_output.data();
   const float scale = 1.f / static_cast<float>(inner);
@@ -49,6 +64,13 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
   return grad;
 }
 
+void GlobalAvgPool::prepare_replica_slots(int count) {
+  Layer::prepare_replica_slots(count);
+  if (input_shape_.size() < static_cast<std::size_t>(count)) {
+    input_shape_.resize(static_cast<std::size_t>(count));
+  }
+}
+
 std::string GlobalAvgPool::name() const { return "GlobalAvgPool"; }
 
 AvgPool2d::AvgPool2d(int factor) : factor_(factor) {
@@ -56,18 +78,20 @@ AvgPool2d::AvgPool2d(int factor) : factor_(factor) {
 }
 
 Tensor AvgPool2d::forward(const Tensor& input, bool /*training*/) {
-  input_shape_ = input.shape();
+  shape_slot(input_shape_, "AvgPool2d: replica slot not prepared") =
+      input.shape();
   return avg_pool2d(input, factor_);
 }
 
 Tensor AvgPool2d::backward(const Tensor& grad_output) {
-  check(input_shape_.rank() >= 2, "AvgPool2d::backward before forward");
+  const Shape& shape =
+      shape_slot(input_shape_, "AvgPool2d: replica slot not prepared");
+  check(shape.rank() >= 2, "AvgPool2d::backward before forward");
   const std::int64_t rows = grad_output.dim(-2), cols = grad_output.dim(-1);
   std::int64_t batch = 1;
   for (int i = 0; i < grad_output.rank() - 2; ++i) batch *= grad_output.dim(i);
-  Tensor up(input_shape_);
-  check(rows * factor_ == input_shape_.dim(-2) &&
-            cols * factor_ == input_shape_.dim(-1) &&
+  Tensor up(shape);
+  check(rows * factor_ == shape.dim(-2) && cols * factor_ == shape.dim(-1) &&
             up.size() == batch * rows * cols * factor_ * factor_,
         "AvgPool2d::backward grad shape mismatch");
   // Each input element receives grad / factor²; the upsample fuses the
@@ -76,6 +100,13 @@ Tensor AvgPool2d::backward(const Tensor& grad_output) {
                           1.f / (static_cast<float>(factor_) * factor_),
                           up.data());
   return up;
+}
+
+void AvgPool2d::prepare_replica_slots(int count) {
+  Layer::prepare_replica_slots(count);
+  if (input_shape_.size() < static_cast<std::size_t>(count)) {
+    input_shape_.resize(static_cast<std::size_t>(count));
+  }
 }
 
 std::string AvgPool2d::name() const {

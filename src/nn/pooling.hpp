@@ -16,10 +16,11 @@ class GlobalAvgPool final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void prepare_replica_slots(int count) override;
   [[nodiscard]] std::string name() const override;
 
  private:
-  Shape input_shape_;
+  std::vector<Shape> input_shape_ = std::vector<Shape>(1);  // per slot
 };
 
 /// Non-overlapping average pooling of the last two axes by an integer
@@ -30,11 +31,12 @@ class AvgPool2d final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  void prepare_replica_slots(int count) override;
   [[nodiscard]] std::string name() const override;
 
  private:
   int factor_;
-  Shape input_shape_;
+  std::vector<Shape> input_shape_ = std::vector<Shape>(1);  // per slot
 };
 
 }  // namespace mtsr::nn

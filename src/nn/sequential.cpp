@@ -44,6 +44,14 @@ std::vector<std::pair<std::string, Tensor*>> Sequential::buffers() {
   return all;
 }
 
+void Sequential::prepare_replica_slots(int count) {
+  for (auto& layer : layers_) layer->prepare_replica_slots(count);
+}
+
+void Sequential::reduce_replica_slots(int count) {
+  for (auto& layer : layers_) layer->reduce_replica_slots(count);
+}
+
 std::string Sequential::name() const {
   std::ostringstream out;
   out << "Sequential[";

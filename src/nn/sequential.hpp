@@ -28,6 +28,8 @@ class Sequential final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
   std::vector<std::pair<std::string, Tensor*>> buffers() override;
+  void prepare_replica_slots(int count) override;
+  void reduce_replica_slots(int count) override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] std::size_t size() const { return layers_.size(); }
