@@ -36,9 +36,17 @@
 // and float-vs-int8 comparison sections need direct engine access and are
 // skipped.
 //
+// With --online the gateway closes the continuous-learning loop
+// (src/online): a background trainer fine-tunes a clone of the generator on
+// the frames the engine is serving (tapped through the engine's frame sink)
+// and promotes holdout-gated checkpoints into the "zipnet" slot via
+// hot-reload, while the stream keeps serving. After the stream the example
+// drives the promotion pipeline to a decision and exits non-zero if no
+// candidate was ever promoted.
+//
 // Run:  ./live_stream [--side 32] [--steps 500] [--intervals 12]
 //                     [--model zipnet|zipnet-int8|bicubic]
-//                     [--sessions 1] [--reload]
+//                     [--sessions 1] [--reload] [--online]
 //                     [--threads N] [--shards N]
 //                     [--connect auto|host:port]
 #include <algorithm>
@@ -56,6 +64,7 @@
 #include "src/metrics/metrics.hpp"
 #include "src/net/client.hpp"
 #include "src/net/server.hpp"
+#include "src/online/trainer.hpp"
 #include "src/serving/engine.hpp"
 #include "src/serving/model.hpp"
 #include "src/tensor/tensor_ops.hpp"
@@ -75,6 +84,9 @@ int main(int argc, char** argv) {
               "fan-out consumers of the live feed (served fused + dedup'd)");
   cli.add_flag("reload",
                "hot-swap \"zipnet\" to the int8 twin mid-stream");
+  cli.add_flag("online",
+               "train-while-serve: fine-tune on tapped frames and promote "
+               "holdout-gated checkpoints into \"zipnet\" mid-stream");
   cli.add_int("threads", 0,
               "total pool workers (0: MTSR_THREADS or the hardware "
               "concurrency)");
@@ -205,6 +217,10 @@ int main(int argc, char** argv) {
     }
     if (cli.get_flag("reload")) {
       std::printf("--reload needs direct engine access; ignored in "
+                  "--connect mode\n");
+    }
+    if (cli.get_flag("online")) {
+      std::printf("--online needs direct engine access; ignored in "
                   "--connect mode\n");
     }
 
@@ -338,13 +354,39 @@ int main(int argc, char** argv) {
   baseline_config.stream.clear();
   const auto shallow = engine.open_session(baseline_config);
 
-  const bool want_reload = cli.get_flag("reload");
+  bool want_reload = cli.get_flag("reload");
+  if (want_reload && cli.get_flag("online")) {
+    // Only the online trainer may drive reload_model while it runs — two
+    // concurrent reloaders of one slot are not part of the engine contract.
+    std::printf("--reload and --online both swap \"zipnet\"; --reload "
+                "ignored\n");
+    want_reload = false;
+  }
   if (want_reload && chosen != "zipnet") {
     std::printf("--reload swaps the \"zipnet\" slot; ignored with "
                 "--model %s\n", chosen.c_str());
   }
   std::shared_ptr<serving::Model> float_model = engine.model("zipnet");
   bool reloaded = false;
+
+  // --- Continuous learning: attach the train-while-serve loop. --------------
+  // The trainer clones the restored generator, taps the frames the engine
+  // admits (through the frame sink installed at construction), fine-tunes on
+  // a background thread, and promotes gated checkpoints into "zipnet".
+  std::unique_ptr<online::Trainer> learner;
+  if (cli.get_flag("online")) {
+    online::TrainerConfig online_config = online::TrainerConfig::from_dataset(
+        "zipnet", config.instance, dataset, config.window);
+    online_config.trainer.learning_rate = config.trainer.learning_rate;
+    online_config.trainer.batch_size = config.trainer.batch_size;
+    online_config.checkpoint_prefix = "live_online_ckpt";
+    online_config.retain_checkpoints = 2;
+    learner = std::make_unique<online::Trainer>(engine, gateway.generator(),
+                                                online_config);
+    learner->start();
+    std::printf("continuous learning: background fine-tune attached "
+                "(promotions target \"zipnet\")\n");
+  }
 
   const std::int64_t intervals = cli.get_int("intervals");
   std::printf("\nstreaming %lld live intervals to %lld consumer session(s) "
@@ -402,6 +444,42 @@ int main(int argc, char** argv) {
     // labels say.
     engine.reload_model("zipnet", float_model);
     std::printf("hot-reload: float weights restored (2 reloads applied)\n");
+  }
+
+  // --- Continuous learning: drive the promotion pipeline to a decision. -----
+  // The background loop fine-tuned while the stream served; stop it (the
+  // sections below open/close sessions, which must not race a running
+  // trainer) and finish synchronously until the holdout gate promotes.
+  if (learner) {
+    learner->stop();
+    if (!learner->last_error().empty()) {
+      std::printf("continuous learning FAILED: %s\n",
+                  learner->last_error().c_str());
+      return 1;
+    }
+    int extra_rounds = 0;
+    while (learner->stats().promoted < 1 && extra_rounds < 40) {
+      if (learner->run_rounds(1) == 0) break;  // tap too short to train
+      ++extra_rounds;
+    }
+    const auto os = learner->stats();
+    std::printf(
+        "\ncontinuous learning: %lld fine-tune steps, %lld candidates "
+        "(%lld promoted, %lld rejected), holdout NRMSE %.4f vs serving "
+        "%.4f, tap %lld published / %lld dropped, staleness %.1f s\n",
+        static_cast<long long>(os.steps),
+        static_cast<long long>(os.candidates),
+        static_cast<long long>(os.promoted),
+        static_cast<long long>(os.rejected), os.holdout_nrmse,
+        os.serving_nrmse, static_cast<long long>(os.tap_published),
+        static_cast<long long>(os.tap_dropped), os.staleness_seconds);
+    for (const auto& path : learner->retained_checkpoints()) {
+      std::remove(path.c_str());
+    }
+    if (os.promoted < 1) {
+      std::printf("continuous learning FAILED: no checkpoint promoted\n");
+      return 1;
+    }
   }
 
   // --- Fused fan-out vs independent sessions. -------------------------------

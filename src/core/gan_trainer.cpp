@@ -36,6 +36,20 @@ GanTrainer::GanTrainer(ZipNet& generator, Discriminator& discriminator,
         "GanTrainerConfig: sub-epoch counts must be >= 1");
   check(config_.prob_clamp > 0.f && config_.prob_clamp < 0.5f,
         "GanTrainerConfig: bad prob clamp");
+  check(config_.critic_iters >= 1, "GanTrainerConfig: critic_iters must "
+        "be >= 1");
+  check(config_.weight_clip >= 0.f,
+        "GanTrainerConfig: negative weight_clip");
+}
+
+void GanTrainer::clip_critic_weights() {
+  if (config_.weight_clip <= 0.f) return;
+  const float c = config_.weight_clip;
+  for (nn::Parameter* param : discriminator_.parameters()) {
+    float* v = param->value.data();
+    const std::int64_t n = param->value.size();
+    for (std::int64_t i = 0; i < n; ++i) v[i] = std::clamp(v[i], -c, c);
+  }
 }
 
 int GanTrainer::slice_count() const {
@@ -440,8 +454,11 @@ std::vector<GanRoundStats> GanTrainer::train(const SampleSource& source,
   history.reserve(static_cast<std::size_t>(rounds));
   if (rounds == 0) return history;
 
+  // WGAN-style critic schedule: critic_iters multiplies the discriminator
+  // sub-epochs per round (1 = the legacy schedule, bit-identical).
+  const int d_steps = config_.n_d * config_.critic_iters;
   const std::int64_t total_batches =
-      static_cast<std::int64_t>(rounds) * (config_.n_d + config_.n_g);
+      static_cast<std::int64_t>(rounds) * (d_steps + config_.n_g);
   std::int64_t consumed = 0;
   StageDrainGuard drain{stager_};
   stage_batch(source);
@@ -454,7 +471,7 @@ std::vector<GanRoundStats> GanTrainer::train(const SampleSource& source,
   for (int round = 0; round < rounds; ++round) {
     GanRoundStats stats;
     double d_loss = 0.0;
-    for (int e = 0; e < config_.n_d; ++e) {
+    for (int e = 0; e < d_steps; ++e) {
       Batch batch = next_batch();
       if (replicas_ == 0) {
         d_loss += train_discriminator_step_legacy(batch.inputs[0],
@@ -462,8 +479,9 @@ std::vector<GanRoundStats> GanTrainer::train(const SampleSource& source,
       } else {
         d_loss += train_discriminator_step_replicated(batch, stats);
       }
+      clip_critic_weights();
     }
-    stats.d_loss = d_loss / config_.n_d;
+    stats.d_loss = d_loss / d_steps;
     double g_loss = 0.0;
     for (int e = 0; e < config_.n_g; ++e) {
       Batch batch = next_batch();

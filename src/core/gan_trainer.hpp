@@ -63,6 +63,20 @@ struct GanTrainerConfig {
   LossMode loss_mode = LossMode::kEmpirical;
   float sigma2 = 0.1f;         ///< σ² for LossMode::kFixedSigma
   float prob_clamp = 1e-4f;    ///< clamp D outputs to [c, 1-c] in logs
+  /// WGAN-style critic stability controls (cf. the critic_iter /
+  /// weight_clipping idiom of Wasserstein training loops). Online
+  /// fine-tuning stresses GAN stability far harder than one-shot offline
+  /// training, so both knobs exist as an ablation flag for the continuous
+  /// learner; at their defaults the training path is bit-identical to the
+  /// legacy trainer. `critic_iters` multiplies the discriminator sub-epochs
+  /// per round (the critic trains critic_iters × n_D steps before each
+  /// generator update); `weight_clip > 0` clamps every discriminator
+  /// parameter to [-weight_clip, +weight_clip] after each critic step,
+  /// the Lipschitz surrogate of weight-clipped WGAN. The critic keeps its
+  /// probabilistic head (this is NOT the full Wasserstein objective —
+  /// only its stability schedule).
+  int critic_iters = 1;
+  float weight_clip = 0.f;
   std::uint64_t seed = 23;
   /// Data-parallel replica workers per train step: -1 forces the legacy
   /// whole-batch serial step, 0 resolves automatically (MTSR_TRAIN_REPLICAS,
@@ -123,6 +137,9 @@ class GanTrainer {
   };
 
   [[nodiscard]] int slice_count() const;
+  /// WGAN weight clipping: clamps every discriminator parameter to
+  /// [-weight_clip, +weight_clip] (no-op at the default 0).
+  void clip_critic_weights();
   [[nodiscard]] Batch build_batch(const SampleSource& source,
                                   std::uint64_t base_counter);
   void stage_batch(const SampleSource& source);

@@ -296,6 +296,11 @@ std::vector<std::uint8_t> encode_response(const StatsResponse& resp) {
   w.f64(resp.p50_ms);
   w.f64(resp.p99_ms);
   w.f64(resp.p999_ms);
+  w.i64(resp.online_steps);
+  w.i64(resp.online_promoted);
+  w.i64(resp.online_rejected);
+  w.f64(resp.online_staleness_s);
+  w.f64(resp.online_holdout_nrmse);
   w.str(resp.table);
   w.str(resp.error);
   return frame(Verb::kStats, body);
@@ -339,6 +344,11 @@ Response decode_response(const Frame& f) {
       resp.stats.p50_ms = r.f64();
       resp.stats.p99_ms = r.f64();
       resp.stats.p999_ms = r.f64();
+      resp.stats.online_steps = r.i64();
+      resp.stats.online_promoted = r.i64();
+      resp.stats.online_rejected = r.i64();
+      resp.stats.online_staleness_s = r.f64();
+      resp.stats.online_holdout_nrmse = r.f64();
       resp.stats.table = r.str();
       resp.stats.error = r.str();
       break;

@@ -146,6 +146,10 @@ struct StatsResponse {
   std::int64_t requests = 0, served = 0, rejected = 0;
   std::int64_t slo_violations = 0, max_queue_depth = 0;
   double p50_ms = 0, p99_ms = 0, p999_ms = 0;
+  // Continuous-learning counters; all zero (staleness -1, nrmse -1) when no
+  // online trainer is attached to the serving engine.
+  std::int64_t online_steps = 0, online_promoted = 0, online_rejected = 0;
+  double online_staleness_s = -1, online_holdout_nrmse = -1;
   std::string table;
   std::string error;
 };

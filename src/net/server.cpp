@@ -369,6 +369,13 @@ void Server::handle_stats(Connection& conn) {
   resp.p50_ms = fd.p50_ms;
   resp.p99_ms = fd.p99_ms;
   resp.p999_ms = fd.p999_ms;
+  if (full.online) {
+    resp.online_steps = full.online->steps;
+    resp.online_promoted = full.online->promoted;
+    resp.online_rejected = full.online->rejected;
+    resp.online_staleness_s = full.online->staleness_seconds;
+    resp.online_holdout_nrmse = full.online->holdout_nrmse;
+  }
   resp.table = serving::render_stats_table(full);
   send_bytes(conn, encode_response(resp));
 }

@@ -1,0 +1,50 @@
+#include "src/online/tap.hpp"
+
+#include "src/common/check.hpp"
+
+namespace mtsr::online {
+
+FrameTap::FrameTap(std::int64_t capacity_per_stream)
+    : capacity_(capacity_per_stream) {
+  check(capacity_ >= 1, "FrameTap: capacity_per_stream must be >= 1");
+}
+
+void FrameTap::publish(const std::string& stream, const Tensor& frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::deque<Tensor>& ring = rings_[stream];
+  if (static_cast<std::int64_t>(ring.size()) >= capacity_) {
+    ring.pop_front();
+    ++dropped_;
+  }
+  ring.push_back(frame);
+  ++published_;
+}
+
+std::vector<Tensor> FrameTap::snapshot(const std::string& stream) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rings_.find(stream);
+  if (it == rings_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<std::string> FrameTap::streams() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(rings_.size());
+  for (const auto& [key, _] : rings_) keys.push_back(key);
+  return keys;
+}
+
+FrameTapStats FrameTap::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FrameTapStats stats;
+  for (const auto& [_, ring] : rings_) {
+    stats.buffered += static_cast<std::int64_t>(ring.size());
+  }
+  stats.published = published_;
+  stats.dropped = dropped_;
+  stats.streams = static_cast<std::int64_t>(rings_.size());
+  return stats;
+}
+
+}  // namespace mtsr::online

@@ -1,0 +1,68 @@
+// online::FrameTap — the serving-to-training frame bridge.
+//
+// The continuous learner needs the frames the engine is actually serving,
+// but the dispatch round must never wait on the trainer: publish() copies
+// the snapshot into a bounded per-stream ring under a short mutex and
+// evicts the OLDEST buffered frame when the stream is at capacity
+// (drop-oldest — recent traffic is what online fine-tuning wants anyway).
+// It never blocks on the consumer and never fails, so a slow, wedged or
+// absent trainer cannot stall serving; the drop counter in stats() is the
+// signal that the stream is outrunning the fine-tune loop.
+//
+// Producer side: Engine::set_frame_sink installs publish() on the serving
+// thread(s). Consumer side: the trainer thread snapshots a stream's frames
+// (a copy, oldest first) once per fine-tune round. Both sides are cheap —
+// a city frame is rows x cols floats — and the mutex is held only for the
+// copy, never across training or inference.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace mtsr::online {
+
+/// Tap-side counters of serving::OnlineTrainerStats.
+struct FrameTapStats {
+  std::int64_t buffered = 0;   ///< frames currently held, all streams
+  std::int64_t published = 0;  ///< frames ever published
+  std::int64_t dropped = 0;    ///< drop-oldest evictions
+  std::int64_t streams = 0;    ///< distinct stream keys seen
+};
+
+/// Bounded per-stream ring buffer between serving and training threads.
+class FrameTap {
+ public:
+  /// `capacity_per_stream` bounds each stream's ring (>= 1).
+  explicit FrameTap(std::int64_t capacity_per_stream = 64);
+
+  /// Serving-side: copies `frame` into `stream`'s ring, evicting the
+  /// oldest buffered frame when full. Never blocks, never throws on
+  /// capacity.
+  void publish(const std::string& stream, const Tensor& frame);
+
+  /// Trainer-side: copies out `stream`'s buffered frames, oldest first.
+  /// Empty when the stream has never published.
+  [[nodiscard]] std::vector<Tensor> snapshot(const std::string& stream) const;
+
+  /// Stream keys that have published at least one frame, sorted.
+  [[nodiscard]] std::vector<std::string> streams() const;
+
+  [[nodiscard]] FrameTapStats stats() const;
+
+  [[nodiscard]] std::int64_t capacity_per_stream() const { return capacity_; }
+
+ private:
+  std::int64_t capacity_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::deque<Tensor>> rings_;
+  std::int64_t published_ = 0;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace mtsr::online

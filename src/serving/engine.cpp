@@ -121,8 +121,15 @@ void Engine::close_session(SessionId id) {
         "Engine: unknown session " + std::to_string(id));
 }
 
+std::string Engine::stream_key(SessionId id, const Session& s) const {
+  const std::string& tag = s.config().stream;
+  return tag.empty() ? "session-" + std::to_string(id) : tag;
+}
+
 std::optional<Tensor> Engine::push(SessionId id, const Tensor& fine_snapshot) {
-  return session(id).push(fine_snapshot);
+  Session& s = session(id);
+  if (frame_sink_) frame_sink_(stream_key(id, s), fine_snapshot);
+  return s.push(fine_snapshot);
 }
 
 std::vector<std::optional<Tensor>> Engine::push_all(
@@ -136,6 +143,18 @@ std::vector<std::optional<Tensor>> Engine::push_all(
     sessions.push_back(&session(ids[i]));
     ptrs.push_back(&frames[i]);
   }
+  if (frame_sink_) {
+    // One publication per distinct stream per round: fan-out consumers of
+    // one tagged feed carry byte-identical frames, so only the first
+    // occurrence of each tag publishes.
+    std::vector<std::string> seen;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      std::string key = stream_key(ids[i], *sessions[i]);
+      if (std::find(seen.begin(), seen.end(), key) != seen.end()) continue;
+      frame_sink_(key, frames[i]);
+      seen.push_back(std::move(key));
+    }
+  }
   return scheduler_.serve(sessions, ptrs);
 }
 
@@ -148,6 +167,11 @@ std::vector<std::optional<Tensor>> Engine::push_fused(
   for (const SessionId id : ids) {
     sessions.push_back(&session(id));
     ptrs.push_back(&fine_snapshot);
+  }
+  // push_fused is BY DEFINITION one feed delivered to every session, so
+  // the round publishes its snapshot once, under the first session's key.
+  if (frame_sink_ && !ids.empty()) {
+    frame_sink_(stream_key(ids.front(), *sessions.front()), fine_snapshot);
   }
   return scheduler_.serve(sessions, ptrs);
 }
@@ -172,6 +196,7 @@ Engine::Stats Engine::stats() const {
   stats.scheduler = scheduler_.stats();
   stats.reloads_applied = reloads_applied_.load();
   stats.reloads_failed = reloads_failed_.load();
+  if (online_stats_) stats.online = online_stats_();
 
   // Per-shard breakdown: scheduler dispatch counters joined with the
   // pool's busy-time telemetry, both relative to this engine's lifetime.
@@ -336,6 +361,41 @@ std::string render_stats_table(const Engine::Stats& stats) {
                   fmt_bytes(fd.bytes_in).c_str(),
                   fmt_bytes(fd.bytes_out).c_str());
     out += line;
+  }
+
+  // Continuous-learning summary: is the model serving fresh weights, and
+  // is the trainer keeping up with the tap (drops mean the stream outruns
+  // the fine-tune loop; staleness growing with rejections means the gate
+  // is refusing what the trainer learns).
+  if (stats.online.has_value()) {
+    const OnlineTrainerStats& ot = *stats.online;
+    std::snprintf(line, sizeof(line),
+                  "online trainer: %s, %lld steps / %lld batches; tap %lld "
+                  "buffered, %lld published, %lld dropped over %lld "
+                  "stream%s\n",
+                  ot.running ? "running" : "stopped",
+                  static_cast<long long>(ot.steps),
+                  static_cast<long long>(ot.batches),
+                  static_cast<long long>(ot.tap_frames),
+                  static_cast<long long>(ot.tap_published),
+                  static_cast<long long>(ot.tap_dropped),
+                  static_cast<long long>(ot.tap_streams),
+                  ot.tap_streams == 1 ? "" : "s");
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "  checkpoints: %lld emitted, %lld promoted, %lld "
+                  "rejected; staleness %.1f s",
+                  static_cast<long long>(ot.candidates),
+                  static_cast<long long>(ot.promoted),
+                  static_cast<long long>(ot.rejected), ot.staleness_seconds);
+    out += line;
+    if (ot.holdout_nrmse >= 0) {
+      std::snprintf(line, sizeof(line),
+                    "; holdout NRMSE %.4f (serving %.4f)",
+                    ot.holdout_nrmse, ot.serving_nrmse);
+      out += line;
+    }
+    out += "\n";
   }
   return out;
 }

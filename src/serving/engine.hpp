@@ -20,14 +20,19 @@
 //    outlive every engine it is registered with;
 //  * the engine itself is single-threaded: calls into one engine must be
 //    serialised by the caller (the pool + stage threads below it are the
-//    parallelism story) — with ONE exception: reload_model() may run
-//    concurrently with push()/push_all()/push_fused() and the serving
-//    sessions pick the swap up at their next stitch-block boundary. It may
-//    NOT run concurrently with open/close/register or stats().
+//    parallelism story) — with TWO exceptions: reload_model() and stats()
+//    may run concurrently with push()/push_all()/push_fused(); the serving
+//    sessions pick a swap up at their next stitch-block boundary, and
+//    stats() only reads the slots' mutex-guarded state plus atomics. (The
+//    continuous learner relies on both: its trainer thread promotes
+//    checkpoints into a serving engine and its telemetry is polled from
+//    the serving side.) Neither may run concurrently with
+//    open/close/register.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -65,6 +70,30 @@ struct FrontDoorStats {
   double slo_ms = 0;
   double p50_ms = 0, p99_ms = 0, p999_ms = 0, max_ms = 0;
   std::int64_t bytes_in = 0, bytes_out = 0;
+};
+
+/// Continuous-learning telemetry (online::Trainer). Lives here, like
+/// FrontDoorStats, so Engine::Stats and render_stats_table can carry it
+/// without the serving layer depending on src/online; the trainer fills it
+/// via Engine::set_online_stats_source.
+struct OnlineTrainerStats {
+  bool running = false;       ///< background trainer thread alive
+  std::int64_t steps = 0;     ///< fine-tune optimizer steps completed
+  std::int64_t batches = 0;   ///< mini-batches consumed from the tap
+  std::int64_t tap_frames = 0;     ///< frames currently buffered, all streams
+  std::int64_t tap_published = 0;  ///< frames ever published into the tap
+  std::int64_t tap_dropped = 0;    ///< drop-oldest evictions
+  std::int64_t tap_streams = 0;    ///< distinct stream keys seen
+  std::int64_t candidates = 0;     ///< checkpoints emitted by the trainer
+  std::int64_t promoted = 0;       ///< candidates hot-reloaded into serving
+  std::int64_t rejected = 0;       ///< candidates the holdout gate refused
+  /// Seconds since serving weights last changed (trainer start or last
+  /// promotion — the age of what serving is running).
+  double staleness_seconds = 0;
+  /// Holdout-window NRMSE of the newest candidate / of the weights serving
+  /// when it was gated; negative until the first candidate is evaluated.
+  double holdout_nrmse = -1;
+  double serving_nrmse = -1;
 };
 
 /// Multi-model, multi-session inference server.
@@ -137,6 +166,30 @@ class Engine {
   /// Adjusts the scheduler's fused-pass window cap (SchedulerConfig).
   void set_fuse_cap(std::int64_t cap) { scheduler_.set_fuse_cap(cap); }
 
+  // ---- Continuous-learning hooks -------------------------------------------
+
+  /// A frame publication hook on the serving path: called once per distinct
+  /// stream per dispatch round, BEFORE the round is scheduled, with the
+  /// stream's key and the raw fine snapshot being pushed. The key is the
+  /// session's stream tag when set; untagged sessions publish under
+  /// "session-<id>". Fan-out consumers of one tagged feed (and push_fused
+  /// rounds) publish their shared frame once. The sink runs on the serving
+  /// thread and must be cheap and non-blocking — online::Trainer installs
+  /// its FrameTap::publish here (a bounded drop-oldest copy). Install
+  /// before serving starts; not safe to change mid-stream.
+  using FrameSink =
+      std::function<void(const std::string& stream_key, const Tensor& frame)>;
+  void set_frame_sink(FrameSink sink) { frame_sink_ = std::move(sink); }
+
+  /// Telemetry source for Stats::online (same pattern as the front door's
+  /// stats join): online::Trainer registers its counters here so
+  /// Engine::stats() and render_stats_table carry the trainer state. The
+  /// callback is invoked from stats() and must be thread-safe against the
+  /// trainer thread.
+  void set_online_stats_source(std::function<OnlineTrainerStats()> source) {
+    online_stats_ = std::move(source);
+  }
+
   /// Reshards the pool (forwarding mtsr::set_num_shards): sessions opened
   /// afterwards spread across `n` worker groups, each serving its sessions
   /// on its own runner thread against shard-local memory. Throws while any
@@ -191,11 +244,18 @@ class Engine {
     /// Socket-ingress telemetry, filled by the network front door
     /// (net::Server::stats()); absent when the engine has no front door.
     std::optional<FrontDoorStats> front_door;
+    /// Continuous-learning telemetry, filled from the source registered by
+    /// set_online_stats_source; absent when no trainer is attached.
+    std::optional<OnlineTrainerStats> online;
   };
   [[nodiscard]] Stats stats() const;
 
  private:
+  /// Stream key a session publishes tap frames under.
+  [[nodiscard]] std::string stream_key(SessionId id, const Session& s) const;
   std::map<std::string, std::shared_ptr<ModelSlot>> models_;
+  FrameSink frame_sink_;  ///< continuous-learning tap (may be empty)
+  std::function<OnlineTrainerStats()> online_stats_;
   SessionId next_id_ = 1;
   std::atomic<std::int64_t> reloads_applied_{0};
   std::atomic<std::int64_t> reloads_failed_{0};

@@ -1,6 +1,7 @@
 #include "src/tensor/serialize.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -85,14 +86,30 @@ Tensor read_tensor(std::istream& in) {
 
 void save_tensors(const std::string& path,
                   const std::vector<std::pair<std::string, Tensor>>& tensors) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_tensors: cannot open " + path);
-  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(tensors.size()));
-  for (const auto& [name, tensor] : tensors) {
-    write_string(out, name);
-    write_tensor(out, tensor);
+  // Write-temp + atomic rename: a crash (or thrown write error) mid-save
+  // must never leave a torn file at `path` — readers either see the old
+  // complete file or the new complete file. The temp lives next to the
+  // target so the rename stays within one filesystem.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("save_tensors: cannot open " + tmp);
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(tensors.size()));
+    for (const auto& [name, tensor] : tensors) {
+      write_string(out, name);
+      write_tensor(out, tensor);
+    }
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("save_tensors: write failed for " + tmp);
+    }
   }
-  if (!out) throw std::runtime_error("save_tensors: write failed for " + path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("save_tensors: cannot rename " + tmp + " to " +
+                             path);
+  }
 }
 
 std::vector<std::pair<std::string, Tensor>> load_tensors(

@@ -22,7 +22,10 @@ void write_tensor(std::ostream& out, const Tensor& tensor);
 [[nodiscard]] Tensor read_tensor(std::istream& in);
 
 /// Writes a named collection of tensors to `path` (count-prefixed sequence
-/// of (name, tensor) pairs).
+/// of (name, tensor) pairs). The write is atomic: the payload lands in
+/// `path + ".tmp"` first and renames over `path` only once complete, so a
+/// crash mid-save never leaves a torn checkpoint behind and concurrent
+/// readers of `path` see either the old file or the new one, whole.
 void save_tensors(const std::string& path,
                   const std::vector<std::pair<std::string, Tensor>>& tensors);
 

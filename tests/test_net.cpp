@@ -175,6 +175,11 @@ TEST(Protocol, ResponseRoundTrip) {
   stats.p50_ms = 1.5;
   stats.p99_ms = 9.5;
   stats.p999_ms = 20.0;
+  stats.online_steps = 640;
+  stats.online_promoted = 3;
+  stats.online_rejected = 2;
+  stats.online_staleness_s = 7.25;
+  stats.online_holdout_nrmse = 0.4375;
   stats.table = "| sessions |";
   decoded = decode_response(must_extract(encode_response(stats)));
   EXPECT_EQ(decoded.stats.requests, 100);
@@ -183,6 +188,11 @@ TEST(Protocol, ResponseRoundTrip) {
   EXPECT_EQ(decoded.stats.slo_violations, 1);
   EXPECT_EQ(decoded.stats.max_queue_depth, 17);
   EXPECT_EQ(decoded.stats.p999_ms, 20.0);
+  EXPECT_EQ(decoded.stats.online_steps, 640);
+  EXPECT_EQ(decoded.stats.online_promoted, 3);
+  EXPECT_EQ(decoded.stats.online_rejected, 2);
+  EXPECT_EQ(decoded.stats.online_staleness_s, 7.25);
+  EXPECT_EQ(decoded.stats.online_holdout_nrmse, 0.4375);
   EXPECT_EQ(decoded.stats.table, "| sessions |");
 }
 

@@ -65,5 +65,34 @@ TEST(Serialize, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST(Serialize, SaveIsAtomic) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mtsr_serialize_atomic.bin")
+          .string();
+  Rng rng(10);
+  std::vector<std::pair<std::string, Tensor>> tensors;
+  tensors.emplace_back("weight", Tensor::randn(Shape{4, 4}, rng));
+
+  // A successful save never leaves its temp file behind.
+  save_tensors(path, tensors);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // Overwriting an existing file goes through the same temp + rename: the
+  // old content is fully replaced, never torn.
+  tensors.emplace_back("bias", Tensor::randn(Shape{4}, rng));
+  save_tensors(path, tensors);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(load_tensors(path).size(), 2u);
+  std::remove(path.c_str());
+
+  // A failing save (unwritable directory) throws and leaves nothing —
+  // neither the final path nor a temp file.
+  const std::string bad = "/nonexistent/dir/model.bin";
+  EXPECT_THROW(save_tensors(bad, tensors), std::runtime_error);
+  EXPECT_FALSE(std::filesystem::exists(bad));
+  EXPECT_FALSE(std::filesystem::exists(bad + ".tmp"));
+}
+
 }  // namespace
 }  // namespace mtsr
